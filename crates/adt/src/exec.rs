@@ -1,0 +1,69 @@
+//! Execution context handed to ADT functions and conversion routines.
+
+use crate::datum::LoRef;
+use crate::types::TypeRegistry;
+use crate::{AdtError, Result};
+use pglo_core::{LoHandle, LoSpec, LoStore, OpenMode};
+use pglo_txn::Txn;
+
+/// Everything an ADT function may touch while running inside the executor:
+/// the large-object store (to open argument objects chunk-by-chunk and to
+/// allocate temporary result objects) and the current transaction.
+pub struct ExecCtx<'a> {
+    store: &'a LoStore,
+    txn: &'a Txn,
+    types: &'a TypeRegistry,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// A context over the store, transaction, and type registry.
+    pub fn new(store: &'a LoStore, txn: &'a Txn, types: &'a TypeRegistry) -> Self {
+        Self { store, txn, types }
+    }
+
+    /// The type registry in effect.
+    pub fn types(&self) -> &'a TypeRegistry {
+        self.types
+    }
+
+    /// The large-object store.
+    pub fn store(&self) -> &'a LoStore {
+        self.store
+    }
+
+    /// The current transaction.
+    pub fn txn(&self) -> &'a Txn {
+        self.txn
+    }
+
+    /// Open a large argument for chunked reading (§3: functions request
+    /// small chunks, never the whole value).
+    pub fn open_large(&self, lo: &LoRef, mode: OpenMode) -> Result<LoHandle<'a>> {
+        Ok(self.store.open(self.txn, lo.id, mode)?)
+    }
+
+    /// Allocate a temporary large object for a function result (§5), using
+    /// the storage clause of the named large type. The object is
+    /// garbage-collected at end of query unless the caller promotes it with
+    /// [`LoStore::keep_temp`].
+    pub fn create_temp_large(&self, type_name: &str) -> Result<LoRef> {
+        let def = self.types.get(type_name)?;
+        let large = def
+            .large
+            .as_ref()
+            .ok_or_else(|| AdtError::TypeMismatch {
+                expected: "a large ADT".into(),
+                got: type_name.to_string(),
+            })?;
+        let spec = LoSpec {
+            kind: large.storage,
+            codec: large.codec,
+            smgr: large.smgr,
+            owner: pglo_core::UserId::DBA,
+            path: None,
+            chunk_size: pglo_core::CHUNK_SIZE,
+        };
+        let id = self.store.create_temp(self.txn, &spec)?;
+        Ok(LoRef { id, type_name: type_name.to_string() })
+    }
+}

@@ -1,0 +1,36 @@
+//! Row/datum decoding must reject arbitrary bytes gracefully — a damaged
+//! page can surface any byte soup, and the error path is an `Err`, never a
+//! panic.
+
+use pglo_adt::datum::{decode_row, encode_row, Datum};
+use pglo_adt::{LoRef, Rect};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(prop::num::u8::ANY, 0..300)) {
+        let _ = decode_row(&bytes);
+        let _ = Datum::decode(&bytes);
+    }
+
+    /// Encode→truncate→decode always errors (no silent partial rows).
+    #[test]
+    fn truncations_always_error(
+        ints in prop::collection::vec(prop::num::i64::ANY, 1..5),
+        text in ".{0,40}",
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut row: Vec<Datum> = ints.into_iter().map(Datum::Int8).collect();
+        row.push(Datum::Text(text));
+        row.push(Datum::Rect(Rect { x0: 1, y0: 2, x1: 3, y1: 4 }));
+        row.push(Datum::Large(LoRef { id: pglo_core::LoId(9), type_name: "img".into() }));
+        let bytes = encode_row(&row);
+        prop_assert_eq!(decode_row(&bytes).unwrap(), row);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_row(&bytes[..cut]).is_err(), "cut at {}", cut);
+        }
+    }
+}

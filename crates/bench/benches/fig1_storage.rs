@@ -1,0 +1,26 @@
+//! Criterion wrapper for Figure 1: wall-clock cost of building the object
+//! under each implementation (the simulated-storage table itself comes from
+//! `repro -- fig1`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pglo_bench::workload::TestObject;
+use pglo_bench::{BenchConfig, ImplKind};
+
+fn bench_fig1_load(c: &mut Criterion) {
+    let cfg = BenchConfig { frames: 250, ..BenchConfig::smoke() };
+    let mut group = c.benchmark_group("fig1_object_load");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(cfg.object_bytes()));
+    for kind in ImplKind::fig2_columns() {
+        group.bench_function(kind.label().replace(' ', "_"), |b| {
+            b.iter(|| {
+                let obj = TestObject::setup(kind, &cfg, false).unwrap();
+                std::hint::black_box(obj.store.storage_breakdown(obj.id).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1_load);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion wrapper for Figure 2: wall-clock cost of each benchmark
+//! operation per implementation (the simulated-seconds table itself comes
+//! from `repro -- fig2`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pglo_bench::workload::{run_op, TestObject};
+use pglo_bench::{BenchConfig, ImplKind, Op};
+use pglo_core::OpenMode;
+
+fn bench_fig2_ops(c: &mut Criterion) {
+    let cfg = BenchConfig { frames: 250, ..BenchConfig::smoke() };
+    let mut group = c.benchmark_group("fig2_disk");
+    group.sample_size(10);
+    for kind in [ImplKind::UFile, ImplKind::FChunk0, ImplKind::VSeg30, ImplKind::FChunk50] {
+        let obj = TestObject::setup(kind, &cfg, false).unwrap();
+        for op in [Op::SeqRead, Op::RandRead] {
+            let bytes = match op {
+                Op::SeqRead | Op::SeqWrite => cfg.seq_frames() * cfg.frame_size as u64,
+                _ => cfg.rand_frames() * cfg.frame_size as u64,
+            };
+            group.throughput(Throughput::Bytes(bytes));
+            let name = format!("{}/{:?}", kind.label().replace(' ', "_"), op);
+            group.bench_function(name, |b| {
+                let txn = obj.env.begin();
+                let mut io = obj.frame_io(&txn, &cfg, OpenMode::ReadOnly).unwrap();
+                b.iter(|| run_op(&mut io, op, &cfg).unwrap());
+                io.close().unwrap();
+                txn.commit();
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_ops);
+criterion_main!(benches);

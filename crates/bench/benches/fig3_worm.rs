@@ -1,0 +1,35 @@
+//! Criterion wrapper for Figure 3: wall-clock cost of WORM read operations
+//! (the simulated-seconds table itself comes from `repro -- fig3`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pglo_bench::workload::{run_op, SpecialWormReader, TestObject};
+use pglo_bench::{BenchConfig, ImplKind, Op};
+use pglo_core::OpenMode;
+
+fn bench_fig3_reads(c: &mut Criterion) {
+    let cfg = BenchConfig { frames: 250, ..BenchConfig::smoke() };
+    let mut group = c.benchmark_group("fig3_worm");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(cfg.rand_frames() * cfg.frame_size as u64));
+    // The raw-device reader.
+    group.bench_function("special_program/RandRead", |b| {
+        let sim = pglo_sim::SimContext::default_1992();
+        let mut special = SpecialWormReader::new(sim, cfg.frame_size);
+        b.iter(|| run_op(&mut special, Op::RandRead, &cfg).unwrap());
+    });
+    for kind in [ImplKind::FChunk0, ImplKind::FChunk50] {
+        let obj = TestObject::setup(kind, &cfg, true).unwrap();
+        let name = format!("{}/RandRead", kind.label().replace(' ', "_"));
+        group.bench_function(name, |b| {
+            let txn = obj.env.begin();
+            let mut io = obj.frame_io(&txn, &cfg, OpenMode::ReadOnly).unwrap();
+            b.iter(|| run_op(&mut io, Op::RandRead, &cfg).unwrap());
+            io.close().unwrap();
+            txn.commit();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_reads);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Micro-benchmarks (wall-clock) of the individual subsystems.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pglo_btree::{keys::u64_key, BTree};
+use pglo_compress::{compress_vec, decompress_vec, synth::FrameGenerator, CodecKind};
+use pglo_core::{LoSpec, LoStore, OpenMode};
+use pglo_heap::{Heap, StorageEnv};
+use pglo_pages::{alloc_page, Page, Tid};
+use pglo_txn::Visibility;
+use std::sync::Arc;
+
+fn bench_pages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pages");
+    group.bench_function("add_item_1k", |b| {
+        let payload = vec![7u8; 1000];
+        b.iter_batched(
+            || {
+                let mut buf = alloc_page();
+                Page::new(&mut buf[..]).init(0).unwrap();
+                buf
+            },
+            |mut buf| {
+                let mut page = Page::new(&mut buf[..]);
+                for _ in 0..7 {
+                    page.add_item(&payload).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codecs");
+    group.throughput(Throughput::Bytes(4096));
+    for kind in [CodecKind::Rle, CodecKind::Lz77] {
+        let target = if kind == CodecKind::Lz77 { 0.5 } else { 0.7 };
+        let (gen, _) = pglo_compress::synth::calibrate(kind.codec(), 4096, target, 7);
+        let frame = gen.frame(0);
+        let compressed = compress_vec(kind.codec(), &frame);
+        group.bench_function(format!("{}_compress_4k", kind.as_str()), |b| {
+            b.iter(|| compress_vec(kind.codec(), std::hint::black_box(&frame)));
+        });
+        group.bench_function(format!("{}_decompress_4k", kind.as_str()), |b| {
+            b.iter(|| decompress_vec(kind.codec(), std::hint::black_box(&compressed)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let env = StorageEnv::open(dir.path()).unwrap();
+    let tree = BTree::create_anonymous(&env, env.mem_id()).unwrap();
+    for i in 0..10_000u64 {
+        tree.insert(&u64_key(i), Tid::new(i as u32, 0)).unwrap();
+    }
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("lookup_10k_tree", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            tree.lookup(&u64_key(i)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let env = StorageEnv::open(dir.path()).unwrap();
+    let heap = Heap::create(&env, "BENCH", env.mem_id(), Default::default()).unwrap();
+    let txn = env.begin();
+    let payload = vec![5u8; 100];
+    let mut tids = Vec::new();
+    for _ in 0..1000 {
+        tids.push(heap.insert(&txn, &payload).unwrap());
+    }
+    let vis = Visibility::for_txn(&txn);
+    let mut group = c.benchmark_group("heap");
+    group.bench_function("insert_100b", |b| {
+        b.iter(|| heap.insert(&txn, std::hint::black_box(&payload)).unwrap());
+    });
+    group.bench_function("fetch_100b", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 31) % tids.len();
+            heap.fetch(tids[i], &vis).unwrap()
+        });
+    });
+    group.finish();
+    txn.commit();
+}
+
+fn bench_large_objects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_objects");
+    group.throughput(Throughput::Bytes(4096));
+    for (name, spec) in [
+        ("fchunk", LoSpec::fchunk()),
+        ("fchunk_rle", LoSpec::fchunk().with_codec(CodecKind::Rle)),
+        ("vsegment_rle", LoSpec::vsegment(CodecKind::Rle)),
+    ] {
+        let dir = tempfile::tempdir().unwrap();
+        let env = StorageEnv::open(dir.path()).unwrap();
+        let store = LoStore::new(Arc::clone(&env));
+        let txn = env.begin();
+        let spec = spec.on_smgr(env.mem_id());
+        let id = store.create(&txn, &spec).unwrap();
+        let gen = FrameGenerator::new(4096, 0.4, 3);
+        {
+            let mut h = store.open(&txn, id, OpenMode::ReadWrite).unwrap();
+            for i in 0..256u64 {
+                h.write_at(i * 4096, &gen.frame(i)).unwrap();
+            }
+            h.close().unwrap();
+        }
+        {
+            let mut h = store.open(&txn, id, OpenMode::ReadWrite).unwrap();
+            let mut buf = vec![0u8; 4096];
+            group.bench_function(format!("{name}_random_frame_read"), |b| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = (i + 97) % 256;
+                    h.read_at(i * 4096, &mut buf).unwrap()
+                });
+            });
+            h.close().unwrap();
+        }
+        txn.commit();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pages, bench_codecs, bench_btree, bench_heap, bench_large_objects
+);
+criterion_main!(benches);

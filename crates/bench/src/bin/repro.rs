@@ -1,0 +1,140 @@
+//! `repro` — regenerate the paper's tables.
+//!
+//! ```sh
+//! cargo run --release -p pglo-bench --bin repro -- all          # 1/8 scale
+//! cargo run --release -p pglo-bench --bin repro -- fig2 --full  # 51.2 MB
+//! cargo run --release -p pglo-bench --bin repro -- fig1 --frames 5000
+//! cargo run --release -p pglo-bench --bin repro -- ablation
+//! ```
+
+use pglo_bench::ablation::{
+    chunk_size_sweep, index_vs_scan, jit_decompression, rows_to_string, txn_overhead, wan_transfer,
+    worm_cache,
+};
+use pglo_bench::figures::fig1_to_string;
+use pglo_bench::{run_fig1, run_fig2, run_fig3, BenchConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig1|fig2|fig3|ablation|all> [--full] [--frames N]\n\
+         \n\
+         fig1      Storage used by the implementations (paper Figure 1)\n\
+         fig2      Disk performance table (paper Figure 2)\n\
+         fig3      WORM jukebox performance table (paper Figure 3)\n\
+         ablation  Design-choice ablations (txn cost, WORM cache, chunk size, JIT)\n\
+         all       Everything above\n\
+         \n\
+         --full    Use the paper's exact 51.2 MB / 12 500-frame object\n\
+         --frames  Explicit frame count (overrides --full)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    if !matches!(command.as_str(), "fig1" | "fig2" | "fig3" | "ablation" | "all") {
+        usage();
+    }
+    let mut cfg = BenchConfig::default();
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => cfg = BenchConfig { frames: 12_500, ..cfg },
+            "--frames" => {
+                let n: u64 = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if n == 0 {
+                    eprintln!("error: --frames must be at least 1");
+                    std::process::exit(2);
+                }
+                cfg = BenchConfig { frames: n, ..cfg };
+            }
+            _ => usage(),
+        }
+    }
+    println!(
+        "pglo reproduction harness — object {:.1} MB ({} frames x {} B), \
+         simulated 1992 devices\n",
+        cfg.object_bytes() as f64 / 1e6,
+        cfg.frames,
+        cfg.frame_size
+    );
+    let started = std::time::Instant::now();
+    match command.as_str() {
+        "fig1" => fig1(&cfg),
+        "fig2" => fig2(&cfg),
+        "fig3" => fig3(&cfg),
+        "ablation" => ablation(&cfg),
+        "all" => {
+            fig1(&cfg);
+            fig2(&cfg);
+            fig3(&cfg);
+            ablation(&cfg);
+        }
+        _ => usage(),
+    }
+    eprintln!("\n[harness wall-clock: {:.1} s]", started.elapsed().as_secs_f64());
+}
+
+fn fig1(cfg: &BenchConfig) {
+    let rows = run_fig1(cfg).expect("fig1");
+    println!("{}", fig1_to_string(&rows, cfg));
+}
+
+fn fig2(cfg: &BenchConfig) {
+    let table = run_fig2(cfg).expect("fig2");
+    println!("{table}");
+}
+
+fn fig3(cfg: &BenchConfig) {
+    let table = run_fig3(cfg).expect("fig3");
+    println!("{table}");
+}
+
+fn ablation(cfg: &BenchConfig) {
+    println!(
+        "{}",
+        rows_to_string(
+            "Ablation: transaction-support overhead (§10, [SELT92] ~15%)",
+            &txn_overhead(cfg).expect("txn ablation"),
+        )
+    );
+    println!(
+        "{}",
+        rows_to_string(
+            "Ablation: WORM magnetic-disk block cache (§9.3)",
+            &worm_cache(cfg).expect("worm ablation"),
+        )
+    );
+    println!(
+        "{}",
+        rows_to_string(
+            "Ablation: f-chunk chunk-size geometry (§6.3)",
+            &chunk_size_sweep(cfg).expect("chunk ablation"),
+        )
+    );
+    println!(
+        "{}",
+        rows_to_string(
+            "Ablation: just-in-time vs whole-object decompression (§3)",
+            &jit_decompression(cfg).expect("jit ablation"),
+        )
+    );
+    println!(
+        "{}",
+        rows_to_string(
+            "Ablation: indexing functions of large ADTs (§3)",
+            &index_vs_scan(cfg).expect("index ablation"),
+        )
+    );
+    println!(
+        "{}",
+        rows_to_string(
+            "Ablation: client-server transfer over a 1992 WAN (§3)",
+            &wan_transfer(cfg).expect("wan ablation"),
+        )
+    );
+}

@@ -1,0 +1,82 @@
+//! Benchmark configuration: the paper's geometry, scalable.
+
+/// Benchmark parameters. Defaults to 1/8 of the paper's object so the full
+/// suite runs in seconds; `--full` restores the exact published geometry.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Number of 4096-byte frames in the object (paper: 12 500 = 51.2 MB).
+    pub frames: u64,
+    /// Frame size in bytes (paper: 4096).
+    pub frame_size: usize,
+    /// Buffer pool size in 8 KB frames.
+    pub pool_frames: usize,
+    /// WORM magnetic-disk block cache, in blocks.
+    pub worm_cache_blocks: usize,
+    /// Seed for workload generation (same across implementations).
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            frames: 12_500 / 8,
+            frame_size: 4096,
+            // POSTGRES Version 4's default shared buffer was small — 64
+            // pages (512 KB). The asymmetry against the OS file cache is
+            // part of what Figure 2 measured.
+            pool_frames: 64,
+            worm_cache_blocks: pglo_smgr::worm::DEFAULT_WORM_CACHE_BLOCKS,
+            seed: 0x51_2A_B0_0C,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// The paper's exact geometry: a 51.2 MB object of 12 500 frames.
+    pub fn paper_full() -> Self {
+        Self { frames: 12_500, ..Self::default() }
+    }
+
+    /// A tiny configuration for unit tests of the harness itself.
+    pub fn smoke() -> Self {
+        Self { frames: 200, pool_frames: 32, ..Self::default() }
+    }
+
+    /// Object size in bytes.
+    pub fn object_bytes(&self) -> u64 {
+        self.frames * self.frame_size as u64
+    }
+
+    /// Frames touched by the sequential operations (paper: 2500 of 12 500,
+    /// i.e. 10 MB of 51.2 MB).
+    pub fn seq_frames(&self) -> u64 {
+        (self.frames / 5).max(1)
+    }
+
+    /// Frames touched by the random and 80/20 operations (paper: 250,
+    /// i.e. 1 MB).
+    pub fn rand_frames(&self) -> u64 {
+        (self.frames / 50).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let cfg = BenchConfig::paper_full();
+        assert_eq!(cfg.object_bytes(), 51_200_000);
+        assert_eq!(cfg.seq_frames(), 2_500); // 10 MB
+        assert_eq!(cfg.rand_frames(), 250); // 1 MB
+    }
+
+    #[test]
+    fn scaled_geometry_preserves_ratios() {
+        let cfg = BenchConfig::default();
+        // 20% of frames sequentially, 2% randomly, as in the paper.
+        assert_eq!(cfg.seq_frames(), cfg.frames / 5);
+        assert_eq!(cfg.rand_frames(), cfg.frames / 50);
+    }
+}

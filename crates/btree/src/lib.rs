@@ -1,0 +1,414 @@
+//! B-tree access method.
+//!
+//! Secondary indexes in this reproduction serve three paper roles:
+//!
+//! * the f-chunk implementation "maintains a secondary btree index on the
+//!   data blocks, and so must traverse the index any time a seek is done"
+//!   (§9.2) — this traversal is the random-access cost Figure 2 attributes
+//!   to f-chunk;
+//! * the v-segment implementation's *segment index* (§6.4);
+//! * Inversion's directory lookup (§8).
+//!
+//! Following POSTGRES, index entries point at heap TIDs and carry **no**
+//! visibility information: every version of a tuple has an index entry, and
+//! the heap decides visibility at fetch time. That is exactly what makes
+//! the v-segment index time-travelable "for free".
+//!
+//! Structure: a B+-tree over buffer-pool pages. Entries are ordered by
+//! `(key bytes, TID)`, duplicates allowed. Internal separators store the
+//! full `(key, TID)` of the first entry of their subtree, so descent is a
+//! uniform binary search. Leaves are doubly linked for ordered scans in
+//! both directions. Deletion removes entries without rebalancing (empty
+//! pages persist; scans skip them) — the same lazy discipline POSTGRES used.
+
+pub mod node;
+pub mod scan;
+
+pub use scan::{BTreeScan, ScanStart};
+
+use node::{NodeEntry, NodeView, META_SPECIAL, NODE_SPECIAL};
+use parking_lot::Mutex;
+use pglo_buffer::PageKey;
+use pglo_heap::{HeapError, StorageEnv};
+use pglo_pages::{Page, Tid, PAGE_SIZE};
+use pglo_smgr::{RelFileId, SmgrId};
+use std::sync::Arc;
+
+/// Crate-wide result type (storage errors surface as heap errors).
+pub type Result<T> = std::result::Result<T, HeapError>;
+
+/// Longest permitted key, chosen so several entries always fit per page.
+pub const MAX_KEY_LEN: usize = 1024;
+
+/// Simulated CPU cost of one level of descent (binary search + page
+/// bookkeeping) — the "extra cost of the btree traversal" of §9.2.
+const DESCENT_CPU_INSTR: u64 = 1200;
+
+/// A B-tree index over `(key, TID)` entries.
+pub struct BTree {
+    env: Arc<StorageEnv>,
+    rel: RelFileId,
+    smgr: SmgrId,
+    /// Coarse-grained tree latch: one writer or reader structure-walk at a
+    /// time. Page-level latching is future work; the paper's benchmarks are
+    /// single-streamed.
+    lock: Mutex<()>,
+}
+
+impl BTree {
+    /// Create a new, empty index on an anonymous relation.
+    pub fn create_anonymous(env: &Arc<StorageEnv>, smgr: SmgrId) -> Result<BTree> {
+        let oid = env.catalog().alloc_oid()?;
+        env.switch().get(smgr)?.create(oid)?;
+        let tree = BTree { env: Arc::clone(env), rel: oid, smgr, lock: Mutex::new(()) };
+        tree.bootstrap()?;
+        Ok(tree)
+    }
+
+    /// Open an existing index by relation OID.
+    pub fn open_oid(env: &Arc<StorageEnv>, oid: u64, smgr: SmgrId) -> BTree {
+        BTree { env: Arc::clone(env), rel: oid, smgr, lock: Mutex::new(()) }
+    }
+
+    fn bootstrap(&self) -> Result<()> {
+        // Block 0: meta page. Block 1: empty root leaf.
+        let (meta_block, meta) = self.env.pool().new_page(self.smgr, self.rel, |buf| {
+            let mut page = Page::new(&mut buf[..]);
+            page.init(META_SPECIAL).expect("meta init");
+        })?;
+        debug_assert_eq!(meta_block, 0);
+        let (root_block, _root) = self.env.pool().new_page(self.smgr, self.rel, |buf| {
+            let mut page = Page::new(&mut buf[..]);
+            page.init(NODE_SPECIAL).expect("node init");
+            NodeView::init_special(&mut page, 0, 0, 0);
+        })?;
+        debug_assert_eq!(root_block, 1);
+        meta.with_write(|buf| {
+            let mut page = Page::new(&mut buf[..]);
+            node::meta_set(&mut page, root_block, 1);
+        });
+        Ok(())
+    }
+
+    /// Relation OID of the index.
+    pub fn rel(&self) -> RelFileId {
+        self.rel
+    }
+
+    /// Storage manager the index lives on.
+    pub fn smgr(&self) -> SmgrId {
+        self.smgr
+    }
+
+    pub(crate) fn env(&self) -> &Arc<StorageEnv> {
+        &self.env
+    }
+
+    pub(crate) fn key(&self, block: u32) -> PageKey {
+        PageKey::new(self.smgr, self.rel, block)
+    }
+
+    /// `(root block, tree height)` from the meta page.
+    pub(crate) fn read_meta(&self) -> Result<(u32, u32)> {
+        let pinned = self.env.pool().pin(self.key(0))?;
+        Ok(pinned.with_read(|buf| node::meta_get(&Page::new(&buf[..]))))
+    }
+
+    fn write_meta(&self, root: u32, height: u32) -> Result<()> {
+        let pinned = self.env.pool().pin(self.key(0))?;
+        pinned.with_write(|buf| node::meta_set(&mut Page::new(&mut buf[..]), root, height));
+        Ok(())
+    }
+
+    /// Number of blocks (meta + nodes) — the Figure 1 "B-tree index" rows.
+    pub fn nblocks(&self) -> Result<u32> {
+        Ok(self.env.switch().get(self.smgr)?.nblocks(self.rel)?)
+    }
+
+    /// Physical index size in bytes.
+    pub fn size_bytes(&self) -> Result<u64> {
+        Ok(self.nblocks()? as u64 * PAGE_SIZE as u64)
+    }
+
+    /// Descend to the leaf that should contain `(key, tid)`, returning the
+    /// path of `(block, child index)` decisions with the leaf block last.
+    pub(crate) fn descend_path(&self, key: &[u8], tid: Tid) -> Result<Vec<(u32, usize)>> {
+        let (root, height) = self.read_meta()?;
+        let mut path = Vec::with_capacity(height as usize);
+        let mut block = root;
+        loop {
+            self.env.sim().charge_cpu(DESCENT_CPU_INSTR);
+            let pinned = self.env.pool().pin(self.key(block))?;
+            let (level, child) = pinned.with_read(|buf| {
+                let page = Page::new(&buf[..]);
+                let view = NodeView::new(&page);
+                if view.level() == 0 {
+                    (0, None)
+                } else {
+                    let idx = view.child_index_for(key, tid);
+                    (view.level(), Some((idx, view.entry(idx).child)))
+                }
+            });
+            match child {
+                None => {
+                    path.push((block, 0));
+                    return Ok(path);
+                }
+                Some((idx, child_block)) => {
+                    debug_assert!(level > 0);
+                    path.push((block, idx));
+                    block = child_block;
+                }
+            }
+        }
+    }
+
+    /// Insert an entry. Duplicate `(key, tid)` pairs are stored as given
+    /// (the heap never reuses a TID for a different logical tuple until
+    /// vacuum, which removes index entries first).
+    pub fn insert(&self, key: &[u8], tid: Tid) -> Result<()> {
+        assert!(key.len() <= MAX_KEY_LEN, "index key exceeds MAX_KEY_LEN");
+        let _guard = self.lock.lock();
+        let path = self.descend_path(key, tid)?;
+        let (leaf_block, _) = *path.last().expect("descend returns at least the leaf");
+        let entry = NodeEntry { key: key.to_vec(), tid, child: 0 };
+        self.insert_into_node(&path, path.len() - 1, leaf_block, entry)
+    }
+
+    /// Insert `entry` into `block` (a node at `path[level_idx]`), splitting
+    /// upward as needed.
+    fn insert_into_node(
+        &self,
+        path: &[(u32, usize)],
+        level_idx: usize,
+        block: u32,
+        entry: NodeEntry,
+    ) -> Result<()> {
+        let pinned = self.env.pool().pin(self.key(block))?;
+        let fit = pinned.with_write(|buf| {
+            let (idx, is_leaf) = {
+                let page = Page::new(&buf[..]);
+                let view = NodeView::new(&page);
+                (view.insertion_index(&entry.key, entry.tid), view.level() == 0)
+            };
+            let encoded = entry.encode(is_leaf);
+            let mut page = Page::new(&mut buf[..]);
+            if page.insert_item_at(idx as u16, &encoded) {
+                return true;
+            }
+            if page.reclaimable() >= encoded.len() {
+                page.compact();
+                if page.insert_item_at(idx as u16, &encoded) {
+                    return true;
+                }
+            }
+            false
+        });
+        if fit {
+            return Ok(());
+        }
+        // Split: move the upper half of entries to a fresh right sibling.
+        let (level, old_right, mut entries) = pinned.with_read(|buf| {
+            let page = Page::new(&buf[..]);
+            let view = NodeView::new(&page);
+            (view.level(), view.right(), view.all_entries())
+        });
+        let is_leaf = level == 0;
+        // Insert the new entry into the in-memory list, then split by count.
+        let pos = entries
+            .binary_search_by(|e| e.cmp_key(&entry.key, entry.tid))
+            .unwrap_or_else(|p| p);
+        entries.insert(pos, entry);
+        let mid = entries.len() / 2;
+        let right_entries = entries.split_off(mid);
+        let left_entries = entries;
+        let sep = right_entries[0].clone();
+        let (new_block, new_pinned) = self.env.pool().new_page(self.smgr, self.rel, |buf| {
+            let mut page = Page::new(&mut buf[..]);
+            page.init(NODE_SPECIAL).expect("node init");
+            NodeView::init_special(&mut page, level, block, old_right);
+        })?;
+        new_pinned.with_write(|buf| {
+            let mut page = Page::new(&mut buf[..]);
+            for (i, e) in right_entries.iter().enumerate() {
+                assert!(
+                    page.insert_item_at(i as u16, &e.encode(is_leaf)),
+                    "split half must fit"
+                );
+            }
+        });
+        pinned.with_write(|buf| {
+            let mut page = Page::new(&mut buf[..]);
+            // Rewrite the left node with its half.
+            let count = page.item_count();
+            for _ in 0..count {
+                page.remove_item_at(0);
+            }
+            page.compact();
+            for (i, e) in left_entries.iter().enumerate() {
+                assert!(
+                    page.insert_item_at(i as u16, &e.encode(is_leaf)),
+                    "split half must fit"
+                );
+            }
+            NodeView::set_right(&mut page, new_block);
+        });
+        if old_right != 0 {
+            let right_pinned = self.env.pool().pin(self.key(old_right))?;
+            right_pinned.with_write(|buf| {
+                let mut page = Page::new(&mut buf[..]);
+                NodeView::set_left(&mut page, new_block);
+            });
+        }
+        drop(pinned);
+        // Propagate the separator.
+        let sep_entry = NodeEntry { key: sep.key, tid: sep.tid, child: new_block };
+        if level_idx == 0 {
+            // Splitting the root: make a new root above it.
+            let (_, height) = self.read_meta()?;
+            let first = NodeEntry {
+                key: left_first_key(self, block)?,
+                tid: left_first_tid(self, block)?,
+                child: block,
+            };
+            let (root_block, root_pinned) =
+                self.env.pool().new_page(self.smgr, self.rel, |buf| {
+                    let mut page = Page::new(&mut buf[..]);
+                    page.init(NODE_SPECIAL).expect("node init");
+                    NodeView::init_special(&mut page, level + 1, 0, 0);
+                })?;
+            root_pinned.with_write(|buf| {
+                let mut page = Page::new(&mut buf[..]);
+                assert!(page.insert_item_at(0, &first.encode(false)));
+                assert!(page.insert_item_at(1, &sep_entry.encode(false)));
+            });
+            self.write_meta(root_block, height + 1)?;
+            Ok(())
+        } else {
+            let (parent_block, _) = path[level_idx - 1];
+            self.insert_into_node(path, level_idx - 1, parent_block, sep_entry)
+        }
+    }
+
+    /// Remove an exact `(key, tid)` entry. Returns whether it was present.
+    pub fn delete(&self, key: &[u8], tid: Tid) -> Result<bool> {
+        enum Outcome {
+            Deleted,
+            Absent,
+            TryRight(u32),
+        }
+        let _guard = self.lock.lock();
+        let path = self.descend_path(key, tid)?;
+        let (leaf_block, _) = *path.last().expect("leaf");
+        let mut block = leaf_block;
+        loop {
+            if block == 0 {
+                return Ok(false);
+            }
+            let pinned = self.env.pool().pin(self.key(block))?;
+            let outcome = pinned.with_write(|buf| {
+                let (found, right) = {
+                    let page = Page::new(&buf[..]);
+                    let view = NodeView::new(&page);
+                    let idx = view.insertion_index(key, tid);
+                    if idx < view.count() {
+                        let e = view.entry(idx);
+                        if e.key == key && e.tid == tid {
+                            (Some(idx), 0)
+                        } else {
+                            // First entry beyond the target: nothing further
+                            // right can match either.
+                            (None, 0)
+                        }
+                    } else {
+                        // Target sorts past everything here; the right
+                        // sibling could still hold it (empty leaf case).
+                        (None, view.right())
+                    }
+                };
+                match found {
+                    Some(idx) => {
+                        Page::new(&mut buf[..]).remove_item_at(idx as u16);
+                        Outcome::Deleted
+                    }
+                    None if right != 0 => Outcome::TryRight(right),
+                    None => Outcome::Absent,
+                }
+            });
+            match outcome {
+                Outcome::Deleted => return Ok(true),
+                Outcome::Absent => return Ok(false),
+                Outcome::TryRight(next) => block = next,
+            }
+        }
+    }
+
+    /// All TIDs stored under exactly `key`, in TID order.
+    pub fn lookup(&self, key: &[u8]) -> Result<Vec<Tid>> {
+        let mut out = Vec::new();
+        let mut scan = self.scan(ScanStart::AtOrAfter(key.to_vec()))?;
+        while let Some((k, tid)) = scan.next_entry()? {
+            if k != key {
+                break;
+            }
+            out.push(tid);
+        }
+        Ok(out)
+    }
+
+    /// An ordered scan beginning at `start`.
+    pub fn scan(&self, start: ScanStart) -> Result<BTreeScan<'_>> {
+        BTreeScan::position(self, start)
+    }
+}
+
+fn left_first_key(tree: &BTree, block: u32) -> Result<Vec<u8>> {
+    let pinned = tree.env.pool().pin(tree.key(block))?;
+    Ok(pinned.with_read(|buf| {
+        let page = Page::new(&buf[..]);
+        let view = NodeView::new(&page);
+        view.entry(0).key
+    }))
+}
+
+fn left_first_tid(tree: &BTree, block: u32) -> Result<Tid> {
+    let pinned = tree.env.pool().pin(tree.key(block))?;
+    Ok(pinned.with_read(|buf| {
+        let page = Page::new(&buf[..]);
+        let view = NodeView::new(&page);
+        view.entry(0).tid
+    }))
+}
+
+/// Big-endian key encoders: byte order equals numeric order, so these keys
+/// scan in numeric order.
+pub mod keys {
+    /// Encode a `u64` so lexicographic order equals numeric order.
+    pub fn u64_key(v: u64) -> [u8; 8] {
+        v.to_be_bytes()
+    }
+
+    /// Composite `(u64, u64)` key, ordered component-wise.
+    pub fn u64_pair_key(a: u64, b: u64) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&a.to_be_bytes());
+        out[8..].copy_from_slice(&b.to_be_bytes());
+        out
+    }
+
+    /// Composite `(u64, bytes)` key (directory lookups: parent id + name).
+    pub fn u64_bytes_key(a: u64, b: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + b.len());
+        out.extend_from_slice(&a.to_be_bytes());
+        out.extend_from_slice(b);
+        out
+    }
+
+    /// Decode the `u64` prefix of a key.
+    pub fn u64_prefix(key: &[u8]) -> u64 {
+        u64::from_be_bytes(key[..8].try_into().expect("u64 key prefix"))
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,140 @@
+//! Run-length encoding: the fast, cheap codec (the paper's 8-instruction-
+//! per-byte algorithm).
+//!
+//! Stream format: a sequence of tokens.
+//! * Control byte `0..=127`: a literal run of `control + 1` bytes follows.
+//! * Control byte `128..=255`: a run of `control - 125` (3..=130) copies of
+//!   the single byte that follows.
+
+use crate::{Codec, CorruptData};
+
+/// Byte-run codec.
+pub struct RleCodec;
+
+const MAX_LITERAL: usize = 128;
+const MIN_RUN: usize = 3;
+const MAX_RUN: usize = 130;
+
+impl Codec for RleCodec {
+    fn name(&self) -> &'static str {
+        "rle"
+    }
+
+    fn instr_per_byte(&self) -> u32 {
+        8
+    }
+
+    fn compress(&self, src: &[u8], dst: &mut Vec<u8>) {
+        let mut i = 0;
+        let mut lit_start = 0;
+        while i < src.len() {
+            // Measure the run at i.
+            let b = src[i];
+            let mut run = 1;
+            while run < MAX_RUN && i + run < src.len() && src[i + run] == b {
+                run += 1;
+            }
+            if run >= MIN_RUN {
+                flush_literals(&src[lit_start..i], dst);
+                dst.push((run - MIN_RUN + 128) as u8);
+                dst.push(b);
+                i += run;
+                lit_start = i;
+            } else {
+                i += 1;
+            }
+        }
+        flush_literals(&src[lit_start..], dst);
+    }
+
+    fn decompress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<(), CorruptData> {
+        let mut i = 0;
+        while i < src.len() {
+            let control = src[i] as usize;
+            i += 1;
+            if control < 128 {
+                let len = control + 1;
+                if i + len > src.len() {
+                    return Err(CorruptData("literal run past end of stream"));
+                }
+                dst.extend_from_slice(&src[i..i + len]);
+                i += len;
+            } else {
+                if i >= src.len() {
+                    return Err(CorruptData("run token missing byte"));
+                }
+                let len = control - 128 + MIN_RUN;
+                let b = src[i];
+                i += 1;
+                dst.resize(dst.len() + len, b);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn flush_literals(mut lits: &[u8], dst: &mut Vec<u8>) {
+    while !lits.is_empty() {
+        let n = lits.len().min(MAX_LITERAL);
+        dst.push((n - 1) as u8);
+        dst.extend_from_slice(&lits[..n]);
+        lits = &lits[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress_vec, decompress_vec};
+
+    #[test]
+    fn runs_compress_small() {
+        let c = RleCodec;
+        // 130-byte run = exactly one token.
+        let out = compress_vec(&c, &[9u8; 130]);
+        assert_eq!(out, vec![255, 9]);
+        assert_eq!(decompress_vec(&c, &out).unwrap(), vec![9u8; 130]);
+    }
+
+    #[test]
+    fn incompressible_overhead_bounded() {
+        let c = RleCodec;
+        let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        let out = compress_vec(&c, &data);
+        // Worst case: one control byte per 128 literals.
+        assert!(out.len() <= data.len() + data.len() / MAX_LITERAL + 1);
+        assert_eq!(decompress_vec(&c, &out).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_runs_and_literals() {
+        let c = RleCodec;
+        let mut data = Vec::new();
+        data.extend_from_slice(b"header");
+        data.extend_from_slice(&[0u8; 500]);
+        data.extend_from_slice(b"middle");
+        data.extend_from_slice(&[255u8; 7]);
+        data.extend_from_slice(b"xy");
+        let out = compress_vec(&c, &data);
+        assert!(out.len() < data.len() / 2);
+        assert_eq!(decompress_vec(&c, &out).unwrap(), data);
+    }
+
+    #[test]
+    fn two_byte_repeats_stay_literal() {
+        // Runs below MIN_RUN are not worth a token.
+        let c = RleCodec;
+        let data = b"aabbccddee".to_vec();
+        let out = compress_vec(&c, &data);
+        assert_eq!(decompress_vec(&c, &out).unwrap(), data);
+        assert_eq!(out.len(), data.len() + 1, "single literal token expected");
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        let c = RleCodec;
+        assert!(decompress_vec(&c, &[5]).is_err()); // literal run, no bytes
+        assert!(decompress_vec(&c, &[200]).is_err()); // run token, no byte
+        assert!(decompress_vec(&c, &[127, 1, 2]).is_err()); // short literals
+    }
+}

@@ -1,0 +1,44 @@
+//! Codec robustness: round-trips hold for arbitrary data, and arbitrary
+//! bytes fed to the decompressors never panic.
+
+use pglo_compress::{compress_vec, decompress_vec, CodecKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_arbitrary_data(data in prop::collection::vec(prop::num::u8::ANY, 0..5000)) {
+        for kind in [CodecKind::None, CodecKind::Rle, CodecKind::Lz77] {
+            let codec = kind.codec();
+            let compressed = compress_vec(codec, &data);
+            let restored = decompress_vec(codec, &compressed).unwrap();
+            prop_assert_eq!(&restored, &data, "{} round-trip", codec.name());
+        }
+    }
+
+    #[test]
+    fn decompress_arbitrary_bytes_never_panics(
+        data in prop::collection::vec(prop::num::u8::ANY, 0..2000)
+    ) {
+        for kind in [CodecKind::Rle, CodecKind::Lz77] {
+            let _ = decompress_vec(kind.codec(), &data);
+        }
+    }
+
+    /// Compressed output of repetitive data plus noise stays within the
+    /// worst-case expansion bound both codecs promise.
+    #[test]
+    fn expansion_bounded(data in prop::collection::vec(prop::num::u8::ANY, 1..4096)) {
+        for kind in [CodecKind::Rle, CodecKind::Lz77] {
+            let out = compress_vec(kind.codec(), &data);
+            prop_assert!(
+                out.len() <= data.len() + data.len() / 64 + 8,
+                "{}: {} bytes became {}",
+                kind.as_str(),
+                data.len(),
+                out.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Temporary large objects (§5).
+//!
+//! "Functions which return small objects allocate space on the stack for
+//! the return value. The stack is not an appropriate place for storage
+//! allocation for the return of large objects, and temporary large objects
+//! in the data base must be created for this purpose. … Temporary large
+//! objects must be garbage-collected in the same way as temporary classes
+//! after the query has completed."
+
+use crate::LoId;
+use parking_lot::Mutex;
+
+/// Registry of temporaries awaiting end-of-query garbage collection.
+#[derive(Default)]
+pub struct TempRegistry {
+    ids: Mutex<Vec<LoId>>,
+}
+
+impl TempRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Track a temporary.
+    pub fn register(&self, id: LoId) {
+        self.ids.lock().push(id);
+    }
+
+    /// Stop tracking (the object was promoted to permanent). Returns
+    /// whether it was tracked.
+    pub fn unregister(&self, id: LoId) -> bool {
+        let mut ids = self.ids.lock();
+        let before = ids.len();
+        ids.retain(|&x| x != id);
+        ids.len() != before
+    }
+
+    /// Take all tracked temporaries, clearing the registry.
+    pub fn drain(&self) -> Vec<LoId> {
+        std::mem::take(&mut *self.ids.lock())
+    }
+
+    /// Number of tracked temporaries.
+    pub fn len(&self) -> usize {
+        self.ids.lock().len()
+    }
+
+    /// Whether no temporaries are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ids.lock().is_empty()
+    }
+}
+
+/// RAII query scope: any temporaries registered on `store` during the
+/// scope's lifetime are garbage-collected when it drops (unless kept).
+pub struct TempScope<'a> {
+    store: &'a crate::LoStore,
+}
+
+impl<'a> TempScope<'a> {
+    /// A scope collecting temporaries created on `store`.
+    pub fn new(store: &'a crate::LoStore) -> Self {
+        Self { store }
+    }
+}
+
+impl Drop for TempScope<'_> {
+    fn drop(&mut self) {
+        let _ = self.store.gc_temps();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_unregister_drain() {
+        let r = TempRegistry::new();
+        assert!(r.is_empty());
+        r.register(LoId(1));
+        r.register(LoId(2));
+        r.register(LoId(3));
+        assert_eq!(r.len(), 3);
+        assert!(r.unregister(LoId(2)));
+        assert!(!r.unregister(LoId(2)));
+        let drained = r.drain();
+        assert_eq!(drained, vec![LoId(1), LoId(3)]);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! The class catalog: names, OIDs, storage-manager assignment, and
+//! arbitrary per-class properties (the query layer stores column schemas
+//! here; the large-object layer stores object metadata).
+//!
+//! Persisted as JSON in the database directory. The catalog is *metadata*,
+//! not benchmarked data — see DESIGN.md's dependency policy for why JSON.
+
+use crate::{HeapError, Result};
+use parking_lot::Mutex;
+use pglo_smgr::SmgrId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// What kind of physical structure a class is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassKind {
+    /// A heap of tuples.
+    Heap,
+    /// A B-tree index.
+    BTree,
+}
+
+/// Metadata for one class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassMeta {
+    /// The oid.
+    pub oid: u64,
+    /// The name.
+    pub name: String,
+    /// The kind.
+    pub kind: ClassKind,
+    /// Which storage manager the class lives on (slot in the switch).
+    pub smgr: u16,
+    /// Open property bag: column schemas, index key descriptors, LO
+    /// metadata, owner, etc.
+    #[serde(default)]
+    pub props: HashMap<String, String>,
+}
+
+impl ClassMeta {
+    /// The storage-manager id as a typed value.
+    pub fn smgr_id(&self) -> SmgrId {
+        SmgrId(self.smgr)
+    }
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct CatalogData {
+    next_oid: u64,
+    classes: HashMap<String, ClassMeta>,
+}
+
+/// The catalog. Thread-safe; optionally persisted to `<dir>/catalog.json`.
+pub struct Catalog {
+    data: Mutex<CatalogData>,
+    path: Option<PathBuf>,
+}
+
+/// First OID handed out (lower values reserved for future bootstrap use).
+const FIRST_OID: u64 = 1000;
+
+impl Catalog {
+    /// An in-memory catalog (tests, benchmarks on the memory manager).
+    pub fn in_memory() -> Self {
+        Self {
+            data: Mutex::new(CatalogData { next_oid: FIRST_OID, classes: HashMap::new() }),
+            path: None,
+        }
+    }
+
+    /// Load (or initialize) a catalog persisted under `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let path = dir.as_ref().join("catalog.json");
+        let data = if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| HeapError::Catalog(format!("read {}: {e}", path.display())))?;
+            serde_json::from_str(&text)
+                .map_err(|e| HeapError::Catalog(format!("parse {}: {e}", path.display())))?
+        } else {
+            CatalogData { next_oid: FIRST_OID, classes: HashMap::new() }
+        };
+        Ok(Self { data: Mutex::new(data), path: Some(path) })
+    }
+
+    fn persist(&self, data: &CatalogData) -> Result<()> {
+        if let Some(path) = &self.path {
+            let text = serde_json::to_string_pretty(data)
+                .map_err(|e| HeapError::Catalog(format!("serialize: {e}")))?;
+            let tmp = path.with_extension("json.tmp");
+            std::fs::write(&tmp, text)
+                .map_err(|e| HeapError::Catalog(format!("write {}: {e}", tmp.display())))?;
+            std::fs::rename(&tmp, path)
+                .map_err(|e| HeapError::Catalog(format!("rename: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Allocate a fresh OID (also used for relations that have no name,
+    /// like per-large-object chunk classes).
+    pub fn alloc_oid(&self) -> Result<u64> {
+        let mut data = self.data.lock();
+        let oid = data.next_oid;
+        data.next_oid += 1;
+        self.persist(&data)?;
+        Ok(oid)
+    }
+
+    /// Register a class. Errors if the name is taken.
+    pub fn create_class(
+        &self,
+        name: &str,
+        kind: ClassKind,
+        smgr: SmgrId,
+        props: HashMap<String, String>,
+    ) -> Result<ClassMeta> {
+        let mut data = self.data.lock();
+        if data.classes.contains_key(name) {
+            return Err(HeapError::Catalog(format!("class \"{name}\" already exists")));
+        }
+        let oid = data.next_oid;
+        data.next_oid += 1;
+        let meta = ClassMeta {
+            oid,
+            name: name.to_string(),
+            kind,
+            smgr: smgr.0,
+            props,
+        };
+        data.classes.insert(name.to_string(), meta.clone());
+        self.persist(&data)?;
+        Ok(meta)
+    }
+
+    /// Remove a class by name, returning its metadata.
+    pub fn drop_class(&self, name: &str) -> Result<ClassMeta> {
+        let mut data = self.data.lock();
+        let meta = data
+            .classes
+            .remove(name)
+            .ok_or_else(|| HeapError::Catalog(format!("class \"{name}\" does not exist")))?;
+        self.persist(&data)?;
+        Ok(meta)
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<ClassMeta> {
+        self.data.lock().classes.get(name).cloned()
+    }
+
+    /// Look up by OID.
+    pub fn get_by_oid(&self, oid: u64) -> Option<ClassMeta> {
+        self.data.lock().classes.values().find(|c| c.oid == oid).cloned()
+    }
+
+    /// All class names, sorted.
+    pub fn class_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.data.lock().classes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Replace a class's property bag (e.g. the query layer updating a
+    /// schema, the LO layer updating object size).
+    pub fn update_props(&self, name: &str, props: HashMap<String, String>) -> Result<()> {
+        let mut data = self.data.lock();
+        let meta = data
+            .classes
+            .get_mut(name)
+            .ok_or_else(|| HeapError::Catalog(format!("class \"{name}\" does not exist")))?;
+        meta.props = props;
+        self.persist(&data)?;
+        Ok(())
+    }
+
+    /// Remove one property from a class. Returns whether it existed.
+    pub fn remove_prop(&self, name: &str, key: &str) -> Result<bool> {
+        let mut data = self.data.lock();
+        let meta = data
+            .classes
+            .get_mut(name)
+            .ok_or_else(|| HeapError::Catalog(format!("class \"{name}\" does not exist")))?;
+        let existed = meta.props.remove(key).is_some();
+        self.persist(&data)?;
+        Ok(existed)
+    }
+
+    /// Set one property on a class.
+    pub fn set_prop(&self, name: &str, key: &str, value: &str) -> Result<()> {
+        let mut data = self.data.lock();
+        let meta = data
+            .classes
+            .get_mut(name)
+            .ok_or_else(|| HeapError::Catalog(format!("class \"{name}\" does not exist")))?;
+        meta.props.insert(key.to_string(), value.to_string());
+        self.persist(&data)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_drop() {
+        let cat = Catalog::in_memory();
+        let meta = cat
+            .create_class("EMP", ClassKind::Heap, SmgrId(0), HashMap::new())
+            .unwrap();
+        assert!(meta.oid >= FIRST_OID);
+        assert_eq!(cat.get("EMP").unwrap().oid, meta.oid);
+        assert_eq!(cat.get_by_oid(meta.oid).unwrap().name, "EMP");
+        assert!(cat.create_class("EMP", ClassKind::Heap, SmgrId(0), HashMap::new()).is_err());
+        cat.drop_class("EMP").unwrap();
+        assert!(cat.get("EMP").is_none());
+        assert!(cat.drop_class("EMP").is_err());
+    }
+
+    #[test]
+    fn oids_unique() {
+        let cat = Catalog::in_memory();
+        let a = cat.alloc_oid().unwrap();
+        let b = cat.alloc_oid().unwrap();
+        let c = cat
+            .create_class("X", ClassKind::BTree, SmgrId(1), HashMap::new())
+            .unwrap()
+            .oid;
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn persists_and_reloads() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let cat = Catalog::open(dir.path()).unwrap();
+            let mut props = HashMap::new();
+            props.insert("schema".to_string(), "name=text".to_string());
+            cat.create_class("EMP", ClassKind::Heap, SmgrId(2), props).unwrap();
+        }
+        let cat = Catalog::open(dir.path()).unwrap();
+        let meta = cat.get("EMP").unwrap();
+        assert_eq!(meta.smgr_id(), SmgrId(2));
+        assert_eq!(meta.props.get("schema").unwrap(), "name=text");
+        // OID counter resumed, no collisions.
+        let next = cat.alloc_oid().unwrap();
+        assert!(next > meta.oid);
+    }
+
+    #[test]
+    fn props_update() {
+        let cat = Catalog::in_memory();
+        cat.create_class("T", ClassKind::Heap, SmgrId(0), HashMap::new()).unwrap();
+        cat.set_prop("T", "rows", "42").unwrap();
+        assert_eq!(cat.get("T").unwrap().props.get("rows").unwrap(), "42");
+        let mut props = HashMap::new();
+        props.insert("k".into(), "v".into());
+        cat.update_props("T", props).unwrap();
+        let meta = cat.get("T").unwrap();
+        assert!(!meta.props.contains_key("rows"));
+        assert_eq!(meta.props.get("k").unwrap(), "v");
+        assert!(cat.set_prop("missing", "a", "b").is_err());
+    }
+
+    #[test]
+    fn class_names_sorted() {
+        let cat = Catalog::in_memory();
+        for n in ["zeta", "alpha", "mid"] {
+            cat.create_class(n, ClassKind::Heap, SmgrId(0), HashMap::new()).unwrap();
+        }
+        assert_eq!(cat.class_names(), vec!["alpha", "mid", "zeta"]);
+    }
+}

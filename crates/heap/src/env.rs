@@ -1,0 +1,217 @@
+//! The storage environment: one value tying together everything a database
+//! instance needs — simulator, storage-manager switch, buffer pool,
+//! transaction manager, catalog.
+
+use crate::{Catalog, Result};
+use pglo_buffer::{BufferPool, DEFAULT_POOL_FRAMES};
+use pglo_sim::SimContext;
+use pglo_smgr::{DiskSmgr, MemSmgr, SmgrId, SmgrSwitch, StorageManager, WormSmgr};
+use pglo_txn::{Txn, TxnManager};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Construction options for [`StorageEnv`].
+pub struct EnvOptions {
+    /// Buffer pool size in 8 KB frames.
+    pub pool_frames: usize,
+    /// WORM magnetic-disk cache size in blocks (0 disables — the §9.3
+    /// ablation).
+    pub worm_cache_blocks: usize,
+    /// Simulation context; a fresh default-1992 context if `None`.
+    pub sim: Option<SimContext>,
+}
+
+impl Default for EnvOptions {
+    fn default() -> Self {
+        Self {
+            pool_frames: DEFAULT_POOL_FRAMES,
+            worm_cache_blocks: pglo_smgr::worm::DEFAULT_WORM_CACHE_BLOCKS,
+            sim: None,
+        }
+    }
+}
+
+/// A database instance's shared infrastructure.
+///
+/// The three standard storage managers of POSTGRES Version 4 (§7) are
+/// registered at fixed slots: magnetic disk at 0, main memory at 1, WORM
+/// jukebox at 2. Additional user-defined managers may be registered on the
+/// switch afterwards and referenced by any class.
+pub struct StorageEnv {
+    sim: SimContext,
+    switch: Arc<SmgrSwitch>,
+    pool: Arc<BufferPool>,
+    txns: Arc<TxnManager>,
+    catalog: Catalog,
+    base_dir: PathBuf,
+    disk: SmgrId,
+    mem: SmgrId,
+    worm: SmgrId,
+    disk_smgr: Arc<DiskSmgr>,
+    mem_smgr: Arc<MemSmgr>,
+    worm_smgr: Arc<WormSmgr>,
+}
+
+impl StorageEnv {
+    /// Open (or create) a database rooted at `dir` with default options.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Arc<Self>> {
+        Self::open_with(dir, EnvOptions::default())
+    }
+
+    /// Open with explicit options.
+    pub fn open_with(dir: impl AsRef<Path>, opts: EnvOptions) -> Result<Arc<Self>> {
+        let base_dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&base_dir)
+            .map_err(|e| crate::HeapError::Catalog(format!("create db dir: {e}")))?;
+        let sim = opts.sim.unwrap_or_else(SimContext::default_1992);
+        let switch = Arc::new(SmgrSwitch::new());
+        let disk_smgr = Arc::new(
+            DiskSmgr::new(base_dir.join("heap"), sim.clone()).map_err(crate::HeapError::Smgr)?,
+        );
+        let mem_smgr = Arc::new(MemSmgr::new(sim.clone()));
+        let worm_smgr = Arc::new(WormSmgr::with_cache_blocks(sim.clone(), opts.worm_cache_blocks));
+        let disk = switch.register(Arc::clone(&disk_smgr) as Arc<dyn StorageManager>);
+        let mem = switch.register(Arc::clone(&mem_smgr) as Arc<dyn StorageManager>);
+        let worm = switch.register(Arc::clone(&worm_smgr) as Arc<dyn StorageManager>);
+        let pool = Arc::new(BufferPool::new(Arc::clone(&switch), opts.pool_frames));
+        let catalog = Catalog::open(&base_dir)?;
+        Ok(Arc::new(Self {
+            sim,
+            switch,
+            pool,
+            txns: Arc::new(TxnManager::new()),
+            catalog,
+            base_dir,
+            disk,
+            mem,
+            worm,
+            disk_smgr,
+            mem_smgr,
+            worm_smgr,
+        }))
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> Txn {
+        self.txns.begin()
+    }
+
+    /// The simulation context charging every device/CPU operation.
+    pub fn sim(&self) -> &SimContext {
+        &self.sim
+    }
+
+    /// The storage-manager switch.
+    pub fn switch(&self) -> &Arc<SmgrSwitch> {
+        &self.switch
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The transaction manager.
+    pub fn txns(&self) -> &Arc<TxnManager> {
+        &self.txns
+    }
+
+    /// The class catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The database root directory.
+    pub fn base_dir(&self) -> &Path {
+        &self.base_dir
+    }
+
+    /// Directory where DBMS-owned p-files live (§6.2's `newfilename()`
+    /// allocates here).
+    pub fn pfile_dir(&self) -> PathBuf {
+        self.base_dir.join("pfiles")
+    }
+
+    /// Slot of the magnetic-disk manager (the default for new classes).
+    pub fn disk_id(&self) -> SmgrId {
+        self.disk
+    }
+
+    /// Slot of the main-memory (NVRAM) manager.
+    pub fn mem_id(&self) -> SmgrId {
+        self.mem
+    }
+
+    /// Slot of the WORM-jukebox manager.
+    pub fn worm_id(&self) -> SmgrId {
+        self.worm
+    }
+
+    /// Typed handle to the disk manager (benchmarks read its I/O stats).
+    pub fn disk_smgr(&self) -> &Arc<DiskSmgr> {
+        &self.disk_smgr
+    }
+
+    /// Typed handle to the memory manager.
+    pub fn mem_smgr(&self) -> &Arc<MemSmgr> {
+        &self.mem_smgr
+    }
+
+    /// Typed handle to the WORM manager (benchmarks read cache stats, burn
+    /// platters, drop the cache).
+    pub fn worm_smgr(&self) -> &Arc<WormSmgr> {
+        &self.worm_smgr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_registers_standard_managers() {
+        let dir = tempfile::tempdir().unwrap();
+        let env = StorageEnv::open(dir.path()).unwrap();
+        assert_eq!(env.switch().len(), 3);
+        assert_eq!(env.switch().get(env.disk_id()).unwrap().name(), "magnetic_disk");
+        assert_eq!(env.switch().get(env.mem_id()).unwrap().name(), "main_memory");
+        assert_eq!(env.switch().get(env.worm_id()).unwrap().name(), "worm_jukebox");
+    }
+
+    #[test]
+    fn begin_uses_shared_manager() {
+        let dir = tempfile::tempdir().unwrap();
+        let env = StorageEnv::open(dir.path()).unwrap();
+        let t = env.begin();
+        let x = t.xid();
+        t.commit();
+        assert!(env.txns().commit_ts(x).is_some());
+    }
+
+    #[test]
+    fn user_defined_manager_registers_after_standard_three() {
+        let dir = tempfile::tempdir().unwrap();
+        let env = StorageEnv::open(dir.path()).unwrap();
+        let custom = Arc::new(MemSmgr::new(env.sim().clone()));
+        let id = env.switch().register(custom);
+        assert_eq!(id.0, 3);
+    }
+
+    #[test]
+    fn reopen_preserves_catalog() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let env = StorageEnv::open(dir.path()).unwrap();
+            env.catalog()
+                .create_class(
+                    "T",
+                    crate::ClassKind::Heap,
+                    env.disk_id(),
+                    Default::default(),
+                )
+                .unwrap();
+        }
+        let env = StorageEnv::open(dir.path()).unwrap();
+        assert!(env.catalog().get("T").is_some());
+    }
+}

@@ -1,0 +1,129 @@
+//! Model-based property test: the no-overwrite heap's time travel agrees
+//! with a trivial reference model that snapshots the logical table at every
+//! commit.
+
+use pglo_heap::{Heap, StorageEnv};
+use pglo_txn::Visibility;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// One committed transaction's worth of operations.
+#[derive(Debug, Clone)]
+enum TxnScript {
+    /// Insert rows with these one-byte values, then commit.
+    Insert(Vec<u8>),
+    /// Update up to N live rows (oldest first) to a new value, then commit.
+    Update(u8, u8),
+    /// Delete up to N live rows (oldest first), then commit.
+    Delete(u8),
+    /// Do a mix of inserts and deletes, then ABORT.
+    AbortedMix(Vec<u8>),
+}
+
+fn script_strategy() -> impl Strategy<Value = Vec<TxnScript>> {
+    let step = prop_oneof![
+        prop::collection::vec(prop::num::u8::ANY, 1..5).prop_map(TxnScript::Insert),
+        (prop::num::u8::ANY, 1u8..4).prop_map(|(v, n)| TxnScript::Update(n, v)),
+        (1u8..4).prop_map(TxnScript::Delete),
+        prop::collection::vec(prop::num::u8::ANY, 1..4).prop_map(TxnScript::AbortedMix),
+    ];
+    prop::collection::vec(step, 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn time_travel_matches_snapshot_model(scripts in script_strategy()) {
+        let dir = tempfile::tempdir().unwrap();
+        let env = StorageEnv::open(dir.path()).unwrap();
+        let heap = Heap::create(&env, "M", env.disk_id(), Default::default()).unwrap();
+
+        // Model: logical table = map from row-id to value; a snapshot per
+        // commit timestamp.
+        let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+        let mut next_row_id = 0u64;
+        // Heap-side: row-id → current TID.
+        let mut tids: BTreeMap<u64, pglo_pages::Tid> = BTreeMap::new();
+        let mut snapshots: Vec<(u64, BTreeMap<u64, u8>)> = Vec::new();
+
+        let encode = |row_id: u64, v: u8| {
+            let mut p = row_id.to_le_bytes().to_vec();
+            p.push(v);
+            p
+        };
+
+        for script in &scripts {
+            match script {
+                TxnScript::Insert(values) => {
+                    let txn = env.begin();
+                    for &v in values {
+                        let id = next_row_id;
+                        next_row_id += 1;
+                        let tid = heap.insert(&txn, &encode(id, v)).unwrap();
+                        tids.insert(id, tid);
+                        model.insert(id, v);
+                    }
+                    let ts = txn.commit();
+                    snapshots.push((ts, model.clone()));
+                }
+                TxnScript::Update(n, v) => {
+                    let txn = env.begin();
+                    let targets: Vec<u64> = model.keys().take(*n as usize).copied().collect();
+                    for id in targets {
+                        let old = tids[&id];
+                        let tid = heap.update(&txn, old, &encode(id, *v)).unwrap();
+                        tids.insert(id, tid);
+                        model.insert(id, *v);
+                    }
+                    let ts = txn.commit();
+                    snapshots.push((ts, model.clone()));
+                }
+                TxnScript::Delete(n) => {
+                    let txn = env.begin();
+                    let targets: Vec<u64> = model.keys().take(*n as usize).copied().collect();
+                    for id in targets {
+                        heap.delete(&txn, tids[&id]).unwrap();
+                        tids.remove(&id);
+                        model.remove(&id);
+                    }
+                    let ts = txn.commit();
+                    snapshots.push((ts, model.clone()));
+                }
+                TxnScript::AbortedMix(values) => {
+                    let txn = env.begin();
+                    for &v in values {
+                        heap.insert(&txn, &encode(u64::MAX, v)).unwrap();
+                    }
+                    if let Some((&id, _)) = model.iter().next() {
+                        heap.delete(&txn, tids[&id]).unwrap();
+                    }
+                    txn.abort();
+                    // Model unchanged: the abort must leave no trace.
+                }
+            }
+        }
+
+        // Every historical snapshot must be reproducible via AsOf reads.
+        for (ts, expected) in &snapshots {
+            let mut got: BTreeMap<u64, u8> = BTreeMap::new();
+            for item in heap.scan(Visibility::AsOf(*ts)) {
+                let (_tid, payload) = item.unwrap();
+                let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                let v = payload[8];
+                prop_assert!(got.insert(id, v).is_none(), "duplicate row id {id} at ts {ts}");
+            }
+            prop_assert_eq!(&got, expected, "state as of ts {}", ts);
+        }
+
+        // And the current snapshot agrees with the final model.
+        let txn = env.begin();
+        let mut current: BTreeMap<u64, u8> = BTreeMap::new();
+        for item in heap.scan(Visibility::for_txn(&txn)) {
+            let (_tid, payload) = item.unwrap();
+            current.insert(u64::from_le_bytes(payload[..8].try_into().unwrap()), payload[8]);
+        }
+        txn.commit();
+        prop_assert_eq!(current, model);
+    }
+}

@@ -1,0 +1,72 @@
+//! Path parsing for Inversion.
+
+use crate::{InvError, Result};
+
+/// Longest permitted path component, like a traditional NAME_MAX. Keeps
+/// directory-index keys within the B-tree's key limit.
+pub const NAME_MAX: usize = 255;
+
+/// Split an absolute path into components. `/` resolves to an empty list.
+pub fn components(path: &str) -> Result<Vec<&str>> {
+    if !path.starts_with('/') {
+        return Err(InvError::BadPath(path.to_string()));
+    }
+    let mut out = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                if out.pop().is_none() {
+                    return Err(InvError::BadPath(path.to_string()));
+                }
+            }
+            name if name.len() > NAME_MAX => {
+                return Err(InvError::BadPath(format!(
+                    "component exceeds {NAME_MAX} bytes in {path}"
+                )));
+            }
+            name => out.push(name),
+        }
+    }
+    Ok(out)
+}
+
+/// Split into `(parent components, final name)`. Errors on the root.
+pub fn split_parent(path: &str) -> Result<(Vec<&str>, &str)> {
+    let mut parts = components(path)?;
+    match parts.pop() {
+        Some(name) => Ok((parts, name)),
+        None => Err(InvError::BadPath(format!("{path} (no file name)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paths() {
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(components("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(components("/a//b/./c/").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(components("/a/../b").unwrap(), vec!["b"]);
+        assert!(components("relative").is_err());
+        assert!(components("/..").is_err());
+        // NAME_MAX guards the directory-index key length.
+        let long = "x".repeat(NAME_MAX + 1);
+        assert!(components(&format!("/{long}")).is_err());
+        let ok = "x".repeat(NAME_MAX);
+        assert_eq!(components(&format!("/{ok}")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn splits_parent() {
+        let (parent, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(parent, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        let (parent, name) = split_parent("/top").unwrap();
+        assert!(parent.is_empty());
+        assert_eq!(name, "top");
+        assert!(split_parent("/").is_err());
+    }
+}

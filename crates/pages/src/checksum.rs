@@ -1,0 +1,47 @@
+//! Page checksums (FNV-1a over the page with the checksum field zeroed).
+
+/// 32-bit FNV-1a hash.
+pub fn fnv1a(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    h
+}
+
+/// FNV-1a over a page image, skipping the 4 checksum bytes at `skip..skip+4`.
+pub fn page_checksum(page: &[u8], skip: usize) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for (i, &b) in page.iter().enumerate() {
+        if (skip..skip + 4).contains(&i) {
+            continue;
+        }
+        h ^= b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("") = offset basis.
+        assert_eq!(fnv1a(b""), 0x811c9dc5);
+        assert_eq!(fnv1a(b"a"), 0xe40c292c);
+    }
+
+    #[test]
+    fn checksum_ignores_checksum_field() {
+        let mut a = vec![7u8; 64];
+        let mut b = a.clone();
+        a[10] = 1;
+        b[10] = 2; // inside the skipped window 8..12
+        assert_eq!(page_checksum(&a, 8), page_checksum(&b, 8));
+        b[20] = 9; // outside the window
+        assert_ne!(page_checksum(&a, 8), page_checksum(&b, 8));
+    }
+}

@@ -1,0 +1,68 @@
+//! Tuple identifiers.
+
+/// A tuple identifier: (block number, slot within the page's line-pointer
+/// array). This is the value stored in B-tree leaves and returned by heap
+/// inserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid {
+    /// The block.
+    pub block: u32,
+    /// The slot.
+    pub slot: u16,
+}
+
+impl Tid {
+    /// A TID from its parts.
+    pub const fn new(block: u32, slot: u16) -> Self {
+        Self { block, slot }
+    }
+
+    /// Serialize to 6 big-endian bytes (sorts in (block, slot) order).
+    pub fn to_bytes(self) -> [u8; 6] {
+        let mut out = [0u8; 6];
+        out[..4].copy_from_slice(&self.block.to_be_bytes());
+        out[4..].copy_from_slice(&self.slot.to_be_bytes());
+        out
+    }
+
+    /// Deserialize from the 6-byte form produced by [`Tid::to_bytes`].
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() < 6 {
+            return None;
+        }
+        Some(Self {
+            block: u32::from_be_bytes(b[..4].try_into().ok()?),
+            slot: u16::from_be_bytes(b[4..6].try_into().ok()?),
+        })
+    }
+}
+
+impl std::fmt::Display for Tid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.block, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = Tid::new(0xDEADBEEF, 0x1234);
+        assert_eq!(Tid::from_bytes(&t.to_bytes()), Some(t));
+    }
+
+    #[test]
+    fn byte_order_matches_tuple_order() {
+        let a = Tid::new(1, 9);
+        let b = Tid::new(2, 0);
+        assert!(a < b);
+        assert!(a.to_bytes() < b.to_bytes());
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert_eq!(Tid::from_bytes(&[1, 2, 3]), None);
+    }
+}

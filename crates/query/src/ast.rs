@@ -1,0 +1,170 @@
+//! Abstract syntax for the POSTQUEL subset.
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `Class.attr` (or a bare column name bound to the query's class).
+    Column {
+        /// The qualifying class, if written.
+        class: Option<String>,
+        /// The attribute name.
+        attr: String,
+    },
+    /// `fn(args...)`.
+    Call {
+        /// The function name.
+        name: String,
+        /// The argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `expr::type`.
+    Cast {
+        /// The expression being cast.
+        expr: Box<Expr>,
+        /// The target type.
+        type_name: String,
+    },
+    /// Unary minus / `not`.
+    Unary {
+        /// The operator (`-` or `not`).
+        op: &'static str,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operator (built-in or user-registered).
+    Binary {
+        /// The operator symbol.
+        op: String,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+}
+
+/// One entry of a retrieve/append/replace target list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    /// Output column / destination attribute; derived when omitted.
+    pub name: Option<String>,
+    /// The expr.
+    pub expr: Expr,
+}
+
+/// Column definition in `create`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// The name.
+    pub name: String,
+    /// The type name.
+    pub type_name: String,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `create NAME (col = type, ...) [with (smgr = "...")]`
+    Create {
+        /// The class.
+        class: String,
+        /// The columns.
+        columns: Vec<ColumnDef>,
+        /// The smgr.
+        smgr: Option<String>,
+    },
+    /// `create large type NAME (input = f, output = g, storage = kind
+    /// [, compression = codec] [, smgr = "..."])` (§4)
+    CreateLargeType {
+        /// The type name.
+        type_name: String,
+        /// The input.
+        input: String,
+        /// The output.
+        output: String,
+        /// The storage.
+        storage: String,
+        /// The compression.
+        compression: Option<String>,
+        /// The smgr.
+        smgr: Option<String>,
+    },
+    /// `append NAME (col = expr, ...)`
+    Append {
+        /// The destination class.
+        class: String,
+        /// `column = expr` assignments.
+        targets: Vec<Target>,
+    },
+    /// `retrieve [unique] [into NEWCLASS] (targets) [from NAME]
+    /// [where qual] [sort by col [asc|desc]] [as of ts]`
+    Retrieve {
+        /// The targets.
+        targets: Vec<Target>,
+        /// Materialize the result into a new class (POSTQUEL's
+        /// `retrieve into`).
+        into: Option<String>,
+        /// The from.
+        from: Option<String>,
+        /// The qual.
+        qual: Option<Expr>,
+        /// Output column to sort on and direction (true = ascending).
+        sort_by: Option<(String, bool)>,
+        /// The unique.
+        unique: bool,
+        /// The as of.
+        as_of: Option<u64>,
+    },
+    /// `replace NAME (col = expr, ...) [where qual]`
+    Replace {
+        /// The class.
+        class: String,
+        /// The targets.
+        targets: Vec<Target>,
+        /// The qual.
+        qual: Option<Expr>,
+    },
+    /// `delete NAME [where qual]`
+    Delete {
+        /// The ranged class.
+        class: String,
+        /// The qualification, if any.
+        qual: Option<Expr>,
+    },
+    /// `destroy NAME`
+    Destroy {
+        /// The class to remove.
+        class: String,
+    },
+    /// `define index NAME on CLASS (expr)` — including functional indexes
+    /// over large ADTs (§3).
+    DefineIndex {
+        /// The index name.
+        name: String,
+        /// The indexed class.
+        class: String,
+        /// The indexed expression.
+        expr: Expr,
+        /// The expression's source text (persisted with the index).
+        expr_text: String,
+    },
+    /// `destroy index NAME on CLASS`
+    DestroyIndex {
+        /// The index name.
+        name: String,
+        /// The class it indexes.
+        class: String,
+    },
+    /// `vacuum NAME` — reclaim versions dead before now.
+    Vacuum {
+        /// The class to vacuum.
+        class: String,
+    },
+}

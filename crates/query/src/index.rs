@@ -1,0 +1,276 @@
+//! Secondary (and *functional*) indexes on user classes.
+//!
+//! §3's argument for large ADTs over untyped BLOBs is precisely that BLOBs
+//! "preclude indexing BLOB values, or the results of functions invoked on
+//! BLOBs". With typed large objects and registered functions, an index on
+//! `image_width(EMP.picture)` is just a B-tree over a computed key:
+//!
+//! ```text
+//! define index emp_width on EMP (image_width(EMP.picture))
+//! retrieve (EMP.name) where image_width(EMP.picture) = 640   -- index scan
+//! ```
+//!
+//! Following POSTGRES, index entries point at heap TIDs and carry no
+//! visibility: every row version gets an entry when written, and the heap
+//! filters at fetch time — so indexes work unchanged for time-travel
+//! (as-of) reads and cost nothing on delete.
+
+use crate::ast::Expr;
+use crate::{QueryError, Result};
+use pglo_adt::Datum;
+
+/// A persisted index definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexDef {
+    /// The name.
+    pub name: String,
+    /// B-tree relation OID.
+    pub btree_oid: u64,
+    /// The indexed expression (parsed from its persisted text form).
+    pub expr: Expr,
+    /// The expression's original text (persisted form).
+    pub expr_text: String,
+}
+
+/// Catalog property key for an index named `name`.
+pub fn index_prop_key(name: &str) -> String {
+    format!("index:{name}")
+}
+
+impl IndexDef {
+    /// Persisted property value: `<btree_oid>|<expr text>`.
+    pub fn to_prop(&self) -> String {
+        format!("{}|{}", self.btree_oid, self.expr_text)
+    }
+
+    /// Parse the persisted form.
+    pub fn from_prop(name: &str, value: &str) -> Result<IndexDef> {
+        let (oid, expr_text) = value
+            .split_once('|')
+            .ok_or_else(|| QueryError::Semantic(format!("corrupt index metadata for {name}")))?;
+        let btree_oid: u64 = oid
+            .parse()
+            .map_err(|_| QueryError::Semantic(format!("corrupt index OID for {name}")))?;
+        let expr = crate::parser::parse_expr(expr_text)?;
+        Ok(IndexDef {
+            name: name.to_string(),
+            btree_oid,
+            expr,
+            expr_text: expr_text.to_string(),
+        })
+    }
+}
+
+/// Longest text prefix stored as an index key.
+pub const TEXT_KEY_PREFIX: usize = 256;
+
+/// Order-preserving key encoding: byte order equals datum order within a
+/// type (text compares by a [`TEXT_KEY_PREFIX`]-byte prefix). `None` for
+/// datums that cannot be index keys (NULL, large objects, rects).
+pub fn datum_key(d: &Datum) -> Option<Vec<u8>> {
+    match d {
+        Datum::Bool(b) => Some(vec![1, *b as u8]),
+        Datum::Int4(v) => Some(int_key(*v as i64)),
+        Datum::Int8(v) => Some(int_key(*v)),
+        Datum::Float8(v) => Some(float_key(*v)),
+        Datum::Text(s) => {
+            // Text keys are truncated to a prefix: truncation is monotone,
+            // so probes remain sound over-approximations (the executor
+            // re-checks the qualification), and arbitrarily long strings
+            // stay within the B-tree's key limit.
+            let bytes = s.as_bytes();
+            let cut = bytes.len().min(TEXT_KEY_PREFIX);
+            let mut out = Vec::with_capacity(1 + cut);
+            out.push(5);
+            out.extend_from_slice(&bytes[..cut]);
+            Some(out)
+        }
+        Datum::Null | Datum::Rect(_) | Datum::Large(_) => None,
+    }
+}
+
+/// Integers: flip the sign bit so two's-complement order becomes unsigned
+/// byte order. All integer widths share one tag so `int4 = int8` probes
+/// match.
+fn int_key(v: i64) -> Vec<u8> {
+    let biased = (v as u64) ^ (1 << 63);
+    let mut out = Vec::with_capacity(9);
+    out.push(2);
+    out.extend_from_slice(&biased.to_be_bytes());
+    out
+}
+
+/// IEEE-754 totally ordered encoding: positive floats flip the sign bit,
+/// negative floats flip all bits.
+fn float_key(v: f64) -> Vec<u8> {
+    let bits = v.to_bits();
+    let ordered = if bits & (1 << 63) == 0 { bits ^ (1 << 63) } else { !bits };
+    let mut out = Vec::with_capacity(9);
+    out.push(3);
+    out.extend_from_slice(&ordered.to_be_bytes());
+    out
+}
+
+/// Whether two expressions denote the same indexed computation. Class
+/// qualifiers are compared loosely: a bare column matches a qualified one.
+pub fn expr_matches(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (Expr::Column { attr: aa, .. }, Expr::Column { attr: ba, .. }) => aa == ba,
+        (Expr::Int(x), Expr::Int(y)) => x == y,
+        (Expr::Float(x), Expr::Float(y)) => x == y,
+        (Expr::Str(x), Expr::Str(y)) => x == y,
+        (Expr::Bool(x), Expr::Bool(y)) => x == y,
+        (
+            Expr::Call { name: an, args: aargs },
+            Expr::Call { name: bn, args: bargs },
+        ) => an == bn && aargs.len() == bargs.len()
+            && aargs.iter().zip(bargs).all(|(x, y)| expr_matches(x, y)),
+        (
+            Expr::Cast { expr: ae, type_name: at },
+            Expr::Cast { expr: be, type_name: bt },
+        ) => at == bt && expr_matches(ae, be),
+        (
+            Expr::Unary { op: ao, expr: ae },
+            Expr::Unary { op: bo, expr: be },
+        ) => ao == bo && expr_matches(ae, be),
+        (
+            Expr::Binary { op: ao, left: al, right: ar },
+            Expr::Binary { op: bo, left: bl, right: br },
+        ) => ao == bo && expr_matches(al, bl) && expr_matches(ar, br),
+        _ => false,
+    }
+}
+
+/// How a qualification can drive an index scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// `expr = c`: exact-key lookup.
+    Eq,
+    /// `expr > c` / `expr >= c`: forward scan from the key.
+    Lower,
+    /// `expr < c` / `expr <= c`: forward scan from the start, stopping at
+    /// the key.
+    Upper,
+}
+
+/// If `qual` is exactly `indexed-expr OP constant` (either side) for a
+/// comparison operator, return the probe kind and constant expression.
+/// The executor re-checks the full qualification on every fetched row, so
+/// the probe only needs to be a *sound over-approximation* of the matches.
+pub fn probe_for<'q>(qual: &'q Expr, indexed: &Expr) -> Option<(ProbeKind, &'q Expr)> {
+    let Expr::Binary { op, left, right } = qual else {
+        return None;
+    };
+    let constish = |e: &Expr| {
+        matches!(e, Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Cast { .. })
+    };
+    // Normalize to `indexed OP const`.
+    let (kind_str, probe) = if expr_matches(left, indexed) && constish(right) {
+        (op.as_str(), right)
+    } else if expr_matches(right, indexed) && constish(left) {
+        // Flip the comparison when the constant is on the left.
+        let flipped = match op.as_str() {
+            "=" => "=",
+            "<" => ">",
+            "<=" => ">=",
+            ">" => "<",
+            ">=" => "<=",
+            _ => return None,
+        };
+        (flipped, left)
+    } else {
+        return None;
+    };
+    let kind = match kind_str {
+        "=" => ProbeKind::Eq,
+        ">" | ">=" => ProbeKind::Lower,
+        "<" | "<=" => ProbeKind::Upper,
+        _ => return None,
+    };
+    Some((kind, probe))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn key_order_matches_value_order() {
+        let ints = [i64::MIN, -5, -1, 0, 1, 42, i64::MAX];
+        let keys: Vec<_> = ints.iter().map(|&v| datum_key(&Datum::Int8(v)).unwrap()).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        let floats = [f64::NEG_INFINITY, -2.5, -0.0, 0.0, 1.5, f64::INFINITY];
+        let keys: Vec<_> = floats.iter().map(|&v| datum_key(&Datum::Float8(v)).unwrap()).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] <= w[1], "{w:?}");
+        }
+        let texts = ["", "a", "ab", "b"];
+        let keys: Vec<_> = texts
+            .iter()
+            .map(|t| datum_key(&Datum::Text(t.to_string())).unwrap())
+            .collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn int4_and_int8_probe_compatible() {
+        assert_eq!(datum_key(&Datum::Int4(7)), datum_key(&Datum::Int8(7)));
+    }
+
+    #[test]
+    fn unindexable_datums_rejected() {
+        assert!(datum_key(&Datum::Null).is_none());
+        assert!(datum_key(&Datum::Large(pglo_adt::LoRef {
+            id: pglo_core::LoId(1),
+            type_name: "t".into()
+        }))
+        .is_none());
+    }
+
+    #[test]
+    fn expr_matching_ignores_class_qualifier() {
+        let a = parse_expr("image_width(EMP.picture)").unwrap();
+        let b = parse_expr("image_width(picture)").unwrap();
+        assert!(expr_matches(&a, &b));
+        let c = parse_expr("image_width(EMP.photo)").unwrap();
+        assert!(!expr_matches(&a, &c));
+    }
+
+    #[test]
+    fn probe_extraction() {
+        let indexed = parse_expr("EMP.salary").unwrap();
+        let q = parse_expr("EMP.salary = 100").unwrap();
+        assert_eq!(probe_for(&q, &indexed).unwrap().0, ProbeKind::Eq);
+        let q = parse_expr("100 = EMP.salary").unwrap();
+        assert_eq!(probe_for(&q, &indexed).unwrap().0, ProbeKind::Eq);
+        let q = parse_expr("EMP.salary > 100").unwrap();
+        assert_eq!(probe_for(&q, &indexed).unwrap().0, ProbeKind::Lower);
+        let q = parse_expr("EMP.salary <= 100").unwrap();
+        assert_eq!(probe_for(&q, &indexed).unwrap().0, ProbeKind::Upper);
+        // Flipped constant side flips the comparison.
+        let q = parse_expr("100 < EMP.salary").unwrap();
+        assert_eq!(probe_for(&q, &indexed).unwrap().0, ProbeKind::Lower);
+        let q = parse_expr("100 >= EMP.salary").unwrap();
+        assert_eq!(probe_for(&q, &indexed).unwrap().0, ProbeKind::Upper);
+        let q = parse_expr("EMP.salary = EMP.bonus").unwrap();
+        assert!(probe_for(&q, &indexed).is_none(), "non-constant probe");
+    }
+
+    #[test]
+    fn index_def_roundtrip() {
+        let def = IndexDef {
+            name: "emp_w".into(),
+            btree_oid: 1234,
+            expr: parse_expr("image_width(picture)").unwrap(),
+            expr_text: "image_width(picture)".into(),
+        };
+        let back = IndexDef::from_prop("emp_w", &def.to_prop()).unwrap();
+        assert_eq!(back, def);
+        assert!(IndexDef::from_prop("x", "garbage").is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Tokenizer for the POSTQUEL subset.
+
+use crate::{QueryError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (kept verbatim; keyword matching is
+    /// case-insensitive at parse time).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Double-quoted string literal, unescaped.
+    Str(String),
+    /// Punctuation / operator symbol.
+    Sym(&'static str),
+}
+
+const SYMBOLS: &[&str] = &[
+    "::", "!=", "<=", ">=", "&&", "||", "(", ")", ",", "=", "<", ">", "+", "-", "*", "/", ".",
+];
+
+/// Tokenize a statement.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: `--` to end of line.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '"' {
+            let start = i + 1;
+            let mut j = start;
+            let mut s = String::new();
+            while j < bytes.len() {
+                if bytes[j] == b'\\' && j + 1 < bytes.len() {
+                    s.push(bytes[j + 1] as char);
+                    j += 2;
+                    continue;
+                }
+                if bytes[j] == b'"' {
+                    out.push(Token::Str(s));
+                    i = j + 1;
+                    continue 'outer;
+                }
+                s.push(bytes[j] as char);
+                j += 1;
+            }
+            return Err(QueryError::Parse("unterminated string literal".into()));
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_digit()
+                    || (!seen_dot
+                        && bytes[i] == b'.'
+                        && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())))
+            {
+                if bytes[i] == b'.' {
+                    seen_dot = true;
+                }
+                i += 1;
+            }
+            let text = &input[start..i];
+            if seen_dot {
+                out.push(Token::Float(text.parse().map_err(|_| {
+                    QueryError::Parse(format!("bad float literal {text}"))
+                })?));
+            } else {
+                out.push(Token::Int(text.parse().map_err(|_| {
+                    QueryError::Parse(format!("bad integer literal {text}"))
+                })?));
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' || ch == '$' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token::Ident(input[start..i].to_string()));
+            continue;
+        }
+        for sym in SYMBOLS {
+            if input[i..].starts_with(sym) {
+                out.push(Token::Sym(sym));
+                i += sym.len();
+                continue 'outer;
+            }
+        }
+        return Err(QueryError::Parse(format!("unexpected character '{c}'")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_papers_queries() {
+        let toks = lex(r#"retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike""#)
+            .unwrap();
+        assert!(toks.contains(&Token::Ident("retrieve".into())));
+        assert!(toks.contains(&Token::Str("0,0,20,20".into())));
+        assert!(toks.contains(&Token::Sym("::")));
+        assert!(toks.contains(&Token::Sym(".")));
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(
+            lex("42 3.5 7").unwrap(),
+            vec![Token::Int(42), Token::Float(3.5), Token::Int(7)]
+        );
+        // A trailing dot is member access, not a float.
+        assert_eq!(
+            lex("EMP.all").unwrap(),
+            vec![
+                Token::Ident("EMP".into()),
+                Token::Sym("."),
+                Token::Ident("all".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_escapes() {
+        let toks = lex("a -- comment to eol\n b").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(
+            lex(r#""say \"hi\"""#).unwrap(),
+            vec![Token::Str("say \"hi\"".into())]
+        );
+    }
+
+    #[test]
+    fn multi_char_symbols_win() {
+        assert_eq!(
+            lex("a != b").unwrap(),
+            vec![
+                Token::Ident("a".into()),
+                Token::Sym("!="),
+                Token::Ident("b".into())
+            ]
+        );
+        assert_eq!(lex("<= >= ::").unwrap(), vec![
+            Token::Sym("<="), Token::Sym(">="), Token::Sym("::")
+        ]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("what?").is_err());
+    }
+}

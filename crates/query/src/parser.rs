@@ -1,0 +1,586 @@
+//! Recursive-descent parser for the POSTQUEL subset.
+
+use crate::ast::{ColumnDef, Expr, Statement, Target};
+use crate::lexer::{lex, Token};
+use crate::{QueryError, Result};
+
+/// Parse a standalone expression (index definitions persist expressions as
+/// text and re-parse them at load).
+pub fn parse_expr(input: &str) -> Result<crate::ast::Expr> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(QueryError::Parse(format!(
+            "unexpected trailing input in expression at {:?}",
+            p.peek()
+        )));
+    }
+    Ok(e)
+}
+
+/// Parse one statement.
+pub fn parse(input: &str) -> Result<Statement> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    if !p.at_end() {
+        return Err(QueryError::Parse(format!(
+            "unexpected trailing input at token {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| QueryError::Parse("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    /// Consume an identifier (any case) and return it verbatim.
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(QueryError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Whether the next token is the keyword `kw` (case-insensitive).
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume keyword `kw` if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(QueryError::Parse(format!("expected \"{kw}\", found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(QueryError::Parse(format!("expected \"{sym}\", found {:?}", self.peek())))
+        }
+    }
+
+    /// Re-render the tokens from `start` to the current position as text
+    /// (used to persist index expressions).
+    fn span_text(&self, start: usize) -> String {
+        let mut out = String::new();
+        for tok in &self.tokens[start..self.pos] {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            match tok {
+                Token::Ident(s) => out.push_str(s),
+                Token::Int(v) => out.push_str(&v.to_string()),
+                Token::Float(v) => out.push_str(&v.to_string()),
+                Token::Str(s) => {
+                    out.push('"');
+                    out.push_str(&s.replace('\\', "\\\\").replace('"', "\\\""));
+                    out.push('"');
+                }
+                Token::Sym(s) => out.push_str(s),
+            }
+        }
+        // Tight up member access and call syntax so the text re-parses
+        // identically ("EMP . name" is fine for the lexer, keep as-is).
+        out
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("create") {
+            if self.peek_kw("large") {
+                return self.create_large_type();
+            }
+            return self.create_class();
+        }
+        if self.eat_kw("append") {
+            let class = self.ident()?;
+            let targets = self.target_list()?;
+            return Ok(Statement::Append { class, targets });
+        }
+        if self.eat_kw("retrieve") {
+            return self.retrieve();
+        }
+        if self.eat_kw("replace") {
+            let class = self.ident()?;
+            let targets = self.target_list()?;
+            let qual = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            return Ok(Statement::Replace { class, targets, qual });
+        }
+        if self.eat_kw("delete") {
+            let class = self.ident()?;
+            let qual = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            return Ok(Statement::Delete { class, qual });
+        }
+        if self.eat_kw("define") {
+            self.expect_kw("index")?;
+            let name = self.ident()?;
+            self.expect_kw("on")?;
+            let class = self.ident()?;
+            self.expect_sym("(")?;
+            let start = self.pos;
+            let expr = self.expr()?;
+            let expr_text = self.span_text(start);
+            self.expect_sym(")")?;
+            return Ok(Statement::DefineIndex { name, class, expr, expr_text });
+        }
+        if self.eat_kw("destroy") {
+            if self.eat_kw("index") {
+                let name = self.ident()?;
+                self.expect_kw("on")?;
+                let class = self.ident()?;
+                return Ok(Statement::DestroyIndex { name, class });
+            }
+            return Ok(Statement::Destroy { class: self.ident()? });
+        }
+        if self.eat_kw("vacuum") {
+            return Ok(Statement::Vacuum { class: self.ident()? });
+        }
+        Err(QueryError::Parse(format!(
+            "expected a statement keyword, found {:?}",
+            self.peek()
+        )))
+    }
+
+    fn create_class(&mut self) -> Result<Statement> {
+        let class = self.ident()?;
+        self.expect_sym("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let name = self.ident()?;
+            self.expect_sym("=")?;
+            let type_name = self.ident()?;
+            columns.push(ColumnDef { name, type_name });
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        let mut smgr = None;
+        if self.eat_kw("with") {
+            self.expect_sym("(")?;
+            self.expect_kw("smgr")?;
+            self.expect_sym("=")?;
+            smgr = Some(match self.next()? {
+                Token::Str(s) => s,
+                Token::Ident(s) => s,
+                other => {
+                    return Err(QueryError::Parse(format!("expected smgr name, found {other:?}")))
+                }
+            });
+            self.expect_sym(")")?;
+        }
+        Ok(Statement::Create { class, columns, smgr })
+    }
+
+    fn create_large_type(&mut self) -> Result<Statement> {
+        self.expect_kw("large")?;
+        self.expect_kw("type")?;
+        let type_name = self.ident()?;
+        self.expect_sym("(")?;
+        let mut input = None;
+        let mut output = None;
+        let mut storage = None;
+        let mut compression = None;
+        let mut smgr = None;
+        loop {
+            let field = self.ident()?;
+            self.expect_sym("=")?;
+            let value = match self.next()? {
+                Token::Ident(s) => s,
+                Token::Str(s) => s,
+                other => {
+                    return Err(QueryError::Parse(format!("expected a value, found {other:?}")))
+                }
+            };
+            match field.to_ascii_lowercase().as_str() {
+                "input" => input = Some(value),
+                "output" => output = Some(value),
+                "storage" => storage = Some(value),
+                "compression" => compression = Some(value),
+                "smgr" => smgr = Some(value),
+                other => {
+                    return Err(QueryError::Parse(format!(
+                        "unknown large-type clause \"{other}\""
+                    )))
+                }
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        let missing =
+            |what: &str| QueryError::Parse(format!("create large type requires {what} = ..."));
+        Ok(Statement::CreateLargeType {
+            type_name,
+            input: input.ok_or_else(|| missing("input"))?,
+            output: output.ok_or_else(|| missing("output"))?,
+            storage: storage.ok_or_else(|| missing("storage"))?,
+            compression,
+            smgr,
+        })
+    }
+
+    fn retrieve(&mut self) -> Result<Statement> {
+        let unique = self.eat_kw("unique");
+        let into = if self.eat_kw("into") { Some(self.ident()?) } else { None };
+        let targets = self.target_list()?;
+        let from = if self.eat_kw("from") { Some(self.ident()?) } else { None };
+        let qual = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let sort_by = if self.eat_kw("sort") {
+            self.expect_kw("by")?;
+            let col = self.ident()?;
+            let asc = if self.eat_kw("desc") {
+                false
+            } else {
+                self.eat_kw("asc");
+                true
+            };
+            Some((col, asc))
+        } else {
+            None
+        };
+        let as_of = if self.eat_kw("as") {
+            self.expect_kw("of")?;
+            match self.next()? {
+                Token::Int(ts) if ts >= 0 => Some(ts as u64),
+                other => {
+                    return Err(QueryError::Parse(format!(
+                        "expected a commit timestamp after \"as of\", found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Statement::Retrieve { targets, into, from, qual, sort_by, unique, as_of })
+    }
+
+    /// `( target {, target} )` where target is `[name =] expr`.
+    fn target_list(&mut self) -> Result<Vec<Target>> {
+        self.expect_sym("(")?;
+        let mut out = Vec::new();
+        loop {
+            // `name = expr` when an ident is followed by `=` (but not `==`).
+            let named = matches!(
+                (self.peek(), self.tokens.get(self.pos + 1)),
+                (Some(Token::Ident(_)), Some(Token::Sym("=")))
+            );
+            let name = if named {
+                let n = self.ident()?;
+                self.expect_sym("=")?;
+                Some(n)
+            } else {
+                None
+            };
+            let expr = self.expr()?;
+            out.push(Target { name, expr });
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(out)
+    }
+
+    // Expression grammar, loosest to tightest:
+    //   or_expr   := and_expr { "or" and_expr }
+    //   and_expr  := not_expr { "and" not_expr }
+    //   not_expr  := "not" not_expr | cmp_expr
+    //   cmp_expr  := add_expr [ cmpop add_expr ]     (incl. user operators)
+    //   add_expr  := mul_expr { ("+"|"-") mul_expr }
+    //   mul_expr  := cast_expr { ("*"|"/") cast_expr }
+    //   cast_expr := unary { "::" ident }
+    //   unary     := "-" unary | primary
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::Binary { op: "or".into(), left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::Binary { op: "and".into(), left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary { op: "not", expr: Box::new(inner) });
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Sym(s @ ("=" | "!=" | "<" | "<=" | ">" | ">=" | "&&" | "||"))) => {
+                Some(s.to_string())
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut left = self.mul_expr()?;
+        while let Some(Token::Sym(s @ ("+" | "-"))) = self.peek() {
+            let op = s.to_string();
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut left = self.cast_expr()?;
+        while let Some(Token::Sym(s @ ("*" | "/"))) = self.peek() {
+            let op = s.to_string();
+            self.pos += 1;
+            let right = self.cast_expr()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn cast_expr(&mut self) -> Result<Expr> {
+        let mut e = self.unary()?;
+        while self.eat_sym("::") {
+            let type_name = self.ident()?;
+            e = Expr::Cast { expr: Box::new(e), type_name };
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_sym("-") {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary { op: "-", expr: Box::new(inner) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next()? {
+            Token::Int(v) => Ok(Expr::Int(v)),
+            Token::Float(v) => Ok(Expr::Float(v)),
+            Token::Str(s) => Ok(Expr::Str(s)),
+            Token::Sym("(") => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::Bool(true));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::Bool(false));
+                }
+                // Function call?
+                if self.eat_sym("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_sym(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                        self.expect_sym(")")?;
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                // Class.attr?
+                if self.eat_sym(".") {
+                    let attr = self.ident()?;
+                    return Ok(Expr::Column { class: Some(name), attr });
+                }
+                Ok(Expr::Column { class: None, attr: name })
+            }
+            other => Err(QueryError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create() {
+        let s = parse("create EMP (name = text, salary = int4, picture = image)").unwrap();
+        match s {
+            Statement::Create { class, columns, smgr } => {
+                assert_eq!(class, "EMP");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[2].name, "picture");
+                assert_eq!(columns[2].type_name, "image");
+                assert!(smgr.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse(r#"create T (a = int4) with (smgr = "worm_jukebox")"#).unwrap();
+        assert!(matches!(s, Statement::Create { smgr: Some(ref m), .. } if m == "worm_jukebox"));
+    }
+
+    #[test]
+    fn parses_create_large_type() {
+        let s = parse(
+            "create large type image (input = image_in, output = image_out, \
+             storage = fchunk, compression = rle)",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateLargeType { type_name, input, output, storage, compression, smgr } => {
+                assert_eq!(type_name, "image");
+                assert_eq!(input, "image_in");
+                assert_eq!(output, "image_out");
+                assert_eq!(storage, "fchunk");
+                assert_eq!(compression.as_deref(), Some("rle"));
+                assert!(smgr.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("create large type t (input = a)").is_err());
+    }
+
+    #[test]
+    fn parses_the_papers_clip_query() {
+        let s = parse(
+            r#"retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike""#,
+        )
+        .unwrap();
+        match s {
+            Statement::Retrieve { targets, qual, .. } => {
+                assert_eq!(targets.len(), 1);
+                match &targets[0].expr {
+                    Expr::Call { name, args } => {
+                        assert_eq!(name, "clip");
+                        assert_eq!(args.len(), 2);
+                        assert!(matches!(&args[1], Expr::Cast { type_name, .. } if type_name == "rect"));
+                    }
+                    other => panic!("{other:?}"),
+                }
+                assert!(qual.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_append_with_named_targets() {
+        let s = parse(r#"append EMP (name = "Joe", picture = "/usr/joe")"#).unwrap();
+        match s {
+            Statement::Append { class, targets } => {
+                assert_eq!(class, "EMP");
+                assert_eq!(targets[0].name.as_deref(), Some("name"));
+                assert_eq!(targets[1].expr, Expr::Str("/usr/joe".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_time_travel() {
+        let s = parse("retrieve (EMP.name) as of 42").unwrap();
+        assert!(matches!(s, Statement::Retrieve { as_of: Some(42), .. }));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let s = parse("retrieve (a + b * 2 = 10 and not c)").unwrap();
+        let Statement::Retrieve { targets, .. } = s else { panic!() };
+        // ((a + (b * 2)) = 10) and (not c)
+        let Expr::Binary { op, left, right } = &targets[0].expr else { panic!() };
+        assert_eq!(op, "and");
+        assert!(matches!(&**right, Expr::Unary { op: "not", .. }));
+        let Expr::Binary { op, left: add, .. } = &**left else { panic!() };
+        assert_eq!(op, "=");
+        let Expr::Binary { op, right: mul, .. } = &**add else { panic!() };
+        assert_eq!(op, "+");
+        assert!(matches!(&**mul, Expr::Binary { op, .. } if op == "*"));
+    }
+
+    #[test]
+    fn replace_delete_destroy_vacuum() {
+        assert!(matches!(
+            parse(r#"replace EMP (salary = EMP.salary + 10) where EMP.name = "Joe""#).unwrap(),
+            Statement::Replace { .. }
+        ));
+        assert!(matches!(
+            parse("delete EMP where EMP.salary > 100").unwrap(),
+            Statement::Delete { qual: Some(_), .. }
+        ));
+        assert!(matches!(parse("destroy EMP").unwrap(), Statement::Destroy { .. }));
+        assert!(matches!(parse("vacuum EMP").unwrap(), Statement::Vacuum { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("destroy EMP oops").is_err());
+        assert!(parse("").is_err());
+    }
+}

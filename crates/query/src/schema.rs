@@ -1,0 +1,91 @@
+//! Column schemas, persisted in class catalog properties.
+//!
+//! Format: `"name:type,name:type,…"` under the `schema` property — the
+//! same convention the Inversion crate uses for its metadata classes, so
+//! `retrieve` works on those too (§8's "use the query language to perform
+//! searches on the DIRECTORY class").
+
+use crate::{QueryError, Result};
+
+/// One column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// The name.
+    pub name: String,
+    /// The type name.
+    pub type_name: String,
+}
+
+/// A class's column layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// The columns.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// A schema from explicit columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self { columns }
+    }
+
+    /// Parse the catalog property form.
+    pub fn parse(text: &str) -> Result<Schema> {
+        let mut columns = Vec::new();
+        for part in text.split(',') {
+            let (name, type_name) = part
+                .split_once(':')
+                .ok_or_else(|| QueryError::Semantic(format!("bad schema entry \"{part}\"")))?;
+            columns.push(Column {
+                name: name.trim().to_string(),
+                type_name: type_name.trim().to_string(),
+            });
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Serialize to the catalog property form.
+    pub fn to_prop(&self) -> String {
+        self.columns
+            .iter()
+            .map(|c| format!("{}:{}", c.name, c.type_name))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = Schema::parse("name:text, salary:int4,picture:image").unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.columns[1].name, "salary");
+        assert_eq!(s.to_prop(), "name:text,salary:int4,picture:image");
+        assert_eq!(Schema::parse(&s.to_prop()).unwrap(), s);
+        assert_eq!(s.index_of("picture"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn bad_entries_rejected() {
+        assert!(Schema::parse("name text").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Parser robustness: arbitrary input never panics, and parse→render→parse
+//! round-trips for index expressions.
+
+use pglo_query::parser::{parse, parse_expr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer+parser must return Ok or Err on any input — never panic.
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+        let _ = parse_expr(&input);
+    }
+
+    /// Statement-shaped fuzzing: random keyword soup.
+    #[test]
+    fn keyword_soup_never_panics(words in prop::collection::vec(
+        prop::sample::select(vec![
+            "retrieve", "append", "create", "replace", "delete", "destroy",
+            "vacuum", "define", "index", "on", "where", "from", "sort", "by",
+            "unique", "into", "as", "of", "large", "type", "and", "or", "not",
+            "EMP", "name", "(", ")", ",", "=", "::", "\"x\"", "42", "3.5",
+            "+", "-", "*", "/", "<", ">", "&&",
+        ]),
+        0..25,
+    )) {
+        let input = words.join(" ");
+        let _ = parse(&input);
+    }
+}
+
+#[test]
+fn expressions_reparse_from_persisted_index_text() {
+    // The parser's span_text rendering (used to persist index expressions)
+    // must re-parse to an equivalent expression.
+    for text in [
+        "EMP.salary",
+        "image_width ( EMP . picture )",
+        "a + b * 2",
+        "clip ( EMP . picture , \"0,0,20,20\" :: rect )",
+        "not ( a = 1 and b = 2 )",
+    ] {
+        let e1 = parse_expr(text).unwrap();
+        // Round-trip through a retrieve statement containing the expression.
+        let stmt = parse(&format!("define index i on C ({text})")).unwrap();
+        let pglo_query::Statement::DefineIndex { expr, expr_text, .. } = stmt else {
+            panic!("expected DefineIndex");
+        };
+        assert_eq!(expr, e1, "parsed expression for {text}");
+        let e2 = parse_expr(&expr_text).unwrap();
+        assert_eq!(e2, e1, "persisted text {expr_text:?} must re-parse identically");
+    }
+}

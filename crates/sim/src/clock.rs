@@ -1,0 +1,73 @@
+//! The simulated clock: a monotonically increasing nanosecond counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deterministic simulated clock.
+///
+/// The clock only moves when something charges it (device transfer, seek,
+/// CPU work), so two runs of the same workload produce byte-identical
+/// elapsed times regardless of host speed.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    nanos: AtomicU64,
+}
+
+impl SimClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Self { nanos: AtomicU64::new(0) }
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+
+    /// Advance the clock by `ns` nanoseconds, returning the new time.
+    pub fn advance_ns(&self, ns: u64) -> u64 {
+        self.nanos.fetch_add(ns, Ordering::Relaxed) + ns
+    }
+
+    /// Reset the clock to zero.
+    pub fn reset(&self) {
+        self.nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Run `f` and return `(result, simulated nanoseconds it charged)`.
+    ///
+    /// Only valid when no other thread charges the clock concurrently —
+    /// which holds for the single-threaded benchmark harness.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> (T, u64) {
+        let start = self.now_ns();
+        let out = f();
+        (out, self.now_ns() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.advance_ns(5), 5);
+        assert_eq!(c.advance_ns(7), 12);
+        assert_eq!(c.now_ns(), 12);
+        c.reset();
+        assert_eq!(c.now_ns(), 0);
+    }
+
+    #[test]
+    fn time_measures_charged_span() {
+        let c = SimClock::new();
+        c.advance_ns(100);
+        let (v, dt) = c.time(|| {
+            c.advance_ns(42);
+            "done"
+        });
+        assert_eq!(v, "done");
+        assert_eq!(dt, 42);
+    }
+}

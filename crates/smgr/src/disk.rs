@@ -1,0 +1,296 @@
+//! Magnetic-disk storage manager: "a thin veneer on top of the UNIX file
+//! system" (§7).
+//!
+//! Each relation is one file in the manager's base directory. Real host
+//! file I/O is performed (so data is durable and inspectable) while the
+//! simulated clock is charged with a 1992-era disk profile.
+
+use crate::{RelFileId, Result, SeqTracker, SmgrError, StorageManager};
+use parking_lot::Mutex;
+use pglo_pages::{PageBuf, PAGE_SIZE};
+use pglo_sim::{DeviceProfile, IoStats, SimContext};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Storage manager for local magnetic disk.
+pub struct DiskSmgr {
+    base: PathBuf,
+    sim: SimContext,
+    profile: DeviceProfile,
+    stats: IoStats,
+    seq: SeqTracker,
+    files: Mutex<HashMap<RelFileId, Arc<File>>>,
+}
+
+impl DiskSmgr {
+    /// Create a manager rooted at `base` (created if absent), charging the
+    /// default 1992 magnetic-disk profile.
+    pub fn new(base: impl AsRef<Path>, sim: SimContext) -> Result<Self> {
+        Self::with_profile(base, sim, DeviceProfile::magnetic_disk_1992())
+    }
+
+    /// Create a manager with a custom device profile (used by ablation
+    /// benchmarks to model faster or slower disks).
+    pub fn with_profile(
+        base: impl AsRef<Path>,
+        sim: SimContext,
+        profile: DeviceProfile,
+    ) -> Result<Self> {
+        let base = base.as_ref().to_path_buf();
+        std::fs::create_dir_all(&base)?;
+        Ok(Self {
+            base,
+            sim,
+            profile,
+            stats: IoStats::new(),
+            seq: SeqTracker::default(),
+            files: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Path of a relation's backing file.
+    pub fn rel_path(&self, rel: RelFileId) -> PathBuf {
+        self.base.join(format!("rel_{rel}.pg"))
+    }
+
+    fn open_file(&self, rel: RelFileId) -> Result<Arc<File>> {
+        let mut files = self.files.lock();
+        if let Some(f) = files.get(&rel) {
+            return Ok(Arc::clone(f));
+        }
+        let path = self.rel_path(rel);
+        if !path.exists() {
+            return Err(SmgrError::NotFound(rel));
+        }
+        let f = Arc::new(OpenOptions::new().read(true).write(true).open(path)?);
+        files.insert(rel, Arc::clone(&f));
+        Ok(f)
+    }
+
+    fn charge(&self, rel: RelFileId, block: u32, bytes: usize, write: bool) {
+        let sequential = self.seq.touch(rel, block);
+        self.sim.charge_io(&self.profile, bytes, sequential);
+        if write {
+            self.stats.record_write(bytes, sequential);
+        } else {
+            self.stats.record_read(bytes, sequential);
+        }
+    }
+
+    /// The device profile in use.
+    pub fn profile(&self) -> DeviceProfile {
+        self.profile
+    }
+
+    /// The base directory.
+    pub fn base_dir(&self) -> &Path {
+        &self.base
+    }
+}
+
+impl StorageManager for DiskSmgr {
+    fn name(&self) -> &str {
+        "magnetic_disk"
+    }
+
+    fn create(&self, rel: RelFileId) -> Result<()> {
+        let path = self.rel_path(rel);
+        if path.exists() {
+            return Err(SmgrError::AlreadyExists(rel));
+        }
+        let f = OpenOptions::new().read(true).write(true).create_new(true).open(path)?;
+        self.files.lock().insert(rel, Arc::new(f));
+        Ok(())
+    }
+
+    fn exists(&self, rel: RelFileId) -> bool {
+        self.rel_path(rel).exists()
+    }
+
+    fn unlink(&self, rel: RelFileId) -> Result<()> {
+        self.files.lock().remove(&rel);
+        self.seq.forget(rel);
+        let path = self.rel_path(rel);
+        if !path.exists() {
+            return Err(SmgrError::NotFound(rel));
+        }
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    fn nblocks(&self, rel: RelFileId) -> Result<u32> {
+        let f = self.open_file(rel)?;
+        let len = f.metadata()?.len();
+        Ok((len / PAGE_SIZE as u64) as u32)
+    }
+
+    fn extend(&self, rel: RelFileId, page: &PageBuf) -> Result<u32> {
+        let f = self.open_file(rel)?;
+        let block = (f.metadata()?.len() / PAGE_SIZE as u64) as u32;
+        f.write_all_at(page, block as u64 * PAGE_SIZE as u64)?;
+        self.charge(rel, block, PAGE_SIZE, true);
+        Ok(block)
+    }
+
+    fn allocate(&self, rel: RelFileId) -> Result<u32> {
+        let f = self.open_file(rel)?;
+        let len = f.metadata()?.len();
+        let block = (len / PAGE_SIZE as u64) as u32;
+        f.set_len(len + PAGE_SIZE as u64)?;
+        // Metadata-only: no simulated transfer.
+        Ok(block)
+    }
+
+    fn read(&self, rel: RelFileId, block: u32, out: &mut PageBuf) -> Result<()> {
+        let f = self.open_file(rel)?;
+        let nblocks = (f.metadata()?.len() / PAGE_SIZE as u64) as u32;
+        if block >= nblocks {
+            return Err(SmgrError::OutOfRange { rel, block, nblocks });
+        }
+        f.read_exact_at(out, block as u64 * PAGE_SIZE as u64)?;
+        self.charge(rel, block, PAGE_SIZE, false);
+        Ok(())
+    }
+
+    fn write(&self, rel: RelFileId, block: u32, page: &PageBuf) -> Result<()> {
+        let f = self.open_file(rel)?;
+        let nblocks = (f.metadata()?.len() / PAGE_SIZE as u64) as u32;
+        if block >= nblocks {
+            return Err(SmgrError::OutOfRange { rel, block, nblocks });
+        }
+        f.write_all_at(page, block as u64 * PAGE_SIZE as u64)?;
+        self.charge(rel, block, PAGE_SIZE, true);
+        Ok(())
+    }
+
+    fn sync(&self, rel: RelFileId) -> Result<()> {
+        // The simulated clock already charged each write; host-level
+        // sync_all is skipped to keep tests fast. Durability of the host
+        // file is not part of the reproduced evaluation.
+        let _ = self.open_file(rel)?;
+        Ok(())
+    }
+
+    fn io_stats(&self) -> pglo_sim::stats::IoSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_io_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pglo_pages::alloc_page;
+
+    fn setup() -> (tempfile::TempDir, DiskSmgr, SimContext) {
+        let dir = tempfile::tempdir().unwrap();
+        let sim = SimContext::default_1992();
+        let smgr = DiskSmgr::new(dir.path(), sim.clone()).unwrap();
+        (dir, smgr, sim)
+    }
+
+    #[test]
+    fn create_extend_read_roundtrip() {
+        let (_dir, smgr, _sim) = setup();
+        smgr.create(7).unwrap();
+        assert!(smgr.exists(7));
+        assert_eq!(smgr.nblocks(7).unwrap(), 0);
+        let mut page = alloc_page();
+        page[0] = 0xAA;
+        page[PAGE_SIZE - 1] = 0xBB;
+        assert_eq!(smgr.extend(7, &page).unwrap(), 0);
+        page[0] = 0xCC;
+        assert_eq!(smgr.extend(7, &page).unwrap(), 1);
+        assert_eq!(smgr.nblocks(7).unwrap(), 2);
+        let mut out = alloc_page();
+        smgr.read(7, 0, &mut out).unwrap();
+        assert_eq!(out[0], 0xAA);
+        assert_eq!(out[PAGE_SIZE - 1], 0xBB);
+        smgr.read(7, 1, &mut out).unwrap();
+        assert_eq!(out[0], 0xCC);
+    }
+
+    #[test]
+    fn overwrite_supported() {
+        let (_dir, smgr, _sim) = setup();
+        smgr.create(1).unwrap();
+        let mut page = alloc_page();
+        smgr.extend(1, &page).unwrap();
+        page[10] = 42;
+        smgr.write(1, 0, &page).unwrap();
+        let mut out = alloc_page();
+        smgr.read(1, 0, &mut out).unwrap();
+        assert_eq!(out[10], 42);
+        assert!(smgr.supports_overwrite());
+    }
+
+    #[test]
+    fn errors_surface() {
+        let (_dir, smgr, _sim) = setup();
+        assert!(matches!(smgr.nblocks(9), Err(SmgrError::NotFound(9))));
+        smgr.create(9).unwrap();
+        assert!(matches!(smgr.create(9), Err(SmgrError::AlreadyExists(9))));
+        let mut out = alloc_page();
+        assert!(matches!(
+            smgr.read(9, 0, &mut out),
+            Err(SmgrError::OutOfRange { block: 0, .. })
+        ));
+        assert!(matches!(smgr.write(9, 3, &out), Err(SmgrError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn unlink_removes_file() {
+        let (_dir, smgr, _sim) = setup();
+        smgr.create(5).unwrap();
+        let path = smgr.rel_path(5);
+        assert!(path.exists());
+        smgr.unlink(5).unwrap();
+        assert!(!path.exists());
+        assert!(matches!(smgr.unlink(5), Err(SmgrError::NotFound(5))));
+    }
+
+    #[test]
+    fn sequential_reads_cheaper_than_random() {
+        let (_dir, smgr, sim) = setup();
+        smgr.create(1).unwrap();
+        let page = alloc_page();
+        for _ in 0..16 {
+            smgr.extend(1, &page).unwrap();
+        }
+        let mut out = alloc_page();
+        sim.reset();
+        smgr.read(1, 0, &mut out).unwrap(); // first read seeks
+        for b in 1..16 {
+            smgr.read(1, b, &mut out).unwrap();
+        }
+        let seq_time = sim.now_ns();
+        sim.reset();
+        for b in [0u32, 8, 2, 12, 5, 15, 1, 9, 3, 11, 6, 14, 7, 13, 4, 10] {
+            smgr.read(1, b, &mut out).unwrap();
+        }
+        let rand_time = sim.now_ns();
+        assert!(
+            rand_time > seq_time * 3,
+            "random ({rand_time}) must be much slower than sequential ({seq_time})"
+        );
+        let stats = smgr.io_stats();
+        assert_eq!(stats.reads, 32);
+        assert!(stats.seeks > 16, "random pass seeks on ~every read");
+    }
+
+    #[test]
+    fn stats_reset() {
+        let (_dir, smgr, _sim) = setup();
+        smgr.create(1).unwrap();
+        smgr.extend(1, &alloc_page()).unwrap();
+        assert_eq!(smgr.io_stats().writes, 1);
+        smgr.reset_io_stats();
+        assert_eq!(smgr.io_stats().writes, 0);
+    }
+}

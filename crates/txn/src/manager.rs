@@ -1,0 +1,332 @@
+//! The transaction manager: XID allocation, commit log, snapshots.
+
+use crate::Xid;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A logical commit timestamp. Strictly increasing across commits; the
+/// time-travel axis ("as of T" reads see exactly the transactions with
+/// `commit_ts <= T`).
+pub type CommitTs = u64;
+
+/// Outcome state of a transaction in the commit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// InProgress.
+    InProgress,
+    /// Committed.
+    Committed,
+    /// Aborted.
+    Aborted,
+}
+
+struct TmInner {
+    next_xid: u32,
+    /// Status per XID, indexed by `xid - FIRST_NORMAL`.
+    status: Vec<TxnStatus>,
+    /// Commit timestamp per XID (0 = not committed), same indexing.
+    commit_ts: Vec<CommitTs>,
+    /// Currently in-progress XIDs (for snapshot construction).
+    active: BTreeSet<u32>,
+}
+
+/// The transaction manager. One per database instance; cheaply shared via
+/// `Arc`.
+pub struct TxnManager {
+    inner: Mutex<TmInner>,
+    next_ts: AtomicU64,
+    /// Commits since creation (ablation benchmarks read this).
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnManager {
+    /// A fresh manager with an empty commit log.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(TmInner {
+                next_xid: Xid::FIRST_NORMAL.0,
+                status: Vec::new(),
+                commit_ts: Vec::new(),
+                active: BTreeSet::new(),
+            }),
+            next_ts: AtomicU64::new(1),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    /// Begin a transaction, returning an RAII handle that aborts on drop
+    /// unless committed.
+    pub fn begin(self: &Arc<Self>) -> Txn {
+        let (xid, snapshot) = {
+            let mut inner = self.inner.lock();
+            let xid = Xid(inner.next_xid);
+            inner.next_xid += 1;
+            inner.status.push(TxnStatus::InProgress);
+            inner.commit_ts.push(0);
+            inner.active.insert(xid.0);
+            let snapshot = Snapshot {
+                xmax: Xid(inner.next_xid),
+                active: inner.active.iter().map(|&x| Xid(x)).collect(),
+            };
+            (xid, snapshot)
+        };
+        Txn {
+            tm: Arc::clone(self),
+            xid,
+            snapshot,
+            done: false,
+        }
+    }
+
+    fn idx(xid: Xid) -> Option<usize> {
+        xid.0.checked_sub(Xid::FIRST_NORMAL.0).map(|i| i as usize)
+    }
+
+    /// Status of a transaction. `BOOTSTRAP` is always committed.
+    pub fn status(&self, xid: Xid) -> TxnStatus {
+        if xid == Xid::BOOTSTRAP {
+            return TxnStatus::Committed;
+        }
+        if xid == Xid::INVALID {
+            return TxnStatus::Aborted;
+        }
+        let inner = self.inner.lock();
+        match Self::idx(xid) {
+            Some(i) if i < inner.status.len() => inner.status[i],
+            _ => TxnStatus::Aborted, // unknown XIDs read as never-committed
+        }
+    }
+
+    /// Commit timestamp of a committed transaction, `None` otherwise.
+    /// `BOOTSTRAP` committed at timestamp 0.
+    pub fn commit_ts(&self, xid: Xid) -> Option<CommitTs> {
+        if xid == Xid::BOOTSTRAP {
+            return Some(0);
+        }
+        let inner = self.inner.lock();
+        let i = Self::idx(xid)?;
+        if i < inner.status.len() && inner.status[i] == TxnStatus::Committed {
+            Some(inner.commit_ts[i])
+        } else {
+            None
+        }
+    }
+
+    fn finish(&self, xid: Xid, commit: bool) -> Option<CommitTs> {
+        let mut inner = self.inner.lock();
+        let i = Self::idx(xid).expect("finish of special xid");
+        assert_eq!(inner.status[i], TxnStatus::InProgress, "{xid} already finished");
+        inner.active.remove(&xid.0);
+        if commit {
+            let ts = self.next_ts.fetch_add(1, Ordering::Relaxed);
+            inner.status[i] = TxnStatus::Committed;
+            inner.commit_ts[i] = ts;
+            self.commits.fetch_add(1, Ordering::Relaxed);
+            Some(ts)
+        } else {
+            inner.status[i] = TxnStatus::Aborted;
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// The timestamp an "as of now" read should use: the most recently
+    /// assigned commit timestamp. `AsOf(current_timestamp())` sees every
+    /// commit so far and nothing that commits later.
+    pub fn current_timestamp(&self) -> CommitTs {
+        self.next_ts.load(Ordering::Relaxed) - 1
+    }
+
+    /// `(commits, aborts)` since creation.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.commits.load(Ordering::Relaxed),
+            self.aborts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Oldest commit timestamp any in-progress transaction could still need
+    /// (vacuum horizon): timestamps at or before this are safe to reclaim
+    /// only if the deleting transaction committed at or before it.
+    pub fn oldest_active_xid(&self) -> Option<Xid> {
+        self.inner.lock().active.iter().next().map(|&x| Xid(x))
+    }
+}
+
+/// An MVCC snapshot: which transactions a reader considers finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// First XID *not* visible (everything at or after this was started
+    /// after the snapshot was taken).
+    pub xmax: Xid,
+    /// Transactions in progress when the snapshot was taken.
+    pub active: Vec<Xid>,
+}
+
+impl Snapshot {
+    /// Whether `xid` was in progress at snapshot time (or started later).
+    pub fn considers_running(&self, xid: Xid) -> bool {
+        xid >= self.xmax || self.active.binary_search(&xid).is_ok()
+    }
+}
+
+/// An RAII transaction handle. Aborts on drop unless [`Txn::commit`] was
+/// called.
+pub struct Txn {
+    tm: Arc<TxnManager>,
+    xid: Xid,
+    snapshot: Snapshot,
+    done: bool,
+}
+
+impl Txn {
+    /// This transaction's XID (the `tmin`/`tmax` it stamps into tuples).
+    pub fn xid(&self) -> Xid {
+        self.xid
+    }
+
+    /// The snapshot taken at `begin`.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// The manager that issued this transaction.
+    pub fn manager(&self) -> &Arc<TxnManager> {
+        &self.tm
+    }
+
+    /// Commit, returning the commit timestamp.
+    pub fn commit(mut self) -> CommitTs {
+        self.done = true;
+        self.tm.finish(self.xid, true).expect("commit returns ts")
+    }
+
+    /// Abort explicitly.
+    pub fn abort(mut self) {
+        self.done = true;
+        self.tm.finish(self.xid, false);
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.done {
+            self.tm.finish(self.xid, false);
+        }
+    }
+}
+
+impl std::fmt::Debug for Txn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn").field("xid", &self.xid).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tm() -> Arc<TxnManager> {
+        Arc::new(TxnManager::new())
+    }
+
+    #[test]
+    fn begin_commit_lifecycle() {
+        let tm = tm();
+        let t = tm.begin();
+        let xid = t.xid();
+        assert_eq!(tm.status(xid), TxnStatus::InProgress);
+        let ts = t.commit();
+        assert_eq!(tm.status(xid), TxnStatus::Committed);
+        assert_eq!(tm.commit_ts(xid), Some(ts));
+        assert_eq!(tm.current_timestamp(), ts);
+    }
+
+    #[test]
+    fn drop_aborts() {
+        let tm = tm();
+        let xid = {
+            let t = tm.begin();
+            t.xid()
+        };
+        assert_eq!(tm.status(xid), TxnStatus::Aborted);
+        assert_eq!(tm.commit_ts(xid), None);
+        assert_eq!(tm.counters(), (0, 1));
+    }
+
+    #[test]
+    fn commit_timestamps_strictly_increase() {
+        let tm = tm();
+        let a = tm.begin().commit();
+        let b = tm.begin().commit();
+        let c = tm.begin().commit();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn snapshot_sees_concurrent_as_running() {
+        let tm = tm();
+        let t1 = tm.begin();
+        let t2 = tm.begin();
+        // t2's snapshot was taken while t1 was active.
+        assert!(t2.snapshot().considers_running(t1.xid()));
+        let x1 = t1.xid();
+        t1.commit();
+        // Still "running" from t2's frozen point of view.
+        assert!(t2.snapshot().considers_running(x1));
+        // A later transaction that started after the snapshot:
+        let t3 = tm.begin();
+        assert!(t2.snapshot().considers_running(t3.xid()));
+        t3.abort();
+        t2.commit();
+    }
+
+    #[test]
+    fn bootstrap_always_committed_at_zero() {
+        let tm = tm();
+        assert_eq!(tm.status(Xid::BOOTSTRAP), TxnStatus::Committed);
+        assert_eq!(tm.commit_ts(Xid::BOOTSTRAP), Some(0));
+        assert_eq!(tm.status(Xid::INVALID), TxnStatus::Aborted);
+    }
+
+    #[test]
+    fn oldest_active_tracks_begin_commit() {
+        let tm = tm();
+        assert_eq!(tm.oldest_active_xid(), None);
+        let t1 = tm.begin();
+        let t2 = tm.begin();
+        assert_eq!(tm.oldest_active_xid(), Some(t1.xid()));
+        let x1 = t1.xid();
+        t1.commit();
+        assert_eq!(tm.oldest_active_xid(), Some(t2.xid()));
+        assert_ne!(tm.oldest_active_xid(), Some(x1));
+        t2.commit();
+        assert_eq!(tm.oldest_active_xid(), None);
+    }
+
+    #[test]
+    fn xids_unique_across_threads() {
+        let tm = tm();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let tm = Arc::clone(&tm);
+            handles.push(std::thread::spawn(move || {
+                (0..50).map(|_| tm.begin().commit()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 200, "commit timestamps must be unique");
+    }
+}

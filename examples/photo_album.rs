@@ -1,0 +1,98 @@
+//! A photo-album workload: large ADTs with user-defined functions (§3–§5).
+//!
+//! Loads a class of images, runs `clip` pipelines from the query language,
+//! shows temporaries being garbage-collected at end of query, and compares
+//! the four storage implementations for the same image.
+//!
+//! ```sh
+//! cargo run --example photo_album
+//! ```
+
+use pglo::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = tempfile::tempdir()?;
+    let db = Database::open(dir.path())?;
+
+    db.run(
+        "create large type image (input = image_in, output = image_out, \
+         storage = fchunk, compression = rle)",
+    )?;
+    db.run("create ALBUM (title = text, width = int4, shot = image)")?;
+    println!("== loading the album ==");
+    for (title, dims) in [
+        ("sunrise", "1024x768:1"),
+        ("harbor", "800x600:2"),
+        ("mountains", "1600x1200:3"),
+    ] {
+        db.run(&format!(
+            r#"append ALBUM (title = "{title}", width = image_width("{dims}"::image), shot = "{dims}"::image)"#
+        ))?;
+        println!("  added {title} ({dims})");
+    }
+    println!();
+
+    println!("== which shots are wide? ==");
+    let r = db.run("retrieve (ALBUM.title, ALBUM.width) where ALBUM.width >= 1024")?;
+    print!("{}", r.to_table());
+    println!();
+
+    println!("== thumbnails via clip(), computed inside the DBMS ==");
+    let r = db.run(
+        r#"retrieve (ALBUM.title, thumb = clip(ALBUM.shot, "0,0,64,64"::rect)) from ALBUM"#,
+    )?;
+    let txn = db.begin();
+    let mut thumbs = Vec::new();
+    for row in &r.rows {
+        let text = db.datum_to_text(&txn, &row[1])?;
+        println!("  {}: {}", row[0].as_text().unwrap_or("?"), text);
+        thumbs.push(row[1].as_large().unwrap().id);
+    }
+    txn.commit();
+    println!("(three temp objects were created; all promoted because the query returned them)");
+    assert_eq!(db.store().temp_count(), 0);
+    println!();
+
+    println!("== functions that DON'T return their temps get GC'd (§5) ==");
+    // lo_size(clip(...)) creates a clip temp internally and returns only an
+    // int — so the temp dies with the query.
+    let r = db.run(r#"retrieve (bytes = lo_size(clip(ALBUM.shot, "0,0,32,32"::rect))) where ALBUM.title = "harbor""#)?;
+    println!("  thumbnail would be {:?} bytes", r.rows[0][0]);
+    assert_eq!(db.store().temp_count(), 0, "intermediate clip GC'd at query end");
+    println!("  (intermediate clip result was garbage-collected at end of query)");
+    println!();
+
+    println!("== the same image under all four implementations ==");
+    let txn = db.begin();
+    let mut rows = Vec::new();
+    for (name, spec) in [
+        ("u-file", LoSpec::ufile(dir.path().join("photo.ufile"))),
+        ("p-file", LoSpec::pfile()),
+        ("f-chunk(rle)", LoSpec::fchunk().with_codec(CodecKind::Rle)),
+        ("v-segment(rle)", LoSpec::vsegment(CodecKind::Rle)),
+    ] {
+        let id = db.store().create(&txn, &spec)?;
+        let mut h = db.store().open(&txn, id, OpenMode::ReadWrite)?;
+        // A 512x512 synthetic photo, written row by row.
+        let mut row = vec![0u8; 512];
+        h.write(&pglo::adt::builtins::image::header(512, 512))?;
+        for y in 0..512u32 {
+            for (x, px) in row.iter_mut().enumerate() {
+                *px = pglo::adt::builtins::image::pixel(x as u32, y, 5);
+            }
+            h.write(&row)?;
+        }
+        h.close()?;
+        let b = db.store().storage_breakdown(id)?;
+        rows.push((name, b.total(), b.data_bytes));
+    }
+    txn.commit();
+    println!("{:<16} {:>12} {:>12}", "implementation", "total bytes", "data bytes");
+    for (name, total, data) in rows {
+        println!("{name:<16} {total:>12} {data:>12}");
+    }
+    println!("\n(262 KB of pixels: the chunked implementations add index/page overhead;");
+    println!(" v-segment's per-row segments compress, trading space for an extra hop)");
+
+    Ok(())
+}
