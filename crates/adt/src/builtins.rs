@@ -127,10 +127,9 @@ pub fn image_output_fn() -> crate::types::OutputFn {
 fn expect_large<'d>(datum: &'d Datum, type_name: &str) -> Result<&'d LoRef> {
     match datum {
         Datum::Large(l) if l.type_name == type_name => Ok(l),
-        other => Err(AdtError::TypeMismatch {
-            expected: type_name.to_string(),
-            got: other.type_name(),
-        }),
+        other => {
+            Err(AdtError::TypeMismatch { expected: type_name.to_string(), got: other.type_name() })
+        }
     }
 }
 
@@ -144,10 +143,7 @@ fn expect_any_large(datum: &Datum) -> Result<&LoRef> {
 fn expect_rect(datum: &Datum) -> Result<Rect> {
     match datum {
         Datum::Rect(r) => Ok(*r),
-        other => Err(AdtError::TypeMismatch {
-            expected: "rect".into(),
-            got: other.type_name(),
-        }),
+        other => Err(AdtError::TypeMismatch { expected: "rect".into(), got: other.type_name() }),
     }
 }
 
@@ -315,9 +311,7 @@ pub fn register_builtins(funcs: &FunctionRegistry) -> Result<()> {
         Arc::new(|_, args| {
             let a = expect_rect(&args[0])?;
             let b = expect_rect(&args[1])?;
-            Ok(Datum::Bool(
-                a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1,
-            ))
+            Ok(Datum::Bool(a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1))
         }),
     )?;
 
@@ -343,13 +337,9 @@ mod tests {
     use pglo_core::{LoKind, LoStore};
     use pglo_heap::StorageEnv;
 
-    fn setup() -> (
-        tempfile::TempDir,
-        std::sync::Arc<StorageEnv>,
-        LoStore,
-        TypeRegistry,
-        FunctionRegistry,
-    ) {
+    fn setup(
+    ) -> (tempfile::TempDir, std::sync::Arc<StorageEnv>, LoStore, TypeRegistry, FunctionRegistry)
+    {
         let dir = tempfile::tempdir().unwrap();
         let env = StorageEnv::open(dir.path()).unwrap();
         let store = LoStore::new(std::sync::Arc::clone(&env));
@@ -390,9 +380,7 @@ mod tests {
         let rect = Datum::Rect(Rect { x0: 8, y0: 16, x1: 24, y1: 48 });
         let clipped = funcs.invoke(&mut ctx, "clip", &[img, rect]).unwrap();
         let w = funcs.invoke(&mut ctx, "image_width", std::slice::from_ref(&clipped)).unwrap();
-        let h = funcs
-            .invoke(&mut ctx, "image_height", std::slice::from_ref(&clipped))
-            .unwrap();
+        let h = funcs.invoke(&mut ctx, "image_height", std::slice::from_ref(&clipped)).unwrap();
         assert_eq!(w, Datum::Int4(16));
         assert_eq!(h, Datum::Int4(32));
         // Pixel (0,0) of the clip is pixel (8,16) of the source.
@@ -421,10 +409,7 @@ mod tests {
             funcs.invoke(&mut ctx, "image_width", std::slice::from_ref(&clipped)).unwrap(),
             Datum::Int4(10)
         );
-        assert_eq!(
-            funcs.invoke(&mut ctx, "image_height", &[clipped]).unwrap(),
-            Datum::Int4(5)
-        );
+        assert_eq!(funcs.invoke(&mut ctx, "image_height", &[clipped]).unwrap(), Datum::Int4(5));
         store.gc_temps().unwrap();
         txn.commit();
     }
@@ -450,23 +435,21 @@ mod tests {
         );
         assert_eq!(
             funcs
-                .invoke(&mut ctx, "lo_grep", &[lo.clone(), Datum::Text("needle-in-haystack".into())])
+                .invoke(
+                    &mut ctx,
+                    "lo_grep",
+                    &[lo.clone(), Datum::Text("needle-in-haystack".into())]
+                )
                 .unwrap(),
             Datum::Bool(true)
         );
         assert_eq!(
-            funcs
-                .invoke(&mut ctx, "lo_grep", &[lo.clone(), Datum::Text("absent".into())])
-                .unwrap(),
+            funcs.invoke(&mut ctx, "lo_grep", &[lo.clone(), Datum::Text("absent".into())]).unwrap(),
             Datum::Bool(false)
         );
         assert_eq!(
             funcs
-                .invoke(
-                    &mut ctx,
-                    "lo_substr",
-                    &[lo.clone(), Datum::Int8(70_000), Datum::Int4(6)]
-                )
+                .invoke(&mut ctx, "lo_substr", &[lo.clone(), Datum::Int8(70_000), Datum::Int4(6)])
                 .unwrap(),
             Datum::Text("needle".into())
         );
@@ -485,14 +468,8 @@ mod tests {
         let a = Datum::Rect(Rect { x0: 0, y0: 0, x1: 10, y1: 10 });
         let b = Datum::Rect(Rect { x0: 5, y0: 5, x1: 15, y1: 15 });
         let c = Datum::Rect(Rect { x0: 20, y0: 20, x1: 30, y1: 30 });
-        assert_eq!(
-            funcs.invoke_operator(&mut ctx, "&&", a.clone(), b).unwrap(),
-            Datum::Bool(true)
-        );
-        assert_eq!(
-            funcs.invoke_operator(&mut ctx, "&&", a, c).unwrap(),
-            Datum::Bool(false)
-        );
+        assert_eq!(funcs.invoke_operator(&mut ctx, "&&", a.clone(), b).unwrap(), Datum::Bool(true));
+        assert_eq!(funcs.invoke_operator(&mut ctx, "&&", a, c).unwrap(), Datum::Bool(false));
         assert!(matches!(
             funcs.invoke_operator(&mut ctx, "@@", Datum::Null, Datum::Null),
             Err(AdtError::UnknownOperator(_))

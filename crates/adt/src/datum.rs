@@ -184,18 +184,9 @@ impl Datum {
         Ok(match tag {
             0 => (Datum::Null, 1),
             1 => (Datum::Bool(*need(1)?.first().unwrap() != 0), 2),
-            2 => (
-                Datum::Int4(i32::from_le_bytes(need(4)?.try_into().unwrap())),
-                5,
-            ),
-            3 => (
-                Datum::Int8(i64::from_le_bytes(need(8)?.try_into().unwrap())),
-                9,
-            ),
-            4 => (
-                Datum::Float8(f64::from_le_bytes(need(8)?.try_into().unwrap())),
-                9,
-            ),
+            2 => (Datum::Int4(i32::from_le_bytes(need(4)?.try_into().unwrap())), 5),
+            3 => (Datum::Int8(i64::from_le_bytes(need(8)?.try_into().unwrap())), 9),
+            4 => (Datum::Float8(f64::from_le_bytes(need(8)?.try_into().unwrap())), 9),
             5 => {
                 let len = u32::from_le_bytes(need(4)?.try_into().unwrap()) as usize;
                 let bytes = &body.get(4..4 + len).ok_or_else(short)?;
@@ -205,23 +196,16 @@ impl Datum {
             6 => {
                 let b = need(16)?;
                 let g = |i: usize| i32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().unwrap());
-                (
-                    Datum::Rect(Rect { x0: g(0), y0: g(1), x1: g(2), y1: g(3) }),
-                    17,
-                )
+                (Datum::Rect(Rect { x0: g(0), y0: g(1), x1: g(2), y1: g(3) }), 17)
             }
             7 => {
                 let idb = need(8)?;
                 let id = u64::from_le_bytes(idb.try_into().unwrap());
-                let len =
-                    u32::from_le_bytes(body.get(8..12).ok_or_else(short)?.try_into().unwrap())
-                        as usize;
+                let len = u32::from_le_bytes(body.get(8..12).ok_or_else(short)?.try_into().unwrap())
+                    as usize;
                 let bytes = body.get(12..12 + len).ok_or_else(short)?;
                 let tname = std::str::from_utf8(bytes).map_err(|_| short())?;
-                (
-                    Datum::Large(LoRef { id: LoId(id), type_name: tname.to_string() }),
-                    13 + len,
-                )
+                (Datum::Large(LoRef { id: LoId(id), type_name: tname.to_string() }), 13 + len)
             }
             _ => return Err(short()),
         })
@@ -346,9 +330,7 @@ mod tests {
         assert_eq!(Datum::Int8(5).as_f64(), Some(5.0));
         assert_eq!(Datum::Text("x".into()).as_i64(), None);
         assert_eq!(Datum::Bool(true).as_bool(), Some(true));
-        assert!(Datum::Large(LoRef { id: LoId(1), type_name: "t".into() })
-            .as_large()
-            .is_some());
+        assert!(Datum::Large(LoRef { id: LoId(1), type_name: "t".into() }).as_large().is_some());
     }
 
     #[test]

@@ -48,13 +48,10 @@ impl<'a> ExecCtx<'a> {
     /// [`LoStore::keep_temp`].
     pub fn create_temp_large(&self, type_name: &str) -> Result<LoRef> {
         let def = self.types.get(type_name)?;
-        let large = def
-            .large
-            .as_ref()
-            .ok_or_else(|| AdtError::TypeMismatch {
-                expected: "a large ADT".into(),
-                got: type_name.to_string(),
-            })?;
+        let large = def.large.as_ref().ok_or_else(|| AdtError::TypeMismatch {
+            expected: "a large ADT".into(),
+            got: type_name.to_string(),
+        })?;
         let spec = LoSpec {
             kind: large.storage,
             codec: large.codec,

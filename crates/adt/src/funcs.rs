@@ -42,10 +42,7 @@ impl Default for FunctionRegistry {
 impl FunctionRegistry {
     /// An empty registry.
     pub fn new() -> Self {
-        Self {
-            funcs: RwLock::new(HashMap::new()),
-            operators: RwLock::new(HashMap::new()),
-        }
+        Self { funcs: RwLock::new(HashMap::new()), operators: RwLock::new(HashMap::new()) }
     }
 
     /// Register a function. Overloading by arity is allowed; re-registering
@@ -145,10 +142,7 @@ mod tests {
         reg.register("first", 2, "first(any, any) -> any", dummy()).unwrap();
         assert!(reg.get("first", 2).is_ok());
         assert!(matches!(reg.get("first", 1), Err(AdtError::UnknownFunction(_, 1))));
-        assert!(matches!(
-            reg.register("first", 2, "", dummy()),
-            Err(AdtError::Duplicate(_))
-        ));
+        assert!(matches!(reg.register("first", 2, "", dummy()), Err(AdtError::Duplicate(_))));
         // Overload by arity is fine.
         reg.register("first", 1, "first(any) -> any", dummy()).unwrap();
         assert_eq!(reg.list().len(), 2);
@@ -165,9 +159,6 @@ mod tests {
         reg.register_operator("&&", "overlaps").unwrap();
         assert!(reg.has_operator("&&"));
         assert!(!reg.has_operator("||"));
-        assert!(matches!(
-            reg.register_operator("&&", "overlaps"),
-            Err(AdtError::Duplicate(_))
-        ));
+        assert!(matches!(reg.register_operator("&&", "overlaps"), Err(AdtError::Duplicate(_))));
     }
 }

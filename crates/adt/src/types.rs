@@ -104,19 +104,12 @@ impl TypeRegistry {
 
     /// Look up a type.
     pub fn get(&self, name: &str) -> Result<Arc<TypeDef>> {
-        self.types
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| AdtError::UnknownType(name.to_string()))
+        self.types.read().get(name).cloned().ok_or_else(|| AdtError::UnknownType(name.to_string()))
     }
 
     /// Whether `name` names a large ADT.
     pub fn is_large(&self, name: &str) -> bool {
-        self.types
-            .read()
-            .get(name)
-            .is_some_and(|t| t.large.is_some())
+        self.types.read().get(name).is_some_and(|t| t.large.is_some())
     }
 
     /// All registered type names, sorted.

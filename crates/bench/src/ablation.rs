@@ -240,7 +240,7 @@ pub fn index_vs_scan(cfg: &BenchConfig) -> Result<Vec<AblationRow>, LoError> {
     for i in 0..rows {
         run(&format!(
             r#"append CATALOG (item = {i}, tag = {}, descr = "{filler}", picture = "{}x8:1"::image)"#,
-            i % 499, // ~0.2% selectivity: the index's sweet spot
+            i % 499,         // ~0.2% selectivity: the index's sweet spot
             8 + (i % 5) * 8, // widths 8..40
         ))?;
     }
@@ -299,8 +299,7 @@ pub fn index_vs_scan(cfg: &BenchConfig) -> Result<Vec<AblationRow>, LoError> {
 pub fn wan_transfer(cfg: &BenchConfig) -> Result<Vec<AblationRow>, LoError> {
     let wan = pglo_sim::DeviceProfile::wan_1992();
     let sim = pglo_sim::SimContext::default_1992();
-    let (_gen, ratio) =
-        calibrate(CodecKind::Rle.codec(), cfg.frame_size, 0.70, cfg.seed);
+    let (_gen, ratio) = calibrate(CodecKind::Rle.codec(), cfg.frame_size, 0.70, cfg.seed);
     let object = cfg.object_bytes() as usize;
     let compressed = (object as f64 * ratio) as usize;
     // Server-side conversion: the server decompresses (CPU), then the wire
@@ -363,11 +362,7 @@ mod tests {
     fn txn_overhead_is_positive_and_moderate() {
         let cfg = BenchConfig::smoke();
         let rows = txn_overhead(&cfg).unwrap();
-        let pct: f64 = rows[2]
-            .value
-            .trim_end_matches('%')
-            .parse()
-            .expect("percentage");
+        let pct: f64 = rows[2].value.trim_end_matches('%').parse().expect("percentage");
         assert!(pct > 0.0, "forcing at commit must cost something: {pct}");
         assert!(pct < 100.0, "but not double: {pct}");
     }
@@ -386,12 +381,7 @@ mod tests {
         let rows = chunk_size_sweep(&cfg).unwrap();
         assert_eq!(rows.len(), 4);
         let data = |row: &AblationRow| -> u64 {
-            row.value
-                .split_whitespace()
-                .nth(1)
-                .unwrap()
-                .parse()
-                .unwrap()
+            row.value.split_whitespace().nth(1).unwrap().parse().unwrap()
         };
         // 5000-byte chunks fit one per page (3 KB wasted each); 8000-byte
         // chunks tile pages exactly.

@@ -42,10 +42,7 @@ fn main() {
         match arg.as_str() {
             "--full" => cfg = BenchConfig { frames: 12_500, ..cfg },
             "--frames" => {
-                let n: u64 = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                let n: u64 = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
                 if n == 0 {
                     eprintln!("error: --frames must be at least 1");
                     std::process::exit(2);

@@ -1,0 +1,290 @@
+//! `server_bench` — lobd wire-protocol throughput.
+//!
+//! Drives the daemon the way the acceptance demo does: N concurrent
+//! clients each create a large object and push sequential writes,
+//! sequential reads, random reads, and random writes through the typed
+//! client — once over real TCP and once over the in-process loopback
+//! transport (same codec, no socket), so the socket's share of the cost is
+//! visible. Emits `BENCH_server.json` at the repository root.
+//!
+//! ```sh
+//! cargo run --release -p pglo-bench --bin server_bench
+//! cargo run --release -p pglo-bench --bin server_bench -- --clients 16 --object-kib 4096
+//! ```
+
+use pglo_bench::Rng;
+use pglo_heap::json::{to_string_pretty, Value};
+use pglo_server::loopback::PipeEnd;
+use pglo_server::{loopback, spawn, Client, LobdService, ServerConfig, WireSpec};
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+#[derive(Clone)]
+struct Cfg {
+    clients: usize,
+    object_bytes: usize,
+    seq_io: usize,
+    rand_io: usize,
+    rand_ops: usize,
+    out: Option<String>,
+}
+
+impl Default for Cfg {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            object_bytes: 1024 * 1024,
+            seq_io: 64 * 1024,
+            rand_io: 8 * 1024,
+            rand_ops: 200,
+            out: None,
+        }
+    }
+}
+
+struct PhaseResult {
+    bytes: u64,
+    ops: u64,
+    wall: Duration,
+}
+
+impl PhaseResult {
+    fn to_json(&self) -> Value {
+        let secs = self.wall.as_secs_f64().max(1e-9);
+        Value::Obj(vec![
+            ("bytes".into(), Value::Num(self.bytes as f64)),
+            ("ops".into(), Value::Num(self.ops as f64)),
+            ("wall_secs".into(), Value::Num(round3(secs))),
+            (
+                "mib_per_sec".into(),
+                Value::Num(round3(self.bytes as f64 / (1024.0 * 1024.0) / secs)),
+            ),
+            ("ops_per_sec".into(), Value::Num(round3(self.ops as f64 / secs))),
+        ])
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Run the four phases over any transport. `connect` yields a fresh
+/// session per client per phase.
+fn bench_suite<S, C>(connect: C, cfg: &Cfg) -> Vec<(String, Value)>
+where
+    S: Read + Write,
+    C: Fn() -> Client<S> + Sync,
+{
+    let connect = &connect;
+
+    // Phase 1: each client creates its object and streams it in
+    // sequentially.
+    let t = Instant::now();
+    let ids: Vec<u64> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..cfg.clients)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut c = connect();
+                    let fill = (i as u8).wrapping_add(1);
+                    let chunk = vec![fill; cfg.seq_io];
+                    c.begin().unwrap();
+                    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+                    let fd = c.lo_open(id, true, 0).unwrap();
+                    let mut written = 0;
+                    while written < cfg.object_bytes {
+                        let n = cfg.seq_io.min(cfg.object_bytes - written);
+                        c.lo_write(fd, &chunk[..n]).unwrap();
+                        written += n;
+                    }
+                    c.lo_close(fd).unwrap();
+                    c.commit().unwrap();
+                    id
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let total_bytes = (cfg.clients * cfg.object_bytes) as u64;
+    let seq_ops = (cfg.clients * cfg.object_bytes.div_ceil(cfg.seq_io)) as u64;
+    let seq_write = PhaseResult { bytes: total_bytes, ops: seq_ops, wall: t.elapsed() };
+
+    // Phase 2: sequential read-back.
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for (i, id) in ids.iter().enumerate() {
+            let id = *id;
+            s.spawn(move || {
+                let mut c = connect();
+                c.begin().unwrap();
+                let fd = c.lo_open(id, false, 0).unwrap();
+                let mut read = 0;
+                while read < cfg.object_bytes {
+                    let n = cfg.seq_io.min(cfg.object_bytes - read);
+                    let got = c.lo_read(fd, n as u32).unwrap();
+                    assert_eq!(got.len(), n, "client {i}: short sequential read");
+                    read += n;
+                }
+                c.lo_close(fd).unwrap();
+                c.commit().unwrap();
+            });
+        }
+    });
+    let seq_read = PhaseResult { bytes: total_bytes, ops: seq_ops, wall: t.elapsed() };
+
+    // Phase 3: random reads.
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for (i, id) in ids.iter().enumerate() {
+            let id = *id;
+            s.spawn(move || {
+                let mut c = connect();
+                let mut rng = Rng(0xC0FFEE ^ (i as u64) << 16);
+                let span = (cfg.object_bytes - cfg.rand_io) as u64;
+                c.begin().unwrap();
+                let fd = c.lo_open(id, false, 0).unwrap();
+                for _ in 0..cfg.rand_ops {
+                    let off = rng.below(span);
+                    let got = c.lo_read_at(fd, off, cfg.rand_io as u32).unwrap();
+                    assert_eq!(got.len(), cfg.rand_io);
+                }
+                c.lo_close(fd).unwrap();
+                c.commit().unwrap();
+            });
+        }
+    });
+    let rand_bytes = (cfg.clients * cfg.rand_ops * cfg.rand_io) as u64;
+    let rand_total_ops = (cfg.clients * cfg.rand_ops) as u64;
+    let rand_read = PhaseResult { bytes: rand_bytes, ops: rand_total_ops, wall: t.elapsed() };
+
+    // Phase 4: random writes.
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for (i, id) in ids.iter().enumerate() {
+            let id = *id;
+            s.spawn(move || {
+                let mut c = connect();
+                let mut rng = Rng(0xBEEF ^ (i as u64) << 16);
+                let span = (cfg.object_bytes - cfg.rand_io) as u64;
+                let patch = vec![0xA5u8; cfg.rand_io];
+                c.begin().unwrap();
+                let fd = c.lo_open(id, true, 0).unwrap();
+                for _ in 0..cfg.rand_ops {
+                    let off = rng.below(span);
+                    c.lo_write_at(fd, off, &patch).unwrap();
+                }
+                c.lo_close(fd).unwrap();
+                c.commit().unwrap();
+            });
+        }
+    });
+    let rand_write = PhaseResult { bytes: rand_bytes, ops: rand_total_ops, wall: t.elapsed() };
+
+    vec![
+        ("seq_write".into(), seq_write.to_json()),
+        ("seq_read".into(), seq_read.to_json()),
+        ("rand_read".into(), rand_read.to_json()),
+        ("rand_write".into(), rand_write.to_json()),
+    ]
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: server_bench [--clients N] [--object-kib N] [--seq-io-kib N]\n\
+         \x20                   [--rand-io-kib N] [--rand-ops N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = Cfg::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut num = |scale: usize| -> usize {
+            iter.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|n| *n > 0)
+                .unwrap_or_else(|| usage())
+                * scale
+        };
+        match arg.as_str() {
+            "--clients" => cfg.clients = num(1),
+            "--object-kib" => cfg.object_bytes = num(1024),
+            "--seq-io-kib" => cfg.seq_io = num(1024),
+            "--rand-io-kib" => cfg.rand_io = num(1024),
+            "--rand-ops" => cfg.rand_ops = num(1),
+            "--out" => cfg.out = Some(iter.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if cfg.rand_io >= cfg.object_bytes || cfg.seq_io > cfg.object_bytes {
+        eprintln!("error: io sizes must fit inside the object");
+        std::process::exit(2);
+    }
+
+    // --- TCP ---
+    let tcp_dir = tempfile::tempdir().unwrap();
+    let service = LobdService::open(tcp_dir.path()).unwrap();
+    let handle =
+        spawn(service, ServerConfig { workers: cfg.clients.max(8), ..ServerConfig::default() })
+            .unwrap();
+    let addr = handle.local_addr();
+    eprintln!(
+        "server_bench: TCP on {addr}, {} clients x {} KiB objects",
+        cfg.clients,
+        cfg.object_bytes / 1024
+    );
+    let tcp_phases = bench_suite(|| Client::connect(addr).unwrap(), &cfg);
+    let tcp_stats = {
+        let mut c = Client::connect(addr).unwrap();
+        let stats = c.stats().unwrap();
+        c.shutdown().unwrap();
+        stats
+    };
+    handle.join();
+
+    // --- loopback ---
+    let lb_dir = tempfile::tempdir().unwrap();
+    let service = LobdService::open(lb_dir.path()).unwrap();
+    eprintln!("server_bench: loopback, same workload");
+    let lb_phases = {
+        let service = &service;
+        bench_suite(|| -> Client<PipeEnd> { loopback::connect(service).unwrap().client }, &cfg)
+    };
+    let lb_stats = service.stats_snapshot();
+
+    let stats_json = |s: &pglo_server::ServerStats| {
+        Value::Obj(vec![
+            ("requests".into(), Value::Num(s.total_requests() as f64)),
+            ("commits".into(), Value::Num(s.commits as f64)),
+            ("aborts".into(), Value::Num(s.aborts as f64)),
+            ("pool_hit_rate".into(), Value::Num(round3(s.pool_hit_rate))),
+        ])
+    };
+
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::Str("lobd_server_throughput".into())),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                ("clients".into(), Value::Num(cfg.clients as f64)),
+                ("object_bytes".into(), Value::Num(cfg.object_bytes as f64)),
+                ("seq_io_bytes".into(), Value::Num(cfg.seq_io as f64)),
+                ("rand_io_bytes".into(), Value::Num(cfg.rand_io as f64)),
+                ("rand_ops_per_client".into(), Value::Num(cfg.rand_ops as f64)),
+            ]),
+        ),
+        ("tcp".into(), Value::Obj(tcp_phases)),
+        ("tcp_stats".into(), stats_json(&tcp_stats)),
+        ("loopback".into(), Value::Obj(lb_phases)),
+        ("loopback_stats".into(), stats_json(&lb_stats)),
+    ]);
+
+    let out = cfg.out.clone().unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").to_string()
+    });
+    let text = to_string_pretty(&doc);
+    std::fs::write(&out, format!("{text}\n")).unwrap();
+    println!("{text}");
+    eprintln!("server_bench: wrote {out}");
+}

@@ -41,20 +41,9 @@ impl FigTable {
 impl std::fmt::Display for FigTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "{}", self.title)?;
-        let label_w = self
-            .row_labels
-            .iter()
-            .map(|l| l.len())
-            .max()
-            .unwrap_or(0)
-            .max("Operation".len());
-        let col_w = self
-            .columns
-            .iter()
-            .map(|c| c.name.len())
-            .max()
-            .unwrap_or(8)
-            .max(9);
+        let label_w =
+            self.row_labels.iter().map(|l| l.len()).max().unwrap_or(0).max("Operation".len());
+        let col_w = self.columns.iter().map(|c| c.name.len()).max().unwrap_or(8).max(9);
         write!(f, "{:<label_w$}", "Operation")?;
         for c in &self.columns {
             write!(f, "  {:>col_w$}", c.name)?;
@@ -150,11 +139,7 @@ pub fn run_fig1(cfg: &BenchConfig) -> Result<Vec<Fig1Row>, LoError> {
 /// Run the six operations of Figure 2 against one loaded object, returning
 /// simulated seconds per op. Operations run in the paper's order; caches
 /// stay warm across operations (as in the original run).
-fn run_ops_on_object(
-    obj: &TestObject,
-    ops: &[Op],
-    cfg: &BenchConfig,
-) -> Result<Vec<f64>, LoError> {
+fn run_ops_on_object(obj: &TestObject, ops: &[Op], cfg: &BenchConfig) -> Result<Vec<f64>, LoError> {
     let sim = obj.env.sim().clone();
     let txn = obj.env.begin();
     let mut io = obj.frame_io(&txn, cfg, OpenMode::ReadWrite)?;

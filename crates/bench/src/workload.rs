@@ -42,12 +42,7 @@ impl ImplKind {
 
     /// The chunked columns that can live on the WORM manager (Figure 3).
     pub fn fig3_columns() -> [ImplKind; 4] {
-        [
-            ImplKind::FChunk0,
-            ImplKind::FChunk30,
-            ImplKind::VSeg30,
-            ImplKind::FChunk50,
-        ]
+        [ImplKind::FChunk0, ImplKind::FChunk30, ImplKind::VSeg30, ImplKind::FChunk50]
     }
 
     pub fn label(self) -> &'static str {
@@ -96,14 +91,7 @@ pub enum Op {
 
 impl Op {
     pub fn fig2_rows() -> [Op; 6] {
-        [
-            Op::SeqRead,
-            Op::SeqWrite,
-            Op::RandRead,
-            Op::RandWrite,
-            Op::LocRead,
-            Op::LocWrite,
-        ]
+        [Op::SeqRead, Op::SeqWrite, Op::RandRead, Op::RandWrite, Op::LocRead, Op::LocWrite]
     }
 
     pub fn fig3_rows() -> [Op; 3] {
@@ -190,9 +178,7 @@ impl<'a> LoFrameIo<'a> {
 
 impl FrameIo for LoFrameIo<'_> {
     fn read_frame(&mut self, i: u64) -> Result<(), LoError> {
-        let n = self
-            .handle
-            .read_at(i * self.frame_size as u64, &mut self.buf)?;
+        let n = self.handle.read_at(i * self.frame_size as u64, &mut self.buf)?;
         debug_assert_eq!(n, self.frame_size, "frame {i} short read");
         Ok(())
     }
@@ -277,15 +263,7 @@ impl TestObject {
             }
         }
         txn.commit();
-        Ok(TestObject {
-            env,
-            store,
-            id,
-            gen,
-            achieved_ratio: achieved,
-            kind,
-            _dir: dir,
-        })
+        Ok(TestObject { env, store, id, gen, achieved_ratio: achieved, kind, _dir: dir })
     }
 
     /// Open a frame-I/O view within `txn`.
@@ -295,11 +273,7 @@ impl TestObject {
         cfg: &BenchConfig,
         mode: OpenMode,
     ) -> Result<LoFrameIo<'a>, LoError> {
-        Ok(LoFrameIo::new(
-            self.store.open(txn, self.id, mode)?,
-            self.gen.clone(),
-            cfg.frame_size,
-        ))
+        Ok(LoFrameIo::new(self.store.open(txn, self.id, mode)?, self.gen.clone(), cfg.frame_size))
     }
 
     /// Force all dirty state to the device (included in write timings).
@@ -360,20 +334,14 @@ mod tests {
             assert_eq!(a, b, "{op:?} must be deterministic");
             assert!(a.iter().all(|&i| i < cfg.frames), "{op:?} in range");
         }
-        assert_eq!(
-            Op::SeqRead.frame_sequence(&cfg),
-            (0..cfg.seq_frames()).collect::<Vec<_>>()
-        );
+        assert_eq!(Op::SeqRead.frame_sequence(&cfg), (0..cfg.seq_frames()).collect::<Vec<_>>());
     }
 
     #[test]
     fn locality_sequence_is_mostly_sequential() {
         let cfg = BenchConfig { frames: 10_000, ..BenchConfig::default() };
         let seq = Op::LocRead.frame_sequence(&cfg);
-        let sequential_steps = seq
-            .windows(2)
-            .filter(|w| w[1] == (w[0] + 1) % cfg.frames)
-            .count();
+        let sequential_steps = seq.windows(2).filter(|w| w[1] == (w[0] + 1) % cfg.frames).count();
         let frac = sequential_steps as f64 / (seq.len() - 1) as f64;
         assert!((0.7..0.9).contains(&frac), "80/20 locality, got {frac:.2}");
     }

@@ -50,9 +50,12 @@ pub struct BTree {
     rel: RelFileId,
     smgr: SmgrId,
     /// Coarse-grained tree latch: one writer or reader structure-walk at a
-    /// time. Page-level latching is future work; the paper's benchmarks are
-    /// single-streamed.
-    lock: Mutex<()>,
+    /// time. Shared per relation via [`StorageEnv::rel_latch`], so every
+    /// `BTree` opened on the same index — one per large-object handle —
+    /// contends on one lock; scans re-take it per leaf load, which keeps
+    /// them consistent under concurrent right-sibling splits. Page-level
+    /// latching is future work.
+    lock: Arc<Mutex<()>>,
 }
 
 impl BTree {
@@ -60,14 +63,16 @@ impl BTree {
     pub fn create_anonymous(env: &Arc<StorageEnv>, smgr: SmgrId) -> Result<BTree> {
         let oid = env.catalog().alloc_oid()?;
         env.switch().get(smgr)?.create(oid)?;
-        let tree = BTree { env: Arc::clone(env), rel: oid, smgr, lock: Mutex::new(()) };
+        let lock = env.rel_latch(smgr, oid);
+        let tree = BTree { env: Arc::clone(env), rel: oid, smgr, lock };
         tree.bootstrap()?;
         Ok(tree)
     }
 
     /// Open an existing index by relation OID.
     pub fn open_oid(env: &Arc<StorageEnv>, oid: u64, smgr: SmgrId) -> BTree {
-        BTree { env: Arc::clone(env), rel: oid, smgr, lock: Mutex::new(()) }
+        let lock = env.rel_latch(smgr, oid);
+        BTree { env: Arc::clone(env), rel: oid, smgr, lock }
     }
 
     fn bootstrap(&self) -> Result<()> {
@@ -98,6 +103,10 @@ impl BTree {
     /// Storage manager the index lives on.
     pub fn smgr(&self) -> SmgrId {
         self.smgr
+    }
+
+    pub(crate) fn latch(&self) -> &Mutex<()> {
+        &self.lock
     }
 
     pub(crate) fn env(&self) -> &Arc<StorageEnv> {
@@ -215,9 +224,8 @@ impl BTree {
         });
         let is_leaf = level == 0;
         // Insert the new entry into the in-memory list, then split by count.
-        let pos = entries
-            .binary_search_by(|e| e.cmp_key(&entry.key, entry.tid))
-            .unwrap_or_else(|p| p);
+        let pos =
+            entries.binary_search_by(|e| e.cmp_key(&entry.key, entry.tid)).unwrap_or_else(|p| p);
         entries.insert(pos, entry);
         let mid = entries.len() / 2;
         let right_entries = entries.split_off(mid);
@@ -231,10 +239,7 @@ impl BTree {
         new_pinned.with_write(|buf| {
             let mut page = Page::new(&mut buf[..]);
             for (i, e) in right_entries.iter().enumerate() {
-                assert!(
-                    page.insert_item_at(i as u16, &e.encode(is_leaf)),
-                    "split half must fit"
-                );
+                assert!(page.insert_item_at(i as u16, &e.encode(is_leaf)), "split half must fit");
             }
         });
         pinned.with_write(|buf| {
@@ -246,10 +251,7 @@ impl BTree {
             }
             page.compact();
             for (i, e) in left_entries.iter().enumerate() {
-                assert!(
-                    page.insert_item_at(i as u16, &e.encode(is_leaf)),
-                    "split half must fit"
-                );
+                assert!(page.insert_item_at(i as u16, &e.encode(is_leaf)), "split half must fit");
             }
             NodeView::set_right(&mut page, new_block);
         });

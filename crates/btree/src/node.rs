@@ -73,10 +73,7 @@ impl NodeEntry {
 
     /// Compare this entry's `(key, tid)` against a probe.
     pub fn cmp_key(&self, key: &[u8], tid: Tid) -> Ordering {
-        self.key
-            .as_slice()
-            .cmp(key)
-            .then_with(|| self.tid.cmp(&tid))
+        self.key.as_slice().cmp(key).then_with(|| self.tid.cmp(&tid))
     }
 }
 
@@ -118,10 +115,7 @@ impl<'a, B: AsRef<[u8]>> NodeView<'a, B> {
 
     /// Decode entry `idx`. Panics on out-of-range (internal invariant).
     pub fn entry(&self, idx: usize) -> NodeEntry {
-        let item = self
-            .page
-            .item(idx as u16)
-            .expect("node entries are dense Normal items");
+        let item = self.page.item(idx as u16).expect("node entries are dense Normal items");
         NodeEntry::decode(item, self.is_leaf())
     }
 

@@ -20,9 +20,11 @@ pub enum ScanStart {
 /// A forward scan yielding `(key, tid)` in order.
 ///
 /// The scan materializes one leaf at a time; it does not hold page pins
-/// between `next_entry` calls. Concurrent structural modification during a
-/// scan is not supported (the workspace's access patterns never interleave
-/// them across threads).
+/// or the tree latch between `next_entry` calls. Each leaf load takes the
+/// relation's shared latch, so a scan interleaved with concurrent inserts
+/// sees every entry present when it started (splits only move entries
+/// into a fresh right sibling, which the leaf chain reaches later); it
+/// may additionally see entries inserted mid-scan.
 pub struct BTreeScan<'a> {
     tree: &'a BTree,
     /// Entries of the current leaf not yet returned, in reverse order (pop
@@ -34,6 +36,11 @@ pub struct BTreeScan<'a> {
 
 impl<'a> BTreeScan<'a> {
     pub(crate) fn position(tree: &'a BTree, start: ScanStart) -> Result<BTreeScan<'a>> {
+        // Descent + initial leaf load are atomic w.r.t. splits; a split
+        // never moves entries left of the fresh right sibling it creates,
+        // so once positioned the leaf chain stays complete (re-latched per
+        // leaf in `next_entry`).
+        let _guard = tree.latch().lock();
         let mut scan = BTreeScan { tree, buffer: Vec::new(), next_leaf: 0 };
         match start {
             ScanStart::First => {
@@ -144,6 +151,7 @@ impl<'a> BTreeScan<'a> {
                 return Ok(None);
             }
             let leaf = self.next_leaf;
+            let _guard = self.tree.latch().lock();
             self.load_leaf(leaf, 0)?;
         }
     }

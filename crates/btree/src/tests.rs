@@ -118,10 +118,7 @@ fn delete_one_of_duplicates() {
     }
     assert!(tree.delete(&key, Tid::new(2, 0)).unwrap());
     let left = tree.lookup(&key).unwrap();
-    assert_eq!(
-        left,
-        vec![Tid::new(0, 0), Tid::new(1, 0), Tid::new(3, 0), Tid::new(4, 0)]
-    );
+    assert_eq!(left, vec![Tid::new(0, 0), Tid::new(1, 0), Tid::new(3, 0), Tid::new(4, 0)]);
 }
 
 #[test]
@@ -162,9 +159,7 @@ fn scan_last_before_steps_back() {
     // The tree spans many leaves, so predecessor probes cross page
     // boundaries somewhere; check a spread of probes.
     for probe in (1..100u64).map(|i| i * 195 + 5) {
-        let mut scan = tree
-            .scan(ScanStart::LastBefore(u64_key(probe).to_vec()))
-            .unwrap();
+        let mut scan = tree.scan(ScanStart::LastBefore(u64_key(probe).to_vec())).unwrap();
         let got = u64_prefix(&scan.next_entry().unwrap().unwrap().0);
         let expect = (probe - 1) / 10 * 10;
         assert_eq!(got, expect.min(19_990), "probe {probe}");
@@ -177,14 +172,11 @@ fn composite_keys_scan_in_component_order() {
     let tree = BTree::create_anonymous(&env, env.disk_id()).unwrap();
     for lo in 0..4u64 {
         for locn in 0..50u64 {
-            tree.insert(&u64_pair_key(lo, locn * 1000), tid(lo * 100 + locn))
-                .unwrap();
+            tree.insert(&u64_pair_key(lo, locn * 1000), tid(lo * 100 + locn)).unwrap();
         }
     }
     // Scan within one object only.
-    let mut scan = tree
-        .scan(ScanStart::AtOrAfter(u64_pair_key(2, 0).to_vec()))
-        .unwrap();
+    let mut scan = tree.scan(ScanStart::AtOrAfter(u64_pair_key(2, 0).to_vec())).unwrap();
     let mut n = 0;
     while let Some((k, _)) = scan.next_entry().unwrap() {
         if u64_prefix(&k) != 2 {

@@ -100,6 +100,19 @@ pub struct PoolStats {
     pub writebacks: u64,
 }
 
+impl PoolStats {
+    /// Fraction of lookups served from the pool, in `[0, 1]`; 0 when no
+    /// lookups happened yet. Servers report this per `stats` request.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// The shared buffer pool.
 pub struct BufferPool {
     switch: Arc<SmgrSwitch>,
@@ -376,12 +389,8 @@ impl BufferPool {
     /// (used by unlink). Pinned pages of other relations are untouched.
     pub fn discard_rel(&self, smgr: SmgrId, rel: RelFileId) {
         let mut table = self.table.lock();
-        let keys: Vec<PageKey> = table
-            .map
-            .keys()
-            .filter(|k| k.smgr == smgr && k.rel == rel)
-            .copied()
-            .collect();
+        let keys: Vec<PageKey> =
+            table.map.keys().filter(|k| k.smgr == smgr && k.rel == rel).copied().collect();
         for key in keys {
             if let Some(idx) = table.map.remove(&key) {
                 let mut data = self.frames[idx].data.write();

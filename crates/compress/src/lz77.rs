@@ -202,7 +202,7 @@ mod tests {
         assert!(decompress_vec(&c, &[5, 1, 2]).is_err()); // short literal
         assert!(decompress_vec(&c, &[0x80]).is_err()); // match missing distance
         assert!(decompress_vec(&c, &[0x80, 1, 0]).is_err()); // distance into nothing
-        // Distance past produced output.
+                                                             // Distance past produced output.
         assert!(decompress_vec(&c, &[1, b'x', 0x80, 9, 0]).is_err());
     }
 

@@ -122,9 +122,7 @@ impl<'a> FChunkBackend<'a> {
                     let plain = decompress_vec(codec, bytes)?;
                     // Just-in-time decompression price (§3): instructions
                     // per uncompressed byte produced.
-                    self.env
-                        .sim()
-                        .charge_cpu_per_byte(plain.len(), codec.instr_per_byte());
+                    self.env.sim().charge_cpu_per_byte(plain.len(), codec.instr_per_byte());
                     plain
                 } else {
                     bytes.to_vec()
@@ -186,11 +184,7 @@ impl<'a> FChunkBackend<'a> {
             return Ok(());
         }
         self.write_back()?;
-        let data = if skip_fetch {
-            Vec::new()
-        } else {
-            self.fetch_chunk(seq)?.unwrap_or_default()
-        };
+        let data = if skip_fetch { Vec::new() } else { self.fetch_chunk(seq)?.unwrap_or_default() };
         self.cache = Some(ChunkCache { seq, data, dirty: false });
         Ok(())
     }
@@ -302,9 +296,18 @@ impl LoBackend for FChunkBackend<'_> {
     fn flush(&mut self) -> Result<()> {
         self.write_back()?;
         if self.persist_size && self.size_dirty {
-            self.env
-                .catalog()
-                .set_prop(&lo_class_name(self.id), "size", &self.size.to_string())?;
+            let class = lo_class_name(self.id);
+            // Stamp who cached this size: the catalog is not MVCC, so a
+            // later snapshot open must be able to tell whether the cached
+            // size came from a transaction it can actually see (it
+            // recomputes from visible chunks if not). The xid goes in
+            // first — a reader racing between the two writes then sees a
+            // not-yet-visible xid with the old size and recomputes, rather
+            // than trusting an uncommitted size under a committed xid.
+            if let Some(txn) = self.txn {
+                self.env.catalog().set_prop(&class, "size_xid", &txn.xid().0.to_string())?;
+            }
+            self.env.catalog().set_prop(&class, "size", &self.size.to_string())?;
             self.size_dirty = false;
         }
         Ok(())

@@ -28,6 +28,7 @@
 //! descriptor. Temporary large objects (§5) are registered per query and
 //! garbage-collected when it completes.
 
+pub mod cursor;
 pub mod fchunk;
 pub mod handle;
 pub mod meta;
@@ -37,6 +38,7 @@ pub mod temp;
 pub mod ufile;
 pub mod vsegment;
 
+pub use cursor::LoCursor;
 pub use handle::{LoBackend, LoHandle, OpenMode};
 pub use meta::{LoKind, LoMeta};
 pub use store::{LoSpec, LoStore};

@@ -12,7 +12,7 @@ use pglo_btree::BTree;
 use pglo_compress::CodecKind;
 use pglo_heap::{ClassKind, Heap, StorageEnv};
 use pglo_smgr::{NativeFile, SmgrId};
-use pglo_txn::{Txn, Visibility};
+use pglo_txn::{Txn, TxnStatus, Visibility, Xid};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -182,10 +182,8 @@ impl LoStore {
         };
         match spec.kind {
             LoKind::UFile => {
-                let path = spec
-                    .path
-                    .clone()
-                    .ok_or(LoError::Unsupported("u-file requires a path"))?;
+                let path =
+                    spec.path.clone().ok_or(LoError::Unsupported("u-file requires a path"))?;
                 // Touch the file so later opens succeed.
                 NativeFile::open(&path, self.env.sim().clone(), true)?;
                 meta.path = Some(path);
@@ -212,28 +210,23 @@ impl LoStore {
                 meta.seg_idx_rel = seg_index.rel();
             }
         }
-        self.env
-            .catalog()
-            .create_class(&lo_class_name(id), ClassKind::Heap, smgr, meta.to_props())?;
+        self.env.catalog().create_class(
+            &lo_class_name(id),
+            ClassKind::Heap,
+            smgr,
+            meta.to_props(),
+        )?;
         Ok(id)
     }
 
     /// The metadata of an object.
     pub fn meta(&self, id: LoId) -> Result<LoMeta> {
-        let class = self
-            .env
-            .catalog()
-            .get(&lo_class_name(id))
-            .ok_or(LoError::NotFound(id))?;
+        let class = self.env.catalog().get(&lo_class_name(id)).ok_or(LoError::NotFound(id))?;
         LoMeta::from_props(id, &class.props)
     }
 
     fn numeric_prop(&self, id: LoId, key: &str) -> Result<u64> {
-        let class = self
-            .env
-            .catalog()
-            .get(&lo_class_name(id))
-            .ok_or(LoError::NotFound(id))?;
+        let class = self.env.catalog().get(&lo_class_name(id)).ok_or(LoError::NotFound(id))?;
         Ok(class.props.get(key).and_then(|s| s.parse().ok()).unwrap_or(0))
     }
 
@@ -280,6 +273,30 @@ impl LoStore {
         }
     }
 
+    /// Whether the catalog's cached logical size can be trusted under
+    /// `vis`. The catalog is not MVCC: `flush` writes the size (stamped
+    /// with the writer's XID) whether or not that transaction goes on to
+    /// commit, so a snapshot reader must only believe a size cached by a
+    /// transaction it can see — its own, or one committed within its
+    /// snapshot. Everything else (aborted, still in progress, committed
+    /// after the snapshot, or any time-travel open) forces a recount from
+    /// visible chunks.
+    fn size_is_visible(&self, id: LoId, vis: &Visibility) -> Result<bool> {
+        match vis {
+            Visibility::Raw => Ok(true),
+            Visibility::AsOf(_) => Ok(false),
+            Visibility::Snapshot { snapshot, own } => {
+                let xid = Xid(self.numeric_prop(id, "size_xid")? as u32);
+                // No stamp: the size is the zero written at create time.
+                if xid == Xid::INVALID || xid == *own {
+                    return Ok(true);
+                }
+                Ok(self.env.txns().status(xid) == TxnStatus::Committed
+                    && !snapshot.considers_running(xid))
+            }
+        }
+    }
+
     fn open_with<'a>(
         &self,
         meta: LoMeta,
@@ -289,6 +306,10 @@ impl LoStore {
     ) -> Result<LoHandle<'a>> {
         let id = meta.id;
         let time_travel = matches!(vis, Visibility::AsOf(_));
+        let size_trusted = match meta.kind {
+            LoKind::UFile | LoKind::PFile => true,
+            LoKind::FChunk | LoKind::VSegment => self.size_is_visible(id, &vis)?,
+        };
         match meta.kind {
             LoKind::UFile => {
                 let path = meta.path.as_ref().ok_or(LoError::NotFound(id))?;
@@ -315,7 +336,7 @@ impl LoStore {
                     !time_travel,
                     meta.chunk_size,
                 );
-                if time_travel {
+                if !size_trusted {
                     let size = backend.compute_size()?;
                     backend.set_size(size);
                 }
@@ -337,7 +358,7 @@ impl LoStore {
                     false,
                     meta.chunk_size,
                 );
-                if time_travel {
+                if !size_trusted {
                     let size = store.compute_size()?;
                     store.set_size(size);
                 }
@@ -365,7 +386,7 @@ impl LoStore {
                     max_seg_len,
                     !time_travel,
                 );
-                if time_travel {
+                if !size_trusted {
                     let size = backend.compute_size()?;
                     backend.set_size(size);
                 }

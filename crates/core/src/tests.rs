@@ -1,8 +1,8 @@
 //! Behaviour tests across all four large-object implementations.
 
 use crate::{LoError, LoId, LoSpec, LoStore, OpenMode, UserId, CHUNK_SIZE};
-use pglo_compress::CodecKind;
 use pglo_compress::synth::FrameGenerator;
+use pglo_compress::CodecKind;
 use pglo_heap::StorageEnv;
 use proptest::prelude::*;
 use std::io::SeekFrom;
@@ -303,9 +303,8 @@ fn pfile_single_user_updatable() {
 fn ufile_unprotected_anyone_writes() {
     let (dir, env, store) = setup();
     let txn = env.begin();
-    let id = store
-        .create(&txn, &LoSpec::ufile(dir.path().join("shared")).owned_by(UserId(1)))
-        .unwrap();
+    let id =
+        store.create(&txn, &LoSpec::ufile(dir.path().join("shared")).owned_by(UserId(1))).unwrap();
     let mut h = store.open_as(&txn, id, OpenMode::ReadWrite, UserId(99)).unwrap();
     h.write(b"anyone").unwrap();
     h.close().unwrap();
@@ -409,9 +408,7 @@ fn object_on_worm_storage_manager() {
     // §7/§10: any storage manager works for any implementation.
     let (_d, env, store) = setup();
     let txn = env.begin();
-    let id = store
-        .create(&txn, &LoSpec::fchunk().on_smgr(env.worm_id()))
-        .unwrap();
+    let id = store.create(&txn, &LoSpec::fchunk().on_smgr(env.worm_id())).unwrap();
     let payload = vec![3u8; 40_000];
     {
         let mut h = store.open(&txn, id, OpenMode::ReadWrite).unwrap();
@@ -491,7 +488,6 @@ proptest! {
     }
 }
 
-
 #[test]
 fn import_export_roundtrip_through_host_files() {
     let (dir, env, store) = setup();
@@ -499,9 +495,7 @@ fn import_export_roundtrip_through_host_files() {
     let data: Vec<u8> = (0..150_000u32).map(|i| (i % 251) as u8).collect();
     std::fs::write(&src_path, &data).unwrap();
     let txn = env.begin();
-    let id = store
-        .import_file(&txn, &LoSpec::vsegment(CodecKind::Lz77), &src_path)
-        .unwrap();
+    let id = store.import_file(&txn, &LoSpec::vsegment(CodecKind::Lz77), &src_path).unwrap();
     assert_eq!(store.meta(id).unwrap().size, data.len() as u64);
     let out_path = dir.path().join("output.bin");
     let n = store.export_file(&txn, id, &out_path).unwrap();

@@ -63,9 +63,7 @@ pub fn archive_vacuum(
     let tm = live.env().txns();
     let mut archived = 0;
     // Pass 1: copy dead versions to the archive.
-    let doomed: Vec<_> = live
-        .scan(Visibility::Raw)
-        .collect::<std::result::Result<Vec<_>, _>>()?;
+    let doomed: Vec<_> = live.scan(Visibility::Raw).collect::<std::result::Result<Vec<_>, _>>()?;
     for (tid, _payload) in &doomed {
         let Some((hdr, payload)) = live.fetch_with_header(*tid, &Visibility::Raw)? else {
             continue;
@@ -106,10 +104,7 @@ pub fn archive_versions_as_of(archive: &Heap, ts: u64) -> Result<Vec<Vec<u8>>> {
 
 /// Every record in the archive, decoded (diagnostics / audits).
 pub fn archive_contents(archive: &Heap) -> Result<Vec<ArchivedVersion>> {
-    archive
-        .scan(Visibility::Raw)
-        .map(|item| item.and_then(|(_, d)| decode_archived(&d)))
-        .collect()
+    archive.scan(Visibility::Raw).map(|item| item.and_then(|(_, d)| decode_archived(&d))).collect()
 }
 
 /// A combined as-of read: rows visible at `ts` in the live heap plus the
@@ -167,25 +162,12 @@ mod tests {
         assert_eq!(raw, vec![b"v3".to_vec()]);
 
         // Combined as-of reads reconstruct every epoch.
-        assert_eq!(
-            scan_as_of_with_archive(&live, &archive, ts1).unwrap(),
-            vec![b"v1".to_vec()]
-        );
-        assert_eq!(
-            scan_as_of_with_archive(&live, &archive, ts2).unwrap(),
-            vec![b"v2".to_vec()]
-        );
-        assert_eq!(
-            scan_as_of_with_archive(&live, &archive, ts3).unwrap(),
-            vec![b"v3".to_vec()]
-        );
+        assert_eq!(scan_as_of_with_archive(&live, &archive, ts1).unwrap(), vec![b"v1".to_vec()]);
+        assert_eq!(scan_as_of_with_archive(&live, &archive, ts2).unwrap(), vec![b"v2".to_vec()]);
+        assert_eq!(scan_as_of_with_archive(&live, &archive, ts3).unwrap(), vec![b"v3".to_vec()]);
         // Naive as-of on the live heap alone now misses history — the
         // archive is load-bearing.
-        assert!(live
-            .scan(Visibility::AsOf(ts1))
-            .map(|r| r.unwrap())
-            .next()
-            .is_none());
+        assert!(live.scan(Visibility::AsOf(ts1)).map(|r| r.unwrap()).next().is_none());
     }
 
     #[test]

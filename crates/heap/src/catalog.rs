@@ -5,15 +5,15 @@
 //! Persisted as JSON in the database directory. The catalog is *metadata*,
 //! not benchmarked data — see DESIGN.md's dependency policy for why JSON.
 
+use crate::json::{self, Value};
 use crate::{HeapError, Result};
 use parking_lot::Mutex;
 use pglo_smgr::SmgrId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 /// What kind of physical structure a class is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClassKind {
     /// A heap of tuples.
     Heap,
@@ -22,7 +22,7 @@ pub enum ClassKind {
 }
 
 /// Metadata for one class.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClassMeta {
     /// The oid.
     pub oid: u64,
@@ -34,7 +34,6 @@ pub struct ClassMeta {
     pub smgr: u16,
     /// Open property bag: column schemas, index key descriptors, LO
     /// metadata, owner, etc.
-    #[serde(default)]
     pub props: HashMap<String, String>,
 }
 
@@ -45,10 +44,93 @@ impl ClassMeta {
     }
 }
 
-#[derive(Debug, Default, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 struct CatalogData {
     next_oid: u64,
     classes: HashMap<String, ClassMeta>,
+}
+
+// JSON mapping, kept byte-compatible with the serde_json derive layout the
+// seed used (enum variants as strings, `props` defaulting to empty).
+impl CatalogData {
+    fn to_json(&self) -> Value {
+        let mut names: Vec<&String> = self.classes.keys().collect();
+        names.sort();
+        Value::Obj(vec![
+            ("next_oid".into(), Value::Num(self.next_oid as f64)),
+            (
+                "classes".into(),
+                Value::Obj(
+                    names.into_iter().map(|n| (n.clone(), self.classes[n].to_json())).collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> std::result::Result<Self, String> {
+        let next_oid = v.get("next_oid").and_then(Value::as_u64).ok_or("missing next_oid")?;
+        let classes = match v.get("classes") {
+            Some(Value::Obj(members)) => members
+                .iter()
+                .map(|(name, c)| ClassMeta::from_json(c).map(|m| (name.clone(), m)))
+                .collect::<std::result::Result<HashMap<_, _>, String>>()?,
+            Some(_) => return Err("classes is not an object".into()),
+            None => HashMap::new(),
+        };
+        Ok(Self { next_oid, classes })
+    }
+}
+
+impl ClassMeta {
+    fn to_json(&self) -> Value {
+        let mut prop_keys: Vec<&String> = self.props.keys().collect();
+        prop_keys.sort();
+        Value::Obj(vec![
+            ("oid".into(), Value::Num(self.oid as f64)),
+            ("name".into(), Value::Str(self.name.clone())),
+            (
+                "kind".into(),
+                Value::Str(
+                    match self.kind {
+                        ClassKind::Heap => "Heap",
+                        ClassKind::BTree => "BTree",
+                    }
+                    .into(),
+                ),
+            ),
+            ("smgr".into(), Value::Num(self.smgr as f64)),
+            (
+                "props".into(),
+                Value::Obj(
+                    prop_keys
+                        .into_iter()
+                        .map(|k| (k.clone(), Value::Str(self.props[k].clone())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> std::result::Result<Self, String> {
+        Ok(Self {
+            oid: v.get("oid").and_then(Value::as_u64).ok_or("missing oid")?,
+            name: v.get("name").and_then(Value::as_str).ok_or("missing name")?.to_string(),
+            kind: match v.get("kind").and_then(Value::as_str) {
+                Some("Heap") => ClassKind::Heap,
+                Some("BTree") => ClassKind::BTree,
+                other => return Err(format!("bad kind {other:?}")),
+            },
+            smgr: v
+                .get("smgr")
+                .and_then(Value::as_u64)
+                .and_then(|n| u16::try_from(n).ok())
+                .ok_or("missing smgr")?,
+            props: match v.get("props") {
+                Some(p) => p.as_string_map().ok_or("props is not a string map")?,
+                None => HashMap::new(),
+            },
+        })
+    }
 }
 
 /// The catalog. Thread-safe; optionally persisted to `<dir>/catalog.json`.
@@ -75,7 +157,9 @@ impl Catalog {
         let data = if path.exists() {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| HeapError::Catalog(format!("read {}: {e}", path.display())))?;
-            serde_json::from_str(&text)
+            let value = json::parse(&text)
+                .map_err(|e| HeapError::Catalog(format!("parse {}: {e}", path.display())))?;
+            CatalogData::from_json(&value)
                 .map_err(|e| HeapError::Catalog(format!("parse {}: {e}", path.display())))?
         } else {
             CatalogData { next_oid: FIRST_OID, classes: HashMap::new() }
@@ -85,13 +169,11 @@ impl Catalog {
 
     fn persist(&self, data: &CatalogData) -> Result<()> {
         if let Some(path) = &self.path {
-            let text = serde_json::to_string_pretty(data)
-                .map_err(|e| HeapError::Catalog(format!("serialize: {e}")))?;
+            let text = json::to_string_pretty(&data.to_json());
             let tmp = path.with_extension("json.tmp");
             std::fs::write(&tmp, text)
                 .map_err(|e| HeapError::Catalog(format!("write {}: {e}", tmp.display())))?;
-            std::fs::rename(&tmp, path)
-                .map_err(|e| HeapError::Catalog(format!("rename: {e}")))?;
+            std::fs::rename(&tmp, path).map_err(|e| HeapError::Catalog(format!("rename: {e}")))?;
         }
         Ok(())
     }
@@ -120,13 +202,7 @@ impl Catalog {
         }
         let oid = data.next_oid;
         data.next_oid += 1;
-        let meta = ClassMeta {
-            oid,
-            name: name.to_string(),
-            kind,
-            smgr: smgr.0,
-            props,
-        };
+        let meta = ClassMeta { oid, name: name.to_string(), kind, smgr: smgr.0, props };
         data.classes.insert(name.to_string(), meta.clone());
         self.persist(&data)?;
         Ok(meta)
@@ -205,9 +281,7 @@ mod tests {
     #[test]
     fn create_get_drop() {
         let cat = Catalog::in_memory();
-        let meta = cat
-            .create_class("EMP", ClassKind::Heap, SmgrId(0), HashMap::new())
-            .unwrap();
+        let meta = cat.create_class("EMP", ClassKind::Heap, SmgrId(0), HashMap::new()).unwrap();
         assert!(meta.oid >= FIRST_OID);
         assert_eq!(cat.get("EMP").unwrap().oid, meta.oid);
         assert_eq!(cat.get_by_oid(meta.oid).unwrap().name, "EMP");
@@ -222,10 +296,7 @@ mod tests {
         let cat = Catalog::in_memory();
         let a = cat.alloc_oid().unwrap();
         let b = cat.alloc_oid().unwrap();
-        let c = cat
-            .create_class("X", ClassKind::BTree, SmgrId(1), HashMap::new())
-            .unwrap()
-            .oid;
+        let c = cat.create_class("X", ClassKind::BTree, SmgrId(1), HashMap::new()).unwrap().oid;
         assert!(a < b && b < c);
     }
 

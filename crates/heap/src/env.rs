@@ -7,6 +7,7 @@ use pglo_buffer::{BufferPool, DEFAULT_POOL_FRAMES};
 use pglo_sim::SimContext;
 use pglo_smgr::{DiskSmgr, MemSmgr, SmgrId, SmgrSwitch, StorageManager, WormSmgr};
 use pglo_txn::{Txn, TxnManager};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -50,7 +51,16 @@ pub struct StorageEnv {
     disk_smgr: Arc<DiskSmgr>,
     mem_smgr: Arc<MemSmgr>,
     worm_smgr: Arc<WormSmgr>,
+    /// One shared latch per relation, handed out by [`Self::rel_latch`].
+    /// Access methods opened independently on the same relation (e.g. a
+    /// B-tree opened once per large-object handle) must serialize
+    /// structure-modifying work through the *same* lock, so the latch
+    /// lives here rather than in the access-method object.
+    rel_latches: parking_lot::Mutex<HashMap<(SmgrId, u64), RelLatch>>,
 }
+
+/// A relation-wide latch shared by every access-method object open on it.
+pub type RelLatch = Arc<parking_lot::Mutex<()>>;
 
 impl StorageEnv {
     /// Open (or create) a database rooted at `dir` with default options.
@@ -75,11 +85,13 @@ impl StorageEnv {
         let worm = switch.register(Arc::clone(&worm_smgr) as Arc<dyn StorageManager>);
         let pool = Arc::new(BufferPool::new(Arc::clone(&switch), opts.pool_frames));
         let catalog = Catalog::open(&base_dir)?;
+        let txns = TxnManager::open(base_dir.join("clog"))
+            .map_err(|e| crate::HeapError::Catalog(format!("open commit log: {e}")))?;
         Ok(Arc::new(Self {
             sim,
             switch,
             pool,
-            txns: Arc::new(TxnManager::new()),
+            txns: Arc::new(txns),
             catalog,
             base_dir,
             disk,
@@ -88,7 +100,15 @@ impl StorageEnv {
             disk_smgr,
             mem_smgr,
             worm_smgr,
+            rel_latches: parking_lot::Mutex::new(HashMap::new()),
         }))
+    }
+
+    /// The shared latch for relation `oid` on storage manager `smgr`.
+    /// Every caller gets the same `Arc`, so independently opened access
+    /// methods on one relation contend on one lock.
+    pub fn rel_latch(&self, smgr: SmgrId, oid: u64) -> RelLatch {
+        Arc::clone(self.rel_latches.lock().entry((smgr, oid)).or_default())
     }
 
     /// Begin a transaction.
@@ -203,12 +223,7 @@ mod tests {
         {
             let env = StorageEnv::open(dir.path()).unwrap();
             env.catalog()
-                .create_class(
-                    "T",
-                    crate::ClassKind::Heap,
-                    env.disk_id(),
-                    Default::default(),
-                )
+                .create_class("T", crate::ClassKind::Heap, env.disk_id(), Default::default())
                 .unwrap();
         }
         let env = StorageEnv::open(dir.path()).unwrap();

@@ -88,13 +88,7 @@ impl Heap {
 
     /// Open a heap by OID (anonymous or named).
     pub fn open_oid(env: &Arc<StorageEnv>, oid: u64, smgr: SmgrId) -> Heap {
-        Heap {
-            env: Arc::clone(env),
-            rel: oid,
-            smgr,
-            name: None,
-            insert_hint: AtomicU32::new(0),
-        }
+        Heap { env: Arc::clone(env), rel: oid, smgr, name: None, insert_hint: AtomicU32::new(0) }
     }
 
     /// This heap's relation OID.
@@ -256,13 +250,7 @@ impl Heap {
 
     /// Scan all visible tuples.
     pub fn scan(&self, vis: Visibility) -> HeapScan<'_> {
-        HeapScan {
-            heap: self,
-            vis,
-            next_block: 0,
-            nblocks: None,
-            pending: Vec::new(),
-        }
+        HeapScan { heap: self, vis, next_block: 0, nblocks: None, pending: Vec::new() }
     }
 
     /// Write back all of this heap's dirty pages (commit-time forcing).
@@ -459,16 +447,10 @@ mod tests {
         let t2 = env.begin();
         heap.delete(&t2, tid).unwrap();
         let t3 = env.begin();
-        assert!(matches!(
-            heap.delete(&t3, tid),
-            Err(HeapError::WriteConflict { .. })
-        ));
+        assert!(matches!(heap.delete(&t3, tid), Err(HeapError::WriteConflict { .. })));
         t2.commit();
         // Still conflicts after t2 committed.
-        assert!(matches!(
-            heap.delete(&t3, tid),
-            Err(HeapError::WriteConflict { .. })
-        ));
+        assert!(matches!(heap.delete(&t3, tid), Err(HeapError::WriteConflict { .. })));
         t3.abort();
     }
 
@@ -516,10 +498,7 @@ mod tests {
         let heap = Heap::create(&env, "T", env.disk_id(), Default::default()).unwrap();
         let t = env.begin();
         let too_big = vec![0u8; Heap::max_payload() + 1];
-        assert!(matches!(
-            heap.insert(&t, &too_big),
-            Err(HeapError::TupleTooLarge { .. })
-        ));
+        assert!(matches!(heap.insert(&t, &too_big), Err(HeapError::TupleTooLarge { .. })));
         // Exactly max fits.
         let just_right = vec![0u8; Heap::max_payload()];
         heap.insert(&t, &just_right).unwrap();
@@ -545,10 +524,7 @@ mod tests {
         assert_eq!(raw.len(), 1);
         // The live version is still fetchable.
         let t3 = env.begin();
-        assert_eq!(
-            heap.fetch(tid2, &Visibility::for_txn(&t3)).unwrap().unwrap(),
-            vec![2u8; 4000]
-        );
+        assert_eq!(heap.fetch(tid2, &Visibility::for_txn(&t3)).unwrap().unwrap(), vec![2u8; 4000]);
         t3.commit();
     }
 

@@ -14,6 +14,7 @@ pub mod archive;
 pub mod catalog;
 pub mod env;
 pub mod heap;
+pub mod json;
 pub mod tuple;
 
 pub use archive::{archive_vacuum, scan_as_of_with_archive, ArchivedVersion};

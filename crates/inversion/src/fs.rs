@@ -143,10 +143,7 @@ impl InversionFs {
                         .get("index_oid")
                         .and_then(|s| s.parse().ok())
                         .ok_or_else(|| InvError::BadPath(format!("{name}: missing index")))?;
-                    Ok((
-                        Heap::open(env, name)?,
-                        BTree::open_oid(env, idx_oid, meta.smgr_id()),
-                    ))
+                    Ok((Heap::open(env, name)?, BTree::open_oid(env, idx_oid, meta.smgr_id())))
                 }
                 None => {
                     let smgr = file_spec.smgr.unwrap_or_else(|| env.disk_id());
@@ -159,10 +156,8 @@ impl InversionFs {
                 }
             }
         };
-        let (dir_heap, dir_idx) = open_class(
-            DIR_CLASS,
-            "file_name:text,file_id:int8,parent_id:int8,is_dir:bool",
-        )?;
+        let (dir_heap, dir_idx) =
+            open_class(DIR_CLASS, "file_name:text,file_id:int8,parent_id:int8,is_dir:bool")?;
         let (stat_heap, stat_idx) = open_class(
             STAT_CLASS,
             "file_id:int8,owner:int4,mode:int4,atime:int8,mtime:int8,size:int8,is_dir:bool",
@@ -210,8 +205,7 @@ impl InversionFs {
 
     fn insert_dir_row(&self, txn: &Txn, row: DirRow) -> Result<()> {
         let tid = self.dir_heap.insert(txn, &row.encode())?;
-        self.dir_idx
-            .insert(&u64_bytes_key(row.parent, row.name.as_bytes()), tid)?;
+        self.dir_idx.insert(&u64_bytes_key(row.parent, row.name.as_bytes()), tid)?;
         Ok(())
     }
 
@@ -222,7 +216,12 @@ impl InversionFs {
     }
 
     /// The visible DIRECTORY row for `(parent, name)`.
-    fn dir_lookup(&self, vis: &Visibility, parent: u64, name: &str) -> Result<Option<(Tid, DirRow)>> {
+    fn dir_lookup(
+        &self,
+        vis: &Visibility,
+        parent: u64,
+        name: &str,
+    ) -> Result<Option<(Tid, DirRow)>> {
         for tid in self.dir_idx.lookup(&u64_bytes_key(parent, name.as_bytes()))? {
             if let Some(payload) = self.dir_heap.fetch(tid, vis)? {
                 return Ok(Some((tid, DirRow::decode(&payload)?)));
@@ -282,21 +281,19 @@ impl InversionFs {
             return Err(InvError::Exists(path.to_string()));
         }
         let file_id = self.env.catalog().alloc_oid()?;
-        self.insert_dir_row(txn, DirRow {
-            name: name.to_string(),
-            file_id,
-            parent,
-            is_dir: true,
-        })?;
-        self.insert_stat(txn, FileStat {
-            file_id,
-            owner: UserId::DBA,
-            mode: 0o755,
-            atime: self.now(),
-            mtime: self.now(),
-            size: 0,
-            is_dir: true,
-        })?;
+        self.insert_dir_row(txn, DirRow { name: name.to_string(), file_id, parent, is_dir: true })?;
+        self.insert_stat(
+            txn,
+            FileStat {
+                file_id,
+                owner: UserId::DBA,
+                mode: 0o755,
+                atime: self.now(),
+                mtime: self.now(),
+                size: 0,
+                is_dir: true,
+            },
+        )?;
         Ok(file_id)
     }
 
@@ -340,31 +337,36 @@ impl InversionFs {
         let mut spec = self.file_spec.clone();
         spec.owner = owner;
         let lo = self.store.create(txn, &spec)?;
-        let storage_tid = self.storage_heap.insert(
-            txn,
-            &encode_row(&[Datum::Int8(file_id as i64), Datum::Int8(lo.0 as i64)]),
-        )?;
+        let storage_tid = self
+            .storage_heap
+            .insert(txn, &encode_row(&[Datum::Int8(file_id as i64), Datum::Int8(lo.0 as i64)]))?;
         self.storage_idx.insert(&u64_key(file_id), storage_tid)?;
-        self.insert_dir_row(txn, DirRow {
-            name: name.to_string(),
-            file_id,
-            parent,
-            is_dir: false,
-        })?;
-        self.insert_stat(txn, FileStat {
-            file_id,
-            owner,
-            mode,
-            atime: self.now(),
-            mtime: self.now(),
-            size: 0,
-            is_dir: false,
-        })?;
+        self.insert_dir_row(
+            txn,
+            DirRow { name: name.to_string(), file_id, parent, is_dir: false },
+        )?;
+        self.insert_stat(
+            txn,
+            FileStat {
+                file_id,
+                owner,
+                mode,
+                atime: self.now(),
+                mtime: self.now(),
+                size: 0,
+                is_dir: false,
+            },
+        )?;
         Ok(file_id)
     }
 
     /// Open a file for reading/writing.
-    pub fn open_file<'a>(&'a self, txn: &'a Txn, path: &str, mode: OpenMode) -> Result<InvFile<'a>> {
+    pub fn open_file<'a>(
+        &'a self,
+        txn: &'a Txn,
+        path: &str,
+        mode: OpenMode,
+    ) -> Result<InvFile<'a>> {
         let vis = Visibility::for_txn(txn);
         let (file_id, is_dir) = self.resolve_vis(&vis, path)?;
         if is_dir {
@@ -374,13 +376,7 @@ impl InversionFs {
             .storage_lookup(&vis, file_id)?
             .ok_or_else(|| InvError::NotFound(format!("{path} (no STORAGE row)")))?;
         let handle = self.store.open(txn, lo, mode)?;
-        Ok(InvFile {
-            fs: self,
-            txn,
-            file_id,
-            handle: Some(handle),
-            wrote: false,
-        })
+        Ok(InvFile { fs: self, txn, file_id, handle: Some(handle), wrote: false })
     }
 
     /// Time-travel open: the file's contents exactly as of `ts`. The path
@@ -409,9 +405,7 @@ impl InversionFs {
             return Err(InvError::NotADirectory(path.to_string()));
         }
         let prefix = u64_key(dir_id);
-        let mut scan = self
-            .dir_idx
-            .scan(ScanStart::AtOrAfter(u64_bytes_key(dir_id, b"")))?;
+        let mut scan = self.dir_idx.scan(ScanStart::AtOrAfter(u64_bytes_key(dir_id, b"")))?;
         let mut out: Vec<DirEntry> = Vec::new();
         while let Some((key, tid)) = scan.next_entry()? {
             if key.len() < 8 || key[..8] != prefix {
@@ -419,11 +413,7 @@ impl InversionFs {
             }
             if let Some(payload) = self.dir_heap.fetch(tid, vis)? {
                 let row = DirRow::decode(&payload)?;
-                out.push(DirEntry {
-                    name: row.name,
-                    file_id: row.file_id,
-                    is_dir: row.is_dir,
-                });
+                out.push(DirEntry { name: row.name, file_id: row.file_id, is_dir: row.is_dir });
             }
         }
         out.sort_by(|a, b| a.name.cmp(&b.name));
@@ -529,15 +519,12 @@ impl InversionFs {
         // A directory must not move into its own subtree (that would
         // disconnect it from the root forever).
         if row.is_dir && to_chain.contains(&row.file_id) {
-            return Err(InvError::BadPath(format!(
-                "cannot move {from} inside itself ({to})"
-            )));
+            return Err(InvError::BadPath(format!("cannot move {from} inside itself ({to})")));
         }
         row.name = to_name.to_string();
         row.parent = to_parent;
         let new_tid = self.dir_heap.update(txn, tid, &row.encode())?;
-        self.dir_idx
-            .insert(&u64_bytes_key(to_parent, to_name.as_bytes()), new_tid)?;
+        self.dir_idx.insert(&u64_bytes_key(to_parent, to_name.as_bytes()), new_tid)?;
         Ok(())
     }
 
@@ -552,19 +539,14 @@ impl InversionFs {
         // Find STORAGE rows whose deletion committed at or before horizon:
         // those files are unlinked and invisible to every retained epoch.
         let mut doomed: Vec<LoId> = Vec::new();
-        let rows: Vec<_> = self
-            .storage_heap
-            .scan(Visibility::Raw)
-            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let rows: Vec<_> =
+            self.storage_heap.scan(Visibility::Raw).collect::<std::result::Result<Vec<_>, _>>()?;
         for (tid, payload) in rows {
-            let Some((hdr, _)) = self
-                .storage_heap
-                .fetch_with_header(tid, &Visibility::Raw)?
-            else {
+            let Some((hdr, _)) = self.storage_heap.fetch_with_header(tid, &Visibility::Raw)? else {
                 continue;
             };
-            let dead = hdr.xmax.is_valid()
-                && matches!(tm.commit_ts(hdr.xmax), Some(ts) if ts <= horizon);
+            let dead =
+                hdr.xmax.is_valid() && matches!(tm.commit_ts(hdr.xmax), Some(ts) if ts <= horizon);
             if !dead {
                 continue;
             }

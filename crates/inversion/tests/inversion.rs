@@ -49,17 +49,11 @@ fn resolve_and_path_errors() {
     assert_eq!(fs.resolve(&txn, "/").unwrap(), (ROOT_ID, true));
     assert!(matches!(fs.resolve(&txn, "/nope"), Err(InvError::NotFound(_))));
     fs.create(&txn, "/afile").unwrap();
-    assert!(matches!(
-        fs.resolve(&txn, "/afile/under"),
-        Err(InvError::NotADirectory(_))
-    ));
+    assert!(matches!(fs.resolve(&txn, "/afile/under"), Err(InvError::NotADirectory(_))));
     assert!(matches!(fs.mkdir(&txn, "/afile"), Err(InvError::Exists(_))));
     assert!(matches!(fs.mkdir(&txn, "/a/b"), Err(InvError::NotFound(_))));
     assert!(matches!(fs.create(&txn, "relative"), Err(InvError::BadPath(_))));
-    assert!(matches!(
-        fs.open_file(&txn, "/", OpenMode::ReadOnly),
-        Err(InvError::IsADirectory(_))
-    ));
+    assert!(matches!(fs.open_file(&txn, "/", OpenMode::ReadOnly), Err(InvError::IsADirectory(_))));
     txn.commit();
 }
 
@@ -117,10 +111,7 @@ fn rename_moves_across_directories() {
     f.close().unwrap();
     // Renaming onto an existing name fails.
     fs.create(&txn, "/src/other").unwrap();
-    assert!(matches!(
-        fs.rename(&txn, "/src/other", "/dst/renamed"),
-        Err(InvError::Exists(_))
-    ));
+    assert!(matches!(fs.rename(&txn, "/src/other", "/dst/renamed"), Err(InvError::Exists(_))));
     txn.commit();
 }
 
@@ -196,10 +187,7 @@ fn time_travel_over_files_and_directories() {
     let mut h2 = fs.open_file_as_of("/report", ts2).unwrap();
     assert_eq!(h2.read_to_vec().unwrap(), b"FINAL v2");
     // After deletion the path no longer resolves…
-    assert!(matches!(
-        fs.open_file_as_of("/report", ts3),
-        Err(InvError::NotFound(_))
-    ));
+    assert!(matches!(fs.open_file_as_of("/report", ts3), Err(InvError::NotFound(_))));
     // …and the directory listing time-travels too.
     let old_root = fs.readdir_vis(&Visibility::AsOf(ts2), "/").unwrap();
     assert_eq!(
@@ -342,15 +330,9 @@ fn rename_into_own_subtree_refused() {
     fs.mkdir(&txn, "/a/b").unwrap();
     fs.mkdir(&txn, "/a/b/c").unwrap();
     // /a into its own grandchild: refused.
-    assert!(matches!(
-        fs.rename(&txn, "/a", "/a/b/c/a2"),
-        Err(InvError::BadPath(_))
-    ));
+    assert!(matches!(fs.rename(&txn, "/a", "/a/b/c/a2"), Err(InvError::BadPath(_))));
     // /a onto a direct child position: refused.
-    assert!(matches!(
-        fs.rename(&txn, "/a", "/a/a2"),
-        Err(InvError::BadPath(_))
-    ));
+    assert!(matches!(fs.rename(&txn, "/a", "/a/a2"), Err(InvError::BadPath(_))));
     // The tree is intact and still navigable.
     assert!(fs.resolve(&txn, "/a/b/c").is_ok());
     // Legal directory moves still work.

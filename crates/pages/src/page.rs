@@ -39,7 +39,7 @@ const OFF_SPECIAL: usize = 8;
 const OFF_FLAGS: usize = 10;
 const OFF_CHECKSUM: usize = 12;
 const OFF_GARBAGE: usize = 16; // u16: bytes of tuple space held by removed items
-// 18..24 reserved
+                               // 18..24 reserved
 
 /// Status of a line pointer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

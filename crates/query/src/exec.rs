@@ -7,9 +7,9 @@ use crate::schema::{Column, Schema};
 use crate::{QueryError, Result};
 use pglo_adt::datum::{decode_row, encode_row};
 use pglo_adt::{Datum, ExecCtx};
+use pglo_btree::BTree;
 use pglo_compress::CodecKind;
 use pglo_core::{LoKind, LoSpec};
-use pglo_btree::BTree;
 use pglo_heap::Heap;
 use pglo_pages::Tid;
 use pglo_txn::{Txn, Visibility};
@@ -20,9 +20,15 @@ pub fn execute(db: &Database, txn: &Txn, stmt: &Statement) -> Result<QueryResult
     let mut exec = Executor { db, txn };
     match stmt {
         Statement::Create { class, columns, smgr } => exec.create(class, columns, smgr.as_deref()),
-        Statement::CreateLargeType { type_name, input, output, storage, compression, smgr } => {
-            exec.create_large_type(type_name, input, output, storage, compression.as_deref(), smgr.as_deref())
-        }
+        Statement::CreateLargeType { type_name, input, output, storage, compression, smgr } => exec
+            .create_large_type(
+                type_name,
+                input,
+                output,
+                storage,
+                compression.as_deref(),
+                smgr.as_deref(),
+            ),
         Statement::Append { class, targets } => exec.append(class, targets),
         Statement::Retrieve { targets, into, from, qual, sort_by, unique, as_of } => {
             let result = exec.retrieve(
@@ -75,13 +81,9 @@ impl<'r> RowBinding<'r> {
     fn resolve(&self, class: Option<&str>, attr: &str) -> Result<Datum> {
         match class {
             Some(c) => {
-                let entry = self
-                    .entries
-                    .iter()
-                    .find(|e| e.class == c)
-                    .ok_or_else(|| {
-                        QueryError::Semantic(format!("query does not range over \"{c}\""))
-                    })?;
+                let entry = self.entries.iter().find(|e| e.class == c).ok_or_else(|| {
+                    QueryError::Semantic(format!("query does not range over \"{c}\""))
+                })?;
                 let idx = entry.schema.index_of(attr).ok_or_else(|| {
                     QueryError::Semantic(format!("class \"{c}\" has no column \"{attr}\""))
                 })?;
@@ -132,7 +134,12 @@ impl Executor<'_> {
 
     // ---- DDL ----
 
-    fn create(&mut self, class: &str, columns: &[crate::ast::ColumnDef], smgr: Option<&str>) -> Result<QueryResult> {
+    fn create(
+        &mut self,
+        class: &str,
+        columns: &[crate::ast::ColumnDef],
+        smgr: Option<&str>,
+    ) -> Result<QueryResult> {
         let types = self.db.types();
         for col in columns {
             types
@@ -199,9 +206,7 @@ impl Executor<'_> {
         };
         let def = pglo_adt::LargeTypeDef { storage: kind, codec, smgr: smgr_id };
         let (input_fn, output_fn) = self.db.conversion_pair(type_name, input, output, kind)?;
-        self.db
-            .types()
-            .create_large_type(type_name, input_fn, output_fn, def)?;
+        self.db.types().create_large_type(type_name, input_fn, output_fn, def)?;
         Ok(QueryResult::command(0))
     }
 
@@ -319,8 +324,8 @@ impl Executor<'_> {
                 "index \"{name}\" already exists on \"{class}\""
             )));
         }
-        let tree = BTree::create_anonymous(self.db.env(), meta.smgr_id())
-            .map_err(QueryError::Heap)?;
+        let tree =
+            BTree::create_anonymous(self.db.env(), meta.smgr_id()).map_err(QueryError::Heap)?;
         let def = IndexDef {
             name: name.to_string(),
             btree_oid: tree.rel(),
@@ -330,9 +335,8 @@ impl Executor<'_> {
         // Backfill: every existing row version gets an entry, so as-of
         // reads through the index stay correct.
         let heap = self.open_heap(class)?;
-        let rows: Vec<(Tid, Vec<u8>)> = heap
-            .scan(Visibility::Raw)
-            .collect::<std::result::Result<_, _>>()?;
+        let rows: Vec<(Tid, Vec<u8>)> =
+            heap.scan(Visibility::Raw).collect::<std::result::Result<_, _>>()?;
         let mut entries = 0usize;
         for (tid, payload) in rows {
             let values = decode_row(&payload)?;
@@ -353,9 +357,7 @@ impl Executor<'_> {
         let def = defs
             .iter()
             .find(|d| d.name == name)
-            .ok_or_else(|| {
-                QueryError::Semantic(format!("no index \"{name}\" on \"{class}\""))
-            })?;
+            .ok_or_else(|| QueryError::Semantic(format!("no index \"{name}\" on \"{class}\"")))?;
         let meta = self.db.env().catalog().get(class).expect("checked above");
         Heap::open_oid(self.db.env(), def.btree_oid, meta.smgr_id()).drop_storage()?;
         self.db.env().catalog().remove_prop(class, &index_prop_key(name))?;
@@ -446,8 +448,7 @@ impl Executor<'_> {
                     QueryError::Semantic(format!("no output column \"{col}\" to sort by"))
                 })?;
                 result.rows.sort_by(|a, b| {
-                    let ord =
-                        datum_cmp(&a[idx], &b[idx]).unwrap_or(std::cmp::Ordering::Equal);
+                    let ord = datum_cmp(&a[idx], &b[idx]).unwrap_or(std::cmp::Ordering::Equal);
                     if *asc {
                         ord
                     } else {
@@ -535,8 +536,8 @@ impl Executor<'_> {
                             ProbeKind::Lower => {
                                 // Forward scan from the key to the end of
                                 // its type tag; requalification exactifies.
-                                let mut scan = tree
-                                    .scan(pglo_btree::ScanStart::AtOrAfter(key.clone()))?;
+                                let mut scan =
+                                    tree.scan(pglo_btree::ScanStart::AtOrAfter(key.clone()))?;
                                 let mut out = Vec::new();
                                 while let Some((k, tid)) = scan.next_entry()? {
                                     if k.first() != key.first() {
@@ -605,8 +606,7 @@ impl Executor<'_> {
                         QueryError::Semantic(format!("no output column \"{col}\" to sort by"))
                     })?;
                     rows.sort_by(|a, b| {
-                        let ord = datum_cmp(&a[idx], &b[idx])
-                            .unwrap_or(std::cmp::Ordering::Equal);
+                        let ord = datum_cmp(&a[idx], &b[idx]).unwrap_or(std::cmp::Ordering::Equal);
                         if *asc {
                             ord
                         } else {
@@ -614,8 +614,7 @@ impl Executor<'_> {
                         }
                     });
                 }
-                let result =
-                    QueryResult { columns, affected: rows.len(), rows, used_index };
+                let result = QueryResult { columns, affected: rows.len(), rows, used_index };
                 self.keep_result_temps(&result);
                 Ok(result)
             }
@@ -670,9 +669,7 @@ impl Executor<'_> {
             expanded.push(t.clone());
         }
         if aggregate_plan(&expanded)?.is_some() {
-            return Err(QueryError::Semantic(
-                "aggregates over joins are not supported".into(),
-            ));
+            return Err(QueryError::Semantic("aggregates over joins are not supported".into()));
         }
         let columns: Vec<String> =
             expanded.iter().enumerate().map(|(i, t)| target_name(t, i)).collect();
@@ -721,7 +718,12 @@ impl Executor<'_> {
         Ok(QueryResult { columns, affected: rows.len(), rows, used_index: None })
     }
 
-    fn replace(&mut self, class: &str, targets: &[Target], qual: Option<&Expr>) -> Result<QueryResult> {
+    fn replace(
+        &mut self,
+        class: &str,
+        targets: &[Target],
+        qual: Option<&Expr>,
+    ) -> Result<QueryResult> {
         let schema = self.class_schema(class)?;
         let heap = self.open_heap(class)?;
         let vis = Visibility::for_txn(self.txn);
@@ -841,10 +843,9 @@ impl Executor<'_> {
                     Datum::Int4(x) => Ok(Datum::Int4(-x)),
                     Datum::Int8(x) => Ok(Datum::Int8(-x)),
                     Datum::Float8(x) => Ok(Datum::Float8(-x)),
-                    other => Err(QueryError::Semantic(format!(
-                        "cannot negate a {}",
-                        other.type_name()
-                    ))),
+                    other => {
+                        Err(QueryError::Semantic(format!("cannot negate a {}", other.type_name())))
+                    }
                 }
             }
             Expr::Unary { op: "not", expr } => {
@@ -881,12 +882,8 @@ impl Executor<'_> {
 
     fn eval_binary(&mut self, op: &str, l: Datum, r: Datum) -> Result<Datum> {
         match op {
-            "and" => Ok(Datum::Bool(
-                l.as_bool().unwrap_or(false) && r.as_bool().unwrap_or(false),
-            )),
-            "or" => Ok(Datum::Bool(
-                l.as_bool().unwrap_or(false) || r.as_bool().unwrap_or(false),
-            )),
+            "and" => Ok(Datum::Bool(l.as_bool().unwrap_or(false) && r.as_bool().unwrap_or(false))),
+            "or" => Ok(Datum::Bool(l.as_bool().unwrap_or(false) || r.as_bool().unwrap_or(false))),
             "=" | "!=" => {
                 let eq = datum_eq(&l, &r);
                 Ok(Datum::Bool(if op == "=" { eq } else { !eq }))
@@ -961,14 +958,13 @@ impl Executor<'_> {
         // Already the right shape?
         match (&value, type_name) {
             (Datum::Null, _) => return Ok(Datum::Null),
-            (Datum::Bool(_), "bool")
-            | (Datum::Float8(_), "float8")
-            | (Datum::Rect(_), "rect") => return Ok(value),
+            (Datum::Bool(_), "bool") | (Datum::Float8(_), "float8") | (Datum::Rect(_), "rect") => {
+                return Ok(value)
+            }
             (Datum::Int4(_), "int4") | (Datum::Int8(_), "int8") => return Ok(value),
             (Datum::Int8(v), "int4") => {
-                let narrow = i32::try_from(*v).map_err(|_| {
-                    QueryError::Semantic(format!("{v} out of range for int4"))
-                })?;
+                let narrow = i32::try_from(*v)
+                    .map_err(|_| QueryError::Semantic(format!("{v} out of range for int4")))?;
                 return Ok(Datum::Int4(narrow));
             }
             (Datum::Int4(v), "int8") => return Ok(Datum::Int8(*v as i64)),
@@ -983,10 +979,7 @@ impl Executor<'_> {
             let mut ctx = self.ctx();
             return Ok(self.db.types().input(&mut ctx, type_name, text)?);
         }
-        Err(QueryError::Semantic(format!(
-            "cannot coerce {} to {type_name}",
-            value.type_name()
-        )))
+        Err(QueryError::Semantic(format!("cannot coerce {} to {type_name}", value.type_name())))
     }
 }
 

@@ -52,12 +52,7 @@ impl IndexDef {
             .parse()
             .map_err(|_| QueryError::Semantic(format!("corrupt index OID for {name}")))?;
         let expr = crate::parser::parse_expr(expr_text)?;
-        Ok(IndexDef {
-            name: name.to_string(),
-            btree_oid,
-            expr,
-            expr_text: expr_text.to_string(),
-        })
+        Ok(IndexDef { name: name.to_string(), btree_oid, expr, expr_text: expr_text.to_string() })
     }
 }
 
@@ -120,19 +115,17 @@ pub fn expr_matches(a: &Expr, b: &Expr) -> bool {
         (Expr::Float(x), Expr::Float(y)) => x == y,
         (Expr::Str(x), Expr::Str(y)) => x == y,
         (Expr::Bool(x), Expr::Bool(y)) => x == y,
-        (
-            Expr::Call { name: an, args: aargs },
-            Expr::Call { name: bn, args: bargs },
-        ) => an == bn && aargs.len() == bargs.len()
-            && aargs.iter().zip(bargs).all(|(x, y)| expr_matches(x, y)),
-        (
-            Expr::Cast { expr: ae, type_name: at },
-            Expr::Cast { expr: be, type_name: bt },
-        ) => at == bt && expr_matches(ae, be),
-        (
-            Expr::Unary { op: ao, expr: ae },
-            Expr::Unary { op: bo, expr: be },
-        ) => ao == bo && expr_matches(ae, be),
+        (Expr::Call { name: an, args: aargs }, Expr::Call { name: bn, args: bargs }) => {
+            an == bn
+                && aargs.len() == bargs.len()
+                && aargs.iter().zip(bargs).all(|(x, y)| expr_matches(x, y))
+        }
+        (Expr::Cast { expr: ae, type_name: at }, Expr::Cast { expr: be, type_name: bt }) => {
+            at == bt && expr_matches(ae, be)
+        }
+        (Expr::Unary { op: ao, expr: ae }, Expr::Unary { op: bo, expr: be }) => {
+            ao == bo && expr_matches(ae, be)
+        }
         (
             Expr::Binary { op: ao, left: al, right: ar },
             Expr::Binary { op: bo, left: bl, right: br },
@@ -162,7 +155,10 @@ pub fn probe_for<'q>(qual: &'q Expr, indexed: &Expr) -> Option<(ProbeKind, &'q E
         return None;
     };
     let constish = |e: &Expr| {
-        matches!(e, Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Cast { .. })
+        matches!(
+            e,
+            Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Cast { .. }
+        )
     };
     // Normalize to `indexed OP const`.
     let (kind_str, probe) = if expr_matches(left, indexed) && constish(right) {
@@ -208,10 +204,8 @@ mod tests {
             assert!(w[0] <= w[1], "{w:?}");
         }
         let texts = ["", "a", "ab", "b"];
-        let keys: Vec<_> = texts
-            .iter()
-            .map(|t| datum_key(&Datum::Text(t.to_string())).unwrap())
-            .collect();
+        let keys: Vec<_> =
+            texts.iter().map(|t| datum_key(&Datum::Text(t.to_string())).unwrap()).collect();
         for w in keys.windows(2) {
             assert!(w[0] < w[1]);
         }

@@ -18,9 +18,8 @@ pub enum Token {
     Sym(&'static str),
 }
 
-const SYMBOLS: &[&str] = &[
-    "::", "!=", "<=", ">=", "&&", "||", "(", ")", ",", "=", "<", ">", "+", "-", "*", "/", ".",
-];
+const SYMBOLS: &[&str] =
+    &["::", "!=", "<=", ">=", "&&", "||", "(", ")", ",", "=", "<", ">", "+", "-", "*", "/", "."];
 
 /// Tokenize a statement.
 pub fn lex(input: &str) -> Result<Vec<Token>> {
@@ -76,13 +75,15 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             let text = &input[start..i];
             if seen_dot {
-                out.push(Token::Float(text.parse().map_err(|_| {
-                    QueryError::Parse(format!("bad float literal {text}"))
-                })?));
+                out.push(Token::Float(
+                    text.parse()
+                        .map_err(|_| QueryError::Parse(format!("bad float literal {text}")))?,
+                ));
             } else {
-                out.push(Token::Int(text.parse().map_err(|_| {
-                    QueryError::Parse(format!("bad integer literal {text}"))
-                })?));
+                out.push(Token::Int(
+                    text.parse()
+                        .map_err(|_| QueryError::Parse(format!("bad integer literal {text}")))?,
+                ));
             }
             continue;
         }
@@ -117,8 +118,9 @@ mod tests {
 
     #[test]
     fn lexes_the_papers_queries() {
-        let toks = lex(r#"retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike""#)
-            .unwrap();
+        let toks =
+            lex(r#"retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike""#)
+                .unwrap();
         assert!(toks.contains(&Token::Ident("retrieve".into())));
         assert!(toks.contains(&Token::Str("0,0,20,20".into())));
         assert!(toks.contains(&Token::Sym("::")));
@@ -134,11 +136,7 @@ mod tests {
         // A trailing dot is member access, not a float.
         assert_eq!(
             lex("EMP.all").unwrap(),
-            vec![
-                Token::Ident("EMP".into()),
-                Token::Sym("."),
-                Token::Ident("all".into())
-            ]
+            vec![Token::Ident("EMP".into()), Token::Sym("."), Token::Ident("all".into())]
         );
     }
 
@@ -146,25 +144,19 @@ mod tests {
     fn comments_and_escapes() {
         let toks = lex("a -- comment to eol\n b").unwrap();
         assert_eq!(toks.len(), 2);
-        assert_eq!(
-            lex(r#""say \"hi\"""#).unwrap(),
-            vec![Token::Str("say \"hi\"".into())]
-        );
+        assert_eq!(lex(r#""say \"hi\"""#).unwrap(), vec![Token::Str("say \"hi\"".into())]);
     }
 
     #[test]
     fn multi_char_symbols_win() {
         assert_eq!(
             lex("a != b").unwrap(),
-            vec![
-                Token::Ident("a".into()),
-                Token::Sym("!="),
-                Token::Ident("b".into())
-            ]
+            vec![Token::Ident("a".into()), Token::Sym("!="), Token::Ident("b".into())]
         );
-        assert_eq!(lex("<= >= ::").unwrap(), vec![
-            Token::Sym("<="), Token::Sym(">="), Token::Sym("::")
-        ]);
+        assert_eq!(
+            lex("<= >= ::").unwrap(),
+            vec![Token::Sym("<="), Token::Sym(">="), Token::Sym("::")]
+        );
     }
 
     #[test]

@@ -180,10 +180,7 @@ impl Parser {
         if self.eat_kw("vacuum") {
             return Ok(Statement::Vacuum { class: self.ident()? });
         }
-        Err(QueryError::Parse(format!(
-            "expected a statement keyword, found {:?}",
-            self.peek()
-        )))
+        Err(QueryError::Parse(format!("expected a statement keyword, found {:?}", self.peek())))
     }
 
     fn create_class(&mut self) -> Result<Statement> {
@@ -244,9 +241,7 @@ impl Parser {
                 "compression" => compression = Some(value),
                 "smgr" => smgr = Some(value),
                 other => {
-                    return Err(QueryError::Parse(format!(
-                        "unknown large-type clause \"{other}\""
-                    )))
+                    return Err(QueryError::Parse(format!("unknown large-type clause \"{other}\"")))
                 }
             }
             if !self.eat_sym(",") {
@@ -509,10 +504,8 @@ mod tests {
 
     #[test]
     fn parses_the_papers_clip_query() {
-        let s = parse(
-            r#"retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike""#,
-        )
-        .unwrap();
+        let s = parse(r#"retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike""#)
+            .unwrap();
         match s {
             Statement::Retrieve { targets, qual, .. } => {
                 assert_eq!(targets.len(), 1);
@@ -520,7 +513,9 @@ mod tests {
                     Expr::Call { name, args } => {
                         assert_eq!(name, "clip");
                         assert_eq!(args.len(), 2);
-                        assert!(matches!(&args[1], Expr::Cast { type_name, .. } if type_name == "rect"));
+                        assert!(
+                            matches!(&args[1], Expr::Cast { type_name, .. } if type_name == "rect")
+                        );
                     }
                     other => panic!("{other:?}"),
                 }

@@ -51,10 +51,7 @@ fn papers_picture_retrieve_returns_lo_name() {
     assert_eq!(lo.type_name, "image");
     // The application can then open the large object and read bytes.
     let txn = db.begin();
-    let mut h = db
-        .store()
-        .open(&txn, lo.id, pglo_core::OpenMode::ReadOnly)
-        .unwrap();
+    let mut h = db.store().open(&txn, lo.id, pglo_core::OpenMode::ReadOnly).unwrap();
     let mut hdr = [0u8; 16];
     h.read_at(0, &mut hdr).unwrap();
     assert_eq!(&hdr[..4], b"PGIM");
@@ -73,15 +70,13 @@ fn papers_clip_query() {
     let lo = r.rows[0][0].as_large().unwrap().clone();
     // The clipped image is 20×20 and survives end-of-query GC because it
     // was returned to the user.
-    let check = db
-        .run(r#"retrieve (w = image_width(p), h = image_height(p)) from EMP where EMP.name = "nobody""#);
+    let check = db.run(
+        r#"retrieve (w = image_width(p), h = image_height(p)) from EMP where EMP.name = "nobody""#,
+    );
     drop(check); // (direct function-call check below instead)
     let txn = db.begin();
     let mut ctx = pglo_adt::ExecCtx::new(db.store(), &txn, db.types());
-    let w = db
-        .funcs()
-        .invoke(&mut ctx, "image_width", &[Datum::Large(lo.clone())])
-        .unwrap();
+    let w = db.funcs().invoke(&mut ctx, "image_width", &[Datum::Large(lo.clone())]).unwrap();
     assert_eq!(w, Datum::Int4(20));
     txn.commit();
     // The intermediate source image (a temp created during input
@@ -93,9 +88,7 @@ fn papers_clip_query() {
 #[test]
 fn replace_and_delete_with_quals() {
     let (_d, db) = db_with_emp();
-    let r = db
-        .run(r#"replace EMP (salary = EMP.salary + 10) where EMP.name = "Joe""#)
-        .unwrap();
+    let r = db.run(r#"replace EMP (salary = EMP.salary + 10) where EMP.name = "Joe""#).unwrap();
     assert_eq!(r.affected, 1);
     let r = db.run(r#"retrieve (EMP.salary) where EMP.name = "Joe""#).unwrap();
     assert_eq!(r.rows[0][0], Datum::Int4(110));
@@ -151,9 +144,7 @@ fn rect_operator_in_qualification() {
     db.run("create SHAPES (name = text, bbox = rect)").unwrap();
     db.run(r#"append SHAPES (name = "a", bbox = "0,0,10,10"::rect)"#).unwrap();
     db.run(r#"append SHAPES (name = "b", bbox = "50,50,60,60"::rect)"#).unwrap();
-    let r = db
-        .run(r#"retrieve (SHAPES.name) where SHAPES.bbox && "5,5,8,8"::rect"#)
-        .unwrap();
+    let r = db.run(r#"retrieve (SHAPES.name) where SHAPES.bbox && "5,5,8,8"::rect"#).unwrap();
     assert_eq!(r.rows, vec![vec![Datum::Text("a".into())]]);
 }
 
@@ -185,8 +176,7 @@ fn ufile_type_uses_path_semantics() {
         .unwrap();
     db.run("create FILES (name = text, data = ufblob)").unwrap();
     let upath = dir.path().join("user_file");
-    db.run(&format!(r#"append FILES (name = "f", data = "{}")"#, upath.display()))
-        .unwrap();
+    db.run(&format!(r#"append FILES (name = "f", data = "{}")"#, upath.display())).unwrap();
     assert!(upath.exists(), "u-file creation touches the user's path");
     let r = db.run(r#"retrieve (FILES.data) where FILES.name = "f""#).unwrap();
     let lo = r.rows[0][0].as_large().unwrap().clone();
@@ -240,14 +230,8 @@ fn error_paths() {
     assert!(matches!(db.run("purge ALL"), Err(QueryError::Parse(_))));
     assert!(matches!(db.run("retrieve (NOPE.x)"), Err(QueryError::Semantic(_))));
     db.run("create T (v = int4)").unwrap();
-    assert!(matches!(
-        db.run("append T (missing = 1)"),
-        Err(QueryError::Semantic(_))
-    ));
-    assert!(matches!(
-        db.run(r#"append T (v = "not a number")"#),
-        Err(QueryError::Adt(_))
-    ));
+    assert!(matches!(db.run("append T (missing = 1)"), Err(QueryError::Semantic(_))));
+    assert!(matches!(db.run(r#"append T (v = "not a number")"#), Err(QueryError::Adt(_))));
     db.run("append T (v = 7)").unwrap();
     assert!(matches!(db.run("retrieve (T.v) where 42"), Err(QueryError::Semantic(_))));
     assert!(matches!(db.run("retrieve (1/0)"), Err(QueryError::Semantic(_))));
@@ -287,14 +271,10 @@ fn inversion_directory_is_queryable() {
     fs.create(&txn, "/music/song.au").unwrap();
     fs.create(&txn, "/music/readme").unwrap();
     txn.commit();
-    let r = db
-        .run(r#"retrieve (INV_DIRECTORY.file_name) where INV_DIRECTORY.is_dir = false"#)
-        .unwrap();
-    let mut names: Vec<String> = r
-        .rows
-        .iter()
-        .map(|row| row[0].as_text().unwrap().to_string())
-        .collect();
+    let r =
+        db.run(r#"retrieve (INV_DIRECTORY.file_name) where INV_DIRECTORY.is_dir = false"#).unwrap();
+    let mut names: Vec<String> =
+        r.rows.iter().map(|row| row[0].as_text().unwrap().to_string()).collect();
     names.sort();
     assert_eq!(names, vec!["readme", "song.au"]);
 }
@@ -345,16 +325,11 @@ fn aggregates_over_a_class() {
     let r = db.run("retrieve (n = count()) from NUMS where NUMS.v > 2").unwrap();
     assert_eq!(r.rows[0][0], Datum::Int8(2));
     // Aggregates over an empty match set.
-    let r = db
-        .run("retrieve (n = count(), m = avg(NUMS.v)) from NUMS where NUMS.v > 100")
-        .unwrap();
+    let r = db.run("retrieve (n = count(), m = avg(NUMS.v)) from NUMS where NUMS.v > 100").unwrap();
     assert_eq!(r.rows[0][0], Datum::Int8(0));
     assert_eq!(r.rows[0][1], Datum::Null);
     // Mixing aggregates and plain columns is rejected.
-    assert!(matches!(
-        db.run("retrieve (NUMS.v, count()) from NUMS"),
-        Err(QueryError::Semantic(_))
-    ));
+    assert!(matches!(db.run("retrieve (NUMS.v, count()) from NUMS"), Err(QueryError::Semantic(_))));
 }
 
 #[test]
@@ -372,10 +347,7 @@ fn sort_by_and_unique() {
     let r = db.run("retrieve unique (T.all) sort by name").unwrap();
     assert_eq!(r.rows.len(), 3, "duplicate (alice,1) removed");
     // Sorting by a non-existent output column fails.
-    assert!(matches!(
-        db.run("retrieve (T.name) sort by salary"),
-        Err(QueryError::Semantic(_))
-    ));
+    assert!(matches!(db.run("retrieve (T.name) sort by salary"), Err(QueryError::Semantic(_))));
 }
 
 #[test]
@@ -392,9 +364,7 @@ fn directory_search_with_aggregates() {
     for i in 0..5 {
         let path = format!("/f{i}");
         fs.create(&txn, &path).unwrap();
-        let mut f = fs
-            .open_file(&txn, &path, pglo_core::OpenMode::ReadWrite)
-            .unwrap();
+        let mut f = fs.open_file(&txn, &path, pglo_core::OpenMode::ReadWrite).unwrap();
         f.write(&vec![0u8; (i + 1) * 1000]).unwrap();
         f.close().unwrap();
     }
@@ -464,9 +434,7 @@ fn index_maintained_across_append_replace_and_time_travel() {
     let r = db.run("retrieve (T.v) where T.k = 1").unwrap();
     assert!(r.rows.is_empty(), "old key invisible to current reads");
     // Time travel through the same index sees the old version.
-    let r = db
-        .run(&format!("retrieve (T.v) where T.k = 1 as of {ts_before}"))
-        .unwrap();
+    let r = db.run(&format!("retrieve (T.v) where T.k = 1 as of {ts_before}")).unwrap();
     assert_eq!(r.used_index.as_deref(), Some("t_k"));
     assert_eq!(r.rows, vec![vec![Datum::Text("one".into())]]);
 }
@@ -477,15 +445,9 @@ fn index_lifecycle_errors_and_destroy() {
     db.run("create T (k = int4)").unwrap();
     db.run("append T (k = 5)").unwrap();
     db.run("define index t_k on T (T.k)").unwrap();
-    assert!(matches!(
-        db.run("define index t_k on T (T.k)"),
-        Err(QueryError::Semantic(_))
-    ));
+    assert!(matches!(db.run("define index t_k on T (T.k)"), Err(QueryError::Semantic(_))));
     db.run("destroy index t_k on T").unwrap();
-    assert!(matches!(
-        db.run("destroy index t_k on T"),
-        Err(QueryError::Semantic(_))
-    ));
+    assert!(matches!(db.run("destroy index t_k on T"), Err(QueryError::Semantic(_))));
     // Queries fall back to scans and stay correct.
     let r = db.run("retrieve (T.k) where T.k = 5").unwrap();
     assert!(r.used_index.is_none());
@@ -689,9 +651,7 @@ fn long_text_keys_are_prefix_indexed() {
     // Defining and probing an index on 2KB strings must not panic and must
     // answer exactly (the prefix collision is resolved by requalification).
     db.run("define index d_t on DOCS (DOCS.title)").unwrap();
-    let r = db
-        .run(&format!(r#"retrieve (DOCS.title) where DOCS.title = "{long_a}""#))
-        .unwrap();
+    let r = db.run(&format!(r#"retrieve (DOCS.title) where DOCS.title = "{long_a}""#)).unwrap();
     assert_eq!(r.used_index.as_deref(), Some("d_t"));
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][0].as_text().unwrap(), long_a);

@@ -1,0 +1,82 @@
+//! The lobd daemon entry point.
+//!
+//! ```text
+//! lobd <data-dir> [--addr HOST:PORT] [--workers N] [--backlog N]
+//! ```
+//!
+//! Serves until a client sends the `shutdown` op, then drains sessions and
+//! prints a final statistics snapshot.
+
+use pglo_server::{spawn, LobdService, ServerConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut data_dir = None;
+    let mut config = ServerConfig { addr: "127.0.0.1:5433".into(), ..ServerConfig::default() };
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => config.addr = v,
+                None => return usage("--addr needs a value"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config.workers = v,
+                _ => return usage("--workers needs a positive integer"),
+            },
+            "--backlog" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config.backlog = v,
+                _ => return usage("--backlog needs a positive integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            _ if data_dir.is_none() && !arg.starts_with('-') => data_dir = Some(arg),
+            other => return usage(&format!("unrecognized argument: {other}")),
+        }
+    }
+    let Some(data_dir) = data_dir else {
+        return usage("missing <data-dir>");
+    };
+
+    let service = match LobdService::open(&data_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lobd: cannot open database at {data_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let handle = match spawn(service, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("lobd: cannot bind listener: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("lobd: serving {data_dir} on {}", handle.local_addr());
+
+    // The accept loop and workers run until a client requests shutdown.
+    let service = handle.join();
+
+    let stats = service.stats_snapshot();
+    eprintln!(
+        "lobd: shut down after {} requests ({} commits, {} aborts, pool hit rate {:.1}%)",
+        stats.total_requests(),
+        stats.commits,
+        stats.aborts,
+        stats.pool_hit_rate * 100.0,
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("lobd: {err}");
+    }
+    eprintln!("usage: lobd <data-dir> [--addr HOST:PORT] [--workers N] [--backlog N]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,463 @@
+//! The typed lobd client. Generic over the transport — a [`TcpStream`] in
+//! production, the in-process loopback pipe in tests — so every typed
+//! method exercises the exact same codec either way.
+
+use crate::proto::{self, ErrorCode, Opcode, Reader, WireSpec, MAGIC, MAX_IO, VERSION};
+use crate::stats::ServerStats;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes the server closing the connection).
+    Io(io::Error),
+    /// The server replied with an error status.
+    Server(ErrorCode, String),
+    /// The reply did not decode as expected.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server(code, msg) => write!(f, "server error {code:?}: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<proto::DecodeError> for ClientError {
+    fn from(e: proto::DecodeError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+impl ClientError {
+    /// The server error code, if this is a server-reported failure.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server(code, _) => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// Client-side result type.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// Decoded `inv_stat` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// Inversion file id.
+    pub file_id: u64,
+    /// Owner user id.
+    pub owner: u32,
+    /// Permission bits.
+    pub mode: u32,
+    /// Last-access logical timestamp.
+    pub atime: u64,
+    /// Last-modification logical timestamp.
+    pub mtime: u64,
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+    /// Whether the path is a directory.
+    pub is_dir: bool,
+}
+
+/// One `inv_readdir` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Name within the directory.
+    pub name: String,
+    /// Inversion file id.
+    pub file_id: u64,
+    /// Whether the entry is a directory.
+    pub is_dir: bool,
+}
+
+/// A connected lobd client.
+pub struct Client<S: Read + Write> {
+    stream: S,
+}
+
+impl Client<TcpStream> {
+    /// Connect over TCP and perform the handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Self::handshake(stream)
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Perform the `MAGIC ++ VERSION` handshake over an open transport.
+    pub fn handshake(mut stream: S) -> Result<Self> {
+        stream.write_all(MAGIC)?;
+        stream.write_all(&[VERSION])?;
+        stream.flush()?;
+        let mut hello = [0u8; 5];
+        stream.read_exact(&mut hello)?;
+        if &hello[..4] != MAGIC {
+            return Err(ClientError::Protocol("server did not answer with lobd magic".into()));
+        }
+        if hello[4] != VERSION {
+            return Err(ClientError::Protocol(format!(
+                "server speaks protocol version {}, client speaks {VERSION}",
+                hello[4]
+            )));
+        }
+        Ok(Self { stream })
+    }
+
+    /// Give back the transport (e.g. to drop it abruptly in tests).
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+
+    /// Send a raw `(opcode_byte, payload)` frame and return the raw
+    /// `(status_byte, payload)` reply. Escape hatch for robustness tests.
+    pub fn call_raw(&mut self, opcode: u8, payload: &[u8]) -> Result<(u8, Vec<u8>)> {
+        proto::write_frame(&mut self.stream, opcode, payload)?;
+        match proto::read_frame(&mut self.stream) {
+            Ok(reply) => Ok(reply),
+            Err(proto::FrameError::Eof) => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Err(proto::FrameError::Io(e)) => Err(ClientError::Io(e)),
+            Err(proto::FrameError::BadLength(n)) => {
+                Err(ClientError::Protocol(format!("server sent bad frame length {n}")))
+            }
+        }
+    }
+
+    fn call(&mut self, op: Opcode, payload: &[u8]) -> Result<Vec<u8>> {
+        let (status, reply) = self.call_raw(op as u8, payload)?;
+        if status == 0 {
+            return Ok(reply);
+        }
+        let code = ErrorCode::from_u8(status)
+            .ok_or_else(|| ClientError::Protocol(format!("unknown status byte {status}")))?;
+        Err(ClientError::Server(code, String::from_utf8_lossy(&reply).into_owned()))
+    }
+
+    fn call_unit(&mut self, op: Opcode, payload: &[u8]) -> Result<()> {
+        let reply = self.call(op, payload)?;
+        if reply.is_empty() {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol("unexpected reply payload".into()))
+        }
+    }
+
+    fn call_u64(&mut self, op: Opcode, payload: &[u8]) -> Result<u64> {
+        let reply = self.call(op, payload)?;
+        let mut r = Reader::new(&reply);
+        let v = r.u64()?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    fn call_u32(&mut self, op: Opcode, payload: &[u8]) -> Result<u32> {
+        let reply = self.call(op, payload)?;
+        let mut r = Reader::new(&reply);
+        let v = r.u32()?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    /// Liveness probe; the server echoes the payload.
+    pub fn ping(&mut self, payload: &[u8]) -> Result<Vec<u8>> {
+        self.call(Opcode::Ping, payload)
+    }
+
+    /// Begin the session transaction.
+    pub fn begin(&mut self) -> Result<()> {
+        self.call_unit(Opcode::Begin, &[])
+    }
+
+    /// Commit the session transaction, returning its commit timestamp.
+    pub fn commit(&mut self) -> Result<u64> {
+        self.call_u64(Opcode::Commit, &[])
+    }
+
+    /// Abort the session transaction.
+    pub fn abort(&mut self) -> Result<()> {
+        self.call_unit(Opcode::Abort, &[])
+    }
+
+    /// The latest commit timestamp — the "as of now" time-travel axis.
+    pub fn current_ts(&mut self) -> Result<u64> {
+        self.call_u64(Opcode::CurrentTs, &[])
+    }
+
+    /// A server statistics snapshot.
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        let reply = self.call(Opcode::Stats, &[])?;
+        Ok(ServerStats::decode(&reply)?)
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.call_unit(Opcode::Shutdown, &[])
+    }
+
+    /// Create a large object, returning its id.
+    pub fn lo_create(&mut self, spec: &WireSpec) -> Result<u64> {
+        let mut p = Vec::new();
+        spec.encode(&mut p);
+        self.call_u64(Opcode::LoCreate, &p)
+    }
+
+    /// Open a large object; returns a session descriptor.
+    pub fn lo_open(&mut self, id: u64, writable: bool, user: u32) -> Result<u32> {
+        let mut p = Vec::new();
+        proto::put_u64(&mut p, id);
+        p.push(u8::from(writable));
+        proto::put_u32(&mut p, user);
+        self.call_u32(Opcode::LoOpen, &p)
+    }
+
+    /// Open a large object as of commit timestamp `ts` (read-only; works
+    /// with no transaction open).
+    pub fn lo_open_as_of(&mut self, id: u64, ts: u64) -> Result<u32> {
+        let mut p = Vec::new();
+        proto::put_u64(&mut p, id);
+        proto::put_u64(&mut p, ts);
+        self.call_u32(Opcode::LoOpenAsOf, &p)
+    }
+
+    /// Read up to `len` bytes at the seek pointer.
+    pub fn lo_read(&mut self, fd: u32, len: u32) -> Result<Vec<u8>> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        proto::put_u32(&mut p, len);
+        self.call(Opcode::LoRead, &p)
+    }
+
+    /// Write `data` at the seek pointer. `data` must fit one op
+    /// ([`MAX_IO`]); see [`Client::lo_write_all`] for chunking.
+    pub fn lo_write(&mut self, fd: u32, data: &[u8]) -> Result<()> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        proto::put_bytes(&mut p, data);
+        self.call_unit(Opcode::LoWrite, &p)
+    }
+
+    /// Write arbitrarily much data at the seek pointer, chunking into
+    /// [`MAX_IO`]-sized ops.
+    pub fn lo_write_all(&mut self, fd: u32, data: &[u8]) -> Result<()> {
+        for chunk in data.chunks(MAX_IO as usize) {
+            self.lo_write(fd, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Read exactly `len` bytes starting at the seek pointer, chunking
+    /// into [`MAX_IO`]-sized ops. Short data ends the read early.
+    pub fn lo_read_all(&mut self, fd: u32, len: u64) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(len.min(1 << 20) as usize);
+        let mut remaining = len;
+        while remaining > 0 {
+            let ask = remaining.min(MAX_IO as u64) as u32;
+            let got = self.lo_read(fd, ask)?;
+            if got.is_empty() {
+                break;
+            }
+            remaining -= got.len() as u64;
+            out.extend_from_slice(&got);
+        }
+        Ok(out)
+    }
+
+    /// Move the seek pointer: `whence` is one of
+    /// [`SEEK_SET`](crate::proto::SEEK_SET),
+    /// [`SEEK_CUR`](crate::proto::SEEK_CUR),
+    /// [`SEEK_END`](crate::proto::SEEK_END). Returns the new position.
+    pub fn lo_seek(&mut self, fd: u32, whence: u8, offset: i64) -> Result<u64> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        p.push(whence);
+        proto::put_i64(&mut p, offset);
+        self.call_u64(Opcode::LoSeek, &p)
+    }
+
+    /// The seek pointer.
+    pub fn lo_tell(&mut self, fd: u32) -> Result<u64> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        self.call_u64(Opcode::LoTell, &p)
+    }
+
+    /// Close a descriptor.
+    pub fn lo_close(&mut self, fd: u32) -> Result<()> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        self.call_unit(Opcode::LoClose, &p)
+    }
+
+    /// Remove a large object.
+    pub fn lo_unlink(&mut self, id: u64) -> Result<()> {
+        let mut p = Vec::new();
+        proto::put_u64(&mut p, id);
+        self.call_unit(Opcode::LoUnlink, &p)
+    }
+
+    /// Logical object size under the descriptor's visibility.
+    pub fn lo_size(&mut self, fd: u32) -> Result<u64> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        self.call_u64(Opcode::LoSize, &p)
+    }
+
+    /// Read at an explicit offset without moving the seek pointer.
+    pub fn lo_read_at(&mut self, fd: u32, offset: u64, len: u32) -> Result<Vec<u8>> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        proto::put_u64(&mut p, offset);
+        proto::put_u32(&mut p, len);
+        self.call(Opcode::LoReadAt, &p)
+    }
+
+    /// Write at an explicit offset without moving the seek pointer.
+    pub fn lo_write_at(&mut self, fd: u32, offset: u64, data: &[u8]) -> Result<()> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        proto::put_u64(&mut p, offset);
+        proto::put_bytes(&mut p, data);
+        self.call_unit(Opcode::LoWriteAt, &p)
+    }
+
+    /// Create a temporary large object (reclaimed at `gc_temps` or
+    /// disconnect unless kept).
+    pub fn lo_create_temp(&mut self, spec: &WireSpec) -> Result<u64> {
+        let mut p = Vec::new();
+        spec.encode(&mut p);
+        self.call_u64(Opcode::LoCreateTemp, &p)
+    }
+
+    /// Promote a temporary to permanent; returns whether it was still
+    /// temporary.
+    pub fn lo_keep_temp(&mut self, id: u64) -> Result<bool> {
+        let mut p = Vec::new();
+        proto::put_u64(&mut p, id);
+        let reply = self.call(Opcode::LoKeepTemp, &p)?;
+        match reply.as_slice() {
+            [b] => Ok(*b != 0),
+            _ => Err(ClientError::Protocol("bad keep_temp reply".into())),
+        }
+    }
+
+    /// Reclaim this session's unpromoted temporaries; returns the count.
+    pub fn gc_temps(&mut self) -> Result<u32> {
+        self.call_u32(Opcode::GcTemps, &[])
+    }
+
+    /// Server-side `lo_import`: load a host file into a new large object.
+    pub fn lo_import(&mut self, spec: &WireSpec, host_path: &str) -> Result<u64> {
+        let mut p = Vec::new();
+        spec.encode(&mut p);
+        proto::put_str(&mut p, host_path);
+        self.call_u64(Opcode::LoImport, &p)
+    }
+
+    /// Server-side `lo_export`: copy a large object into a host file.
+    /// Returns bytes written.
+    pub fn lo_export(&mut self, id: u64, host_path: &str) -> Result<u64> {
+        let mut p = Vec::new();
+        proto::put_u64(&mut p, id);
+        proto::put_str(&mut p, host_path);
+        self.call_u64(Opcode::LoExport, &p)
+    }
+
+    /// Create an Inversion file.
+    pub fn inv_create(&mut self, path: &str) -> Result<u64> {
+        let mut p = Vec::new();
+        proto::put_str(&mut p, path);
+        self.call_u64(Opcode::InvCreate, &p)
+    }
+
+    /// Create an Inversion directory.
+    pub fn inv_mkdir(&mut self, path: &str) -> Result<u64> {
+        let mut p = Vec::new();
+        proto::put_str(&mut p, path);
+        self.call_u64(Opcode::InvMkdir, &p)
+    }
+
+    /// Read from an Inversion file.
+    pub fn inv_read(&mut self, path: &str, offset: u64, len: u32) -> Result<Vec<u8>> {
+        let mut p = Vec::new();
+        proto::put_str(&mut p, path);
+        proto::put_u64(&mut p, offset);
+        proto::put_u32(&mut p, len);
+        self.call(Opcode::InvRead, &p)
+    }
+
+    /// Write to an Inversion file.
+    pub fn inv_write(&mut self, path: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let mut p = Vec::new();
+        proto::put_str(&mut p, path);
+        proto::put_u64(&mut p, offset);
+        proto::put_bytes(&mut p, data);
+        self.call_unit(Opcode::InvWrite, &p)
+    }
+
+    /// Stat an Inversion path.
+    pub fn inv_stat(&mut self, path: &str) -> Result<Stat> {
+        let mut p = Vec::new();
+        proto::put_str(&mut p, path);
+        let reply = self.call(Opcode::InvStat, &p)?;
+        let mut r = Reader::new(&reply);
+        let st = Stat {
+            file_id: r.u64()?,
+            owner: r.u32()?,
+            mode: r.u32()?,
+            atime: r.u64()?,
+            mtime: r.u64()?,
+            size: r.u64()?,
+            is_dir: r.u8()? != 0,
+        };
+        r.finish()?;
+        Ok(st)
+    }
+
+    /// List an Inversion directory.
+    pub fn inv_readdir(&mut self, path: &str) -> Result<Vec<Entry>> {
+        let mut p = Vec::new();
+        proto::put_str(&mut p, path);
+        let reply = self.call(Opcode::InvReaddir, &p)?;
+        let mut r = Reader::new(&reply);
+        let n = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            entries.push(Entry { name: r.str()?, file_id: r.u64()?, is_dir: r.u8()? != 0 });
+        }
+        r.finish()?;
+        Ok(entries)
+    }
+
+    /// Rename an Inversion path.
+    pub fn inv_rename(&mut self, from: &str, to: &str) -> Result<()> {
+        let mut p = Vec::new();
+        proto::put_str(&mut p, from);
+        proto::put_str(&mut p, to);
+        self.call_unit(Opcode::InvRename, &p)
+    }
+
+    /// Unlink an Inversion file.
+    pub fn inv_unlink(&mut self, path: &str) -> Result<()> {
+        let mut p = Vec::new();
+        proto::put_str(&mut p, path);
+        self.call_unit(Opcode::InvUnlink, &p)
+    }
+}

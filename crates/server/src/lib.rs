@@ -1,0 +1,37 @@
+//! lobd — the large-object daemon.
+//!
+//! The paper's large-object interface is a library; this crate makes it a
+//! *server*: one shared storage stack ([`pglo_heap::StorageEnv`] +
+//! [`pglo_core::LoStore`] + [`pglo_inversion::InversionFs`]) behind a
+//! compact length-prefixed binary protocol, serving many concurrent
+//! clients whose transactions the server owns per connection.
+//!
+//! Layering, bottom up:
+//!
+//! * [`proto`] — pure codec: frames, opcodes, error codes, payload
+//!   encodings. No I/O policy.
+//! * [`session`] — per-connection state: the session transaction,
+//!   descriptor table ([`pglo_core::LoCursor`]s), temp-object registry.
+//! * [`service`] — dispatch: `(opcode, payload)` in, `(status, payload)`
+//!   out, against the shared stack. Panic-proof.
+//! * [`server`] — the TCP front end: accept loop, bounded queue, worker
+//!   pool, graceful drain.
+//! * [`client`] — the typed client, generic over the transport.
+//! * [`loopback`] — the same protocol over an in-memory pipe.
+//!
+//! See DESIGN.md ("The lobd wire protocol") for the normative spec.
+
+pub mod client;
+pub mod loopback;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod session;
+pub mod stats;
+
+pub use client::{Client, ClientError, Entry, Stat};
+pub use proto::{ErrorCode, Opcode, WireSpec, MAX_FRAME, MAX_IO};
+pub use server::{spawn, ServerConfig, ServerHandle};
+pub use service::LobdService;
+pub use session::Session;
+pub use stats::ServerStats;

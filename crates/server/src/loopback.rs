@@ -1,0 +1,86 @@
+//! In-process loopback transport: the full wire protocol — handshake,
+//! framing, dispatch — with no socket underneath. Tests and benchmarks use
+//! it to isolate codec + dispatch cost from kernel networking, and to run
+//! where binding a port is unwelcome.
+
+use crate::client::{Client, Result};
+use crate::server::serve_stream;
+use crate::service::LobdService;
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One end of a bidirectional in-memory byte pipe. Reads block until the
+/// peer writes; writing after the peer hung up is a `BrokenPipe`.
+pub struct PipeEnd {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+    pos: usize,
+}
+
+/// A connected pair of pipe ends.
+pub fn pipe() -> (PipeEnd, PipeEnd) {
+    let (a_tx, a_rx) = channel();
+    let (b_tx, b_rx) = channel();
+    (
+        PipeEnd { tx: a_tx, rx: b_rx, pending: Vec::new(), pos: 0 },
+        PipeEnd { tx: b_tx, rx: a_rx, pending: Vec::new(), pos: 0 },
+    )
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.pending.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.pending = chunk;
+                    self.pos = 0;
+                }
+                // Peer gone: clean EOF.
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.pending.len() - self.pos);
+        buf[..n].copy_from_slice(&self.pending[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "loopback peer hung up"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A loopback "connection": a client plus the server thread draining its
+/// other end. Dropping the client ends the session (EOF on the server
+/// side, which aborts any orphaned transaction); `join` the handle to wait
+/// for that cleanup.
+pub struct Loopback {
+    /// The connected client.
+    pub client: Client<PipeEnd>,
+    /// The server-side session thread.
+    pub server: JoinHandle<()>,
+}
+
+/// Connect a client to `service` entirely in-process.
+pub fn connect(service: &Arc<LobdService>) -> Result<Loopback> {
+    let (client_end, mut server_end) = pipe();
+    let service = Arc::clone(service);
+    let server = std::thread::Builder::new()
+        .name("lobd-loopback".into())
+        .spawn(move || serve_stream(&service, &mut server_end))
+        .expect("spawn loopback session");
+    let client = Client::handshake(client_end)?;
+    Ok(Loopback { client, server })
+}

@@ -1,0 +1,568 @@
+//! The lobd wire protocol: framing, opcodes, error codes, payload codecs.
+//!
+//! Everything here is pure byte manipulation — no sockets — so the same
+//! codec drives the TCP transport, the in-process loopback transport, and
+//! the robustness tests. See DESIGN.md ("The lobd wire protocol") for the
+//! normative spec.
+//!
+//! # Framing
+//!
+//! ```text
+//! request  = u32 len (LE) | u8 opcode | payload      (len = 1 + payload)
+//! reply    = u32 len (LE) | u8 status | payload      (status 0 = OK)
+//! ```
+//!
+//! A connection starts with a 5-byte handshake in each direction:
+//! `b"PGLO"` then the protocol version byte. The server rejects unknown
+//! versions with [`ErrorCode::BadVersion`] and closes.
+
+use std::io::{self, Read, Write};
+
+/// Protocol magic exchanged at connect time.
+pub const MAGIC: &[u8; 4] = b"PGLO";
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Hard ceiling on a frame's declared length (opcode + payload). Anything
+/// larger is treated as a malformed stream and the connection is dropped —
+/// a corrupt or hostile length prefix must not drive allocation.
+pub const MAX_FRAME: u32 = 8 * 1024 * 1024;
+
+/// Per-operation byte ceiling for large-object and Inversion reads/writes.
+/// Larger transfers are chunked by the client.
+pub const MAX_IO: u32 = 4 * 1024 * 1024;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness/version probe.
+    Ping = 0x01,
+    /// Begin the session transaction.
+    Begin = 0x02,
+    /// Commit the session transaction → `u64` commit timestamp.
+    Commit = 0x03,
+    /// Abort the session transaction.
+    Abort = 0x04,
+    /// Server statistics snapshot.
+    Stats = 0x05,
+    /// Latest commit timestamp → `u64` (the "as of now" time-travel axis).
+    CurrentTs = 0x06,
+    /// Graceful shutdown request (also triggered by process signals).
+    Shutdown = 0x07,
+
+    /// Create a large object from a [`WireSpec`] → `u64` id.
+    LoCreate = 0x10,
+    /// Open: `u64 id, u8 mode, u32 user` → `u32 fd`.
+    LoOpen = 0x11,
+    /// Time-travel open: `u64 id, u64 ts` → `u32 fd`.
+    LoOpenAsOf = 0x12,
+    /// `u32 fd, u32 len` → bytes at the seek pointer.
+    LoRead = 0x13,
+    /// `u32 fd, bytes` → () ; writes at the seek pointer.
+    LoWrite = 0x14,
+    /// `u32 fd, u8 whence, i64 offset` → `u64` new position.
+    LoSeek = 0x15,
+    /// `u32 fd` → `u64` seek pointer.
+    LoTell = 0x16,
+    /// `u32 fd` → ().
+    LoClose = 0x17,
+    /// `u64 id` → () ; removes the object.
+    LoUnlink = 0x18,
+    /// `u32 fd` → `u64` logical size.
+    LoSize = 0x19,
+    /// `u32 fd, u64 offset, u32 len` → bytes (pointer unchanged).
+    LoReadAt = 0x1A,
+    /// `u32 fd, u64 offset, bytes` → () (pointer unchanged).
+    LoWriteAt = 0x1B,
+    /// Create a temporary object (GC'd at session/query end) → `u64` id.
+    LoCreateTemp = 0x1C,
+    /// `u64 id` → `u8` (1 if it was temporary) ; promotes to permanent.
+    LoKeepTemp = 0x1D,
+    /// Reclaim this session's temporaries → `u32` count.
+    GcTemps = 0x1E,
+    /// `WireSpec, str host_path` → `u64 id` (server-side `lo_import`).
+    LoImport = 0x1F,
+    /// `u64 id, str host_path` → `u64` bytes written (`lo_export`).
+    LoExport = 0x20,
+
+    /// `str path` → `u64` file id.
+    InvCreate = 0x30,
+    /// `str path` → `u64` directory id.
+    InvMkdir = 0x31,
+    /// `str path, u64 offset, u32 len` → bytes.
+    InvRead = 0x32,
+    /// `str path, u64 offset, bytes` → ().
+    InvWrite = 0x33,
+    /// `str path` → stat record.
+    InvStat = 0x34,
+    /// `str path` → directory listing.
+    InvReaddir = 0x35,
+    /// `str from, str to` → ().
+    InvRename = 0x36,
+    /// `str path` → ().
+    InvUnlink = 0x37,
+}
+
+impl Opcode {
+    /// All opcodes, for stats table sizing/iteration.
+    pub const ALL: [Opcode; 32] = [
+        Opcode::Ping,
+        Opcode::Begin,
+        Opcode::Commit,
+        Opcode::Abort,
+        Opcode::Stats,
+        Opcode::CurrentTs,
+        Opcode::Shutdown,
+        Opcode::LoCreate,
+        Opcode::LoOpen,
+        Opcode::LoOpenAsOf,
+        Opcode::LoRead,
+        Opcode::LoWrite,
+        Opcode::LoSeek,
+        Opcode::LoTell,
+        Opcode::LoClose,
+        Opcode::LoUnlink,
+        Opcode::LoSize,
+        Opcode::LoReadAt,
+        Opcode::LoWriteAt,
+        Opcode::LoCreateTemp,
+        Opcode::LoKeepTemp,
+        Opcode::GcTemps,
+        Opcode::LoImport,
+        Opcode::LoExport,
+        Opcode::InvCreate,
+        Opcode::InvMkdir,
+        Opcode::InvRead,
+        Opcode::InvWrite,
+        Opcode::InvStat,
+        Opcode::InvReaddir,
+        Opcode::InvRename,
+        Opcode::InvUnlink,
+    ];
+
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        Opcode::ALL.iter().copied().find(|op| *op as u8 == b)
+    }
+
+    /// Stable label for stats reporting.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Ping => "ping",
+            Opcode::Begin => "begin",
+            Opcode::Commit => "commit",
+            Opcode::Abort => "abort",
+            Opcode::Stats => "stats",
+            Opcode::CurrentTs => "current_ts",
+            Opcode::Shutdown => "shutdown",
+            Opcode::LoCreate => "lo_create",
+            Opcode::LoOpen => "lo_open",
+            Opcode::LoOpenAsOf => "lo_open_as_of",
+            Opcode::LoRead => "lo_read",
+            Opcode::LoWrite => "lo_write",
+            Opcode::LoSeek => "lo_seek",
+            Opcode::LoTell => "lo_tell",
+            Opcode::LoClose => "lo_close",
+            Opcode::LoUnlink => "lo_unlink",
+            Opcode::LoSize => "lo_size",
+            Opcode::LoReadAt => "lo_read_at",
+            Opcode::LoWriteAt => "lo_write_at",
+            Opcode::LoCreateTemp => "lo_create_temp",
+            Opcode::LoKeepTemp => "lo_keep_temp",
+            Opcode::GcTemps => "gc_temps",
+            Opcode::LoImport => "lo_import",
+            Opcode::LoExport => "lo_export",
+            Opcode::InvCreate => "inv_create",
+            Opcode::InvMkdir => "inv_mkdir",
+            Opcode::InvRead => "inv_read",
+            Opcode::InvWrite => "inv_write",
+            Opcode::InvStat => "inv_stat",
+            Opcode::InvReaddir => "inv_readdir",
+            Opcode::InvRename => "inv_rename",
+            Opcode::InvUnlink => "inv_unlink",
+        }
+    }
+}
+
+/// Reply status codes (`0` is OK; error payload is a UTF-8 message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Payload failed to decode for the opcode.
+    Malformed = 1,
+    /// Opcode byte not recognized.
+    UnknownOp = 2,
+    /// Operation needs a transaction and the session has none.
+    NoTxn = 3,
+    /// `begin` while a transaction is already open.
+    TxnOpen = 4,
+    /// Descriptor not found in this session.
+    BadFd = 5,
+    /// Object/path does not exist.
+    NotFound = 6,
+    /// Ownership/permission failure.
+    Permission = 7,
+    /// Write through a read-only descriptor.
+    ReadOnly = 8,
+    /// Operation unsupported by the object's implementation.
+    Unsupported = 9,
+    /// Request exceeds the per-op byte limit.
+    TooLarge = 10,
+    /// Storage-layer failure.
+    Storage = 11,
+    /// Inversion path error (exists / not a directory / not empty / ...).
+    Path = 12,
+    /// Host-file I/O failure.
+    Io = 13,
+    /// Server is draining for shutdown.
+    ShuttingDown = 14,
+    /// Handshake version mismatch.
+    BadVersion = 15,
+    /// Handler panicked (caught; the server keeps serving).
+    Internal = 16,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        [
+            Malformed,
+            UnknownOp,
+            NoTxn,
+            TxnOpen,
+            BadFd,
+            NotFound,
+            Permission,
+            ReadOnly,
+            Unsupported,
+            TooLarge,
+            Storage,
+            Path,
+            Io,
+            ShuttingDown,
+            BadVersion,
+            Internal,
+        ]
+        .into_iter()
+        .find(|c| *c as u8 == b)
+    }
+}
+
+/// `lo_seek` whence values.
+pub const SEEK_SET: u8 = 0;
+/// Relative to the current pointer.
+pub const SEEK_CUR: u8 = 1;
+/// Relative to end of object.
+pub const SEEK_END: u8 = 2;
+
+/// A large-object creation spec as it crosses the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpec {
+    /// Implementation: 0 ufile, 1 pfile, 2 fchunk, 3 vsegment.
+    pub kind: u8,
+    /// Codec: 0 none, 1 rle, 2 lz77.
+    pub codec: u8,
+    /// Acting user (owner of the new object).
+    pub user: u32,
+    /// User bytes per chunk; 0 = server default.
+    pub chunk_size: u32,
+    /// u-file only: the host path.
+    pub path: Option<String>,
+}
+
+impl WireSpec {
+    /// The workhorse default: f-chunk, no compression.
+    pub fn fchunk() -> Self {
+        Self { kind: 2, codec: 0, user: 0, chunk_size: 0, path: None }
+    }
+
+    /// A v-segment spec with the given codec byte.
+    pub fn vsegment(codec: u8) -> Self {
+        Self { kind: 3, codec, user: 0, chunk_size: 0, path: None }
+    }
+
+    /// Encode into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.kind);
+        out.push(self.codec);
+        put_u32(out, self.user);
+        put_u32(out, self.chunk_size);
+        match &self.path {
+            Some(p) => {
+                out.push(1);
+                put_str(out, p);
+            }
+            None => out.push(0),
+        }
+    }
+
+    /// Decode from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let kind = r.u8()?;
+        let codec = r.u8()?;
+        let user = r.u32()?;
+        let chunk_size = r.u32()?;
+        let path = if r.u8()? != 0 { Some(r.str()?) } else { None };
+        Ok(Self { kind, codec, user, chunk_size, path })
+    }
+}
+
+/// Payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Little-endian cursor over a payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fail unless the payload was fully consumed.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError("trailing bytes"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError("truncated payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an i64.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed byte string (u32 length).
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FRAME as usize {
+            return Err(DecodeError("byte string longer than frame bound"));
+        }
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError("invalid utf-8"))
+    }
+}
+
+/// Append a u32 (LE).
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a u64 (LE).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an i64 (LE).
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// I/O failure (including EOF mid-frame).
+    Io(io::Error),
+    /// Declared length is zero or exceeds [`MAX_FRAME`] — stream is
+    /// untrustworthy from here on.
+    BadLength(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "io: {e}"),
+            FrameError::BadLength(n) => write!(f, "bad frame length {n} (max {MAX_FRAME})"),
+        }
+    }
+}
+
+/// Read one `[u32 len][u8 tag][payload]` frame. Returns `(tag, payload)`.
+pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), FrameError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF (no bytes of a next frame) from a torn frame.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    FrameError::Eof
+                } else {
+                    FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "torn frame header",
+                    ))
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(FrameError::Io)?;
+    let tag = body[0];
+    body.drain(..1);
+    Ok((tag, body))
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let len = 1 + payload.len();
+    debug_assert!(len <= MAX_FRAME as usize);
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[tag])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Opcode::LoRead as u8, &[1, 2, 3]).unwrap();
+        let (tag, payload) = read_frame(&mut &buf[..]).unwrap();
+        assert_eq!(tag, Opcode::LoRead as u8);
+        assert_eq!(payload, vec![1, 2, 3]);
+        // And a clean EOF after it.
+        let mut cursor = &buf[buf.len()..];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.push(0x13);
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FrameError::BadLength(_))));
+        let mut zero = Vec::new();
+        zero.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(read_frame(&mut &zero[..]), Err(FrameError::BadLength(0))));
+    }
+
+    #[test]
+    fn torn_frame_is_io_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, &[9; 10]).unwrap();
+        buf.truncate(7);
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FrameError::Io(_))));
+        // Torn inside the length prefix too.
+        let mut short = Vec::new();
+        write_frame(&mut short, 1, &[]).unwrap();
+        short.truncate(2);
+        assert!(matches!(read_frame(&mut &short[..]), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        for spec in [
+            WireSpec::fchunk(),
+            WireSpec::vsegment(2),
+            WireSpec { kind: 0, codec: 0, user: 7, chunk_size: 4096, path: Some("/tmp/x".into()) },
+        ] {
+            let mut out = Vec::new();
+            spec.encode(&mut out);
+            let mut r = Reader::new(&out);
+            let back = WireSpec::decode(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn reader_rejects_truncation_and_trailing() {
+        let mut out = Vec::new();
+        put_str(&mut out, "hello");
+        let mut r = Reader::new(&out[..out.len() - 1]);
+        assert!(r.str().is_err());
+        let mut r = Reader::new(&out);
+        r.str().unwrap();
+        r.finish().unwrap();
+        let mut out2 = out.clone();
+        out2.push(0);
+        let mut r = Reader::new(&out2);
+        r.str().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn opcodes_roundtrip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+            assert!(seen.insert(op as u8), "duplicate opcode byte {:#x}", op as u8);
+        }
+        assert_eq!(Opcode::from_u8(0xEE), None);
+    }
+}

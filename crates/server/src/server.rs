@@ -1,0 +1,356 @@
+//! lobd's TCP front end: accept loop, bounded dispatch queue, worker pool,
+//! graceful shutdown.
+//!
+//! Threading model: one accept thread pushes connections into a *bounded*
+//! queue (`mpsc::sync_channel`); a fixed pool of workers pulls from it and
+//! serves each connection to completion. When the queue is full the accept
+//! thread blocks, so further connections wait in the OS listen backlog —
+//! backpressure instead of unbounded thread growth.
+//!
+//! Shutdown: [`ServerHandle::shutdown`] (or a client `shutdown` request)
+//! sets a flag. Workers notice at their next idle read timeout, finish the
+//! frame in flight, reply, and close — draining sessions rather than
+//! cutting them off. The accept thread is woken by a self-connection.
+
+use crate::proto::{self, ErrorCode, FrameError, Opcode, MAGIC, MAX_FRAME, VERSION};
+use crate::service::LobdService;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a worker blocks on a socket before re-checking the shutdown
+/// flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// How long the accept loop sleeps when no connection is pending. A
+/// shutdown requested by a *client* frame (not [`ServerHandle::shutdown`])
+/// is noticed within this interval.
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// How many poll intervals a worker tolerates mid-frame silence during
+/// shutdown before giving the connection up.
+const SHUTDOWN_GRACE_POLLS: u32 = 8;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; use port 0 to let the OS pick.
+    pub addr: String,
+    /// Worker threads — the cap on concurrently served connections.
+    pub workers: usize,
+    /// Bound on the accept→worker queue; beyond it, accepts block.
+    pub backlog: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".into(), workers: 16, backlog: 64 }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::shutdown`] (or send a `shutdown` frame) first, then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    service: Arc<LobdService>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared service.
+    pub fn service(&self) -> &Arc<LobdService> {
+        &self.service
+    }
+
+    /// Request a graceful shutdown. The accept loop and idle workers
+    /// notice within their poll intervals; in-flight requests complete.
+    pub fn shutdown(&self) {
+        self.service.request_shutdown();
+    }
+
+    /// Block until the accept loop and every worker have exited. Returns
+    /// the shared service so callers can read final statistics.
+    pub fn join(mut self) -> Arc<LobdService> {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        Arc::clone(&self.service)
+    }
+}
+
+/// Bind and start serving. Returns once the listener is live.
+pub fn spawn(service: Arc<LobdService>, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let (tx, rx) = sync_channel::<TcpStream>(config.backlog.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let service = Arc::clone(&service);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("lobd-worker-{i}"))
+                .spawn(move || worker_loop(&service, &rx))
+                .expect("spawn worker"),
+        );
+    }
+
+    // Nonblocking accept so the loop can notice a shutdown requested by a
+    // client frame; an idle listener is polled every ACCEPT_POLL.
+    listener.set_nonblocking(true)?;
+    let accept_service = Arc::clone(&service);
+    let accept = std::thread::Builder::new()
+        .name("lobd-accept".into())
+        .spawn(move || loop {
+            if accept_service.shutting_down() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets must block; workers rely on read
+                    // timeouts, not O_NONBLOCK.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    // Blocks when the queue is full: backpressure.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+            // tx drops on break; idle workers see Disconnected and exit.
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle { service, local_addr, accept: Some(accept), workers })
+}
+
+fn worker_loop(service: &Arc<LobdService>, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the lock only long enough to pull one connection.
+        let next = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv_timeout(POLL_INTERVAL)
+        };
+        match next {
+            Ok(stream) => {
+                if service.shutting_down() {
+                    // Drain: refuse new work once shutdown has begun.
+                    let _ = refuse(stream);
+                    continue;
+                }
+                serve_tcp(service, stream);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if service.shutting_down() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Best-effort "shutting down" reply to a connection we will not serve.
+fn refuse(mut stream: TcpStream) -> io::Result<()> {
+    let mut hello = [0u8; 5];
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    if stream.read_exact(&mut hello).is_ok() {
+        stream.write_all(MAGIC)?;
+        stream.write_all(&[VERSION])?;
+        proto::write_frame(&mut stream, ErrorCode::ShuttingDown as u8, b"server is shutting down")?;
+    }
+    Ok(())
+}
+
+fn serve_tcp(service: &Arc<LobdService>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut stream = stream;
+    serve_stream(service, &mut stream);
+}
+
+/// Serve one connection over any transport. Transports that can time out
+/// (`WouldBlock`/`TimedOut` reads, e.g. TCP with a read timeout) give the
+/// loop its shutdown poll; blocking transports (the in-process loopback)
+/// simply never yield timeouts and run until EOF.
+pub fn serve_stream<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) {
+    let mut session = service.session_opened();
+    if handshake(service, stream).is_ok() {
+        loop {
+            match read_frame_poll(stream, service) {
+                Ok(Some((tag, payload))) => {
+                    let (status, reply) = service.handle_frame(&mut session, tag, &payload);
+                    if proto::write_frame(stream, status, &reply).is_err() {
+                        break;
+                    }
+                    if Opcode::from_u8(tag) == Some(Opcode::Shutdown) && status == 0 {
+                        break;
+                    }
+                }
+                // Idle at shutdown: tell the client and drain out.
+                Ok(None) => {
+                    let _ = proto::write_frame(
+                        stream,
+                        ErrorCode::ShuttingDown as u8,
+                        b"server is shutting down",
+                    );
+                    break;
+                }
+                // A lying length prefix means the stream can no longer be
+                // trusted to frame correctly; reply best-effort and close.
+                Err(FrameError::BadLength(n)) => {
+                    let msg = format!("bad frame length {n} (max {MAX_FRAME})");
+                    let _ = proto::write_frame(stream, ErrorCode::Malformed as u8, msg.as_bytes());
+                    break;
+                }
+                // Clean close or torn frame: nothing to say, just clean up.
+                Err(FrameError::Eof) | Err(FrameError::Io(_)) => break,
+            }
+        }
+    }
+    service.session_closed(&mut session);
+}
+
+/// Exchange `MAGIC ++ VERSION` in both directions.
+fn handshake<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) -> io::Result<()> {
+    let mut hello = [0u8; 5];
+    read_full(stream, &mut hello, service, true)?;
+    if &hello[..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    if hello[4] != VERSION {
+        // Answer with our magic so the client can tell "wrong version"
+        // from "not a lobd server", then refuse.
+        stream.write_all(MAGIC)?;
+        stream.write_all(&[VERSION])?;
+        let _ = proto::write_frame(
+            stream,
+            ErrorCode::BadVersion as u8,
+            format!("unsupported protocol version {}", hello[4]).as_bytes(),
+        );
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad version"));
+    }
+    stream.write_all(MAGIC)?;
+    stream.write_all(&[VERSION])?;
+    stream.flush()
+}
+
+/// Like [`proto::read_frame`] but tolerant of read timeouts: a timeout
+/// while *idle* (no frame bytes yet) checks the shutdown flag and keeps
+/// waiting; `Ok(None)` means shutdown was requested while idle. Timeouts
+/// *mid-frame* keep reading — the client is mid-send — up to a grace limit
+/// once shutdown begins.
+fn read_frame_poll<S: Read>(
+    stream: &mut S,
+    service: &LobdService,
+) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    let mut grace = 0u32;
+    while got < 4 {
+        match stream.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    FrameError::Eof
+                } else {
+                    FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "torn frame header",
+                    ))
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if got == 0 && service.shutting_down() {
+                    return Ok(None);
+                }
+                if got > 0 && service.shutting_down() {
+                    grace += 1;
+                    if grace > SHUTDOWN_GRACE_POLLS {
+                        return Err(FrameError::Io(e));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut got = 0;
+    let mut grace = 0u32;
+    while got < body.len() {
+        match stream.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "torn frame body",
+                )));
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if service.shutting_down() {
+                    grace += 1;
+                    if grace > SHUTDOWN_GRACE_POLLS {
+                        return Err(FrameError::Io(e));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let tag = body[0];
+    body.drain(..1);
+    Ok(Some((tag, body)))
+}
+
+/// `read_exact` that rides through timeouts. With `idle_abort`, a timeout
+/// before any byte arrives during shutdown aborts the read.
+fn read_full<S: Read>(
+    stream: &mut S,
+    buf: &mut [u8],
+    service: &LobdService,
+    idle_abort: bool,
+) -> io::Result<()> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof")),
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if idle_abort && got == 0 && service.shutting_down() {
+                    return Err(e);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}

@@ -1,0 +1,579 @@
+//! Request dispatch: decode a frame's payload, act on the shared storage
+//! stack, encode the reply.
+//!
+//! [`LobdService`] is transport-agnostic — the TCP server and the
+//! in-process loopback both feed it `(opcode, payload)` pairs and write
+//! back whatever it returns. A malformed payload inside a well-formed
+//! frame yields an error *reply*; it never tears down the connection, and
+//! a panicking handler is caught and reported as [`ErrorCode::Internal`]
+//! so one poisoned request cannot take the daemon down.
+
+use crate::proto::{
+    self, ErrorCode, Opcode, Reader, WireSpec, MAX_IO, SEEK_CUR, SEEK_END, SEEK_SET,
+};
+use crate::session::Session;
+use crate::stats::{OpStats, ServerStats};
+use pglo_compress::CodecKind;
+use pglo_core::{LoCursor, LoError, LoId, LoKind, LoSpec, LoStore, OpenMode, UserId};
+use pglo_heap::StorageEnv;
+use pglo_inversion::{InvError, InversionFs};
+use std::io::SeekFrom;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A reply: `Ok(payload)` or an error code with a human-readable message.
+pub type Reply = Result<Vec<u8>, (ErrorCode, String)>;
+
+/// The shared server core: one storage stack, many sessions.
+pub struct LobdService {
+    env: Arc<StorageEnv>,
+    store: Arc<LoStore>,
+    fs: Arc<InversionFs>,
+    stats: OpStats,
+    sessions: AtomicU64,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl LobdService {
+    /// Open (or create) a database under `dir` and build the service.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Arc<Self>, LoError> {
+        let env = StorageEnv::open(dir.as_ref())?;
+        Self::with_env(env)
+    }
+
+    /// Build the service over an existing environment.
+    pub fn with_env(env: Arc<StorageEnv>) -> Result<Arc<Self>, LoError> {
+        let store = Arc::new(LoStore::new(Arc::clone(&env)));
+        let fs =
+            InversionFs::open(&env, Arc::clone(&store), LoSpec::fchunk()).map_err(|e| match e {
+                InvError::Lo(e) => e,
+                other => LoError::Meta(other.to_string()),
+            })?;
+        Ok(Arc::new(Self {
+            env,
+            store,
+            fs: Arc::new(fs),
+            stats: OpStats::new(),
+            sessions: AtomicU64::new(0),
+            next_session: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        }))
+    }
+
+    /// The storage environment.
+    pub fn env(&self) -> &Arc<StorageEnv> {
+        &self.env
+    }
+
+    /// The large-object store.
+    pub fn store(&self) -> &Arc<LoStore> {
+        &self.store
+    }
+
+    /// The Inversion file system.
+    pub fn fs(&self) -> &Arc<InversionFs> {
+        &self.fs
+    }
+
+    /// Whether a graceful shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request a graceful shutdown (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Allocate a session id and count the connection.
+    pub fn session_opened(&self) -> Session {
+        self.sessions.fetch_add(1, Ordering::SeqCst);
+        Session::new(self.next_session.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Tear down a session: reclaim temporaries, abort an orphaned
+    /// transaction, release the connection slot.
+    pub fn session_closed(&self, session: &mut Session) {
+        session.close(&self.store);
+        self.sessions.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Connections currently counted as open.
+    pub fn session_count(&self) -> u64 {
+        self.sessions.load(Ordering::SeqCst)
+    }
+
+    /// Handle one frame: returns `(status_byte, reply_payload)`. Never
+    /// panics — handler panics are caught and mapped to
+    /// [`ErrorCode::Internal`].
+    pub fn handle_frame(&self, session: &mut Session, tag: u8, payload: &[u8]) -> (u8, Vec<u8>) {
+        let Some(op) = Opcode::from_u8(tag) else {
+            return err_reply(ErrorCode::UnknownOp, format!("unknown opcode {tag:#04x}"));
+        };
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(session, op, payload)))
+            .unwrap_or_else(|p| {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "handler panicked".into());
+                Err((ErrorCode::Internal, format!("internal error: {msg}")))
+            });
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.stats.record(op, outcome.is_ok(), elapsed);
+        match outcome {
+            Ok(payload) => (0, payload),
+            Err((code, msg)) => err_reply(code, msg),
+        }
+    }
+
+    fn dispatch(&self, session: &mut Session, op: Opcode, payload: &[u8]) -> Reply {
+        let mut r = Reader::new(payload);
+        match op {
+            Opcode::Ping => Ok(payload.to_vec()),
+
+            Opcode::Begin => {
+                r.finish().map_err(malformed)?;
+                if session.txn.is_some() {
+                    return Err((ErrorCode::TxnOpen, "transaction already open".into()));
+                }
+                session.txn = Some(self.env.begin());
+                Ok(Vec::new())
+            }
+            Opcode::Commit => {
+                r.finish().map_err(malformed)?;
+                let txn = session.txn.take().ok_or_else(no_txn)?;
+                // Force-at-commit: dirty pages reach their storage managers
+                // before the commit record — a later incarnation of the
+                // server must find every page a committed transaction wrote.
+                self.env
+                    .pool()
+                    .flush_all()
+                    .map_err(|e| (ErrorCode::Internal, format!("flush at commit: {e}")))?;
+                let ts = txn.commit();
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, ts);
+                Ok(out)
+            }
+            Opcode::Abort => {
+                r.finish().map_err(malformed)?;
+                let txn = session.txn.take().ok_or_else(no_txn)?;
+                txn.abort();
+                Ok(Vec::new())
+            }
+            Opcode::CurrentTs => {
+                r.finish().map_err(malformed)?;
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, self.env.txns().current_timestamp());
+                Ok(out)
+            }
+            Opcode::Stats => {
+                r.finish().map_err(malformed)?;
+                Ok(self.stats_snapshot().encode())
+            }
+            Opcode::Shutdown => {
+                r.finish().map_err(malformed)?;
+                self.request_shutdown();
+                Ok(Vec::new())
+            }
+
+            Opcode::LoCreate => {
+                let spec = WireSpec::decode(&mut r).map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let spec = lospec_from_wire(&spec)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                let id = self.store.create(txn, &spec).map_err(lo_err)?;
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, id.0);
+                Ok(out)
+            }
+            Opcode::LoOpen => {
+                let id = LoId(r.u64().map_err(malformed)?);
+                let mode = match r.u8().map_err(malformed)? {
+                    0 => OpenMode::ReadOnly,
+                    1 => OpenMode::ReadWrite,
+                    _ => return Err((ErrorCode::Malformed, "bad open mode".into())),
+                };
+                let user = UserId(r.u32().map_err(malformed)?);
+                r.finish().map_err(malformed)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                // Open-check now so a bad id fails at open, not first read.
+                self.store.open_as(txn, id, mode, user).map_err(lo_err)?.close().map_err(lo_err)?;
+                let fd = session.install(LoCursor::new(id, mode, user));
+                let mut out = Vec::new();
+                proto::put_u32(&mut out, fd);
+                Ok(out)
+            }
+            Opcode::LoOpenAsOf => {
+                let id = LoId(r.u64().map_err(malformed)?);
+                let ts = r.u64().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                // Time travel needs no transaction; validate eagerly.
+                self.store.open_as_of(id, ts).map_err(lo_err)?.close().map_err(lo_err)?;
+                let fd = session.install(LoCursor::as_of(id, ts));
+                let mut out = Vec::new();
+                proto::put_u32(&mut out, fd);
+                Ok(out)
+            }
+            Opcode::LoRead => {
+                let fd = r.u32().map_err(malformed)?;
+                let len = r.u32().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                check_io_len(len)?;
+                let Session { txn, fds, .. } = session;
+                let cur = fds.get_mut(&fd).ok_or_else(|| bad_fd(fd))?;
+                let mut buf = vec![0u8; len as usize];
+                let n = cur.read(&self.store, txn.as_ref(), &mut buf).map_err(lo_err)?;
+                buf.truncate(n);
+                Ok(buf)
+            }
+            Opcode::LoWrite => {
+                let fd = r.u32().map_err(malformed)?;
+                let data = r.bytes().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                check_io_len(data.len() as u32)?;
+                let Session { txn, fds, .. } = session;
+                let cur = fds.get_mut(&fd).ok_or_else(|| bad_fd(fd))?;
+                cur.write(&self.store, txn.as_ref(), data).map_err(lo_err)?;
+                Ok(Vec::new())
+            }
+            Opcode::LoSeek => {
+                let fd = r.u32().map_err(malformed)?;
+                let whence = r.u8().map_err(malformed)?;
+                let offset = r.i64().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let from = match whence {
+                    SEEK_SET if offset >= 0 => SeekFrom::Start(offset as u64),
+                    SEEK_SET => {
+                        return Err((ErrorCode::Malformed, "negative absolute seek".into()))
+                    }
+                    SEEK_CUR => SeekFrom::Current(offset),
+                    SEEK_END => SeekFrom::End(offset),
+                    _ => return Err((ErrorCode::Malformed, "bad seek whence".into())),
+                };
+                let Session { txn, fds, .. } = session;
+                let cur = fds.get_mut(&fd).ok_or_else(|| bad_fd(fd))?;
+                let pos = cur.seek(&self.store, txn.as_ref(), from).map_err(lo_err)?;
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, pos);
+                Ok(out)
+            }
+            Opcode::LoTell => {
+                let fd = r.u32().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let cur = session.fds.get(&fd).ok_or_else(|| bad_fd(fd))?;
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, cur.tell());
+                Ok(out)
+            }
+            Opcode::LoClose => {
+                let fd = r.u32().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                session.fds.remove(&fd).ok_or_else(|| bad_fd(fd))?;
+                Ok(Vec::new())
+            }
+            Opcode::LoUnlink => {
+                let id = LoId(r.u64().map_err(malformed)?);
+                r.finish().map_err(malformed)?;
+                self.store.unlink(id).map_err(lo_err)?;
+                Ok(Vec::new())
+            }
+            Opcode::LoSize => {
+                let fd = r.u32().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let Session { txn, fds, .. } = session;
+                let cur = fds.get(&fd).ok_or_else(|| bad_fd(fd))?;
+                let size = cur.size(&self.store, txn.as_ref()).map_err(lo_err)?;
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, size);
+                Ok(out)
+            }
+            Opcode::LoReadAt => {
+                let fd = r.u32().map_err(malformed)?;
+                let offset = r.u64().map_err(malformed)?;
+                let len = r.u32().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                check_io_len(len)?;
+                let Session { txn, fds, .. } = session;
+                let cur = fds.get(&fd).ok_or_else(|| bad_fd(fd))?;
+                let mut buf = vec![0u8; len as usize];
+                let n = cur.read_at(&self.store, txn.as_ref(), offset, &mut buf).map_err(lo_err)?;
+                buf.truncate(n);
+                Ok(buf)
+            }
+            Opcode::LoWriteAt => {
+                let fd = r.u32().map_err(malformed)?;
+                let offset = r.u64().map_err(malformed)?;
+                let data = r.bytes().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                check_io_len(data.len() as u32)?;
+                let Session { txn, fds, .. } = session;
+                let cur = fds.get(&fd).ok_or_else(|| bad_fd(fd))?;
+                cur.write_at(&self.store, txn.as_ref(), offset, data).map_err(lo_err)?;
+                Ok(Vec::new())
+            }
+            Opcode::LoCreateTemp => {
+                let spec = WireSpec::decode(&mut r).map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let spec = lospec_from_wire(&spec)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                let id = self.store.create_temp(txn, &spec).map_err(lo_err)?;
+                session.temps.push(id);
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, id.0);
+                Ok(out)
+            }
+            Opcode::LoKeepTemp => {
+                let id = LoId(r.u64().map_err(malformed)?);
+                r.finish().map_err(malformed)?;
+                let was_temp = self.store.keep_temp(id);
+                session.temps.retain(|t| *t != id);
+                Ok(vec![u8::from(was_temp)])
+            }
+            Opcode::GcTemps => {
+                r.finish().map_err(malformed)?;
+                let reclaimed = session.gc_temps(&self.store) as u32;
+                let mut out = Vec::new();
+                proto::put_u32(&mut out, reclaimed);
+                Ok(out)
+            }
+            Opcode::LoImport => {
+                let spec = WireSpec::decode(&mut r).map_err(malformed)?;
+                let path = r.str().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let spec = lospec_from_wire(&spec)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                let id = self.store.import_file(txn, &spec, &path).map_err(lo_err)?;
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, id.0);
+                Ok(out)
+            }
+            Opcode::LoExport => {
+                let id = LoId(r.u64().map_err(malformed)?);
+                let path = r.str().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                let n = self.store.export_file(txn, id, &path).map_err(lo_err)?;
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, n);
+                Ok(out)
+            }
+
+            Opcode::InvCreate => {
+                let path = r.str().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                let id = self.fs.create(txn, &path).map_err(inv_err)?;
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, id);
+                Ok(out)
+            }
+            Opcode::InvMkdir => {
+                let path = r.str().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                let id = self.fs.mkdir(txn, &path).map_err(inv_err)?;
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, id);
+                Ok(out)
+            }
+            Opcode::InvRead => {
+                let path = r.str().map_err(malformed)?;
+                let offset = r.u64().map_err(malformed)?;
+                let len = r.u32().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                check_io_len(len)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                let mut f = self.fs.open_file(txn, &path, OpenMode::ReadOnly).map_err(inv_err)?;
+                let mut buf = vec![0u8; len as usize];
+                let n = f.read_at(offset, &mut buf).map_err(inv_err)?;
+                f.close().map_err(inv_err)?;
+                buf.truncate(n);
+                Ok(buf)
+            }
+            Opcode::InvWrite => {
+                let path = r.str().map_err(malformed)?;
+                let offset = r.u64().map_err(malformed)?;
+                let data = r.bytes().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                check_io_len(data.len() as u32)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                let mut f = self.fs.open_file(txn, &path, OpenMode::ReadWrite).map_err(inv_err)?;
+                f.write_at(offset, data).map_err(inv_err)?;
+                f.close().map_err(inv_err)?;
+                Ok(Vec::new())
+            }
+            Opcode::InvStat => {
+                let path = r.str().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                let st = self.fs.stat(txn, &path).map_err(inv_err)?;
+                let mut out = Vec::new();
+                proto::put_u64(&mut out, st.file_id);
+                proto::put_u32(&mut out, st.owner.0);
+                proto::put_u32(&mut out, st.mode);
+                proto::put_u64(&mut out, st.atime);
+                proto::put_u64(&mut out, st.mtime);
+                proto::put_u64(&mut out, st.size);
+                out.push(u8::from(st.is_dir));
+                Ok(out)
+            }
+            Opcode::InvReaddir => {
+                let path = r.str().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                let entries = self.fs.readdir(txn, &path).map_err(inv_err)?;
+                let mut out = Vec::new();
+                proto::put_u32(&mut out, entries.len() as u32);
+                for e in entries {
+                    proto::put_str(&mut out, &e.name);
+                    proto::put_u64(&mut out, e.file_id);
+                    out.push(u8::from(e.is_dir));
+                }
+                Ok(out)
+            }
+            Opcode::InvRename => {
+                let from = r.str().map_err(malformed)?;
+                let to = r.str().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                self.fs.rename(txn, &from, &to).map_err(inv_err)?;
+                Ok(Vec::new())
+            }
+            Opcode::InvUnlink => {
+                let path = r.str().map_err(malformed)?;
+                r.finish().map_err(malformed)?;
+                let txn = session.txn.as_ref().ok_or_else(no_txn)?;
+                self.fs.unlink(txn, &path).map_err(inv_err)?;
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// A full statistics snapshot (also used by `lobd` at exit).
+    pub fn stats_snapshot(&self) -> ServerStats {
+        let pool = self.env.pool().stats();
+        let (commits, aborts) = self.env.txns().counters();
+        ServerStats {
+            ops: self
+                .stats
+                .snapshot()
+                .into_iter()
+                .map(|(op, c, e, ns)| (op.name().to_string(), c, e, ns))
+                .collect(),
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            pool_hit_rate: pool.hit_rate(),
+            commits,
+            aborts,
+            active_txns: self.env.txns().active_count() as u64,
+            active_sessions: self.session_count(),
+        }
+    }
+}
+
+fn err_reply(code: ErrorCode, msg: String) -> (u8, Vec<u8>) {
+    (code as u8, msg.into_bytes())
+}
+
+fn malformed(e: proto::DecodeError) -> (ErrorCode, String) {
+    (ErrorCode::Malformed, e.to_string())
+}
+
+fn no_txn() -> (ErrorCode, String) {
+    (ErrorCode::NoTxn, "no transaction open in this session".into())
+}
+
+fn bad_fd(fd: u32) -> (ErrorCode, String) {
+    (ErrorCode::BadFd, format!("descriptor {fd} is not open in this session"))
+}
+
+fn check_io_len(len: u32) -> Result<(), (ErrorCode, String)> {
+    if len > MAX_IO {
+        Err((ErrorCode::TooLarge, format!("{len} bytes exceeds the {MAX_IO}-byte op limit")))
+    } else {
+        Ok(())
+    }
+}
+
+fn lospec_from_wire(w: &WireSpec) -> Result<LoSpec, (ErrorCode, String)> {
+    let mut spec = match w.kind {
+        0 => {
+            let path = w
+                .path
+                .as_ref()
+                .ok_or_else(|| (ErrorCode::Malformed, "u-file spec requires a path".to_string()))?;
+            LoSpec::ufile(path)
+        }
+        1 => LoSpec::pfile(),
+        2 => LoSpec::fchunk(),
+        3 => LoSpec::vsegment(CodecKind::None),
+        k => return Err((ErrorCode::Malformed, format!("bad large-object kind {k}"))),
+    };
+    spec.codec = match w.codec {
+        0 => CodecKind::None,
+        1 => CodecKind::Rle,
+        2 => CodecKind::Lz77,
+        c => return Err((ErrorCode::Malformed, format!("bad codec {c}"))),
+    };
+    spec.owner = UserId(w.user);
+    if w.chunk_size != 0 {
+        spec.chunk_size = w.chunk_size as usize;
+    }
+    Ok(spec)
+}
+
+/// Wire kind byte for a [`LoKind`] (inverse of [`lospec_from_wire`]).
+pub fn kind_to_wire(kind: LoKind) -> u8 {
+    match kind {
+        LoKind::UFile => 0,
+        LoKind::PFile => 1,
+        LoKind::FChunk => 2,
+        LoKind::VSegment => 3,
+    }
+}
+
+fn lo_err(e: LoError) -> (ErrorCode, String) {
+    let code = match &e {
+        LoError::NotFound(_) => ErrorCode::NotFound,
+        LoError::Permission { .. } => ErrorCode::Permission,
+        LoError::ReadOnly => ErrorCode::ReadOnly,
+        LoError::Unsupported(_) => ErrorCode::Unsupported,
+        LoError::Io(_) => ErrorCode::Io,
+        LoError::Heap(_) | LoError::Smgr(_) | LoError::Corrupt(_) | LoError::Meta(_) => {
+            ErrorCode::Storage
+        }
+    };
+    (code, e.to_string())
+}
+
+fn inv_err(e: InvError) -> (ErrorCode, String) {
+    let code = match &e {
+        InvError::Lo(lo) => return lo_err_keep_msg(lo, &e),
+        InvError::NotFound(_) => ErrorCode::NotFound,
+        InvError::Exists(_)
+        | InvError::NotADirectory(_)
+        | InvError::IsADirectory(_)
+        | InvError::NotEmpty(_)
+        | InvError::BadPath(_) => ErrorCode::Path,
+        InvError::Heap(_) | InvError::Adt(_) => ErrorCode::Storage,
+    };
+    (code, e.to_string())
+}
+
+fn lo_err_keep_msg(lo: &LoError, outer: &InvError) -> (ErrorCode, String) {
+    let code = match lo {
+        LoError::NotFound(_) => ErrorCode::NotFound,
+        LoError::Permission { .. } => ErrorCode::Permission,
+        LoError::ReadOnly => ErrorCode::ReadOnly,
+        LoError::Unsupported(_) => ErrorCode::Unsupported,
+        LoError::Io(_) => ErrorCode::Io,
+        _ => ErrorCode::Storage,
+    };
+    (code, outer.to_string())
+}

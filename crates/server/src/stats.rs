@@ -1,0 +1,179 @@
+//! Server observability: per-op counters and latency sums.
+
+use crate::proto::{self, Opcode, Reader};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free per-opcode accounting. One slot per opcode in
+/// [`Opcode::ALL`] order.
+pub struct OpStats {
+    count: Vec<AtomicU64>,
+    errors: Vec<AtomicU64>,
+    total_ns: Vec<AtomicU64>,
+}
+
+impl Default for OpStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpStats {
+    /// Fresh zeroed table.
+    pub fn new() -> Self {
+        let n = Opcode::ALL.len();
+        Self {
+            count: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            errors: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            total_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn slot(op: Opcode) -> usize {
+        Opcode::ALL.iter().position(|o| *o == op).expect("opcode in ALL")
+    }
+
+    /// Record one completed request.
+    pub fn record(&self, op: Opcode, ok: bool, elapsed_ns: u64) {
+        let i = Self::slot(op);
+        self.count[i].fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors[i].fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_ns[i].fetch_add(elapsed_ns, Ordering::Relaxed);
+    }
+
+    /// Snapshot rows `(opcode, count, errors, total_ns)` for ops seen at
+    /// least once.
+    pub fn snapshot(&self) -> Vec<(Opcode, u64, u64, u64)> {
+        Opcode::ALL
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| {
+                let c = self.count[i].load(Ordering::Relaxed);
+                (c > 0).then(|| {
+                    (
+                        *op,
+                        c,
+                        self.errors[i].load(Ordering::Relaxed),
+                        self.total_ns[i].load(Ordering::Relaxed),
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+/// The decoded reply of a `stats` request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStats {
+    /// Per-op rows: `(name, count, errors, total_ns)`.
+    pub ops: Vec<(String, u64, u64, u64)>,
+    /// Buffer-pool hits.
+    pub pool_hits: u64,
+    /// Buffer-pool misses.
+    pub pool_misses: u64,
+    /// Buffer-pool hit rate in `[0, 1]`.
+    pub pool_hit_rate: f64,
+    /// Committed transactions since server start.
+    pub commits: u64,
+    /// Aborted transactions since server start.
+    pub aborts: u64,
+    /// Transactions currently in progress (any session).
+    pub active_txns: u64,
+    /// Connections currently being served.
+    pub active_sessions: u64,
+}
+
+impl ServerStats {
+    /// Total request count across ops.
+    pub fn total_requests(&self) -> u64 {
+        self.ops.iter().map(|(_, c, _, _)| c).sum()
+    }
+
+    /// Count for one op name, 0 if never seen.
+    pub fn op_count(&self, name: &str) -> u64 {
+        self.ops.iter().find(|(n, _, _, _)| n == name).map_or(0, |(_, c, _, _)| *c)
+    }
+
+    /// Encode as a stats reply payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        proto::put_u32(&mut out, self.ops.len() as u32);
+        for (name, count, errors, ns) in &self.ops {
+            proto::put_str(&mut out, name);
+            proto::put_u64(&mut out, *count);
+            proto::put_u64(&mut out, *errors);
+            proto::put_u64(&mut out, *ns);
+        }
+        proto::put_u64(&mut out, self.pool_hits);
+        proto::put_u64(&mut out, self.pool_misses);
+        proto::put_u64(&mut out, self.pool_hit_rate.to_bits());
+        proto::put_u64(&mut out, self.commits);
+        proto::put_u64(&mut out, self.aborts);
+        proto::put_u64(&mut out, self.active_txns);
+        proto::put_u64(&mut out, self.active_sessions);
+        out
+    }
+
+    /// Decode a stats reply payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, proto::DecodeError> {
+        let mut r = Reader::new(payload);
+        let n = r.u32()? as usize;
+        if n > 4096 {
+            return Err(proto::DecodeError("absurd op row count"));
+        }
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let count = r.u64()?;
+            let errors = r.u64()?;
+            let ns = r.u64()?;
+            ops.push((name, count, errors, ns));
+        }
+        let stats = Self {
+            ops,
+            pool_hits: r.u64()?,
+            pool_misses: r.u64()?,
+            pool_hit_rate: f64::from_bits(r.u64()?),
+            commits: r.u64()?,
+            aborts: r.u64()?,
+            active_txns: r.u64()?,
+            active_sessions: r.u64()?,
+        };
+        r.finish()?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = OpStats::new();
+        s.record(Opcode::LoRead, true, 100);
+        s.record(Opcode::LoRead, false, 50);
+        s.record(Opcode::Begin, true, 10);
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 2);
+        let read = snap.iter().find(|(op, ..)| *op == Opcode::LoRead).unwrap();
+        assert_eq!((read.1, read.2, read.3), (2, 1, 150));
+    }
+
+    #[test]
+    fn stats_reply_roundtrip() {
+        let stats = ServerStats {
+            ops: vec![("lo_read".into(), 5, 1, 12345), ("begin".into(), 2, 0, 99)],
+            pool_hits: 10,
+            pool_misses: 3,
+            pool_hit_rate: 10.0 / 13.0,
+            commits: 4,
+            aborts: 1,
+            active_txns: 2,
+            active_sessions: 3,
+        };
+        let enc = stats.encode();
+        assert_eq!(ServerStats::decode(&enc).unwrap(), stats);
+    }
+}

@@ -1,0 +1,169 @@
+//! The in-process loopback transport: the full protocol with no socket.
+//! Everything the TCP tests prove about the codec and dispatch must hold
+//! here too, since both transports share `serve_stream` and `Client`.
+
+use pglo_server::{loopback, ErrorCode, LobdService, WireSpec};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn service() -> (tempfile::TempDir, Arc<LobdService>) {
+    let dir = tempfile::tempdir().unwrap();
+    let service = LobdService::open(dir.path()).unwrap();
+    (dir, service)
+}
+
+#[test]
+fn loopback_full_lifecycle() {
+    let (_dir, service) = service();
+    let mut lb = loopback::connect(&service).unwrap();
+    let c = &mut lb.client;
+
+    assert_eq!(c.ping(b"in-process").unwrap(), b"in-process");
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    let fd = c.lo_open(id, true, 0).unwrap();
+    c.lo_write(fd, b"no socket involved").unwrap();
+    c.lo_seek(fd, pglo_server::proto::SEEK_SET, 3).unwrap();
+    assert_eq!(c.lo_read(fd, 6).unwrap(), b"socket");
+    c.lo_close(fd).unwrap();
+    let ts = c.commit().unwrap();
+
+    // Time travel over loopback too.
+    let fd = c.lo_open_as_of(id, ts).unwrap();
+    assert_eq!(c.lo_read_at(fd, 0, 64).unwrap(), b"no socket involved");
+    c.lo_close(fd).unwrap();
+
+    let stats = c.stats().unwrap();
+    assert!(stats.total_requests() > 0);
+    assert_eq!(stats.active_sessions, 1);
+
+    drop(lb.client);
+    lb.server.join().unwrap();
+    assert_eq!(service.session_count(), 0);
+}
+
+#[test]
+fn loopback_errors_match_tcp_semantics() {
+    let (_dir, service) = service();
+    let mut lb = loopback::connect(&service).unwrap();
+    let c = &mut lb.client;
+
+    assert_eq!(c.commit().unwrap_err().code(), Some(ErrorCode::NoTxn));
+    let (status, _) = c.call_raw(0xEE, &[]).unwrap();
+    assert_eq!(ErrorCode::from_u8(status), Some(ErrorCode::UnknownOp));
+    let (status, _) = c.call_raw(0x11, &[1, 2, 3]).unwrap();
+    assert_eq!(ErrorCode::from_u8(status), Some(ErrorCode::Malformed));
+    assert_eq!(c.ping(b"fine").unwrap(), b"fine");
+
+    drop(lb.client);
+    lb.server.join().unwrap();
+}
+
+#[test]
+fn loopback_disconnect_aborts_orphan() {
+    let (_dir, service) = service();
+    let mut lb = loopback::connect(&service).unwrap();
+    lb.client.begin().unwrap();
+    lb.client.lo_create(&WireSpec::fchunk()).unwrap();
+    assert_eq!(service.env().txns().active_count(), 1);
+
+    drop(lb.client);
+    lb.server.join().unwrap();
+
+    assert_eq!(service.env().txns().active_count(), 0, "orphan aborted at EOF");
+    let (_, aborts) = service.env().txns().counters();
+    assert!(aborts >= 1);
+}
+
+#[test]
+fn many_loopback_sessions_share_one_stack() {
+    let (_dir, service) = service();
+
+    let ids: Vec<u64> = std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for i in 0..8u8 {
+            let service = &service;
+            joins.push(s.spawn(move || {
+                let mut lb = loopback::connect(service).unwrap();
+                let c = &mut lb.client;
+                c.begin().unwrap();
+                let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+                let fd = c.lo_open(id, true, 0).unwrap();
+                c.lo_write(fd, &vec![i + 1; 10_000]).unwrap();
+                c.lo_close(fd).unwrap();
+                c.commit().unwrap();
+                drop(lb.client);
+                lb.server.join().unwrap();
+                id
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    // All 8 objects visible and distinct through one more session.
+    let mut lb = loopback::connect(&service).unwrap();
+    let c = &mut lb.client;
+    c.begin().unwrap();
+    for (i, id) in ids.iter().enumerate() {
+        let fd = c.lo_open(*id, false, 0).unwrap();
+        let data = c.lo_read_all(fd, 10_000).unwrap();
+        assert_eq!(data.len(), 10_000);
+        assert!(data.iter().all(|b| *b == i as u8 + 1));
+        c.lo_close(fd).unwrap();
+    }
+    c.commit().unwrap();
+}
+
+/// Loopback sessions obey shutdown draining just like TCP ones.
+#[test]
+fn loopback_sees_shutdown() {
+    let (_dir, service) = service();
+    let mut lb = loopback::connect(&service).unwrap();
+    lb.client.shutdown().unwrap();
+    // The serve loop exits right after acknowledging shutdown.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while !lb.server.is_finished() {
+        assert!(Instant::now() < deadline, "loopback session must exit after shutdown");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(service.shutting_down());
+}
+
+/// A lobd restarted on the same data directory serves the objects earlier
+/// incarnations committed: visibility, size, and the time-travel axis all
+/// come back from the durable commit log.
+#[test]
+fn restart_preserves_committed_objects() {
+    let dir = tempfile::tempdir().unwrap();
+    let (id, ts) = {
+        let service = LobdService::open(dir.path()).unwrap();
+        let mut lb = loopback::connect(&service).unwrap();
+        let c = &mut lb.client;
+        c.begin().unwrap();
+        let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+        let fd = c.lo_open(id, true, 0).unwrap();
+        c.lo_write(fd, b"durable across restarts").unwrap();
+        c.lo_close(fd).unwrap();
+        let ts = c.commit().unwrap();
+        drop(lb.client);
+        lb.server.join().unwrap();
+        (id, ts)
+    };
+
+    let service = LobdService::open(dir.path()).unwrap();
+    let mut lb = loopback::connect(&service).unwrap();
+    let c = &mut lb.client;
+    // A fresh snapshot sees the prior incarnation's commit…
+    c.begin().unwrap();
+    let fd = c.lo_open(id, false, 0).unwrap();
+    assert_eq!(c.lo_read_at(fd, 0, 64).unwrap(), b"durable across restarts");
+    c.lo_close(fd).unwrap();
+    c.commit().unwrap();
+    // …and so does a time-travel open at the old commit's timestamp.
+    assert!(c.current_ts().unwrap() >= ts);
+    let fd = c.lo_open_as_of(id, ts).unwrap();
+    assert_eq!(c.lo_read_at(fd, 8, 6).unwrap(), b"across");
+    c.lo_close(fd).unwrap();
+    drop(lb.client);
+    lb.server.join().unwrap();
+}

@@ -1,0 +1,370 @@
+//! End-to-end tests over real TCP: concurrent clients, MVCC isolation
+//! through the wire, time travel, temporaries, Inversion ops, statistics.
+
+use pglo_server::{spawn, Client, LobdService, ServerConfig, ServerHandle, WireSpec};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn start() -> (tempfile::TempDir, ServerHandle) {
+    let dir = tempfile::tempdir().unwrap();
+    let service = LobdService::open(dir.path()).unwrap();
+    let handle = spawn(service, ServerConfig::default()).unwrap();
+    (dir, handle)
+}
+
+fn connect(handle: &ServerHandle) -> Client<TcpStream> {
+    Client::connect(handle.local_addr()).unwrap()
+}
+
+fn stop(handle: ServerHandle) {
+    handle.shutdown();
+    handle.join();
+}
+
+/// Poll until `cond` holds or panic after two seconds.
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn create_write_read_roundtrip() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+
+    assert_eq!(c.ping(b"hello").unwrap(), b"hello");
+
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    let fd = c.lo_open(id, true, 0).unwrap();
+    c.lo_write(fd, b"the quick brown fox").unwrap();
+    assert_eq!(c.lo_tell(fd).unwrap(), 19);
+    assert_eq!(c.lo_size(fd).unwrap(), 19);
+    c.lo_seek(fd, pglo_server::proto::SEEK_SET, 4).unwrap();
+    assert_eq!(c.lo_read(fd, 5).unwrap(), b"quick");
+    assert_eq!(c.lo_read_at(fd, 10, 5).unwrap(), b"brown");
+    c.lo_close(fd).unwrap();
+    let ts = c.commit().unwrap();
+    assert!(ts > 0);
+    stop(handle);
+}
+
+#[test]
+fn eight_concurrent_clients_isolated_writes() {
+    let (_dir, handle) = start();
+    let addr = handle.local_addr();
+
+    const N: usize = 8;
+    const SIZE: usize = 100_000;
+    let ids: Vec<(u64, u8)> = std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for i in 0..N {
+            joins.push(s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let fill = i as u8 + 1;
+                let data = vec![fill; SIZE];
+                c.begin().unwrap();
+                let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+                let fd = c.lo_open(id, true, 0).unwrap();
+                c.lo_write_all(fd, &data).unwrap();
+                // Read back inside the same transaction (own writes).
+                assert_eq!(c.lo_size(fd).unwrap() as usize, SIZE);
+                let back = c.lo_read_at(fd, SIZE as u64 / 2, 64).unwrap();
+                assert!(back.iter().all(|b| *b == fill));
+                c.lo_close(fd).unwrap();
+                c.commit().unwrap();
+                (id, fill)
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    // Every object committed with exactly its writer's pattern, visible to
+    // a fresh session.
+    let mut c = connect(&handle);
+    c.begin().unwrap();
+    for (id, fill) in &ids {
+        let fd = c.lo_open(*id, false, 0).unwrap();
+        assert_eq!(c.lo_size(fd).unwrap() as usize, SIZE);
+        let data = c.lo_read_all(fd, SIZE as u64).unwrap();
+        assert_eq!(data.len(), SIZE);
+        assert!(data.iter().all(|b| b == fill), "object {id} corrupted");
+        c.lo_close(fd).unwrap();
+    }
+    c.commit().unwrap();
+
+    let stats = c.stats().unwrap();
+    assert!(stats.total_requests() > 0, "stats must be non-zero after a workload");
+    assert!(stats.commits > N as u64);
+    assert!(stats.op_count("lo_write") > 0);
+    assert!(stats.pool_hits + stats.pool_misses > 0);
+    stop(handle);
+}
+
+#[test]
+fn snapshot_isolation_across_sessions() {
+    let (_dir, handle) = start();
+    let mut writer = connect(&handle);
+    let mut reader = connect(&handle);
+
+    // Writer commits v1.
+    writer.begin().unwrap();
+    let id = writer.lo_create(&WireSpec::fchunk()).unwrap();
+    let wfd = writer.lo_open(id, true, 0).unwrap();
+    writer.lo_write(wfd, b"version-one").unwrap();
+    writer.lo_close(wfd).unwrap();
+    writer.commit().unwrap();
+
+    // Reader snapshots now — before v2 exists.
+    reader.begin().unwrap();
+    let rfd = reader.lo_open(id, false, 0).unwrap();
+
+    // Writer overwrites and commits v2 while the reader's txn is open.
+    writer.begin().unwrap();
+    let wfd = writer.lo_open(id, true, 0).unwrap();
+    writer.lo_write_at(wfd, 0, b"VERSION-TWO").unwrap();
+    writer.lo_close(wfd).unwrap();
+    writer.commit().unwrap();
+
+    // The reader's snapshot still sees v1 — MVCC through the wire.
+    assert_eq!(reader.lo_read_at(rfd, 0, 64).unwrap(), b"version-one");
+    reader.lo_close(rfd).unwrap();
+    reader.commit().unwrap();
+
+    // A fresh transaction sees v2.
+    reader.begin().unwrap();
+    let rfd = reader.lo_open(id, false, 0).unwrap();
+    assert_eq!(reader.lo_read_at(rfd, 0, 64).unwrap(), b"VERSION-TWO");
+    reader.lo_close(rfd).unwrap();
+    reader.commit().unwrap();
+    stop(handle);
+}
+
+#[test]
+fn uncommitted_writes_invisible_to_others() {
+    let (_dir, handle) = start();
+    let mut a = connect(&handle);
+    let mut b = connect(&handle);
+
+    a.begin().unwrap();
+    let id = a.lo_create(&WireSpec::fchunk()).unwrap();
+    let afd = a.lo_open(id, true, 0).unwrap();
+    a.lo_write(afd, b"secret").unwrap();
+    // A sees its own uncommitted write.
+    assert_eq!(a.lo_size(afd).unwrap(), 6);
+
+    // The object's *name* is catalog state, but none of A's uncommitted
+    // data is visible to B: the object reads as empty.
+    b.begin().unwrap();
+    let bfd = b.lo_open(id, false, 0).unwrap();
+    assert_eq!(b.lo_size(bfd).unwrap(), 0, "uncommitted writes must be invisible");
+    assert_eq!(b.lo_read_at(bfd, 0, 16).unwrap(), b"");
+    b.lo_close(bfd).unwrap();
+    b.commit().unwrap();
+
+    a.lo_close(afd).unwrap();
+    a.abort().unwrap();
+
+    // Aborted: the data stays invisible, forever.
+    b.begin().unwrap();
+    let bfd = b.lo_open(id, false, 0).unwrap();
+    assert_eq!(b.lo_size(bfd).unwrap(), 0, "aborted writes must stay invisible");
+    b.lo_close(bfd).unwrap();
+    b.commit().unwrap();
+    stop(handle);
+}
+
+#[test]
+fn time_travel_reads_old_version_over_wire() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    let fd = c.lo_open(id, true, 0).unwrap();
+    c.lo_write(fd, b"old contents").unwrap();
+    c.lo_close(fd).unwrap();
+    let ts1 = c.commit().unwrap();
+
+    c.begin().unwrap();
+    let fd = c.lo_open(id, true, 0).unwrap();
+    c.lo_write_at(fd, 0, b"NEW CONTENTS").unwrap();
+    c.lo_close(fd).unwrap();
+    let ts2 = c.commit().unwrap();
+    assert!(ts2 > ts1);
+
+    // Time travel needs no transaction at all.
+    let fd = c.lo_open_as_of(id, ts1).unwrap();
+    assert_eq!(c.lo_read_at(fd, 0, 64).unwrap(), b"old contents");
+    // Descriptors are read-only as of a timestamp.
+    assert!(c.lo_write_at(fd, 0, b"x").is_err());
+    c.lo_close(fd).unwrap();
+
+    let fd = c.lo_open_as_of(id, ts2).unwrap();
+    assert_eq!(c.lo_read_at(fd, 0, 64).unwrap(), b"NEW CONTENTS");
+    c.lo_close(fd).unwrap();
+
+    assert_eq!(c.current_ts().unwrap(), ts2);
+    stop(handle);
+}
+
+#[test]
+fn temp_objects_are_reclaimed_unless_kept() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+
+    c.begin().unwrap();
+    let doomed = c.lo_create_temp(&WireSpec::fchunk()).unwrap();
+    let kept = c.lo_create_temp(&WireSpec::fchunk()).unwrap();
+    let fd = c.lo_open(kept, true, 0).unwrap();
+    c.lo_write(fd, b"keep me").unwrap();
+    c.lo_close(fd).unwrap();
+    c.commit().unwrap();
+
+    assert!(c.lo_keep_temp(kept).unwrap());
+    assert_eq!(c.gc_temps().unwrap(), 1, "only the unpromoted temp is reclaimed");
+
+    c.begin().unwrap();
+    assert!(c.lo_open(doomed, false, 0).is_err(), "gc'd temp must be gone");
+    let fd = c.lo_open(kept, false, 0).unwrap();
+    assert_eq!(c.lo_read(fd, 16).unwrap(), b"keep me");
+    c.lo_close(fd).unwrap();
+    c.commit().unwrap();
+    stop(handle);
+}
+
+#[test]
+fn temp_objects_reclaimed_on_disconnect() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+    c.begin().unwrap();
+    let id = c.lo_create_temp(&WireSpec::fchunk()).unwrap();
+    c.commit().unwrap();
+    let service = Arc::clone(handle.service());
+    assert_eq!(service.store().temp_count(), 1);
+    drop(c);
+
+    wait_for(|| service.store().temp_count() == 0, "temp GC at disconnect");
+    let mut c2 = connect(&handle);
+    c2.begin().unwrap();
+    assert!(c2.lo_open(id, false, 0).is_err(), "session temp must die with the session");
+    c2.commit().unwrap();
+    stop(handle);
+}
+
+#[test]
+fn import_export_roundtrip() {
+    let (_dir, handle) = start();
+    let scratch = tempfile::tempdir().unwrap();
+    let src = scratch.path().join("in.bin");
+    let dst = scratch.path().join("out.bin");
+    let payload: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
+    std::fs::write(&src, &payload).unwrap();
+
+    let mut c = connect(&handle);
+    c.begin().unwrap();
+    let id = c.lo_import(&WireSpec::fchunk(), src.to_str().unwrap()).unwrap();
+    let n = c.lo_export(id, dst.to_str().unwrap()).unwrap();
+    c.commit().unwrap();
+
+    assert_eq!(n as usize, payload.len());
+    assert_eq!(std::fs::read(&dst).unwrap(), payload);
+    stop(handle);
+}
+
+#[test]
+fn inversion_ops_over_wire() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+
+    c.begin().unwrap();
+    c.inv_mkdir("/docs").unwrap();
+    c.inv_create("/docs/a.txt").unwrap();
+    c.inv_write("/docs/a.txt", 0, b"alpha").unwrap();
+    c.commit().unwrap();
+
+    c.begin().unwrap();
+    assert_eq!(c.inv_read("/docs/a.txt", 0, 16).unwrap(), b"alpha");
+    let st = c.inv_stat("/docs/a.txt").unwrap();
+    assert_eq!(st.size, 5);
+    assert!(!st.is_dir);
+    assert!(c.inv_stat("/docs").unwrap().is_dir);
+
+    c.inv_rename("/docs/a.txt", "/docs/b.txt").unwrap();
+    let names: Vec<String> = c.inv_readdir("/docs").unwrap().into_iter().map(|e| e.name).collect();
+    assert_eq!(names, vec!["b.txt".to_string()]);
+
+    c.inv_unlink("/docs/b.txt").unwrap();
+    assert!(c.inv_read("/docs/b.txt", 0, 1).is_err());
+    c.commit().unwrap();
+    stop(handle);
+}
+
+#[test]
+fn vsegment_compressed_object_over_wire() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::vsegment(1)).unwrap();
+    let fd = c.lo_open(id, true, 0).unwrap();
+    let data = vec![b'z'; 50_000];
+    c.lo_write_all(fd, &data).unwrap();
+    c.lo_close(fd).unwrap();
+    c.commit().unwrap();
+
+    c.begin().unwrap();
+    let fd = c.lo_open(id, false, 0).unwrap();
+    assert_eq!(c.lo_read_all(fd, 50_000).unwrap(), data);
+    c.lo_close(fd).unwrap();
+    c.commit().unwrap();
+    stop(handle);
+}
+
+#[test]
+fn graceful_shutdown_via_client_frame() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    let fd = c.lo_open(id, true, 0).unwrap();
+    c.lo_write(fd, b"persisted before shutdown").unwrap();
+    c.lo_close(fd).unwrap();
+    c.commit().unwrap();
+
+    c.shutdown().unwrap();
+    // join() returning proves the accept loop and all workers drained.
+    let service = handle.join();
+    assert!(service.shutting_down());
+    assert_eq!(service.session_count(), 0, "all sessions drained");
+}
+
+#[test]
+fn protocol_errors_are_replies_not_disconnects() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+
+    // Typed errors come back as server errors with the right codes.
+    use pglo_server::ErrorCode;
+    let err = c.commit().unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::NoTxn));
+
+    c.begin().unwrap();
+    let err = c.begin().unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::TxnOpen));
+
+    let err = c.lo_read(999, 10).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::BadFd));
+
+    let err = c.lo_open(0xDEAD_BEEF, false, 0).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::NotFound));
+
+    // The connection survived all of it.
+    assert_eq!(c.ping(b"still here").unwrap(), b"still here");
+    c.commit().unwrap();
+    stop(handle);
+}

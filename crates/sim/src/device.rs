@@ -69,8 +69,10 @@ mod tests {
     fn worm_seek_dwarfs_disk_seek() {
         let disk = DeviceProfile::magnetic_disk_1992();
         let worm = DeviceProfile::worm_jukebox_1992();
-        assert!(worm.seek_ns / disk.seek_ns >= 10,
-            "the Figure 3 shape requires WORM positioning to dwarf disk positioning");
+        assert!(
+            worm.seek_ns / disk.seek_ns >= 10,
+            "the Figure 3 shape requires WORM positioning to dwarf disk positioning"
+        );
     }
 
     #[test]

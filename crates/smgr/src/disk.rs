@@ -237,10 +237,7 @@ mod tests {
         smgr.create(9).unwrap();
         assert!(matches!(smgr.create(9), Err(SmgrError::AlreadyExists(9))));
         let mut out = alloc_page();
-        assert!(matches!(
-            smgr.read(9, 0, &mut out),
-            Err(SmgrError::OutOfRange { block: 0, .. })
-        ));
+        assert!(matches!(smgr.read(9, 0, &mut out), Err(SmgrError::OutOfRange { block: 0, .. })));
         assert!(matches!(smgr.write(9, 3, &out), Err(SmgrError::OutOfRange { .. })));
     }
 

@@ -185,11 +185,7 @@ impl SmgrSwitch {
 
     /// Look up a manager by slot.
     pub fn get(&self, id: SmgrId) -> Result<Arc<dyn StorageManager>> {
-        self.table
-            .read()
-            .get(id.0 as usize)
-            .cloned()
-            .ok_or(SmgrError::UnknownManager(id))
+        self.table.read().get(id.0 as usize).cloned().ok_or(SmgrError::UnknownManager(id))
     }
 
     /// Look up a manager by name (the `create ... with (smgr = "...")`

@@ -21,14 +21,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// A cache holding at most `capacity` entries. Zero capacity disables
     /// caching (every `get` misses).
     pub fn new(capacity: usize) -> Self {
-        Self {
-            capacity,
-            map: HashMap::new(),
-            order: BTreeMap::new(),
-            tick: 0,
-            hits: 0,
-            misses: 0,
-        }
+        Self { capacity, map: HashMap::new(), order: BTreeMap::new(), tick: 0, hits: 0, misses: 0 }
     }
 
     fn bump(&mut self, key: &K) {

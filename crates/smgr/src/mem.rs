@@ -34,11 +34,7 @@ impl MemSmgr {
     /// Total bytes held across all relations (for Figure-1-style storage
     /// accounting).
     pub fn total_bytes(&self) -> u64 {
-        self.rels
-            .read()
-            .values()
-            .map(|pages| (pages.len() * PAGE_SIZE) as u64)
-            .sum()
+        self.rels.read().values().map(|pages| (pages.len() * PAGE_SIZE) as u64).sum()
     }
 }
 
@@ -65,11 +61,7 @@ impl StorageManager for MemSmgr {
     }
 
     fn nblocks(&self, rel: RelFileId) -> Result<u32> {
-        self.rels
-            .read()
-            .get(&rel)
-            .map(|p| p.len() as u32)
-            .ok_or(SmgrError::NotFound(rel))
+        self.rels.read().get(&rel).map(|p| p.len() as u32).ok_or(SmgrError::NotFound(rel))
     }
 
     fn extend(&self, rel: RelFileId, page: &PageBuf) -> Result<u32> {
@@ -106,9 +98,8 @@ impl StorageManager for MemSmgr {
         let mut rels = self.rels.write();
         let pages = rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;
         let nblocks = pages.len() as u32;
-        let slot = pages
-            .get_mut(block as usize)
-            .ok_or(SmgrError::OutOfRange { rel, block, nblocks })?;
+        let slot =
+            pages.get_mut(block as usize).ok_or(SmgrError::OutOfRange { rel, block, nblocks })?;
         slot.copy_from_slice(&page[..]);
         self.sim.charge_io(&self.profile, PAGE_SIZE, true);
         self.stats.record_write(PAGE_SIZE, true);

@@ -81,11 +81,7 @@ impl NativeFile {
         os_cache_blocks: usize,
     ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(create)
-            .open(&path)?;
+        let file = OpenOptions::new().read(true).write(true).create(create).open(&path)?;
         Ok(Self {
             file,
             path,
@@ -155,12 +151,8 @@ impl NativeFile {
     /// timings by the benchmark harness.
     pub fn sync(&self) {
         let mut state = self.state.lock();
-        let mut dirty: Vec<u64> = state
-            .cache
-            .keys()
-            .copied()
-            .filter(|b| state.cache.peek(b) == Some(&true))
-            .collect();
+        let mut dirty: Vec<u64> =
+            state.cache.keys().copied().filter(|b| state.cache.peek(b) == Some(&true)).collect();
         dirty.sort_unstable();
         for b in dirty {
             self.charge_block(&mut state, b, true);

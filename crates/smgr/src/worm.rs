@@ -74,10 +74,7 @@ impl WormSmgr {
             jukebox_stats: IoStats::new(),
             seq: SeqTracker::default(),
             cache_seq: SeqTracker::default(),
-            inner: Mutex::new(Inner {
-                rels: HashMap::new(),
-                cache: LruCache::new(cache_blocks),
-            }),
+            inner: Mutex::new(Inner { rels: HashMap::new(), cache: LruCache::new(cache_blocks) }),
         }
     }
 
@@ -138,11 +135,7 @@ impl StorageManager for WormSmgr {
 
     fn nblocks(&self, rel: RelFileId) -> Result<u32> {
         let inner = self.inner.lock();
-        inner
-            .rels
-            .get(&rel)
-            .map(|b| b.len() as u32)
-            .ok_or(SmgrError::NotFound(rel))
+        inner.rels.get(&rel).map(|b| b.len() as u32).ok_or(SmgrError::NotFound(rel))
     }
 
     fn extend(&self, rel: RelFileId, page: &PageBuf) -> Result<u32> {
@@ -167,9 +160,8 @@ impl StorageManager for WormSmgr {
         let mut inner = self.inner.lock();
         let blocks = inner.rels.get(&rel).ok_or(SmgrError::NotFound(rel))?;
         let nblocks = blocks.len() as u32;
-        let state = blocks
-            .get(block as usize)
-            .ok_or(SmgrError::OutOfRange { rel, block, nblocks })?;
+        let state =
+            blocks.get(block as usize).ok_or(SmgrError::OutOfRange { rel, block, nblocks })?;
         match state {
             BlockState::Staged(page) => {
                 out.copy_from_slice(&page[..]);
@@ -202,9 +194,8 @@ impl StorageManager for WormSmgr {
         let mut inner = self.inner.lock();
         let blocks = inner.rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;
         let nblocks = blocks.len() as u32;
-        let state = blocks
-            .get_mut(block as usize)
-            .ok_or(SmgrError::OutOfRange { rel, block, nblocks })?;
+        let state =
+            blocks.get_mut(block as usize).ok_or(SmgrError::OutOfRange { rel, block, nblocks })?;
         match state {
             BlockState::Staged(slot) => {
                 slot.copy_from_slice(&page[..]);

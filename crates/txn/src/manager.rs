@@ -30,6 +30,24 @@ struct TmInner {
     commit_ts: Vec<CommitTs>,
     /// Currently in-progress XIDs (for snapshot construction).
     active: BTreeSet<u32>,
+    /// Durable commit log, appended under the inner lock: `B <xid>` when a
+    /// transaction begins, `C <xid> <ts>` when it commits. Aborts write
+    /// nothing — on replay, any begun-but-uncommitted XID reads as aborted,
+    /// and logging begins keeps such XIDs from ever being reallocated (a
+    /// reused XID would resurrect the aborted transaction's tuples).
+    log: Option<std::fs::File>,
+}
+
+impl TmInner {
+    fn append(&mut self, line: std::fmt::Arguments<'_>) {
+        if let Some(f) = &mut self.log {
+            use std::io::Write;
+            // Commit durability rides on the no-overwrite system's
+            // force-at-commit page writes; the log itself only needs to
+            // reach the OS before process exit, so no fsync here.
+            writeln!(f, "{line}").expect("commit log append failed");
+        }
+    }
 }
 
 /// The transaction manager. One per database instance; cheaply shared via
@@ -49,7 +67,7 @@ impl Default for TxnManager {
 }
 
 impl TxnManager {
-    /// A fresh manager with an empty commit log.
+    /// A fresh manager with an empty, in-memory commit log.
     pub fn new() -> Self {
         Self {
             inner: Mutex::new(TmInner {
@@ -57,11 +75,74 @@ impl TxnManager {
                 status: Vec::new(),
                 commit_ts: Vec::new(),
                 active: BTreeSet::new(),
+                log: None,
             }),
             next_ts: AtomicU64::new(1),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
         }
+    }
+
+    /// A manager whose commit log is durable at `path`: prior outcomes are
+    /// replayed so tuples stamped by earlier processes keep their
+    /// visibility, commit timestamps (the time-travel axis) keep
+    /// advancing instead of restarting at 1, and no XID another process
+    /// allocated is ever reused.
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let path = path.as_ref();
+        let mut next_xid = Xid::FIRST_NORMAL.0;
+        let mut status = Vec::new();
+        let mut commit_ts: Vec<CommitTs> = Vec::new();
+        let mut max_ts: CommitTs = 0;
+        let corrupt =
+            |line: &str| Error::new(ErrorKind::InvalidData, format!("clog: bad line {line:?}"));
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    let mut parts = line.split_ascii_whitespace();
+                    let (tag, xid) = match (parts.next(), parts.next()) {
+                        (Some(tag), Some(x)) => (tag, x.parse::<u32>().map_err(|_| corrupt(line))?),
+                        _ => return Err(corrupt(line)),
+                    };
+                    let i =
+                        xid.checked_sub(Xid::FIRST_NORMAL.0).ok_or_else(|| corrupt(line))? as usize;
+                    if i >= status.len() {
+                        status.resize(i + 1, TxnStatus::Aborted);
+                        commit_ts.resize(i + 1, 0);
+                    }
+                    next_xid = next_xid.max(xid + 1);
+                    match tag {
+                        "B" => {}
+                        "C" => {
+                            let ts = parts
+                                .next()
+                                .and_then(|t| t.parse::<CommitTs>().ok())
+                                .ok_or_else(|| corrupt(line))?;
+                            status[i] = TxnStatus::Committed;
+                            commit_ts[i] = ts;
+                            max_ts = max_ts.max(ts);
+                        }
+                        _ => return Err(corrupt(line)),
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let log = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            inner: Mutex::new(TmInner {
+                next_xid,
+                status,
+                commit_ts,
+                active: BTreeSet::new(),
+                log: Some(log),
+            }),
+            next_ts: AtomicU64::new(max_ts + 1),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        })
     }
 
     /// Begin a transaction, returning an RAII handle that aborts on drop
@@ -74,18 +155,14 @@ impl TxnManager {
             inner.status.push(TxnStatus::InProgress);
             inner.commit_ts.push(0);
             inner.active.insert(xid.0);
+            inner.append(format_args!("B {}", xid.0));
             let snapshot = Snapshot {
                 xmax: Xid(inner.next_xid),
                 active: inner.active.iter().map(|&x| Xid(x)).collect(),
             };
             (xid, snapshot)
         };
-        Txn {
-            tm: Arc::clone(self),
-            xid,
-            snapshot,
-            done: false,
-        }
+        Txn { tm: Arc::clone(self), xid, snapshot, done: false }
     }
 
     fn idx(xid: Xid) -> Option<usize> {
@@ -131,6 +208,7 @@ impl TxnManager {
             let ts = self.next_ts.fetch_add(1, Ordering::Relaxed);
             inner.status[i] = TxnStatus::Committed;
             inner.commit_ts[i] = ts;
+            inner.append(format_args!("C {} {}", xid.0, ts));
             self.commits.fetch_add(1, Ordering::Relaxed);
             Some(ts)
         } else {
@@ -149,10 +227,7 @@ impl TxnManager {
 
     /// `(commits, aborts)` since creation.
     pub fn counters(&self) -> (u64, u64) {
-        (
-            self.commits.load(Ordering::Relaxed),
-            self.aborts.load(Ordering::Relaxed),
-        )
+        (self.commits.load(Ordering::Relaxed), self.aborts.load(Ordering::Relaxed))
     }
 
     /// Oldest commit timestamp any in-progress transaction could still need
@@ -160,6 +235,13 @@ impl TxnManager {
     /// only if the deleting transaction committed at or before it.
     pub fn oldest_active_xid(&self) -> Option<Xid> {
         self.inner.lock().active.iter().next().map(|&x| Xid(x))
+    }
+
+    /// Number of in-progress transactions. A server reports this so
+    /// operators can see session-owned transactions that are still open
+    /// (e.g. a client that began and went quiet).
+    pub fn active_count(&self) -> usize {
+        self.inner.lock().active.len()
     }
 }
 
@@ -312,6 +394,54 @@ mod tests {
         assert_ne!(tm.oldest_active_xid(), Some(x1));
         t2.commit();
         assert_eq!(tm.oldest_active_xid(), None);
+    }
+
+    #[test]
+    fn reopen_replays_outcomes_and_never_reuses_xids() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("clog");
+        let (committed, committed_ts, aborted) = {
+            let tm = Arc::new(TxnManager::open(&path).unwrap());
+            let t1 = tm.begin();
+            let x1 = t1.xid();
+            let ts1 = t1.commit();
+            let t2 = tm.begin();
+            let x2 = t2.xid();
+            t2.abort();
+            (x1, ts1, x2)
+        };
+        let tm = Arc::new(TxnManager::open(&path).unwrap());
+        assert_eq!(tm.status(committed), TxnStatus::Committed);
+        assert_eq!(tm.commit_ts(committed), Some(committed_ts));
+        assert_eq!(tm.status(aborted), TxnStatus::Aborted);
+        assert_eq!(tm.commit_ts(aborted), None);
+        // The time-travel axis keeps advancing rather than restarting.
+        assert_eq!(tm.current_timestamp(), committed_ts);
+        // Neither prior XID is reallocated, not even the aborted one — a
+        // reused XID would resurrect the aborted transaction's tuples.
+        let t3 = tm.begin();
+        assert!(t3.xid() > aborted && t3.xid() > committed);
+        let ts3 = t3.commit();
+        assert!(ts3 > committed_ts);
+    }
+
+    #[test]
+    fn open_missing_file_starts_fresh() {
+        let dir = tempfile::tempdir().unwrap();
+        let tm = Arc::new(TxnManager::open(dir.path().join("clog")).unwrap());
+        assert_eq!(tm.current_timestamp(), 0);
+        let t = tm.begin();
+        assert_eq!(t.xid(), Xid::FIRST_NORMAL);
+        t.commit();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("clog");
+        std::fs::write(&path, "B 2\nnonsense\n").unwrap();
+        let err = TxnManager::open(&path).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -26,10 +26,7 @@ pub enum Visibility {
 impl Visibility {
     /// Visibility for a running transaction.
     pub fn for_txn(txn: &crate::Txn) -> Visibility {
-        Visibility::Snapshot {
-            snapshot: txn.snapshot().clone(),
-            own: txn.xid(),
-        }
+        Visibility::Snapshot { snapshot: txn.snapshot().clone(), own: txn.xid() }
     }
 }
 
@@ -63,8 +60,7 @@ pub fn tuple_visible(tmin: Xid, tmax: Xid, vis: &Visibility, tm: &TxnManager) ->
             if !inserted {
                 return false;
             }
-            let deleted =
-                tmax.is_valid() && matches!(tm.commit_ts(tmax), Some(cts) if cts <= *ts);
+            let deleted = tmax.is_valid() && matches!(tm.commit_ts(tmax), Some(cts) if cts <= *ts);
             !deleted
         }
     }

@@ -65,10 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ts in [ts1, ts2, ts3] {
         let mut rows = scan_as_of_with_archive(&live, &archive, ts)?;
         rows.sort();
-        let rendered: Vec<String> = rows
-            .iter()
-            .map(|r| String::from_utf8_lossy(r).into_owned())
-            .collect();
+        let rendered: Vec<String> =
+            rows.iter().map(|r| String::from_utf8_lossy(r).into_owned()).collect();
         println!("as of {ts}: {rendered:?}");
     }
     Ok(())

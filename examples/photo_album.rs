@@ -20,11 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     db.run("create ALBUM (title = text, width = int4, shot = image)")?;
     println!("== loading the album ==");
-    for (title, dims) in [
-        ("sunrise", "1024x768:1"),
-        ("harbor", "800x600:2"),
-        ("mountains", "1600x1200:3"),
-    ] {
+    for (title, dims) in
+        [("sunrise", "1024x768:1"), ("harbor", "800x600:2"), ("mountains", "1600x1200:3")]
+    {
         db.run(&format!(
             r#"append ALBUM (title = "{title}", width = image_width("{dims}"::image), shot = "{dims}"::image)"#
         ))?;
@@ -38,9 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!("== thumbnails via clip(), computed inside the DBMS ==");
-    let r = db.run(
-        r#"retrieve (ALBUM.title, thumb = clip(ALBUM.shot, "0,0,64,64"::rect)) from ALBUM"#,
-    )?;
+    let r = db
+        .run(r#"retrieve (ALBUM.title, thumb = clip(ALBUM.shot, "0,0,64,64"::rect)) from ALBUM"#)?;
     let txn = db.begin();
     let mut thumbs = Vec::new();
     for row in &r.rows {

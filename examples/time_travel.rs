@@ -82,13 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ts_a = db.env().txns().current_timestamp();
     db.run(r#"replace LEDGER (amount = 750) where LEDGER.entry = "opening""#)?;
     let now = db.run(r#"retrieve (LEDGER.amount) where LEDGER.entry = "opening""#)?;
-    let then = db.run(&format!(
-        r#"retrieve (LEDGER.amount) where LEDGER.entry = "opening" as of {ts_a}"#
-    ))?;
-    println!(
-        "LEDGER amount now: {:?}, as of {ts_a}: {:?}",
-        now.rows[0][0], then.rows[0][0]
-    );
+    let then = db
+        .run(&format!(r#"retrieve (LEDGER.amount) where LEDGER.entry = "opening" as of {ts_a}"#))?;
+    println!("LEDGER amount now: {:?}, as of {ts_a}: {:?}", now.rows[0][0], then.rows[0][0]);
 
     Ok(())
 }

@@ -22,9 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== write a 4 MB object onto the WORM manager ==");
     let txn = env.begin();
-    let spec = LoSpec::fchunk()
-        .with_codec(CodecKind::Lz77)
-        .on_smgr(env.worm_id());
+    let spec = LoSpec::fchunk().with_codec(CodecKind::Lz77).on_smgr(env.worm_id());
     let id = store.create(&txn, &spec)?;
     let gen = pglo::compress::synth::FrameGenerator::new(4096, 0.8, 11);
     {

@@ -1,0 +1,195 @@
+//! Offline shim for the `criterion` crate (see DESIGN.md, "dependency
+//! policy"): the subset the workspace's `harness = false` benches use.
+//!
+//! No statistics engine — each benchmark is warmed up briefly, timed over a
+//! fixed iteration budget, and reported as mean ns/iter (plus derived
+//! throughput when configured). Good enough to eyeball regressions and to
+//! keep `cargo bench` compiling and running offline.
+
+use std::time::{Duration, Instant};
+
+/// Throughput basis for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measure: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measure: self.measure,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group; carries shared throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput basis used to derive rates from iteration time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        let mut b = Bencher { measure: self.measure, ns_per_iter: 0.0, iters: 0 };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                format!("  {:>10.1} MiB/s", n as f64 / b.ns_per_iter * 1e9 / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                format!("  {:>10.1} elem/s", n as f64 / b.ns_per_iter * 1e9)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<40} {:>12.0} ns/iter ({} iters){}",
+            format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            b.iters,
+            rate
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs the timing loops.
+pub struct Bencher {
+    measure: Duration,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly until the measurement budget is spent.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up + calibration: find an iteration count that fills the
+        // measurement window, then time it.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measure || n >= (1 << 30) {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+                self.iters = n;
+                return;
+            }
+            let target = self.measure.as_nanos() as f64;
+            let scale = (target / elapsed.as_nanos().max(1) as f64).clamp(2.0, 128.0);
+            n = (n as f64 * scale) as u64;
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.measure && iters < (1 << 24) {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.iters = iters;
+    }
+}
+
+/// Matches criterion's macro: collects benchmark functions into a runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Matches criterion's macro: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,263 @@
+//! The [`Strategy`] trait and the generators the workspace's tests use.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Something that can generate random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws a value directly from the RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )+};
+}
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+/// Uniform over a primitive's whole domain (`prop::num::u8::ANY`, ...).
+pub struct AnyNum<T>(pub PhantomData<T>);
+
+macro_rules! impl_any_num {
+    ($($t:ty),+) => {$(
+        impl Strategy for AnyNum<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+impl_any_num!(u8, u16, u32, u64, usize, i64);
+
+/// Fair coin (`prop::bool::ANY`).
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Biased coin (`prop::bool::weighted(p)`).
+pub struct WeightedBool(pub f64);
+
+impl Strategy for WeightedBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool(self.0)
+    }
+}
+
+/// Uniform pick from a fixed list (`prop::sample::select`).
+pub struct Select<T: Clone + Debug>(pub Vec<T>);
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.below(self.0.len() as u64) as usize].clone()
+    }
+}
+
+/// `prop::collection::vec(elem, len)`.
+pub struct VecStrategy<S> {
+    /// Element strategy.
+    pub elem: S,
+    /// Length range.
+    pub len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($s:ident . $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+/// String strategy from a `.{a,b}`-shaped regex literal: random printable
+/// ASCII whose length is uniform in `[a, b]`. The only regex shape the
+/// workspace uses; anything else is rejected loudly rather than silently
+/// mis-generated.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!("unsupported regex strategy {self:?} (shim supports .{{a,b}})")
+        });
+        let n = min + rng.below((max - min + 1) as u64) as usize;
+        (0..n)
+            .map(|_| {
+                // Printable ASCII, space through tilde.
+                (0x20 + rng.below(0x5f) as u8) as char
+            })
+            .collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (a, b) = body.split_once(',')?;
+    let min = a.trim().parse().ok()?;
+    let max = b.trim().parse().ok()?;
+    (min <= max).then_some((min, max))
+}
+
+/// One weighted arm of a [`Union`]: `(weight, generator)`.
+pub type UnionArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+/// Weighted union over strategies with one value type (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// A union of `(weight, generator)` arms.
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Self { arms, total }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, f) in &self.arms {
+            if pick < *w as u64 {
+                return f(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..500 {
+            let v = (3u16..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_compose() {
+        let strat = crate::collection::vec((1u16..500, crate::num::u8::ANY), 1..10);
+        let mut rng = TestRng::deterministic(2);
+        let v = strat.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 10);
+        assert!(v.iter().all(|(a, _)| (1..500).contains(a)));
+    }
+
+    #[test]
+    fn string_pattern() {
+        let mut rng = TestRng::deterministic(3);
+        let s = ".{0,40}".generate(&mut rng);
+        assert!(s.len() <= 40);
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let strat = crate::prop_oneof![
+            9 => Just(true),
+            1 => Just(false),
+        ];
+        let mut rng = TestRng::deterministic(4);
+        let hits = (0..1000).filter(|_| strat.generate(&mut rng)).count();
+        assert!(hits > 800, "expected ~900 true, got {hits}");
+    }
+}

@@ -1,10 +1,10 @@
 //! Concurrency stress: MVCC isolation and buffer-pool safety under
 //! multi-threaded load.
 
-use crossbeam::thread;
 use pglo::prelude::*;
 use pglo_txn::Visibility;
 use std::sync::Arc;
+use std::thread;
 
 #[test]
 fn concurrent_writers_on_distinct_objects() {
@@ -13,16 +13,14 @@ fn concurrent_writers_on_distinct_objects() {
     let store = Arc::new(LoStore::new(Arc::clone(&env)));
     // Pre-create one object per thread.
     let setup = env.begin();
-    let ids: Vec<LoId> = (0..4)
-        .map(|_| store.create(&setup, &LoSpec::fchunk()).unwrap())
-        .collect();
+    let ids: Vec<LoId> = (0..4).map(|_| store.create(&setup, &LoSpec::fchunk()).unwrap()).collect();
     setup.commit();
 
     thread::scope(|s| {
         for (t, &id) in ids.iter().enumerate() {
             let env = Arc::clone(&env);
             let store = Arc::clone(&store);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let txn = env.begin();
                 let mut h = store.open(&txn, id, OpenMode::ReadWrite).unwrap();
                 let block = vec![t as u8; 10_000];
@@ -33,8 +31,7 @@ fn concurrent_writers_on_distinct_objects() {
                 txn.commit();
             });
         }
-    })
-    .unwrap();
+    });
 
     // Every object holds exactly its thread's bytes.
     let check = env.begin();
@@ -58,15 +55,14 @@ fn readers_see_consistent_snapshots_during_writes() {
     // Seed: 50 rows, all value 0. Writers bump every row in a txn (all-or-
     // nothing); readers must always see 50 rows of one single value.
     let seed = env.begin();
-    let mut tids: Vec<_> = (0..50)
-        .map(|_| heap.insert(&seed, &0u64.to_le_bytes()).unwrap())
-        .collect();
+    let mut tids: Vec<_> =
+        (0..50).map(|_| heap.insert(&seed, &0u64.to_le_bytes()).unwrap()).collect();
     seed.commit();
 
     thread::scope(|s| {
         let env_w = Arc::clone(&env);
         let heap_w = Arc::clone(&heap);
-        let writer = s.spawn(move |_| {
+        let writer = s.spawn(move || {
             for round in 1..=20u64 {
                 let txn = env_w.begin();
                 let mut new_tids = Vec::with_capacity(tids.len());
@@ -80,7 +76,7 @@ fn readers_see_consistent_snapshots_during_writes() {
         for _ in 0..3 {
             let env_r = Arc::clone(&env);
             let heap_r = Arc::clone(&heap);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for _ in 0..30 {
                     let txn = env_r.begin();
                     let vis = Visibility::for_txn(&txn);
@@ -89,17 +85,13 @@ fn readers_see_consistent_snapshots_during_writes() {
                         .map(|r| u64::from_le_bytes(r.unwrap().1.try_into().unwrap()))
                         .collect();
                     assert_eq!(values.len(), 50, "snapshot always sees all rows");
-                    assert!(
-                        values.iter().all(|&v| v == values[0]),
-                        "torn snapshot: {values:?}"
-                    );
+                    assert!(values.iter().all(|&v| v == values[0]), "torn snapshot: {values:?}");
                     txn.commit();
                 }
             });
         }
         writer.join().unwrap();
-    })
-    .unwrap();
+    });
 }
 
 #[test]
@@ -110,14 +102,13 @@ fn concurrent_queries_through_database() {
     thread::scope(|s| {
         for w in 0..4 {
             let db = Arc::clone(&db);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..25 {
                     db.run(&format!("append LOG (worker = {w}, seq = {i})")).unwrap();
                 }
             });
         }
-    })
-    .unwrap();
+    });
     let r = db.run("retrieve (LOG.worker)").unwrap();
     assert_eq!(r.rows.len(), 100);
     for w in 0..4 {
@@ -147,13 +138,12 @@ fn concurrent_readers_of_one_object_see_committed_bytes() {
     thread::scope(|s| {
         let env_w = Arc::clone(&env);
         let store_w = Arc::clone(&store);
-        let writer = s.spawn(move |_| {
+        let writer = s.spawn(move || {
             for round in 1..=10u64 {
                 let txn = env_w.begin();
                 let mut h = store_w.open(&txn, id, OpenMode::ReadWrite).unwrap();
                 for i in 0..25u64 {
-                    h.write_at(i * 4096, &vec![((i + round * 7) % 251) as u8; 4096])
-                        .unwrap();
+                    h.write_at(i * 4096, &vec![((i + round * 7) % 251) as u8; 4096]).unwrap();
                 }
                 h.close().unwrap();
                 txn.commit();
@@ -162,7 +152,7 @@ fn concurrent_readers_of_one_object_see_committed_bytes() {
         for _ in 0..3 {
             let env_r = Arc::clone(&env);
             let store_r = Arc::clone(&store);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut buf = vec![0u8; 4096];
                 for pass in 0..40u64 {
                     let txn = env_r.begin();
@@ -170,16 +160,12 @@ fn concurrent_readers_of_one_object_see_committed_bytes() {
                     let frame = pass % 25;
                     let n = h.read_at(frame * 4096, &mut buf).unwrap();
                     assert_eq!(n, 4096);
-                    assert!(
-                        buf.iter().all(|&b| b == buf[0]),
-                        "torn frame {frame}: mixed bytes"
-                    );
+                    assert!(buf.iter().all(|&b| b == buf[0]), "torn frame {frame}: mixed bytes");
                     h.close().unwrap();
                     txn.commit();
                 }
             });
         }
         writer.join().unwrap();
-    })
-    .unwrap();
+    });
 }

@@ -148,8 +148,7 @@ fn write_failures_do_not_corrupt_committed_data() {
                 assert!(e.to_string().contains("injected"), "{e}");
                 failed = true;
                 break;
-            }
-            // (update either fully applies or errors; no partial tuple)
+            } // (update either fully applies or errors; no partial tuple)
         }
         let _ = i;
     }
@@ -171,8 +170,8 @@ fn write_failures_do_not_corrupt_committed_data() {
 fn inversion_on_flaky_device_fails_cleanly_then_recovers() {
     let (_d, env, flaky, smgr_id) = setup();
     let store = Arc::new(LoStore::new(Arc::clone(&env)));
-    let fs = InversionFs::open(&env, Arc::clone(&store), LoSpec::fchunk().on_smgr(smgr_id))
-        .unwrap();
+    let fs =
+        InversionFs::open(&env, Arc::clone(&store), LoSpec::fchunk().on_smgr(smgr_id)).unwrap();
     let txn = env.begin();
     fs.create(&txn, "/file").unwrap();
     {

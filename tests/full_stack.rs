@@ -91,9 +91,7 @@ fn inversion_file_fed_to_adt_function() {
     }
     txn.commit();
     // Query the STORAGE class for the file's large object, then grep it.
-    let r = db
-        .run("retrieve (INV_STORAGE.large_object) from INV_STORAGE")
-        .unwrap();
+    let r = db.run("retrieve (INV_STORAGE.large_object) from INV_STORAGE").unwrap();
     let lo_id = r.rows[0][0].as_i64().unwrap() as u64;
     let txn = db.begin();
     let mut ctx = pglo::adt::ExecCtx::new(db.store(), &txn, db.types());
@@ -138,10 +136,7 @@ fn environment_reopen_preserves_objects_and_files() {
     let meta = store.meta(lo_id).unwrap();
     assert_eq!(meta.size, 30_000);
     let heap = pglo::heap::Heap::open_oid(&env, meta.data_rel, meta.smgr);
-    let chunks: Vec<_> = heap
-        .scan(Visibility::Raw)
-        .map(|r| r.unwrap().1)
-        .collect();
+    let chunks: Vec<_> = heap.scan(Visibility::Raw).map(|r| r.unwrap().1).collect();
     assert_eq!(chunks.len(), 4, "30 000 B = 4 chunks of ≤8000");
     let total: usize = chunks.iter().map(|c| c.len() - 5).sum(); // minus chunk header
     assert_eq!(total, 30_000);
@@ -153,9 +148,7 @@ fn worm_archive_full_cycle() {
     let env = StorageEnv::open(dir.path()).unwrap();
     let store = LoStore::new(Arc::clone(&env));
     let txn = env.begin();
-    let id = store
-        .create(&txn, &LoSpec::fchunk().on_smgr(env.worm_id()))
-        .unwrap();
+    let id = store.create(&txn, &LoSpec::fchunk().on_smgr(env.worm_id())).unwrap();
     let data: Vec<u8> = (0..100_000u32).map(|i| (i / 7 % 256) as u8).collect();
     {
         let mut h = store.open(&txn, id, OpenMode::ReadWrite).unwrap();

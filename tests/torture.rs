@@ -43,8 +43,7 @@ fn mixed_workload_stays_consistent() {
 
     // Edits: every third post replaced; two users renamed; posts deleted.
     for p in (0..60).step_by(3) {
-        db.run(&format!(r#"replace POSTS (body = "edited {p}") where POSTS.pid = {p}"#))
-            .unwrap();
+        db.run(&format!(r#"replace POSTS (body = "edited {p}") where POSTS.pid = {p}"#)).unwrap();
     }
     db.run(r#"replace USERS (uname = "renamed3") where USERS.uid = 3"#).unwrap();
     db.run("delete POSTS where POSTS.pid >= 55").unwrap();
@@ -69,17 +68,13 @@ fn mixed_workload_stays_consistent() {
     assert_eq!(r.rows[0][0], Datum::Int8(10));
 
     // Join integrity: every post joins exactly one user.
-    let r = db
-        .run("retrieve (POSTS.pid, USERS.uname) where POSTS.uid = USERS.uid")
-        .unwrap();
+    let r = db.run("retrieve (POSTS.pid, USERS.uname) where POSTS.uid = USERS.uid").unwrap();
     assert_eq!(r.rows.len(), 55);
 
     // Index path equals scan path.
     let via_index = db.run("retrieve (POSTS.pid) where POSTS.uid = 4 sort by pid").unwrap();
     assert_eq!(via_index.used_index.as_deref(), Some("posts_uid"));
-    let via_scan = db
-        .run("retrieve (POSTS.pid) where POSTS.uid + 0 = 4 sort by pid")
-        .unwrap();
+    let via_scan = db.run("retrieve (POSTS.pid) where POSTS.uid + 0 = 4 sort by pid").unwrap();
     assert!(via_scan.used_index.is_none());
     assert_eq!(via_index.rows, via_scan.rows);
 
@@ -90,20 +85,14 @@ fn mixed_workload_stays_consistent() {
     let t = db.begin();
     assert_eq!(db.datum_to_text(&t, &Datum::Large(lo)).unwrap(), "edited 3");
     t.commit();
-    let r = db
-        .run("retrieve (w = image_width(POSTS.pic)) where POSTS.pid = 1")
-        .unwrap();
+    let r = db.run("retrieve (w = image_width(POSTS.pic)) where POSTS.pid = 1").unwrap();
     assert_eq!(r.rows[0][0], Datum::Int4(32));
 
     // Time travel: the pre-edit world is intact.
-    let r = db
-        .run(&format!("retrieve (n = count()) from POSTS as of {ts_loaded}"))
-        .unwrap();
+    let r = db.run(&format!("retrieve (n = count()) from POSTS as of {ts_loaded}")).unwrap();
     assert_eq!(r.rows[0][0], Datum::Int8(60));
     let r = db
-        .run(&format!(
-            r#"retrieve (USERS.uname) where USERS.uid = 3 as of {ts_loaded}"#
-        ))
+        .run(&format!(r#"retrieve (USERS.uname) where USERS.uid = 3 as of {ts_loaded}"#))
         .unwrap();
     assert_eq!(r.rows[0][0], Datum::Text("user3".into()));
 
