@@ -26,7 +26,7 @@ pub fn txn_overhead(cfg: &BenchConfig) -> Result<Vec<AblationRow>, LoError> {
         let dir = tempfile::tempdir().map_err(LoError::Io)?;
         let env = StorageEnv::open_with(
             dir.path(),
-            EnvOptions { pool_frames: cfg.pool_frames, ..Default::default() },
+            EnvOptions { pool_frames: cfg.pool_frames, readahead_window: 0, ..Default::default() },
         )?;
         let store = LoStore::new(Arc::clone(&env));
         let (gen, _) = calibrate(CodecKind::Rle.codec(), cfg.frame_size, 0.70, cfg.seed);
@@ -127,7 +127,7 @@ pub fn chunk_size_sweep(cfg: &BenchConfig) -> Result<Vec<AblationRow>, LoError> 
         let dir = tempfile::tempdir().map_err(LoError::Io)?;
         let env = StorageEnv::open_with(
             dir.path(),
-            EnvOptions { pool_frames: cfg.pool_frames, ..Default::default() },
+            EnvOptions { pool_frames: cfg.pool_frames, readahead_window: 0, ..Default::default() },
         )?;
         let store = LoStore::new(Arc::clone(&env));
         let (gen, _) = calibrate(CodecKind::Rle.codec(), cfg.frame_size, 0.70, cfg.seed);
@@ -222,7 +222,7 @@ pub fn index_vs_scan(cfg: &BenchConfig) -> Result<Vec<AblationRow>, LoError> {
     let dir = tempfile::tempdir().map_err(LoError::Io)?;
     let db = Database::open_with(
         dir.path(),
-        EnvOptions { pool_frames: cfg.pool_frames, ..Default::default() },
+        EnvOptions { pool_frames: cfg.pool_frames, readahead_window: 0, ..Default::default() },
     )
     .map_err(|e| LoError::Meta(e.to_string()))?;
     let sim = db.env().sim().clone();

@@ -1,0 +1,319 @@
+//! `pool_bench` — buffer-pool throughput and the PR's two ablations.
+//!
+//! Drives the pool directly over a real [`DiskSmgr`] (wall-clock numbers,
+//! not the simulated 1992 clock) and emits `BENCH_pool.json`:
+//!
+//! * **seq_scan** — one thread pins every block of a relation larger than
+//!   the pool, with the sequential hint on and off. With read-ahead on,
+//!   the scan should hit pages the window installed ahead of it and the
+//!   device should see far fewer (but larger) read ops.
+//! * **concurrent** — N threads hammer a working set that fits in the
+//!   pool, with the configured shard count versus one global shard. This
+//!   phase is hit-dominated, so it isolates page-table lock contention.
+//!
+//! `--min-seq-hit-rate F` turns the readahead-on hit rate into a CI floor:
+//! the process exits nonzero when the scan falls below it.
+//!
+//! ```sh
+//! cargo run --release -p pglo-bench --bin pool_bench
+//! cargo run --release -p pglo-bench --bin pool_bench -- --smoke --min-seq-hit-rate 0.9
+//! ```
+
+use pglo_bench::Rng;
+use pglo_buffer::{AccessHint, BufferPool, PageKey, PoolOptions};
+use pglo_heap::json::{to_string_pretty, Value};
+use pglo_pages::PAGE_SIZE;
+use pglo_sim::SimContext;
+use pglo_smgr::{DiskSmgr, RelFileId, SmgrId, SmgrSwitch, StorageManager};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const REL: RelFileId = 1;
+
+#[derive(Clone)]
+struct Cfg {
+    /// Relation size in 8 KB blocks (must exceed `frames` so the scan is
+    /// device-bound).
+    blocks: u32,
+    /// Pool size in frames.
+    frames: usize,
+    /// Shard count for the sharded variants.
+    shards: usize,
+    /// Read-ahead window for the readahead-on variant.
+    window: usize,
+    /// Threads in the concurrent phase.
+    threads: usize,
+    /// Pins per thread in the concurrent phase.
+    pins: u64,
+    out: Option<String>,
+    min_seq_hit_rate: Option<f64>,
+}
+
+impl Default for Cfg {
+    fn default() -> Self {
+        Self {
+            blocks: 8192, // 64 MiB
+            frames: 1024, // 8 MiB pool
+            shards: 8,
+            window: 16,
+            threads: 8,
+            pins: 200_000,
+            out: None,
+            min_seq_hit_rate: None,
+        }
+    }
+}
+
+impl Cfg {
+    fn smoke() -> Self {
+        Self { blocks: 1024, frames: 256, pins: 20_000, ..Self::default() }
+    }
+}
+
+/// A pool over a fresh [`DiskSmgr`] on `dir` (existing relation files are
+/// reopened, so every variant sees the same on-disk data).
+fn open_pool(
+    dir: &Path,
+    frames: usize,
+    shards: usize,
+    window: usize,
+) -> (SmgrId, Arc<DiskSmgr>, BufferPool) {
+    let sim = SimContext::default_1992();
+    let switch = Arc::new(SmgrSwitch::new());
+    let disk = Arc::new(DiskSmgr::new(dir, sim).expect("open disk smgr"));
+    let id = switch.register(Arc::clone(&disk) as Arc<dyn StorageManager>);
+    let pool =
+        BufferPool::with_options(switch, PoolOptions { frames, shards, readahead_window: window });
+    (id, disk, pool)
+}
+
+/// Materialize the benchmark relation: `blocks` pages, each stamped with
+/// its block number.
+fn seed(dir: &Path, cfg: &Cfg) {
+    let (id, _disk, pool) = open_pool(dir, cfg.frames, cfg.shards, 0);
+    pool.switch().get(id).unwrap().create(REL).expect("create rel");
+    for b in 0..cfg.blocks {
+        let (_, p) = pool
+            .new_page(id, REL, |pg| pg[..4].copy_from_slice(&b.to_le_bytes()))
+            .expect("seed page");
+        drop(p);
+    }
+    pool.flush_all().expect("seed flush");
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// One full sequential scan of the relation under `hint`; the pool starts
+/// cold (fresh per call).
+fn seq_scan(dir: &Path, cfg: &Cfg, window: usize) -> Vec<(String, Value)> {
+    let (id, disk, pool) = open_pool(dir, cfg.frames, cfg.shards, window);
+    disk.reset_io_stats();
+    let hint = if window > 0 { AccessHint::Sequential } else { AccessHint::Random };
+    let t = Instant::now();
+    for b in 0..cfg.blocks {
+        let p = pool.pin_with_hint(PageKey::new(id, REL, b), hint).expect("pin");
+        let got = u32::from_le_bytes(p.read()[..4].try_into().unwrap());
+        assert_eq!(got, b, "page content must match its block");
+    }
+    let wall = t.elapsed();
+    let stats = pool.stats();
+    let io = disk.io_stats();
+    let bytes = cfg.blocks as u64 * PAGE_SIZE as u64;
+    phase_json(
+        bytes,
+        wall,
+        stats.hit_rate(),
+        io.reads,
+        &[
+            ("prefetch_pages", stats.prefetch_pages as f64),
+            ("prefetch_hits", stats.prefetch_hits as f64),
+        ],
+    )
+}
+
+/// N threads pinning random blocks of a pool-resident working set; lock
+/// contention on the page table dominates, so shard count is the variable.
+fn concurrent(dir: &Path, cfg: &Cfg, shards: usize) -> Vec<(String, Value)> {
+    let (id, disk, pool) = open_pool(dir, cfg.frames, shards, 0);
+    // Working set fits comfortably even after sharding slack.
+    let set = (cfg.frames as u32 / 2).min(cfg.blocks);
+    for b in 0..set {
+        drop(pool.pin(PageKey::new(id, REL, b)).expect("warmup pin"));
+    }
+    pool.reset_stats();
+    disk.reset_io_stats();
+    let pool = Arc::new(pool);
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for th in 0..cfg.threads {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                let mut rng = Rng(0x9E3779B9 ^ (th as u64) << 20);
+                for _ in 0..cfg.pins {
+                    let b = rng.below(set as u64) as u32;
+                    let p = pool.pin(PageKey::new(id, REL, b)).expect("pin");
+                    let got = u32::from_le_bytes(p.read()[..4].try_into().unwrap());
+                    assert_eq!(got, b);
+                }
+            });
+        }
+    });
+    let wall = t.elapsed();
+    let stats = pool.stats();
+    let io = disk.io_stats();
+    let total_pins = cfg.threads as u64 * cfg.pins;
+    let mut out = phase_json(
+        0,
+        wall,
+        stats.hit_rate(),
+        io.reads,
+        &[
+            ("pins", total_pins as f64),
+            ("pins_per_sec", round3(total_pins as f64 / wall.as_secs_f64().max(1e-9))),
+            ("shards", pool.shard_count() as f64),
+        ],
+    );
+    out.retain(|(k, _)| k != "mib_per_sec" && k != "bytes"); // byte rate is meaningless here
+    out
+}
+
+fn phase_json(
+    bytes: u64,
+    wall: Duration,
+    hit_rate: f64,
+    device_reads: u64,
+    extra: &[(&str, f64)],
+) -> Vec<(String, Value)> {
+    let secs = wall.as_secs_f64().max(1e-9);
+    let mut rows = vec![
+        ("bytes".into(), Value::Num(bytes as f64)),
+        ("wall_secs".into(), Value::Num(round3(secs))),
+        ("mib_per_sec".into(), Value::Num(round3(bytes as f64 / (1024.0 * 1024.0) / secs))),
+        ("hit_rate".into(), Value::Num(round3(hit_rate))),
+        ("device_read_ops".into(), Value::Num(device_reads as f64)),
+    ];
+    for (k, v) in extra {
+        rows.push(((*k).into(), Value::Num(*v)));
+    }
+    rows
+}
+
+fn get_num(rows: &[(String, Value)], key: &str) -> f64 {
+    match rows.iter().find(|(k, _)| k == key) {
+        Some((_, Value::Num(n))) => *n,
+        _ => f64::NAN,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pool_bench [--smoke] [--blocks N] [--frames N] [--shards N] [--window N]\n\
+         \x20                 [--threads N] [--pins N] [--min-seq-hit-rate F] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--smoke") { Cfg::smoke() } else { Cfg::default() };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut num = || -> usize {
+            iter.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|n| *n > 0)
+                .unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--smoke" => {}
+            "--blocks" => cfg.blocks = num() as u32,
+            "--frames" => cfg.frames = num(),
+            "--shards" => cfg.shards = num(),
+            "--window" => cfg.window = num(),
+            "--threads" => cfg.threads = num(),
+            "--pins" => cfg.pins = num() as u64,
+            "--min-seq-hit-rate" => {
+                cfg.min_seq_hit_rate =
+                    Some(iter.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| usage()))
+            }
+            "--out" => cfg.out = Some(iter.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if (cfg.blocks as usize) <= cfg.frames {
+        eprintln!("error: --blocks must exceed --frames (the scan must spill the pool)");
+        std::process::exit(2);
+    }
+
+    let dir = tempfile::tempdir().unwrap();
+    let data = dir.path().join("data");
+    std::fs::create_dir_all(&data).unwrap();
+    eprintln!(
+        "pool_bench: {} blocks, {} frames, {} shards, window {}",
+        cfg.blocks, cfg.frames, cfg.shards, cfg.window
+    );
+    seed(&data, &cfg);
+
+    // Prime the OS page cache once so the first timed variant is not
+    // penalized relative to the later ones.
+    let _ = seq_scan(&data, &cfg, 0);
+
+    eprintln!("pool_bench: seq scan, read-ahead on/off");
+    let ra_on = seq_scan(&data, &cfg, cfg.window);
+    let ra_off = seq_scan(&data, &cfg, 0);
+
+    eprintln!("pool_bench: concurrent pins, sharded vs global");
+    let sharded = concurrent(&data, &cfg, cfg.shards);
+    let global = concurrent(&data, &cfg, 1);
+
+    let seq_hit_rate = get_num(&ra_on, "hit_rate");
+    let doc = Value::Obj(vec![
+        ("bench".into(), Value::Str("buffer_pool".into())),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                ("blocks".into(), Value::Num(cfg.blocks as f64)),
+                ("frames".into(), Value::Num(cfg.frames as f64)),
+                ("shards".into(), Value::Num(cfg.shards as f64)),
+                ("readahead_window".into(), Value::Num(cfg.window as f64)),
+                ("threads".into(), Value::Num(cfg.threads as f64)),
+                ("pins_per_thread".into(), Value::Num(cfg.pins as f64)),
+            ]),
+        ),
+        (
+            "seq_scan".into(),
+            Value::Obj(vec![
+                ("readahead_on".into(), Value::Obj(ra_on)),
+                ("readahead_off".into(), Value::Obj(ra_off)),
+            ]),
+        ),
+        (
+            "concurrent".into(),
+            Value::Obj(vec![
+                ("sharded".into(), Value::Obj(sharded)),
+                ("global".into(), Value::Obj(global)),
+            ]),
+        ),
+    ]);
+
+    let out = cfg.out.clone().unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pool.json").to_string()
+    });
+    let text = to_string_pretty(&doc);
+    std::fs::write(&out, format!("{text}\n")).unwrap();
+    println!("{text}");
+    eprintln!("pool_bench: wrote {out}");
+
+    if let Some(floor) = cfg.min_seq_hit_rate {
+        if seq_hit_rate.is_nan() || seq_hit_rate < floor {
+            eprintln!(
+                "pool_bench: FAIL — seq-scan hit rate {seq_hit_rate:.3} below the {floor:.3} floor"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("pool_bench: seq-scan hit rate {seq_hit_rate:.3} >= {floor:.3} floor");
+    }
+}

@@ -225,6 +225,11 @@ impl TestObject {
                 pool_frames: cfg.pool_frames,
                 worm_cache_blocks: cfg.worm_cache_blocks,
                 sim: None,
+                // The figures reproduce 1992 POSTGRES, which had no
+                // buffer-pool read-ahead — the OS cache's advantage at
+                // sequential scans is part of what Figure 2 measured.
+                readahead_window: 0,
+                ..Default::default()
             },
         )?;
         let store = LoStore::new(Arc::clone(&env));

@@ -5,21 +5,35 @@
 //! paper's Figure 3 notes that the special-purpose raw-device reader beats
 //! f-chunk on sequential WORM scans precisely because f-chunk pays "overhead
 //! for cache management" — overhead this module reproduces (page lookup,
-//! pin accounting, write-back of dirty pages).
+//! pin accounting, write-back of dirty pages) and then works to hide:
 //!
-//! Design: a fixed array of frames, each with its own `RwLock`, plus a
-//! mutex-protected page table. A frame is *pinned* while any
-//! [`PinnedPage`] handle exists; clock-sweep eviction only considers
-//! unpinned frames. Lock ordering is always page-table → frame, and a
-//! frame with pin count > 0 is never evicted, so holding a page guard while
-//! pinning another page cannot deadlock.
+//! * the page table is **sharded** by [`PageKey`] hash, so concurrent
+//!   sessions contend on `1/N`th of a lock instead of one global mutex;
+//!   each shard owns a contiguous frame range with its own clock hand and
+//!   hit/miss/eviction counters;
+//! * sequential scans announce themselves with [`AccessHint::Sequential`],
+//!   driving a **read-ahead window** that pulls the next run of blocks in
+//!   one multi-block device transfer ([`pglo_smgr::StorageManager::read_many`]);
+//! * dirty pages leave through a **background writer** thread
+//!   ([`BufferPool::spawn_bgwriter`]) in batched elevator order, so the
+//!   commit path no longer eats the write-back latency ([`BufferPool::flush_all`]
+//!   still forces synchronously for the durability-critical callers).
+//!
+//! Lock ordering is always shard-table → frame, and a frame with pin
+//! count > 0 is never evicted, so holding a page guard while pinning
+//! another page cannot deadlock. A frame only ever holds keys that hash to
+//! its own shard, so no path needs two shard locks at once. The background
+//! writer takes frame locks only (`try_read`/`try_write`, skipping pinned
+//! or contended frames), never a shard-table lock.
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use pglo_pages::{PageBuf, PAGE_SIZE};
 use pglo_smgr::{RelFileId, SmgrError, SmgrId, SmgrSwitch};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Identifies a page across the whole storage-manager switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,6 +51,18 @@ impl PageKey {
     pub fn new(smgr: SmgrId, rel: RelFileId, block: u32) -> Self {
         Self { smgr, rel, block }
     }
+}
+
+/// How the caller expects to touch pages of this relation next — the
+/// prefetch hint scanners pass so the pool can read ahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessHint {
+    /// Isolated access; no read-ahead.
+    #[default]
+    Random,
+    /// Part of an ascending scan: once two consecutive blocks are seen,
+    /// the pool prefetches a window ahead with one multi-block read.
+    Sequential,
 }
 
 /// Buffer-pool errors.
@@ -85,7 +111,44 @@ struct Frame {
     data: RwLock<FrameData>,
     pin: AtomicU32,
     used: AtomicBool,
+    /// Installed by read-ahead and not yet pinned; the first pin of such a
+    /// frame counts as a prefetch hit.
+    prefetched: AtomicBool,
 }
+
+/// One lock shard: a page table over a contiguous frame range with its own
+/// clock hand and counters.
+struct Shard {
+    table: Mutex<PageTable>,
+    /// First frame owned by this shard.
+    lo: usize,
+    /// One past the last frame owned by this shard.
+    hi: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct PageTable {
+    map: HashMap<PageKey, usize>,
+    hand: usize,
+}
+
+/// Per-relation read-ahead window state.
+struct RaState {
+    /// Last block pinned with a sequential hint.
+    last: u32,
+    /// Blocks below this were already submitted for prefetch.
+    until: u32,
+    /// Length of the current consecutive-block run. The window only opens
+    /// at [`MIN_PREFETCH_RUN`]: a random access that happens to span two
+    /// adjacent blocks (an 8 KB read crossing a chunk boundary) must not
+    /// trigger a whole window of wasted device reads.
+    run: u32,
+}
+
+/// Consecutive sequentially-hinted blocks required before prefetch starts.
+const MIN_PREFETCH_RUN: u32 = 3;
 
 /// Point-in-time buffer-pool statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -98,6 +161,14 @@ pub struct PoolStats {
     pub evictions: u64,
     /// The writebacks.
     pub writebacks: u64,
+    /// Pages installed by sequential read-ahead.
+    pub prefetch_pages: u64,
+    /// Pins served by a page read-ahead put there first.
+    pub prefetch_hits: u64,
+    /// Dirty pages flushed by the background writer.
+    pub bgwriter_pages: u64,
+    /// Background-writer wakeups.
+    pub bgwriter_cycles: u64,
 }
 
 impl PoolStats {
@@ -113,20 +184,53 @@ impl PoolStats {
     }
 }
 
+/// Per-shard counter snapshot (`stats` aggregates these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Frames owned by the shard.
+    pub frames: usize,
+    /// The hits.
+    pub hits: u64,
+    /// The misses.
+    pub misses: u64,
+    /// The evictions.
+    pub evictions: u64,
+}
+
+/// Construction options for [`BufferPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolOptions {
+    /// Pool size in 8 KB frames.
+    pub frames: usize,
+    /// Requested page-table shard count; clamped so every shard keeps at
+    /// least [`MIN_SHARD_FRAMES`] frames (tiny pools collapse to 1 shard).
+    pub shards: usize,
+    /// Sequential read-ahead window in blocks; 0 disables read-ahead.
+    pub readahead_window: usize,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        Self {
+            frames: DEFAULT_POOL_FRAMES,
+            shards: DEFAULT_POOL_SHARDS,
+            readahead_window: DEFAULT_READAHEAD_WINDOW,
+        }
+    }
+}
+
 /// The shared buffer pool.
 pub struct BufferPool {
     switch: Arc<SmgrSwitch>,
     frames: Vec<Frame>,
-    table: Mutex<PageTable>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    shards: Vec<Shard>,
+    readahead_window: usize,
+    readahead: Mutex<HashMap<(SmgrId, RelFileId), RaState>>,
     writebacks: AtomicU64,
-}
-
-struct PageTable {
-    map: HashMap<PageKey, usize>,
-    hand: usize,
+    prefetch_pages: AtomicU64,
+    prefetch_hits: AtomicU64,
+    bgwriter_pages: AtomicU64,
+    bgwriter_cycles: AtomicU64,
 }
 
 /// Default pool size: 256 frames = 2 MB, matching a modest 1992 shared
@@ -134,11 +238,29 @@ struct PageTable {
 /// large scans actually touch the device).
 pub const DEFAULT_POOL_FRAMES: usize = 256;
 
+/// Default page-table shard count.
+pub const DEFAULT_POOL_SHARDS: usize = 8;
+
+/// Smallest frame range a shard is allowed to own; the requested shard
+/// count is clamped so clock sweeps always have room to work.
+pub const MIN_SHARD_FRAMES: usize = 8;
+
+/// Default sequential read-ahead window (16 blocks = 128 KB).
+pub const DEFAULT_READAHEAD_WINDOW: usize = 16;
+
 impl BufferPool {
-    /// A pool of `capacity` frames over `switch`.
+    /// A pool of `capacity` frames over `switch` with default sharding and
+    /// read-ahead.
     pub fn new(switch: Arc<SmgrSwitch>, capacity: usize) -> Self {
+        Self::with_options(switch, PoolOptions { frames: capacity, ..PoolOptions::default() })
+    }
+
+    /// A pool with explicit shard count and read-ahead window.
+    pub fn with_options(switch: Arc<SmgrSwitch>, opts: PoolOptions) -> Self {
+        let capacity = opts.frames;
         assert!(capacity > 0, "buffer pool needs at least one frame");
-        let frames = (0..capacity)
+        let nshards = opts.shards.clamp(1, (capacity / MIN_SHARD_FRAMES).max(1));
+        let frames: Vec<Frame> = (0..capacity)
             .map(|_| Frame {
                 data: RwLock::new(FrameData {
                     key: None,
@@ -147,16 +269,39 @@ impl BufferPool {
                 }),
                 pin: AtomicU32::new(0),
                 used: AtomicBool::new(false),
+                prefetched: AtomicBool::new(false),
+            })
+            .collect();
+        // Contiguous frame ranges, remainder spread over the first shards.
+        let per = capacity / nshards;
+        let extra = capacity % nshards;
+        let mut lo = 0;
+        let shards = (0..nshards)
+            .map(|s| {
+                let len = per + usize::from(s < extra);
+                let shard = Shard {
+                    table: Mutex::new(PageTable { map: HashMap::new(), hand: lo }),
+                    lo,
+                    hi: lo + len,
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                    evictions: AtomicU64::new(0),
+                };
+                lo += len;
+                shard
             })
             .collect();
         Self {
             switch,
             frames,
-            table: Mutex::new(PageTable { map: HashMap::new(), hand: 0 }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            shards,
+            readahead_window: opts.readahead_window,
+            readahead: Mutex::new(HashMap::new()),
             writebacks: AtomicU64::new(0),
+            prefetch_pages: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            bgwriter_pages: AtomicU64::new(0),
+            bgwriter_cycles: AtomicU64::new(0),
         }
     }
 
@@ -170,60 +315,104 @@ impl BufferPool {
         self.frames.len()
     }
 
+    /// Number of page-table shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The read-ahead window in blocks (0 = disabled).
+    pub fn readahead_window(&self) -> usize {
+        self.readahead_window
+    }
+
+    fn shard_of(&self, key: &PageKey) -> &Shard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
     /// Pin `key`'s page into the pool, loading it from its storage manager
     /// on a miss. The page stays resident until the returned handle drops.
     pub fn pin(&self, key: PageKey) -> Result<PinnedPage<'_>> {
+        self.pin_with_hint(key, AccessHint::Random)
+    }
+
+    /// [`Self::pin`] with an access-pattern hint. A [`AccessHint::Sequential`]
+    /// pin that continues an ascending run triggers window read-ahead.
+    pub fn pin_with_hint(&self, key: PageKey, hint: AccessHint) -> Result<PinnedPage<'_>> {
+        let shard = self.shard_of(&key);
         // Fast path: already resident.
         {
-            let table = self.table.lock();
+            let table = shard.table.lock();
             if let Some(&idx) = table.map.get(&key) {
                 self.frames[idx].pin.fetch_add(1, Ordering::AcqRel);
                 self.frames[idx].used.store(true, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                if self.frames[idx].prefetched.swap(false, Ordering::Relaxed) {
+                    self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                drop(table);
+                if hint == AccessHint::Sequential {
+                    self.run_readahead(key);
+                }
                 return Ok(PinnedPage { pool: self, idx });
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Miss: pick a victim while holding the table lock, transfer the
-        // mapping, then load outside the table lock (the frame's write lock
-        // blocks concurrent readers of the new key until the load is done).
-        let mut table = self.table.lock();
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        // Miss: pick a victim while holding the shard lock, transfer the
+        // mapping, then evict and load *outside* the shard lock (the
+        // frame's write lock blocks concurrent readers of the new key until
+        // the load is done, and other shard traffic proceeds meanwhile).
+        let mut table = shard.table.lock();
         // Re-check: another thread may have loaded it while we were queued.
         if let Some(&idx) = table.map.get(&key) {
             self.frames[idx].pin.fetch_add(1, Ordering::AcqRel);
             self.frames[idx].used.store(true, Ordering::Relaxed);
+            if self.frames[idx].prefetched.swap(false, Ordering::Relaxed) {
+                self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+            }
             return Ok(PinnedPage { pool: self, idx });
         }
-        let idx = self.find_victim(&mut table)?;
+        let idx = self.find_victim(shard, &mut table)?;
         let frame = &self.frames[idx];
         frame.pin.store(1, Ordering::Release);
         frame.used.store(true, Ordering::Relaxed);
+        frame.prefetched.store(false, Ordering::Relaxed);
         let mut data = frame.data.write();
-        if let Some(old) = data.key.take() {
+        let old_key = data.key.take();
+        if let Some(old) = old_key {
             table.map.remove(&old);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            if data.dirty {
-                self.writebacks.fetch_add(1, Ordering::Relaxed);
-                let smgr = self.switch.get(old.smgr)?;
-                smgr.write(old.rel, old.block, &data.page)?;
-                data.dirty = false;
-            }
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
         }
         table.map.insert(key, idx);
         drop(table);
+        // Write the dirty victim back without the shard lock: the mapping
+        // already moved and the frame write lock is held, so nobody can see
+        // a stale page while other shard traffic proceeds.
+        if data.dirty {
+            if let Some(old) = old_key {
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+                let smgr = self.switch.get(old.smgr)?;
+                smgr.write(old.rel, old.block, &data.page)?;
+            }
+            data.dirty = false;
+        }
         let smgr = self.switch.get(key.smgr)?;
         if let Err(e) = smgr.read(key.rel, key.block, &mut data.page) {
             // Undo the mapping on failure. Decrement (never zero) the pin:
             // a concurrent thread that found the short-lived mapping may
             // hold its own pin, which its handle will release normally.
             data.key = None;
-            self.table.lock().map.remove(&key);
+            shard.table.lock().map.remove(&key);
             frame.pin.fetch_sub(1, Ordering::AcqRel);
             return Err(e.into());
         }
         data.key = Some(key);
         data.dirty = false;
         drop(data);
+        if hint == AccessHint::Sequential {
+            self.run_readahead(key);
+        }
         Ok(PinnedPage { pool: self, idx })
     }
 
@@ -243,25 +432,30 @@ impl BufferPool {
         let block = mgr.allocate(rel)?;
         let key = PageKey::new(smgr, rel, block);
         // Install directly into a frame (avoids an immediate re-read).
-        let mut table = self.table.lock();
+        let shard = self.shard_of(&key);
+        let mut table = shard.table.lock();
         debug_assert!(!table.map.contains_key(&key), "fresh block already mapped");
-        let idx = self.find_victim(&mut table)?;
+        let idx = self.find_victim(shard, &mut table)?;
         let frame = &self.frames[idx];
         frame.pin.store(1, Ordering::Release);
         frame.used.store(true, Ordering::Relaxed);
+        frame.prefetched.store(false, Ordering::Relaxed);
         let mut data = frame.data.write();
-        if let Some(old) = data.key.take() {
+        let old_key = data.key.take();
+        if let Some(old) = old_key {
             table.map.remove(&old);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            if data.dirty {
-                self.writebacks.fetch_add(1, Ordering::Relaxed);
-                let old_mgr = self.switch.get(old.smgr)?;
-                old_mgr.write(old.rel, old.block, &data.page)?;
-                data.dirty = false;
-            }
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
         }
         table.map.insert(key, idx);
         drop(table);
+        if data.dirty {
+            if let Some(old) = old_key {
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+                let old_mgr = self.switch.get(old.smgr)?;
+                old_mgr.write(old.rel, old.block, &data.page)?;
+            }
+            data.dirty = false;
+        }
         data.page.copy_from_slice(&page[..]);
         data.key = Some(key);
         data.dirty = true;
@@ -269,12 +463,167 @@ impl BufferPool {
         Ok((block, PinnedPage { pool: self, idx }))
     }
 
+    // ---- sequential read-ahead -------------------------------------------
+
+    /// Advance the per-relation window state and prefetch if a run is live.
+    fn run_readahead(&self, key: PageKey) {
+        let Some((start, end)) = self.plan_readahead(key) else { return };
+        // Best-effort: read-ahead failures (EOF races, unknown manager)
+        // never surface to the pinning caller.
+        self.prefetch_range(key.smgr, key.rel, start, end);
+    }
+
+    /// Decide what to prefetch for a sequential pin of `key`, reserving the
+    /// range in the window state so concurrent scanners don't double-issue.
+    fn plan_readahead(&self, key: PageKey) -> Option<(u32, u32)> {
+        let window = self.readahead_window as u32;
+        if window == 0 {
+            return None;
+        }
+        let mut map = self.readahead.lock();
+        let Some(st) = map.get_mut(&(key.smgr, key.rel)) else {
+            map.insert(
+                (key.smgr, key.rel),
+                RaState { last: key.block, until: key.block + 1, run: 1 },
+            );
+            return None;
+        };
+        let advanced = key.block == st.last.wrapping_add(1);
+        let repeat = key.block == st.last;
+        st.last = key.block;
+        if !advanced {
+            if !repeat {
+                // A seek resets the window.
+                st.until = key.block + 1;
+                st.run = 1;
+            }
+            return None;
+        }
+        st.run = st.run.saturating_add(1);
+        if st.run < MIN_PREFETCH_RUN {
+            return None;
+        }
+        let target = key.block.saturating_add(1 + window);
+        // Refill once less than half the window is left ahead of the scan,
+        // so steady state issues one half-window batch per half window.
+        if st.until >= key.block + 1 + window / 2 {
+            return None;
+        }
+        let start = st.until.max(key.block + 1);
+        st.until = target;
+        Some((start, target))
+    }
+
+    /// Read blocks `[start, end)` of `rel` into clean unpinned frames,
+    /// skipping blocks already resident. Never writes, never blocks on a
+    /// contended frame, swallows device errors — pure opportunism.
+    fn prefetch_range(&self, smgr: SmgrId, rel: RelFileId, start: u32, end: u32) {
+        let Ok(mgr) = self.switch.get(smgr) else { return };
+        // Group the non-resident blocks into contiguous runs.
+        let mut runs: Vec<(u32, usize)> = Vec::new();
+        for block in start..end {
+            let key = PageKey::new(smgr, rel, block);
+            if self.shard_of(&key).table.lock().map.contains_key(&key) {
+                continue;
+            }
+            match runs.last_mut() {
+                Some((s, n)) if *s + *n as u32 == block => *n += 1,
+                _ => runs.push((block, 1)),
+            }
+        }
+        for (run_start, want) in runs {
+            let mut bufs: Vec<PageBuf> = vec![[0u8; PAGE_SIZE]; want];
+            let got = match mgr.read_many(rel, run_start, &mut bufs) {
+                Ok(got) => got,
+                Err(_) => return,
+            };
+            for (i, page) in bufs.iter().take(got).enumerate() {
+                let key = PageKey::new(smgr, rel, run_start + i as u32);
+                if self.install_prefetched(key, page) {
+                    self.prefetch_pages.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if got < want {
+                return; // end of relation
+            }
+        }
+    }
+
+    /// Install a prefetched page image if its key is still absent and a
+    /// clean unpinned victim exists. Returns whether it went in.
+    fn install_prefetched(&self, key: PageKey, page: &PageBuf) -> bool {
+        let shard = self.shard_of(&key);
+        let mut table = shard.table.lock();
+        if table.map.contains_key(&key) {
+            // Mapped meanwhile (possibly dirty) — never clobber it with a
+            // stale device image.
+            return false;
+        }
+        let Some(idx) = self.sweep_clean(shard, &mut table) else { return false };
+        let frame = &self.frames[idx];
+        // Clean unpinned frame; a pin can't arrive while we hold the shard
+        // lock (pins go through this table), so try_write only contends
+        // with flushers — skip rather than wait.
+        let Some(mut data) = frame.data.try_write() else { return false };
+        if data.dirty {
+            return false;
+        }
+        if let Some(old) = data.key.take() {
+            table.map.remove(&old);
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        table.map.insert(key, idx);
+        frame.used.store(true, Ordering::Relaxed);
+        frame.prefetched.store(true, Ordering::Relaxed);
+        drop(table);
+        data.page.copy_from_slice(&page[..]);
+        data.key = Some(key);
+        data.dirty = false;
+        true
+    }
+
+    /// One clock sweep over the shard's frames accepting only clean,
+    /// unpinned, unreferenced frames; `None` rather than forcing a flush.
+    fn sweep_clean(&self, shard: &Shard, table: &mut PageTable) -> Option<usize> {
+        let len = shard.hi - shard.lo;
+        for _ in 0..2 * len {
+            let idx = table.hand;
+            table.hand = if table.hand + 1 >= shard.hi { shard.lo } else { table.hand + 1 };
+            let frame = &self.frames[idx];
+            if frame.pin.load(Ordering::Acquire) != 0 {
+                continue;
+            }
+            if frame.used.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            match frame.data.try_read() {
+                Some(data) if !data.dirty => return Some(idx),
+                _ => continue,
+            }
+        }
+        None
+    }
+
+    // ---- eviction and write-back -----------------------------------------
+
     /// The background-writer model: write every dirty, unpinned page in
     /// `(device, relation, block)` order — elevator scheduling, so dirty
     /// pages accumulate and then leave in long sequential runs, as in every
-    /// contemporary system. Pinned or lock-contended frames are skipped
-    /// (they flush later).
-    fn flush_dirty_batch(&self) -> Result<usize> {
+    /// contemporary system. Pinned or lock-contended frames are skipped,
+    /// and a page whose device refuses the write (e.g. a burned WORM
+    /// block) stays dirty for its evictor to deal with; both flush later.
+    /// Returns pages written.
+    pub fn flush_dirty_batch(&self) -> usize {
+        self.flush_dirty(false)
+    }
+
+    /// `cold_only` is the periodic background-writer mode: a dirty frame
+    /// with its reference bit set is *cooled* (bit cleared) instead of
+    /// written, so it is flushed only if still untouched a sweep later.
+    /// Pages being re-dirtied in place (a heap's insertion tail) thus keep
+    /// their bit set and are never repeatedly written back — the classic
+    /// write-amplification trap for an eager background writer.
+    fn flush_dirty(&self, cold_only: bool) -> usize {
         let mut targets: Vec<(PageKey, usize)> = Vec::new();
         for (idx, frame) in self.frames.iter().enumerate() {
             if frame.pin.load(Ordering::Acquire) != 0 {
@@ -283,6 +632,9 @@ impl BufferPool {
             if let Some(data) = frame.data.try_read() {
                 if let Some(k) = data.key {
                     if data.dirty {
+                        if cold_only && frame.used.swap(false, Ordering::Relaxed) {
+                            continue;
+                        }
                         targets.push((k, idx));
                     }
                 }
@@ -293,31 +645,32 @@ impl BufferPool {
         for (key, idx) in targets {
             if let Some(mut data) = self.frames[idx].data.try_write() {
                 if data.key == Some(key) && data.dirty {
-                    let smgr = self.switch.get(key.smgr)?;
-                    smgr.write(key.rel, key.block, &data.page)?;
-                    data.dirty = false;
-                    self.writebacks.fetch_add(1, Ordering::Relaxed);
-                    flushed += 1;
+                    let Ok(smgr) = self.switch.get(key.smgr) else { continue };
+                    if smgr.write(key.rel, key.block, &data.page).is_ok() {
+                        data.dirty = false;
+                        self.writebacks.fetch_add(1, Ordering::Relaxed);
+                        flushed += 1;
+                    }
                 }
             }
         }
-        Ok(flushed)
+        flushed
     }
 
-    /// Clock-sweep victim selection, preferring clean frames. Caller holds
-    /// the table lock.
+    /// Clock-sweep victim selection within one shard, preferring clean
+    /// frames. Caller holds the shard's table lock.
     ///
     /// Sweep 1 takes unused *clean* frames only, letting dirty pages
     /// accumulate for batched elevator write-back. When no clean victim
     /// exists, the dirty set is flushed in one sorted batch and the sweep
     /// retried; only if that fails too is a dirty frame handed back (its
     /// caller writes it individually).
-    fn find_victim(&self, table: &mut PageTable) -> Result<usize> {
-        let n = self.frames.len();
+    fn find_victim(&self, shard: &Shard, table: &mut PageTable) -> Result<usize> {
+        let len = shard.hi - shard.lo;
         let sweep = |table: &mut PageTable, take_dirty: bool| -> Option<usize> {
-            for _ in 0..2 * n {
+            for _ in 0..2 * len {
                 let idx = table.hand;
-                table.hand = (table.hand + 1) % n;
+                table.hand = if table.hand + 1 >= shard.hi { shard.lo } else { table.hand + 1 };
                 let frame = &self.frames[idx];
                 if frame.pin.load(Ordering::Acquire) != 0 {
                     continue;
@@ -340,7 +693,7 @@ impl BufferPool {
         }
         // All unpinned frames are dirty (or contended): batch-flush and
         // retry, then fall back to any unpinned frame.
-        self.flush_dirty_batch()?;
+        self.flush_dirty_batch();
         if let Some(idx) = sweep(table, false) {
             return Ok(idx);
         }
@@ -352,7 +705,9 @@ impl BufferPool {
         self.flush_where(|k| k.smgr == smgr && k.rel == rel)
     }
 
-    /// Write back every dirty page in the pool.
+    /// Write back every dirty page in the pool. Synchronous — the
+    /// durability-critical forcing path (commit) stays a forced flush even
+    /// when a background writer is draining the pool between commits.
     pub fn flush_all(&self) -> Result<()> {
         self.flush_where(|_| true)
     }
@@ -388,34 +743,125 @@ impl BufferPool {
     /// Drop all of `rel`'s pages from the pool *without* writing them back
     /// (used by unlink). Pinned pages of other relations are untouched.
     pub fn discard_rel(&self, smgr: SmgrId, rel: RelFileId) {
-        let mut table = self.table.lock();
-        let keys: Vec<PageKey> =
-            table.map.keys().filter(|k| k.smgr == smgr && k.rel == rel).copied().collect();
-        for key in keys {
-            if let Some(idx) = table.map.remove(&key) {
-                let mut data = self.frames[idx].data.write();
-                data.key = None;
-                data.dirty = false;
+        for shard in &self.shards {
+            let mut table = shard.table.lock();
+            let keys: Vec<PageKey> =
+                table.map.keys().filter(|k| k.smgr == smgr && k.rel == rel).copied().collect();
+            for key in keys {
+                if let Some(idx) = table.map.remove(&key) {
+                    let mut data = self.frames[idx].data.write();
+                    data.key = None;
+                    data.dirty = false;
+                    self.frames[idx].prefetched.store(false, Ordering::Relaxed);
+                }
             }
         }
+        self.readahead.lock().remove(&(smgr, rel));
     }
 
-    /// Pool statistics.
+    // ---- background writer -----------------------------------------------
+
+    /// Spawn a background-writer thread that wakes every `interval`,
+    /// flushing dirty unpinned pages in batched elevator order so evictions
+    /// mostly find clean victims and commit-path forcing finds little left
+    /// to write. The returned handle stops and joins the thread on drop,
+    /// after one final shutdown drain.
+    pub fn spawn_bgwriter(self: &Arc<Self>, interval: Duration) -> BgWriter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let pool = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("bgwriter".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    let flushed = pool.flush_dirty(true);
+                    pool.bgwriter_pages.fetch_add(flushed as u64, Ordering::Relaxed);
+                    pool.bgwriter_cycles.fetch_add(1, Ordering::Relaxed);
+                    // Sleep in short slices so shutdown stays responsive
+                    // even with a long interval.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !flag.load(Ordering::Acquire) {
+                        let slice = (interval - slept).min(Duration::from_millis(5));
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                }
+                // Shutdown drain: one last batched pass.
+                let flushed = pool.flush_dirty_batch();
+                pool.bgwriter_pages.fetch_add(flushed as u64, Ordering::Relaxed);
+            })
+            .expect("spawn bgwriter thread");
+        BgWriter { stop, join: Some(join) }
+    }
+
+    // ---- statistics ------------------------------------------------------
+
+    /// Pool statistics, aggregated over shards.
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+        let mut s = PoolStats {
             writebacks: self.writebacks.load(Ordering::Relaxed),
+            prefetch_pages: self.prefetch_pages.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            bgwriter_pages: self.bgwriter_pages.load(Ordering::Relaxed),
+            bgwriter_cycles: self.bgwriter_cycles.load(Ordering::Relaxed),
+            ..PoolStats::default()
+        };
+        for shard in &self.shards {
+            s.hits += shard.hits.load(Ordering::Relaxed);
+            s.misses += shard.misses.load(Ordering::Relaxed);
+            s.evictions += shard.evictions.load(Ordering::Relaxed);
         }
+        s
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|sh| ShardStats {
+                frames: sh.hi - sh.lo,
+                hits: sh.hits.load(Ordering::Relaxed),
+                misses: sh.misses.load(Ordering::Relaxed),
+                evictions: sh.evictions.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Zero the statistics counters.
     pub fn reset_stats(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
+            shard.evictions.store(0, Ordering::Relaxed);
+        }
         self.writebacks.store(0, Ordering::Relaxed);
+        self.prefetch_pages.store(0, Ordering::Relaxed);
+        self.prefetch_hits.store(0, Ordering::Relaxed);
+        self.bgwriter_pages.store(0, Ordering::Relaxed);
+        self.bgwriter_cycles.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Handle to a running background-writer thread. Dropping it (or calling
+/// [`BgWriter::stop`]) stops the thread after a final drain of dirty pages.
+pub struct BgWriter {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BgWriter {
+    /// Stop and join the writer thread (idempotent).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for BgWriter {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -499,6 +945,14 @@ mod tests {
         let switch = Arc::new(SmgrSwitch::new());
         let id = switch.register(Arc::new(MemSmgr::new(sim)));
         let pool = BufferPool::new(Arc::clone(&switch), frames);
+        (switch, id, pool)
+    }
+
+    fn setup_opts(opts: PoolOptions) -> (Arc<SmgrSwitch>, SmgrId, BufferPool) {
+        let sim = SimContext::default_1992();
+        let switch = Arc::new(SmgrSwitch::new());
+        let id = switch.register(Arc::new(MemSmgr::new(sim)));
+        let pool = BufferPool::with_options(Arc::clone(&switch), opts);
         (switch, id, pool)
     }
 
@@ -650,5 +1104,238 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn shard_count_clamped_for_tiny_pools() {
+        let (_sw, _id, pool) = setup(2);
+        assert_eq!(pool.shard_count(), 1, "2-frame pool collapses to one shard");
+        let (_sw, _id, pool) = setup(256);
+        assert_eq!(pool.shard_count(), DEFAULT_POOL_SHARDS);
+        let (_sw, _id, pool) =
+            setup_opts(PoolOptions { frames: 64, shards: 64, readahead_window: 0 });
+        assert_eq!(pool.shard_count(), 64 / MIN_SHARD_FRAMES);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_pool_stats() {
+        let (switch, id, pool) =
+            setup_opts(PoolOptions { frames: 64, shards: 4, readahead_window: 0 });
+        let smgr = switch.get(id).unwrap();
+        smgr.create(1).unwrap();
+        for _ in 0..32 {
+            let (_, p) = pool.new_page(id, 1, |_| {}).unwrap();
+            drop(p);
+        }
+        for b in 0..32 {
+            drop(pool.pin(PageKey::new(id, 1, b)).unwrap());
+        }
+        let shards = pool.shard_stats();
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().map(|s| s.frames).sum::<usize>(), 64);
+        let agg = pool.stats();
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), agg.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), agg.misses);
+        assert_eq!(shards.iter().map(|s| s.evictions).sum::<u64>(), agg.evictions);
+        assert_eq!(agg.hits, 32, "all 32 re-pins must hit");
+        // Keys spread across shards (hash distribution sanity).
+        assert!(shards.iter().filter(|s| s.hits > 0).count() >= 2);
+    }
+
+    #[test]
+    fn sequential_hint_prefetches_window() {
+        let (switch, id, pool) =
+            setup_opts(PoolOptions { frames: 128, shards: 4, readahead_window: 16 });
+        let smgr = switch.get(id).unwrap();
+        smgr.create(1).unwrap();
+        for i in 0..64 {
+            let (_, p) = pool.new_page(id, 1, |pg| pg[0] = i as u8).unwrap();
+            drop(p);
+        }
+        pool.flush_all().unwrap();
+        // Evict everything so the scan starts cold.
+        pool.discard_rel(id, 1);
+        smgr.reset_io_stats();
+        pool.reset_stats();
+        for b in 0..64u32 {
+            let p = pool.pin_with_hint(PageKey::new(id, 1, b), AccessHint::Sequential).unwrap();
+            assert_eq!(p.read()[0], b as u8);
+        }
+        let stats = pool.stats();
+        assert!(stats.prefetch_pages > 0, "read-ahead must install pages: {stats:?}");
+        assert!(stats.prefetch_hits > 0, "scan must consume prefetched pages: {stats:?}");
+        assert!(stats.misses <= 4, "nearly all pins after the run is detected must hit: {stats:?}");
+        assert_eq!(stats.hits + stats.misses, 64);
+        // The device saw batched reads, not one op per block.
+        assert!(
+            smgr.io_stats().reads < 64,
+            "read_many must batch device ops, saw {}",
+            smgr.io_stats().reads
+        );
+    }
+
+    #[test]
+    fn random_hint_never_prefetches() {
+        let (switch, id, pool) =
+            setup_opts(PoolOptions { frames: 64, shards: 2, readahead_window: 16 });
+        let smgr = switch.get(id).unwrap();
+        smgr.create(1).unwrap();
+        for _ in 0..32 {
+            let (_, p) = pool.new_page(id, 1, |_| {}).unwrap();
+            drop(p);
+        }
+        pool.flush_all().unwrap();
+        pool.discard_rel(id, 1);
+        pool.reset_stats();
+        for b in 0..32u32 {
+            drop(pool.pin(PageKey::new(id, 1, b)).unwrap());
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.prefetch_pages, 0);
+        assert_eq!(stats.misses, 32);
+    }
+
+    #[test]
+    fn prefetched_pages_never_clobber_dirty_data() {
+        // A page dirtied between read-ahead planning and install must not
+        // be overwritten by the stale device image: install-if-absent.
+        let (switch, id, pool) =
+            setup_opts(PoolOptions { frames: 64, shards: 1, readahead_window: 8 });
+        let smgr = switch.get(id).unwrap();
+        smgr.create(1).unwrap();
+        for _ in 0..16 {
+            let (_, p) = pool.new_page(id, 1, |_| {}).unwrap();
+            drop(p);
+        }
+        pool.flush_all().unwrap();
+        // Dirty block 5 in the pool (not yet flushed).
+        let p5 = pool.pin(PageKey::new(id, 1, 5)).unwrap();
+        p5.write()[0] = 0xAB;
+        drop(p5);
+        // Sequential scan from 0 prefetches over block 5; resident pages
+        // are skipped, so the dirty image survives.
+        for b in 0..8u32 {
+            let p = pool.pin_with_hint(PageKey::new(id, 1, b), AccessHint::Sequential).unwrap();
+            if b == 5 {
+                assert_eq!(p.read()[0], 0xAB, "dirty page must survive read-ahead");
+            }
+        }
+    }
+
+    #[test]
+    fn bgwriter_cleans_dirty_pages() {
+        let (switch, id, pool) = setup(16);
+        let smgr = switch.get(id).unwrap();
+        smgr.create(1).unwrap();
+        let pool = Arc::new(pool);
+        let mut bg = pool.spawn_bgwriter(Duration::from_millis(1));
+        for i in 0..8 {
+            let (_, p) = pool.new_page(id, 1, |pg| pg[0] = i as u8).unwrap();
+            drop(p);
+        }
+        // Wait for the writer to drain everything.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let done = (0..8u32).all(|b| {
+                let mut out = pglo_pages::alloc_page();
+                smgr.read(1, b, &mut out).is_ok() && out[0] == b as u8
+            });
+            if done {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "bgwriter never flushed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = pool.stats();
+        assert!(stats.bgwriter_pages >= 8, "writer must account its flushes: {stats:?}");
+        assert!(stats.bgwriter_cycles >= 1);
+        bg.stop();
+    }
+
+    #[test]
+    fn bgwriter_drains_on_shutdown() {
+        let (switch, id, pool) = setup(16);
+        let smgr = switch.get(id).unwrap();
+        smgr.create(1).unwrap();
+        let pool = Arc::new(pool);
+        // Long interval: the only flush chance is the shutdown drain.
+        let mut bg = pool.spawn_bgwriter(Duration::from_secs(3600));
+        // Give the thread its initial cycle before dirtying pages.
+        std::thread::sleep(Duration::from_millis(20));
+        let (b, p) = pool.new_page(id, 1, |pg| pg[0] = 0x5A).unwrap();
+        drop(p);
+        bg.stop();
+        let mut out = pglo_pages::alloc_page();
+        smgr.read(1, b, &mut out).unwrap();
+        assert_eq!(out[0], 0x5A, "shutdown drain must flush dirty pages");
+    }
+
+    #[test]
+    fn concurrent_shard_stress_stats_add_up() {
+        // The satellite stress test: many threads pinning/unpinning across
+        // shards under eviction pressure. Asserts termination (no
+        // deadlock), hits + misses == pins, and that pinned pages survive.
+        let (switch, id, pool) =
+            setup_opts(PoolOptions { frames: 64, shards: 4, readahead_window: 0 });
+        let smgr = switch.get(id).unwrap();
+        smgr.create(1).unwrap();
+        const BLOCKS: u32 = 256; // 4x the pool: constant eviction pressure
+        for i in 0..BLOCKS {
+            let (_, p) =
+                pool.new_page(id, 1, |pg| pg[..4].copy_from_slice(&i.to_le_bytes())).unwrap();
+            drop(p);
+        }
+        pool.flush_all().unwrap();
+        pool.reset_stats();
+        let pool = Arc::new(pool);
+        // Hold a few pins with sentinel writes for the duration.
+        let sentinels: Vec<_> = (0..4u32)
+            .map(|i| {
+                let p = pool.pin(PageKey::new(id, 1, i * 37)).unwrap();
+                p.write()[4] = 0xC0 + i as u8;
+                p
+            })
+            .collect();
+        const THREADS: u64 = 8;
+        const PINS_PER_THREAD: u64 = 500;
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                // Deterministic pseudo-random walk, distinct per thread.
+                let mut x = t * 2654435761 + 12345;
+                for _ in 0..PINS_PER_THREAD {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let b = ((x >> 33) % BLOCKS as u64) as u32;
+                    let p = pool.pin(PageKey::new(id, 1, b)).unwrap();
+                    let got = u32::from_le_bytes(p.read()[..4].try_into().unwrap());
+                    assert_eq!(got, b, "frame content must match its key");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Sentinel pins never got evicted.
+        for (i, p) in sentinels.iter().enumerate() {
+            assert_eq!(p.read()[4], 0xC0 + i as u8, "pinned page {i} must survive pressure");
+        }
+        drop(sentinels);
+        let stats = pool.stats();
+        let shards = pool.shard_stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            THREADS * PINS_PER_THREAD + 4, // + the 4 sentinel pins
+            "every pin is exactly one hit or one miss: {stats:?}"
+        );
+        assert_eq!(
+            shards.iter().map(|s| s.hits + s.misses).sum::<u64>(),
+            stats.hits + stats.misses
+        );
+        assert!(stats.evictions > 0, "walk over 4x the pool must evict");
+        assert!(
+            shards.iter().filter(|s| s.misses > 0).count() >= 2,
+            "load must spread over shards"
+        );
     }
 }

@@ -21,7 +21,7 @@ use crate::meta::lo_class_name;
 use crate::{LoError, LoId, Result};
 use pglo_btree::{keys::u64_key, BTree};
 use pglo_compress::{compress_vec, decompress_vec, CodecKind};
-use pglo_heap::{Heap, StorageEnv};
+use pglo_heap::{AccessHint, Heap, StorageEnv};
 use pglo_pages::Tid;
 use pglo_txn::{Txn, Visibility};
 use std::sync::Arc;
@@ -106,10 +106,17 @@ impl<'a> FChunkBackend<'a> {
     }
 
     /// The single visible version of chunk `seq`, as plain bytes.
-    fn fetch_chunk(&self, seq: u64) -> Result<Option<Vec<u8>>> {
+    ///
+    /// Chunks are inserted in sequence order, roughly one per heap page,
+    /// so an ascending chunk walk is an ascending block walk — `hint`
+    /// forwards that knowledge to the buffer pool's read-ahead. Callers
+    /// pass [`AccessHint::Sequential`] only when `seq` actually continues
+    /// a run; hinting it unconditionally would make every random read pay
+    /// the pool's window-tracking cost for nothing.
+    fn fetch_chunk(&self, seq: u64, hint: AccessHint) -> Result<Option<Vec<u8>>> {
         let tids = self.index.lookup(&u64_key(seq))?;
         for tid in tids {
-            if let Some(payload) = self.heap.fetch(tid, &self.vis)? {
+            if let Some(payload) = self.heap.fetch_hinted(tid, &self.vis, hint)? {
                 let (stored_seq, flag, bytes) = decode_chunk(&payload)?;
                 if stored_seq != seq {
                     return Err(LoError::Meta(format!(
@@ -183,8 +190,16 @@ impl<'a> FChunkBackend<'a> {
         if self.cache.as_ref().is_some_and(|c| c.seq == seq) {
             return Ok(());
         }
+        // The one-chunk handle cache doubles as the run detector: a fetch
+        // that continues past the cached chunk is part of a sequential
+        // walk, anything else is a seek.
+        let hint = match &self.cache {
+            Some(c) if seq == c.seq + 1 => AccessHint::Sequential,
+            _ => AccessHint::Random,
+        };
         self.write_back()?;
-        let data = if skip_fetch { Vec::new() } else { self.fetch_chunk(seq)?.unwrap_or_default() };
+        let data =
+            if skip_fetch { Vec::new() } else { self.fetch_chunk(seq, hint)?.unwrap_or_default() };
         self.cache = Some(ChunkCache { seq, data, dirty: false });
         Ok(())
     }
@@ -206,7 +221,7 @@ impl<'a> FChunkBackend<'a> {
         match max_seq {
             None => Ok(0),
             Some(seq) => {
-                let tail = self.fetch_chunk(seq)?.unwrap_or_default();
+                let tail = self.fetch_chunk(seq, AccessHint::Random)?.unwrap_or_default();
                 Ok(seq * self.chunk_size as u64 + tail.len() as u64)
             }
         }

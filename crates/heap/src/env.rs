@@ -3,18 +3,35 @@
 //! transaction manager, catalog.
 
 use crate::{Catalog, Result};
-use pglo_buffer::{BufferPool, DEFAULT_POOL_FRAMES};
+use pglo_buffer::{
+    BgWriter, BufferPool, PoolOptions, DEFAULT_POOL_FRAMES, DEFAULT_POOL_SHARDS,
+    DEFAULT_READAHEAD_WINDOW,
+};
 use pglo_sim::SimContext;
 use pglo_smgr::{DiskSmgr, MemSmgr, SmgrId, SmgrSwitch, StorageManager, WormSmgr};
 use pglo_txn::{Txn, TxnManager};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Construction options for [`StorageEnv`].
 pub struct EnvOptions {
     /// Buffer pool size in 8 KB frames.
     pub pool_frames: usize,
+    /// Buffer-pool page-table shards (clamped by the pool so tiny pools
+    /// collapse to one shard).
+    pub pool_shards: usize,
+    /// Sequential read-ahead window in blocks; 0 disables read-ahead.
+    pub readahead_window: usize,
+    /// Background-writer wakeup interval; `None` (the default — benchmarks
+    /// reproducing the paper's figures need a deterministic simulated
+    /// clock) leaves write-back to evictions and explicit flushes. The
+    /// server turns this on.
+    pub bgwriter_interval: Option<Duration>,
+    /// Real host `sync_all` on relation sync (honest durability cost for
+    /// benchmarks; off keeps tests fast).
+    pub durable_sync: bool,
     /// WORM magnetic-disk cache size in blocks (0 disables — the §9.3
     /// ablation).
     pub worm_cache_blocks: usize,
@@ -26,6 +43,10 @@ impl Default for EnvOptions {
     fn default() -> Self {
         Self {
             pool_frames: DEFAULT_POOL_FRAMES,
+            pool_shards: DEFAULT_POOL_SHARDS,
+            readahead_window: DEFAULT_READAHEAD_WINDOW,
+            bgwriter_interval: None,
+            durable_sync: false,
             worm_cache_blocks: pglo_smgr::worm::DEFAULT_WORM_CACHE_BLOCKS,
             sim: None,
         }
@@ -57,6 +78,9 @@ pub struct StorageEnv {
     /// structure-modifying work through the *same* lock, so the latch
     /// lives here rather than in the access-method object.
     rel_latches: parking_lot::Mutex<HashMap<(SmgrId, u64), RelLatch>>,
+    /// Background-writer thread, when enabled; stopped (with a final
+    /// drain) when the environment drops.
+    bgwriter: parking_lot::Mutex<Option<BgWriter>>,
 }
 
 /// A relation-wide latch shared by every access-method object open on it.
@@ -75,15 +99,24 @@ impl StorageEnv {
             .map_err(|e| crate::HeapError::Catalog(format!("create db dir: {e}")))?;
         let sim = opts.sim.unwrap_or_else(SimContext::default_1992);
         let switch = Arc::new(SmgrSwitch::new());
-        let disk_smgr = Arc::new(
-            DiskSmgr::new(base_dir.join("heap"), sim.clone()).map_err(crate::HeapError::Smgr)?,
-        );
+        let mut disk_raw =
+            DiskSmgr::new(base_dir.join("heap"), sim.clone()).map_err(crate::HeapError::Smgr)?;
+        disk_raw.set_durable_sync(opts.durable_sync);
+        let disk_smgr = Arc::new(disk_raw);
         let mem_smgr = Arc::new(MemSmgr::new(sim.clone()));
         let worm_smgr = Arc::new(WormSmgr::with_cache_blocks(sim.clone(), opts.worm_cache_blocks));
         let disk = switch.register(Arc::clone(&disk_smgr) as Arc<dyn StorageManager>);
         let mem = switch.register(Arc::clone(&mem_smgr) as Arc<dyn StorageManager>);
         let worm = switch.register(Arc::clone(&worm_smgr) as Arc<dyn StorageManager>);
-        let pool = Arc::new(BufferPool::new(Arc::clone(&switch), opts.pool_frames));
+        let pool = Arc::new(BufferPool::with_options(
+            Arc::clone(&switch),
+            PoolOptions {
+                frames: opts.pool_frames,
+                shards: opts.pool_shards,
+                readahead_window: opts.readahead_window,
+            },
+        ));
+        let bgwriter = opts.bgwriter_interval.map(|interval| pool.spawn_bgwriter(interval));
         let catalog = Catalog::open(&base_dir)?;
         let txns = TxnManager::open(base_dir.join("clog"))
             .map_err(|e| crate::HeapError::Catalog(format!("open commit log: {e}")))?;
@@ -101,7 +134,20 @@ impl StorageEnv {
             mem_smgr,
             worm_smgr,
             rel_latches: parking_lot::Mutex::new(HashMap::new()),
+            bgwriter: parking_lot::Mutex::new(bgwriter),
         }))
+    }
+
+    /// Whether a background writer is running.
+    pub fn bgwriter_running(&self) -> bool {
+        self.bgwriter.lock().is_some()
+    }
+
+    /// Stop the background writer (final drain included); idempotent.
+    pub fn stop_bgwriter(&self) {
+        if let Some(mut bg) = self.bgwriter.lock().take() {
+            bg.stop();
+        }
     }
 
     /// The shared latch for relation `oid` on storage manager `smgr`.

@@ -9,7 +9,7 @@
 use crate::env::StorageEnv;
 use crate::tuple::{tuple_payload, TupleHeader, TUPLE_HEADER_SIZE};
 use crate::{ClassKind, HeapError, Result};
-use pglo_buffer::PageKey;
+use pglo_buffer::{AccessHint, PageKey};
 use pglo_pages::{ItemFlag, Page, Tid, PAGE_SIZE};
 use pglo_smgr::{RelFileId, SmgrId};
 use pglo_txn::{tuple_visible, Txn, TxnStatus, Visibility};
@@ -183,18 +183,41 @@ impl Heap {
         Ok(self.fetch_with_header(tid, vis)?.map(|(_, p)| p))
     }
 
+    /// [`Self::fetch`] with an access-pattern hint: callers walking tuples
+    /// in ascending block order (LO chunk readers, Inversion directory
+    /// scans) pass [`AccessHint::Sequential`] so the buffer pool reads
+    /// ahead of them.
+    pub fn fetch_hinted(
+        &self,
+        tid: Tid,
+        vis: &Visibility,
+        hint: AccessHint,
+    ) -> Result<Option<Vec<u8>>> {
+        Ok(self.fetch_with_header_hinted(tid, vis, hint)?.map(|(_, p)| p))
+    }
+
     /// Fetch `(header, payload)` at `tid` if visible.
     pub fn fetch_with_header(
         &self,
         tid: Tid,
         vis: &Visibility,
     ) -> Result<Option<(TupleHeader, Vec<u8>)>> {
+        self.fetch_with_header_hinted(tid, vis, AccessHint::Random)
+    }
+
+    /// [`Self::fetch_with_header`] with an access-pattern hint.
+    pub fn fetch_with_header_hinted(
+        &self,
+        tid: Tid,
+        vis: &Visibility,
+        hint: AccessHint,
+    ) -> Result<Option<(TupleHeader, Vec<u8>)>> {
         self.env.sim().charge_cpu(FETCH_CPU_INSTR);
         let nblocks = self.nblocks()?;
         if tid.block >= nblocks {
             return Ok(None);
         }
-        let pinned = self.env.pool().pin(self.key(tid.block))?;
+        let pinned = self.env.pool().pin_with_hint(self.key(tid.block), hint)?;
         Ok(pinned.with_read(|buf| {
             let page = Page::new(&buf[..]);
             let item = page.item(tid.slot)?;
@@ -338,7 +361,14 @@ impl Iterator for HeapScan<'_> {
             }
             let block = self.next_block;
             self.next_block += 1;
-            let pinned = match self.heap.env.pool().pin(self.heap.key(block)) {
+            // A heap scan is the canonical ascending walk: hint it so the
+            // pool prefetches the blocks ahead.
+            let pinned = match self
+                .heap
+                .env
+                .pool()
+                .pin_with_hint(self.heap.key(block), AccessHint::Sequential)
+            {
                 Ok(p) => p,
                 Err(e) => return Some(Err(e.into())),
             };

@@ -21,6 +21,7 @@ pub use archive::{archive_vacuum, scan_as_of_with_archive, ArchivedVersion};
 pub use catalog::{Catalog, ClassKind, ClassMeta};
 pub use env::{EnvOptions, StorageEnv};
 pub use heap::{Heap, HeapScan};
+pub use pglo_buffer::AccessHint;
 pub use tuple::{TupleHeader, TUPLE_HEADER_SIZE};
 
 use pglo_buffer::BufferError;

@@ -7,7 +7,7 @@ use pglo_adt::Datum;
 use pglo_btree::keys::{u64_bytes_key, u64_key};
 use pglo_btree::{BTree, ScanStart};
 use pglo_core::{LoHandle, LoId, LoSpec, LoStore, OpenMode, UserId};
-use pglo_heap::{Heap, StorageEnv};
+use pglo_heap::{AccessHint, Heap, StorageEnv};
 use pglo_pages::Tid;
 use pglo_txn::{Txn, Visibility};
 use std::collections::HashMap;
@@ -411,7 +411,10 @@ impl InversionFs {
             if key.len() < 8 || key[..8] != prefix {
                 break;
             }
-            if let Some(payload) = self.dir_heap.fetch(tid, vis)? {
+            // Directory rows were appended in insertion order, so a full
+            // listing walks heap blocks mostly forward: let the pool read
+            // ahead of the scan.
+            if let Some(payload) = self.dir_heap.fetch_hinted(tid, vis, AccessHint::Sequential)? {
                 let row = DirRow::decode(&payload)?;
                 out.push(DirEntry { name: row.name, file_id: row.file_id, is_dir: row.is_dir });
             }

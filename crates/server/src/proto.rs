@@ -386,10 +386,12 @@ impl<'a> Reader<'a> {
         self.take(n)
     }
 
-    /// Read a length-prefixed UTF-8 string.
+    /// Read a length-prefixed UTF-8 string. Validates in place and copies
+    /// once — `String::from_utf8(b.to_vec())` would allocate before
+    /// knowing the bytes are valid.
     pub fn str(&mut self) -> Result<String, DecodeError> {
         let b = self.bytes()?;
-        String::from_utf8(b.to_vec()).map_err(|_| DecodeError("invalid utf-8"))
+        std::str::from_utf8(b).map(str::to_owned).map_err(|_| DecodeError("invalid utf-8"))
     }
 }
 

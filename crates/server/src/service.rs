@@ -40,8 +40,17 @@ pub struct LobdService {
 
 impl LobdService {
     /// Open (or create) a database under `dir` and build the service.
+    ///
+    /// Unlike the embedded default, the server runs a background writer so
+    /// dirty-page write-back happens off the commit path.
     pub fn open(dir: impl AsRef<Path>) -> Result<Arc<Self>, LoError> {
-        let env = StorageEnv::open(dir.as_ref())?;
+        let env = StorageEnv::open_with(
+            dir.as_ref(),
+            pglo_heap::EnvOptions {
+                bgwriter_interval: Some(std::time::Duration::from_millis(2)),
+                ..Default::default()
+            },
+        )?;
         Self::with_env(env)
     }
 
@@ -473,6 +482,10 @@ impl LobdService {
             aborts,
             active_txns: self.env.txns().active_count() as u64,
             active_sessions: self.session_count(),
+            pool_shards: self.env.pool().shard_count() as u64,
+            prefetch_pages: pool.prefetch_pages,
+            prefetch_hits: pool.prefetch_hits,
+            bgwriter_pages: pool.bgwriter_pages,
         }
     }
 }

@@ -82,6 +82,14 @@ pub struct ServerStats {
     pub active_txns: u64,
     /// Connections currently being served.
     pub active_sessions: u64,
+    /// Buffer-pool page-table shards.
+    pub pool_shards: u64,
+    /// Pages installed by sequential read-ahead.
+    pub prefetch_pages: u64,
+    /// Pins satisfied by a read-ahead page before eviction.
+    pub prefetch_hits: u64,
+    /// Dirty pages written back by the background writer.
+    pub bgwriter_pages: u64,
 }
 
 impl ServerStats {
@@ -112,6 +120,10 @@ impl ServerStats {
         proto::put_u64(&mut out, self.aborts);
         proto::put_u64(&mut out, self.active_txns);
         proto::put_u64(&mut out, self.active_sessions);
+        proto::put_u64(&mut out, self.pool_shards);
+        proto::put_u64(&mut out, self.prefetch_pages);
+        proto::put_u64(&mut out, self.prefetch_hits);
+        proto::put_u64(&mut out, self.bgwriter_pages);
         out
     }
 
@@ -139,6 +151,10 @@ impl ServerStats {
             aborts: r.u64()?,
             active_txns: r.u64()?,
             active_sessions: r.u64()?,
+            pool_shards: r.u64()?,
+            prefetch_pages: r.u64()?,
+            prefetch_hits: r.u64()?,
+            bgwriter_pages: r.u64()?,
         };
         r.finish()?;
         Ok(stats)
@@ -172,6 +188,10 @@ mod tests {
             aborts: 1,
             active_txns: 2,
             active_sessions: 3,
+            pool_shards: 8,
+            prefetch_pages: 7,
+            prefetch_hits: 6,
+            bgwriter_pages: 5,
         };
         let enc = stats.encode();
         assert_eq!(ServerStats::decode(&enc).unwrap(), stats);

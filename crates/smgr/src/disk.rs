@@ -23,6 +23,11 @@ pub struct DiskSmgr {
     stats: IoStats,
     seq: SeqTracker,
     files: Mutex<HashMap<RelFileId, Arc<File>>>,
+    /// When set, [`StorageManager::sync`] issues a real host `sync_all` so
+    /// benchmarks can measure honest durability cost. Off by default: the
+    /// simulated clock already charges every write, and host-level fsync
+    /// would only slow tests down.
+    durable_sync: bool,
 }
 
 impl DiskSmgr {
@@ -48,7 +53,18 @@ impl DiskSmgr {
             stats: IoStats::new(),
             seq: SeqTracker::default(),
             files: Mutex::new(HashMap::new()),
+            durable_sync: false,
         })
+    }
+
+    /// Opt into real host `sync_all` on [`StorageManager::sync`].
+    pub fn set_durable_sync(&mut self, durable: bool) {
+        self.durable_sync = durable;
+    }
+
+    /// Whether [`StorageManager::sync`] reaches the host disk.
+    pub fn durable_sync(&self) -> bool {
+        self.durable_sync
     }
 
     /// Path of a relation's backing file.
@@ -166,11 +182,35 @@ impl StorageManager for DiskSmgr {
         Ok(())
     }
 
+    fn read_many(&self, rel: RelFileId, start: u32, out: &mut [PageBuf]) -> Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let f = self.open_file(rel)?;
+        let nblocks = (f.metadata()?.len() / PAGE_SIZE as u64) as u32;
+        if start >= nblocks {
+            return Ok(0);
+        }
+        let n = out.len().min((nblocks - start) as usize);
+        // One contiguous transfer for the whole run: a single host syscall
+        // and, on the simulated device, one positioning charge at most.
+        let flat = out[..n].as_flattened_mut();
+        f.read_exact_at(flat, start as u64 * PAGE_SIZE as u64)?;
+        let sequential = self.seq.touch_run(rel, start, n as u32);
+        self.sim.charge_io(&self.profile, n * PAGE_SIZE, sequential);
+        self.stats.record_read(n * PAGE_SIZE, sequential);
+        Ok(n)
+    }
+
     fn sync(&self, rel: RelFileId) -> Result<()> {
         // The simulated clock already charged each write; host-level
-        // sync_all is skipped to keep tests fast. Durability of the host
-        // file is not part of the reproduced evaluation.
-        let _ = self.open_file(rel)?;
+        // sync_all is skipped by default to keep tests fast (durability of
+        // the host file is not part of the reproduced evaluation) and
+        // performed only when the manager opted into `durable_sync`.
+        let f = self.open_file(rel)?;
+        if self.durable_sync {
+            f.sync_all()?;
+        }
         Ok(())
     }
 
@@ -279,6 +319,67 @@ mod tests {
         let stats = smgr.io_stats();
         assert_eq!(stats.reads, 32);
         assert!(stats.seeks > 16, "random pass seeks on ~every read");
+    }
+
+    #[test]
+    fn read_many_is_one_device_op() {
+        let (_dir, smgr, _sim) = setup();
+        smgr.create(1).unwrap();
+        for i in 0..6u8 {
+            let mut page = alloc_page();
+            page[0] = i;
+            smgr.extend(1, &page).unwrap();
+        }
+        smgr.reset_io_stats();
+        let mut out = vec![[0u8; PAGE_SIZE]; 4];
+        assert_eq!(smgr.read_many(1, 1, &mut out).unwrap(), 4);
+        for (i, page) in out.iter().enumerate() {
+            assert_eq!(page[0] as usize, i + 1, "blocks arrive in order");
+        }
+        let stats = smgr.io_stats();
+        assert_eq!(stats.reads, 1, "a run is one contiguous device transfer");
+        assert_eq!(stats.bytes_read, 4 * PAGE_SIZE as u64);
+        // Short at end of relation, empty past it — no OutOfRange.
+        assert_eq!(smgr.read_many(1, 5, &mut out).unwrap(), 1);
+        assert_eq!(out[0][0], 5);
+        assert_eq!(smgr.read_many(1, 6, &mut out).unwrap(), 0);
+        assert_eq!(smgr.read_many(1, 0, &mut []).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_many_continues_a_sequential_run() {
+        let (_dir, smgr, sim) = setup();
+        smgr.create(1).unwrap();
+        for _ in 0..8 {
+            smgr.extend(1, &alloc_page()).unwrap();
+        }
+        let mut out = vec![[0u8; PAGE_SIZE]; 4];
+        smgr.read_many(1, 0, &mut out).unwrap();
+        sim.reset();
+        smgr.read_many(1, 4, &mut out).unwrap();
+        let continuing = sim.now_ns();
+        sim.reset();
+        smgr.read_many(1, 2, &mut out).unwrap();
+        let seeking = sim.now_ns();
+        assert!(
+            seeking > continuing,
+            "a run continuing the previous tail ({continuing} ns) must be cheaper \
+             than one that seeks ({seeking} ns)"
+        );
+    }
+
+    #[test]
+    fn durable_sync_opt_in() {
+        let (_dir, mut smgr, _sim) = setup();
+        assert!(!smgr.durable_sync(), "host fsync is off by default");
+        smgr.set_durable_sync(true);
+        assert!(smgr.durable_sync());
+        smgr.create(1).unwrap();
+        smgr.extend(1, &alloc_page()).unwrap();
+        smgr.sync(1).unwrap(); // reaches sync_all without error
+        smgr.set_durable_sync(false);
+        assert!(!smgr.durable_sync());
+        smgr.sync(1).unwrap();
     }
 
     #[test]

@@ -140,6 +140,27 @@ pub trait StorageManager: Send + Sync {
     /// Read block `block` into `out`.
     fn read(&self, rel: RelFileId, block: u32, out: &mut PageBuf) -> Result<()>;
 
+    /// Read up to `out.len()` consecutive blocks starting at `start` into
+    /// `out`, returning how many were read — short at end of relation, 0
+    /// when `start` is at or past it (prefetch-friendly: no
+    /// [`SmgrError::OutOfRange`] for running off the end).
+    ///
+    /// The default implementation loops over [`StorageManager::read`];
+    /// device managers override it to issue one contiguous transfer, which
+    /// is what makes the buffer pool's sequential read-ahead cheaper than
+    /// the block-at-a-time path it replaces.
+    fn read_many(&self, rel: RelFileId, start: u32, out: &mut [PageBuf]) -> Result<usize> {
+        let nblocks = self.nblocks(rel)?;
+        if start >= nblocks || out.is_empty() {
+            return Ok(0);
+        }
+        let n = out.len().min((nblocks - start) as usize);
+        for (i, page) in out.iter_mut().take(n).enumerate() {
+            self.read(rel, start + i as u32, page)?;
+        }
+        Ok(n)
+    }
+
     /// Overwrite block `block`. Write-once media may refuse
     /// ([`SmgrError::WormOverwrite`]) once the block has been made durable.
     fn write(&self, rel: RelFileId, block: u32, page: &PageBuf) -> Result<()>;
@@ -227,9 +248,16 @@ impl SeqTracker {
     /// (immediately following, or repeating, the previous access to the
     /// same relation).
     pub fn touch(&self, rel: RelFileId, block: u32) -> bool {
+        self.touch_run(rel, block, 1)
+    }
+
+    /// Record an access to the run `[start, start + len)` and report
+    /// whether its first block continued the previous access — a
+    /// multi-block transfer pays at most one positioning cost.
+    pub fn touch_run(&self, rel: RelFileId, start: u32, len: u32) -> bool {
         let mut m = self.last.lock();
-        let seq = m.get(&rel).is_some_and(|&prev| block == prev + 1 || block == prev);
-        m.insert(rel, block);
+        let seq = m.get(&rel).is_some_and(|&prev| start == prev + 1 || start == prev);
+        m.insert(rel, start + len.saturating_sub(1));
         seq
     }
 
@@ -253,6 +281,34 @@ mod tests {
         assert!(!t.touch(2, 10), "different relation is independent");
         t.forget(1);
         assert!(!t.touch(1, 3));
+    }
+
+    #[test]
+    fn touch_run_records_last_block_of_run() {
+        let t = SeqTracker::default();
+        assert!(!t.touch_run(1, 0, 4), "first run is a seek");
+        assert!(t.touch_run(1, 4, 4), "run continuing the previous run's tail is sequential");
+        assert!(t.touch_run(1, 7, 1), "repeating the tail block needs no seek");
+        assert!(!t.touch_run(1, 20, 4));
+        assert!(t.touch(1, 24), "single-block touch continues a run's tail");
+    }
+
+    #[test]
+    fn default_read_many_short_at_eof() {
+        let sim = pglo_sim::SimContext::default_1992();
+        let m = MemSmgr::new(sim);
+        m.create(1).unwrap();
+        for i in 0..3u8 {
+            let mut pg = pglo_pages::alloc_page();
+            pg[0] = i;
+            m.extend(1, &pg).unwrap();
+        }
+        let mut out = vec![[0u8; pglo_pages::PAGE_SIZE]; 5];
+        assert_eq!(m.read_many(1, 1, &mut out).unwrap(), 2, "short count at end of relation");
+        assert_eq!(out[0][0], 1);
+        assert_eq!(out[1][0], 2);
+        assert_eq!(m.read_many(1, 3, &mut out).unwrap(), 0, "past-the-end reads nothing");
+        assert_eq!(m.read_many(1, 0, &mut []).unwrap(), 0);
     }
 
     #[test]

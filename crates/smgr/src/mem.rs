@@ -94,6 +94,23 @@ impl StorageManager for MemSmgr {
         Ok(())
     }
 
+    fn read_many(&self, rel: RelFileId, start: u32, out: &mut [PageBuf]) -> Result<usize> {
+        let rels = self.rels.read();
+        let pages = rels.get(&rel).ok_or(SmgrError::NotFound(rel))?;
+        if start as usize >= pages.len() || out.is_empty() {
+            return Ok(0);
+        }
+        let n = out.len().min(pages.len() - start as usize);
+        // One pass under one lock acquisition; charged as a single
+        // memory-bus burst.
+        for (slot, page) in out.iter_mut().take(n).enumerate() {
+            page.copy_from_slice(&pages[start as usize + slot][..]);
+        }
+        self.sim.charge_io(&self.profile, n * PAGE_SIZE, true);
+        self.stats.record_read(n * PAGE_SIZE, true);
+        Ok(n)
+    }
+
     fn write(&self, rel: RelFileId, block: u32, page: &PageBuf) -> Result<()> {
         let mut rels = self.rels.write();
         let pages = rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;

@@ -190,6 +190,47 @@ impl StorageManager for WormSmgr {
         Ok(())
     }
 
+    fn read_many(&self, rel: RelFileId, start: u32, out: &mut [PageBuf]) -> Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        // One lock acquisition for the whole run; per-block pricing is
+        // unchanged (the sequential trackers already make consecutive
+        // platter and cache accesses cheap).
+        let mut inner = self.inner.lock();
+        let Inner { rels, cache } = &mut *inner;
+        let blocks = rels.get(&rel).ok_or(SmgrError::NotFound(rel))?;
+        if start as usize >= blocks.len() {
+            return Ok(0);
+        }
+        let n = out.len().min(blocks.len() - start as usize);
+        for (i, slot) in out.iter_mut().take(n).enumerate() {
+            let block = start + i as u32;
+            match &blocks[block as usize] {
+                BlockState::Staged(page) => {
+                    slot.copy_from_slice(&page[..]);
+                    self.sim.charge_io(&self.cache_disk, PAGE_SIZE, false);
+                    self.stats.record_read(PAGE_SIZE, false);
+                }
+                BlockState::Burned(page) => {
+                    slot.copy_from_slice(&page[..]);
+                    if cache.get(&(rel, block)).is_some() {
+                        let sequential = self.cache_seq.touch(rel, block);
+                        self.sim.charge_io(&self.cache_disk, PAGE_SIZE, sequential);
+                        self.stats.record_read(PAGE_SIZE, sequential);
+                    } else {
+                        let sequential = self.seq.touch(rel, block);
+                        self.sim.charge_io(&self.jukebox, PAGE_SIZE, sequential);
+                        self.stats.record_read(PAGE_SIZE, sequential);
+                        self.jukebox_stats.record_read(PAGE_SIZE, sequential);
+                        cache.insert((rel, block), Box::new(*slot));
+                    }
+                }
+            }
+        }
+        Ok(n)
+    }
+
     fn write(&self, rel: RelFileId, block: u32, page: &PageBuf) -> Result<()> {
         let mut inner = self.inner.lock();
         let blocks = inner.rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;
