@@ -19,12 +19,17 @@
 //!   commit path no longer eats the write-back latency ([`BufferPool::flush_all`]
 //!   still forces synchronously for the durability-critical callers).
 //!
-//! Lock ordering is always shard-table → frame, and a frame with pin
-//! count > 0 is never evicted, so holding a page guard while pinning
-//! another page cannot deadlock. A frame only ever holds keys that hash to
-//! its own shard, so no path needs two shard locks at once. The background
-//! writer takes frame locks only (`try_read`/`try_write`, skipping pinned
-//! or contended frames), never a shard-table lock.
+//! Lock ordering is strictly shard-table → frame: no path acquires a
+//! shard-table lock while holding a frame guard. A frame with pin count
+//! > 0 is never evicted, so holding a page guard while pinning another
+//! page cannot deadlock. A page-table mapping is only ever transferred to
+//! an *already-clean* frame — dirty victims are written back (with the
+//! shard lock released around the device write) before their mapping
+//! moves — so an eviction-time write failure loses nothing and a mapping
+//! never points at another page's bytes. A frame only ever holds keys
+//! that hash to its own shard, so no path needs two shard locks at once.
+//! The background writer takes frame locks only (`try_read`/`try_write`,
+//! skipping pinned or contended frames), never a shard-table lock.
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use pglo_pages::{PageBuf, PAGE_SIZE};
@@ -114,6 +119,15 @@ struct Frame {
     /// Installed by read-ahead and not yet pinned; the first pin of such a
     /// frame counts as a prefetch hit.
     prefetched: AtomicBool,
+    /// Cleared (inside the shard-table critical section) when the frame is
+    /// claimed for a new key, set again only once an install succeeded.
+    /// A mapped frame with `valid` set is guaranteed to hold — or, if an
+    /// installer still has the write latch, to end up holding — the bytes
+    /// of every key currently mapped to it, so the pin fast path can trust
+    /// the mapping on one atomic load. `valid` false means a load is in
+    /// flight or failed: the pinner falls back to latching the frame and
+    /// checking its key.
+    valid: AtomicBool,
 }
 
 /// One lock shard: a page table over a contiguous frame range with its own
@@ -270,6 +284,7 @@ impl BufferPool {
                 pin: AtomicU32::new(0),
                 used: AtomicBool::new(false),
                 prefetched: AtomicBool::new(false),
+                valid: AtomicBool::new(false),
             })
             .collect();
         // Contiguous frame ranges, remainder spread over the first shards.
@@ -341,79 +356,91 @@ impl BufferPool {
     /// pin that continues an ascending run triggers window read-ahead.
     pub fn pin_with_hint(&self, key: PageKey, hint: AccessHint) -> Result<PinnedPage<'_>> {
         let shard = self.shard_of(&key);
-        // Fast path: already resident.
-        {
-            let table = shard.table.lock();
-            if let Some(&idx) = table.map.get(&key) {
-                self.frames[idx].pin.fetch_add(1, Ordering::AcqRel);
-                self.frames[idx].used.store(true, Ordering::Relaxed);
-                shard.hits.fetch_add(1, Ordering::Relaxed);
-                if self.frames[idx].prefetched.swap(false, Ordering::Relaxed) {
-                    self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+        // Each pin call is accounted exactly once (one hit or one miss),
+        // however many times the claim/validate loop goes around —
+        // `hits + misses == pins` is a tested invariant.
+        let mut counted = false;
+        loop {
+            // Fast path: already resident.
+            {
+                let table = shard.table.lock();
+                if let Some(&idx) = table.map.get(&key) {
+                    let frame = &self.frames[idx];
+                    frame.pin.fetch_add(1, Ordering::AcqRel);
+                    frame.used.store(true, Ordering::Relaxed);
+                    let was_prefetched = frame.prefetched.swap(false, Ordering::Relaxed);
+                    drop(table);
+                    // A mapping can briefly point at a frame whose load is
+                    // in flight or failed. `valid` vouches for the common
+                    // case on one atomic load; otherwise latch the frame
+                    // (waiting out any in-flight load) and check its key,
+                    // retrying rather than return another page's bytes.
+                    if !frame.valid.load(Ordering::Acquire)
+                        && frame.data.read().key != Some(key)
+                    {
+                        frame.pin.fetch_sub(1, Ordering::AcqRel);
+                        continue;
+                    }
+                    if !counted {
+                        shard.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if was_prefetched {
+                        self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if hint == AccessHint::Sequential {
+                        self.run_readahead(key);
+                    }
+                    return Ok(PinnedPage { pool: self, idx });
+                }
+            }
+            if !counted {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                counted = true;
+            }
+            // Miss: claim a clean victim, transfer the mapping, then load
+            // *outside* the shard lock (the frame's write lock blocks
+            // concurrent readers of the new key until the load is done,
+            // and other shard traffic proceeds meanwhile).
+            let Some((idx, mut data)) = self.claim_frame(shard, key)? else {
+                // Another thread mapped `key` while we were claiming.
+                continue;
+            };
+            let frame = &self.frames[idx];
+            let loaded = self
+                .switch
+                .get(key.smgr)
+                .and_then(|smgr| smgr.read(key.rel, key.block, &mut data.page));
+            if let Err(e) = loaded {
+                // Undo without inverting the shard-table → frame lock
+                // order: drop the frame guard first, then re-validate
+                // under the shard lock before removing the mapping — a
+                // racing `new_page` of this very block may have
+                // legitimately re-owned both frame and mapping meanwhile
+                // (its write guard makes the `try_read` fail, or its key
+                // store makes the emptiness check fail; either way we
+                // leave its mapping alone). The frame stays pinned until
+                // the undo is finished, so it cannot be re-claimed.
+                data.key = None;
+                drop(data);
+                let mut table = shard.table.lock();
+                if table.map.get(&key) == Some(&idx)
+                    && frame.data.try_read().map_or(false, |d| d.key.is_none())
+                {
+                    table.map.remove(&key);
                 }
                 drop(table);
-                if hint == AccessHint::Sequential {
-                    self.run_readahead(key);
-                }
-                return Ok(PinnedPage { pool: self, idx });
+                frame.pin.fetch_sub(1, Ordering::AcqRel);
+                return Err(e.into());
             }
-        }
-        shard.misses.fetch_add(1, Ordering::Relaxed);
-        // Miss: pick a victim while holding the shard lock, transfer the
-        // mapping, then evict and load *outside* the shard lock (the
-        // frame's write lock blocks concurrent readers of the new key until
-        // the load is done, and other shard traffic proceeds meanwhile).
-        let mut table = shard.table.lock();
-        // Re-check: another thread may have loaded it while we were queued.
-        if let Some(&idx) = table.map.get(&key) {
-            self.frames[idx].pin.fetch_add(1, Ordering::AcqRel);
-            self.frames[idx].used.store(true, Ordering::Relaxed);
-            if self.frames[idx].prefetched.swap(false, Ordering::Relaxed) {
-                self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+            data.key = Some(key);
+            data.dirty = false;
+            frame.valid.store(true, Ordering::Release);
+            drop(data);
+            if hint == AccessHint::Sequential {
+                self.run_readahead(key);
             }
             return Ok(PinnedPage { pool: self, idx });
         }
-        let idx = self.find_victim(shard, &mut table)?;
-        let frame = &self.frames[idx];
-        frame.pin.store(1, Ordering::Release);
-        frame.used.store(true, Ordering::Relaxed);
-        frame.prefetched.store(false, Ordering::Relaxed);
-        let mut data = frame.data.write();
-        let old_key = data.key.take();
-        if let Some(old) = old_key {
-            table.map.remove(&old);
-            shard.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-        table.map.insert(key, idx);
-        drop(table);
-        // Write the dirty victim back without the shard lock: the mapping
-        // already moved and the frame write lock is held, so nobody can see
-        // a stale page while other shard traffic proceeds.
-        if data.dirty {
-            if let Some(old) = old_key {
-                self.writebacks.fetch_add(1, Ordering::Relaxed);
-                let smgr = self.switch.get(old.smgr)?;
-                smgr.write(old.rel, old.block, &data.page)?;
-            }
-            data.dirty = false;
-        }
-        let smgr = self.switch.get(key.smgr)?;
-        if let Err(e) = smgr.read(key.rel, key.block, &mut data.page) {
-            // Undo the mapping on failure. Decrement (never zero) the pin:
-            // a concurrent thread that found the short-lived mapping may
-            // hold its own pin, which its handle will release normally.
-            data.key = None;
-            shard.table.lock().map.remove(&key);
-            frame.pin.fetch_sub(1, Ordering::AcqRel);
-            return Err(e.into());
-        }
-        data.key = Some(key);
-        data.dirty = false;
-        drop(data);
-        if hint == AccessHint::Sequential {
-            self.run_readahead(key);
-        }
-        Ok(PinnedPage { pool: self, idx })
     }
 
     /// Allocate a brand-new block at the end of `rel`, initialized by
@@ -433,34 +460,121 @@ impl BufferPool {
         let key = PageKey::new(smgr, rel, block);
         // Install directly into a frame (avoids an immediate re-read).
         let shard = self.shard_of(&key);
-        let mut table = shard.table.lock();
-        debug_assert!(!table.map.contains_key(&key), "fresh block already mapped");
-        let idx = self.find_victim(shard, &mut table)?;
-        let frame = &self.frames[idx];
-        frame.pin.store(1, Ordering::Release);
-        frame.used.store(true, Ordering::Relaxed);
-        frame.prefetched.store(false, Ordering::Relaxed);
-        let mut data = frame.data.write();
-        let old_key = data.key.take();
-        if let Some(old) = old_key {
-            table.map.remove(&old);
-            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        loop {
+            if let Some((idx, mut data)) = self.claim_frame(shard, key)? {
+                data.page.copy_from_slice(&page[..]);
+                data.key = Some(key);
+                data.dirty = true;
+                self.frames[idx].valid.store(true, Ordering::Release);
+                drop(data);
+                return Ok((block, PinnedPage { pool: self, idx }));
+            }
+            // `key` is already mapped: a sequential read-ahead racing past
+            // the just-grown EOF can install the fresh block's device
+            // image before we get here. Re-own that frame and overwrite it
+            // with the authoritative init image instead of asserting.
+            let table = shard.table.lock();
+            let Some(&idx) = table.map.get(&key) else { continue };
+            let frame = &self.frames[idx];
+            frame.pin.fetch_add(1, Ordering::AcqRel);
+            frame.used.store(true, Ordering::Relaxed);
+            frame.prefetched.store(false, Ordering::Relaxed);
+            let mut data = frame.data.write();
+            drop(table);
+            data.page.copy_from_slice(&page[..]);
+            data.key = Some(key);
+            data.dirty = true;
+            frame.valid.store(true, Ordering::Release);
+            drop(data);
+            return Ok((block, PinnedPage { pool: self, idx }));
         }
-        table.map.insert(key, idx);
-        drop(table);
+    }
+
+    /// Claim a clean, unpinned victim frame in `shard` and transfer the
+    /// page-table mapping to `key`, returning the frame index and its held
+    /// write guard, with the pin already taken. Returns `Ok(None)` if
+    /// another thread mapped `key` meanwhile (the caller re-pins through
+    /// the lookup path).
+    ///
+    /// The mapping is only ever transferred to an *already-clean* frame:
+    /// dirty victims are written back — with the shard lock released
+    /// around the device write — before their old mapping is touched, so
+    /// a write-back failure (e.g. a burned WORM block) propagates without
+    /// leaking a pinned frame, losing the dirty page, or leaving a
+    /// mapping that points at another page's bytes.
+    fn claim_frame(
+        &self,
+        shard: &Shard,
+        key: PageKey,
+    ) -> Result<Option<(usize, RwLockWriteGuard<'_, FrameData>)>> {
+        let mut tried_batch = false;
+        loop {
+            let mut table = shard.table.lock();
+            if table.map.contains_key(&key) {
+                return Ok(None);
+            }
+            if let Some(idx) = self.sweep(shard, &mut table, false) {
+                let frame = &self.frames[idx];
+                frame.pin.fetch_add(1, Ordering::AcqRel);
+                frame.used.store(true, Ordering::Relaxed);
+                frame.prefetched.store(false, Ordering::Relaxed);
+                // Cleared inside the critical section that re-targets the
+                // mapping, so `valid` never vouches for a stale frame.
+                frame.valid.store(false, Ordering::Release);
+                // Shard-table → frame order. The sweep saw the frame clean
+                // and unpinned under this table lock, pins only rise
+                // through the table, and dirtying needs a pin — so the
+                // guard is immediate (at worst a flusher's try-lock is
+                // draining) and the frame is still clean under it.
+                let mut data = frame.data.write();
+                if let Some(old) = data.key.take() {
+                    table.map.remove(&old);
+                    shard.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                table.map.insert(key, idx);
+                drop(table);
+                return Ok(Some((idx, data)));
+            }
+            // No clean victim. One pool-wide batched flush in elevator
+            // order, with the shard lock released so lookups proceed
+            // meanwhile, then retry the sweep.
+            if !tried_batch {
+                drop(table);
+                self.flush_dirty_batch();
+                tried_batch = true;
+                continue;
+            }
+            // Still none (the batch skips contended frames and swallows
+            // write failures): write one dirty victim back individually,
+            // keeping its mapping until it is clean, so a device refusal
+            // surfaces here losslessly instead of corrupting state.
+            let Some(idx) = self.sweep(shard, &mut table, true) else {
+                return Err(BufferError::PoolExhausted);
+            };
+            let frame = &self.frames[idx];
+            frame.pin.fetch_add(1, Ordering::AcqRel);
+            let mut data = frame.data.write();
+            drop(table);
+            let written = self.write_back(&mut data);
+            drop(data);
+            frame.pin.fetch_sub(1, Ordering::AcqRel);
+            written?;
+            // Frame is clean now (a concurrent claimer may steal it — the
+            // next sweep decides); go around again.
+        }
+    }
+
+    /// Write `data`'s page back to its device if dirty, clearing the flag.
+    fn write_back(&self, data: &mut FrameData) -> Result<()> {
         if data.dirty {
-            if let Some(old) = old_key {
+            if let Some(old) = data.key {
+                let smgr = self.switch.get(old.smgr)?;
+                smgr.write(old.rel, old.block, &data.page)?;
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
-                let old_mgr = self.switch.get(old.smgr)?;
-                old_mgr.write(old.rel, old.block, &data.page)?;
             }
             data.dirty = false;
         }
-        data.page.copy_from_slice(&page[..]);
-        data.key = Some(key);
-        data.dirty = true;
-        drop(data);
-        Ok((block, PinnedPage { pool: self, idx }))
+        Ok(())
     }
 
     // ---- sequential read-ahead -------------------------------------------
@@ -559,7 +673,7 @@ impl BufferPool {
             // stale device image.
             return false;
         }
-        let Some(idx) = self.sweep_clean(shard, &mut table) else { return false };
+        let Some(idx) = self.sweep(shard, &mut table, false) else { return false };
         let frame = &self.frames[idx];
         // Clean unpinned frame; a pin can't arrive while we hold the shard
         // lock (pins go through this table), so try_write only contends
@@ -579,12 +693,20 @@ impl BufferPool {
         data.page.copy_from_slice(&page[..]);
         data.key = Some(key);
         data.dirty = false;
+        // The install cannot fail past this point; any pinner that found
+        // the new mapping is blocked on our write latch and wakes to the
+        // right bytes, so `valid` may vouch for the frame again.
+        frame.valid.store(true, Ordering::Release);
         true
     }
 
-    /// One clock sweep over the shard's frames accepting only clean,
-    /// unpinned, unreferenced frames; `None` rather than forcing a flush.
-    fn sweep_clean(&self, shard: &Shard, table: &mut PageTable) -> Option<usize> {
+    /// One clock sweep over the shard's frames (two passes of the hand),
+    /// returning an unpinned, unreferenced victim, or `None`. With
+    /// `take_dirty` false only clean, uncontended frames are accepted,
+    /// letting dirty pages accumulate for batched elevator write-back;
+    /// the caller decides when to flush and when to accept a dirty frame.
+    /// Caller holds the shard's table lock.
+    fn sweep(&self, shard: &Shard, table: &mut PageTable, take_dirty: bool) -> Option<usize> {
         let len = shard.hi - shard.lo;
         for _ in 0..2 * len {
             let idx = table.hand;
@@ -596,10 +718,13 @@ impl BufferPool {
             if frame.used.swap(false, Ordering::Relaxed) {
                 continue;
             }
-            match frame.data.try_read() {
-                Some(data) if !data.dirty => return Some(idx),
-                _ => continue,
+            if !take_dirty {
+                match frame.data.try_read() {
+                    Some(data) if !data.dirty => return Some(idx),
+                    _ => continue,
+                }
             }
+            return Some(idx);
         }
         None
     }
@@ -655,49 +780,6 @@ impl BufferPool {
             }
         }
         flushed
-    }
-
-    /// Clock-sweep victim selection within one shard, preferring clean
-    /// frames. Caller holds the shard's table lock.
-    ///
-    /// Sweep 1 takes unused *clean* frames only, letting dirty pages
-    /// accumulate for batched elevator write-back. When no clean victim
-    /// exists, the dirty set is flushed in one sorted batch and the sweep
-    /// retried; only if that fails too is a dirty frame handed back (its
-    /// caller writes it individually).
-    fn find_victim(&self, shard: &Shard, table: &mut PageTable) -> Result<usize> {
-        let len = shard.hi - shard.lo;
-        let sweep = |table: &mut PageTable, take_dirty: bool| -> Option<usize> {
-            for _ in 0..2 * len {
-                let idx = table.hand;
-                table.hand = if table.hand + 1 >= shard.hi { shard.lo } else { table.hand + 1 };
-                let frame = &self.frames[idx];
-                if frame.pin.load(Ordering::Acquire) != 0 {
-                    continue;
-                }
-                if frame.used.swap(false, Ordering::Relaxed) {
-                    continue;
-                }
-                if !take_dirty {
-                    match frame.data.try_read() {
-                        Some(data) if !data.dirty => return Some(idx),
-                        _ => continue,
-                    }
-                }
-                return Some(idx);
-            }
-            None
-        };
-        if let Some(idx) = sweep(table, false) {
-            return Ok(idx);
-        }
-        // All unpinned frames are dirty (or contended): batch-flush and
-        // retry, then fall back to any unpinned frame.
-        self.flush_dirty_batch();
-        if let Some(idx) = sweep(table, false) {
-            return Ok(idx);
-        }
-        sweep(table, true).ok_or(BufferError::PoolExhausted)
     }
 
     /// Write back every dirty page of `rel` (leaving them resident).
@@ -1268,6 +1350,119 @@ mod tests {
         let mut out = pglo_pages::alloc_page();
         smgr.read(1, b, &mut out).unwrap();
         assert_eq!(out[0], 0x5A, "shutdown drain must flush dirty pages");
+    }
+
+    #[test]
+    fn failed_writeback_keeps_pool_consistent() {
+        // Eviction-time write-back of a dirty page the device refuses (a
+        // burned WORM block) must propagate the error WITHOUT leaking a
+        // pinned frame, losing the dirty page, or leaving a mapping that
+        // points at another page's bytes.
+        use pglo_smgr::WormSmgr;
+        let sim = SimContext::default_1992();
+        let switch = Arc::new(SmgrSwitch::new());
+        let worm = Arc::new(WormSmgr::new(sim));
+        let id = switch.register(Arc::clone(&worm) as _);
+        let pool = BufferPool::with_options(
+            Arc::clone(&switch),
+            PoolOptions { frames: 2, shards: 1, readahead_window: 0 },
+        );
+        switch.get(id).unwrap().create(1).unwrap();
+        let (b0, p) = pool.new_page(id, 1, |pg| pg[0] = 1).unwrap();
+        drop(p);
+        let (b1, p) = pool.new_page(id, 1, |pg| pg[0] = 2).unwrap();
+        drop(p);
+        pool.flush_all().unwrap();
+        worm.sync_all().unwrap(); // burn both blocks: further writes refuse
+        // Re-dirty both resident pages: every unpinned frame now holds a
+        // dirty page whose write-back must fail.
+        for (b, v) in [(b0, 0xA1u8), (b1, 0xB2)] {
+            let p = pool.pin(PageKey::new(id, 1, b)).unwrap();
+            p.write()[1] = v;
+        }
+        // No clean victim can be produced: the allocation must surface the
+        // device error, not PoolExhausted and not silent corruption.
+        let err = pool.new_page(id, 1, |_| {});
+        assert!(
+            matches!(err, Err(BufferError::Smgr(SmgrError::WormOverwrite { .. }))),
+            "burned-block write-back must propagate: got ok={}",
+            err.is_ok()
+        );
+        // Repeatedly: if the failure path leaked its pin or its mapping,
+        // later attempts would degrade to PoolExhausted or wrong pages.
+        for _ in 0..3 {
+            assert!(matches!(
+                pool.new_page(id, 1, |_| {}),
+                Err(BufferError::Smgr(SmgrError::WormOverwrite { .. }))
+            ));
+        }
+        // The dirty pages survived, mapped and intact.
+        for (b, v) in [(b0, 0xA1u8), (b1, 0xB2)] {
+            let p = pool.pin(PageKey::new(id, 1, b)).unwrap();
+            assert_eq!(p.read()[1], v, "dirty page must survive failed write-back");
+        }
+    }
+
+    #[test]
+    fn sequential_scan_races_append() {
+        // A sequential scan's read-ahead window can run past EOF while a
+        // writer is appending: the prefetcher may install a just-allocated
+        // block before new_page claims it. new_page must re-own that frame
+        // (the old code debug_assert-ed), and readers must always see the
+        // init image, never the stale device image.
+        let (switch, id, pool) =
+            setup_opts(PoolOptions { frames: 128, shards: 4, readahead_window: 16 });
+        switch.get(id).unwrap().create(1).unwrap();
+        for i in 0..8u32 {
+            let (_, p) =
+                pool.new_page(id, 1, |pg| pg[..4].copy_from_slice(&i.to_le_bytes())).unwrap();
+            drop(p);
+        }
+        pool.flush_all().unwrap();
+        let pool = Arc::new(pool);
+        let writer = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                for _ in 8..512u32 {
+                    let (b, p) = pool
+                        .new_page(id, 1, |pg| {
+                            pg[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                        })
+                        .unwrap();
+                    p.write()[..4].copy_from_slice(&b.to_le_bytes());
+                }
+            })
+        };
+        let scanner = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                for round in 0..4 {
+                    for b in 0..(128 + round * 96) {
+                        let key = PageKey::new(id, 1, b);
+                        let Ok(p) = pool.pin_with_hint(key, AccessHint::Sequential) else {
+                            continue; // scanned past current EOF
+                        };
+                        let got = u32::from_le_bytes(p.read()[..4].try_into().unwrap());
+                        // Racing an append, a block may transiently show
+                        // the fresh device image (0) or the init image
+                        // (u32::MAX) until the appender's first write
+                        // lands — but never ANOTHER block's number, which
+                        // would mean a mapping pointed at foreign bytes.
+                        assert!(
+                            got == b || got == u32::MAX || got == 0,
+                            "block {b} holds foreign image {got}"
+                        );
+                    }
+                }
+            })
+        };
+        writer.join().unwrap();
+        scanner.join().unwrap();
+        for b in 0..512u32 {
+            let p = pool.pin(PageKey::new(id, 1, b)).unwrap();
+            let got = u32::from_le_bytes(p.read()[..4].try_into().unwrap());
+            assert_eq!(got, b, "appended block must keep its final image");
+        }
     }
 
     #[test]

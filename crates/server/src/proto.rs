@@ -21,8 +21,11 @@ use std::io::{self, Read, Write};
 /// Protocol magic exchanged at connect time.
 pub const MAGIC: &[u8; 4] = b"PGLO";
 
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version. Bumped to 2 when the stats reply grew the
+/// pool_shards / prefetch_pages / prefetch_hits / bgwriter_pages trailing
+/// fields — a frame-layout change must fail the handshake with
+/// [`ErrorCode::BadVersion`], not a decode error mid-session.
+pub const VERSION: u8 = 2;
 
 /// Hard ceiling on a frame's declared length (opcode + payload). Anything
 /// larger is treated as a malformed stream and the connection is dropped —
