@@ -7,7 +7,7 @@
 
 use crate::exec::ExecCtx;
 use crate::{AdtError, Datum, Result};
-use parking_lot::RwLock;
+use parking_lot::{ranks, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -42,7 +42,10 @@ impl Default for FunctionRegistry {
 impl FunctionRegistry {
     /// An empty registry.
     pub fn new() -> Self {
-        Self { funcs: RwLock::new(HashMap::new()), operators: RwLock::new(HashMap::new()) }
+        Self {
+            funcs: RwLock::with_rank(HashMap::new(), ranks::ADT_FUNCS),
+            operators: RwLock::with_rank(HashMap::new(), ranks::ADT_OPERATORS),
+        }
     }
 
     /// Register a function. Overloading by arity is allowed; re-registering

@@ -11,7 +11,7 @@
 
 use crate::exec::ExecCtx;
 use crate::{AdtError, Datum, Result};
-use parking_lot::RwLock;
+use parking_lot::{ranks, RwLock};
 use pglo_compress::CodecKind;
 use pglo_core::LoKind;
 use pglo_smgr::SmgrId;
@@ -63,7 +63,7 @@ impl Default for TypeRegistry {
 impl TypeRegistry {
     /// A registry pre-loaded with the small built-in types.
     pub fn new() -> Self {
-        let reg = Self { types: RwLock::new(HashMap::new()) };
+        let reg = Self { types: RwLock::with_rank(HashMap::new(), ranks::ADT_TYPES) };
         for name in ["bool", "int4", "int8", "float8", "text", "rect"] {
             reg.types.write().insert(
                 name.to_string(),

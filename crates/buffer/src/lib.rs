@@ -20,8 +20,8 @@
 //!   still forces synchronously for the durability-critical callers).
 //!
 //! Lock ordering is strictly shard-table → frame: no path acquires a
-//! shard-table lock while holding a frame guard. A frame with pin count
-//! > 0 is never evicted, so holding a page guard while pinning another
+//! shard-table lock while holding a frame guard. A frame with nonzero
+//! pin count is never evicted, so holding a page guard while pinning another
 //! page cannot deadlock. A page-table mapping is only ever transferred to
 //! an *already-clean* frame — dirty victims are written back (with the
 //! shard lock released around the device write) before their mapping
@@ -31,7 +31,7 @@
 //! The background writer takes frame locks only (`try_read`/`try_write`,
 //! skipping pinned or contended frames), never a shard-table lock.
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{ranks, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use pglo_pages::{PageBuf, PAGE_SIZE};
 use pglo_smgr::{RelFileId, SmgrError, SmgrId, SmgrSwitch};
 use std::collections::HashMap;
@@ -276,11 +276,10 @@ impl BufferPool {
         let nshards = opts.shards.clamp(1, (capacity / MIN_SHARD_FRAMES).max(1));
         let frames: Vec<Frame> = (0..capacity)
             .map(|_| Frame {
-                data: RwLock::new(FrameData {
-                    key: None,
-                    page: pglo_pages::alloc_page(),
-                    dirty: false,
-                }),
+                data: RwLock::with_rank(
+                    FrameData { key: None, page: pglo_pages::alloc_page(), dirty: false },
+                    ranks::POOL_FRAME,
+                ),
                 pin: AtomicU32::new(0),
                 used: AtomicBool::new(false),
                 prefetched: AtomicBool::new(false),
@@ -295,7 +294,10 @@ impl BufferPool {
             .map(|s| {
                 let len = per + usize::from(s < extra);
                 let shard = Shard {
-                    table: Mutex::new(PageTable { map: HashMap::new(), hand: lo }),
+                    table: Mutex::with_rank(
+                        PageTable { map: HashMap::new(), hand: lo },
+                        ranks::POOL_SHARD,
+                    ),
                     lo,
                     hi: lo + len,
                     hits: AtomicU64::new(0),
@@ -311,7 +313,7 @@ impl BufferPool {
             frames,
             shards,
             readahead_window: opts.readahead_window,
-            readahead: Mutex::new(HashMap::new()),
+            readahead: Mutex::with_rank(HashMap::new(), ranks::POOL_READAHEAD),
             writebacks: AtomicU64::new(0),
             prefetch_pages: AtomicU64::new(0),
             prefetch_hits: AtomicU64::new(0),
@@ -375,9 +377,7 @@ impl BufferPool {
                     // case on one atomic load; otherwise latch the frame
                     // (waiting out any in-flight load) and check its key,
                     // retrying rather than return another page's bytes.
-                    if !frame.valid.load(Ordering::Acquire)
-                        && frame.data.read().key != Some(key)
-                    {
+                    if !frame.valid.load(Ordering::Acquire) && frame.data.read().key != Some(key) {
                         frame.pin.fetch_sub(1, Ordering::AcqRel);
                         continue;
                     }
@@ -424,7 +424,7 @@ impl BufferPool {
                 drop(data);
                 let mut table = shard.table.lock();
                 if table.map.get(&key) == Some(&idx)
-                    && frame.data.try_read().map_or(false, |d| d.key.is_none())
+                    && frame.data.try_read().is_some_and(|d| d.key.is_none())
                 {
                     table.map.remove(&key);
                 }
@@ -847,33 +847,32 @@ impl BufferPool {
     /// flushing dirty unpinned pages in batched elevator order so evictions
     /// mostly find clean victims and commit-path forcing finds little left
     /// to write. The returned handle stops and joins the thread on drop,
-    /// after one final shutdown drain.
-    pub fn spawn_bgwriter(self: &Arc<Self>, interval: Duration) -> BgWriter {
+    /// after one final shutdown drain. Errors if the host refuses to spawn
+    /// a thread (resource exhaustion) — the pool still works without one,
+    /// so callers decide whether that is fatal.
+    pub fn spawn_bgwriter(self: &Arc<Self>, interval: Duration) -> std::io::Result<BgWriter> {
         let stop = Arc::new(AtomicBool::new(false));
         let pool = Arc::clone(self);
         let flag = Arc::clone(&stop);
-        let join = std::thread::Builder::new()
-            .name("bgwriter".into())
-            .spawn(move || {
-                while !flag.load(Ordering::Acquire) {
-                    let flushed = pool.flush_dirty(true);
-                    pool.bgwriter_pages.fetch_add(flushed as u64, Ordering::Relaxed);
-                    pool.bgwriter_cycles.fetch_add(1, Ordering::Relaxed);
-                    // Sleep in short slices so shutdown stays responsive
-                    // even with a long interval.
-                    let mut slept = Duration::ZERO;
-                    while slept < interval && !flag.load(Ordering::Acquire) {
-                        let slice = (interval - slept).min(Duration::from_millis(5));
-                        std::thread::sleep(slice);
-                        slept += slice;
-                    }
-                }
-                // Shutdown drain: one last batched pass.
-                let flushed = pool.flush_dirty_batch();
+        let join = std::thread::Builder::new().name("bgwriter".into()).spawn(move || {
+            while !flag.load(Ordering::Acquire) {
+                let flushed = pool.flush_dirty(true);
                 pool.bgwriter_pages.fetch_add(flushed as u64, Ordering::Relaxed);
-            })
-            .expect("spawn bgwriter thread");
-        BgWriter { stop, join: Some(join) }
+                pool.bgwriter_cycles.fetch_add(1, Ordering::Relaxed);
+                // Sleep in short slices so shutdown stays responsive
+                // even with a long interval.
+                let mut slept = Duration::ZERO;
+                while slept < interval && !flag.load(Ordering::Acquire) {
+                    let slice = (interval - slept).min(Duration::from_millis(5));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+            // Shutdown drain: one last batched pass.
+            let flushed = pool.flush_dirty_batch();
+            pool.bgwriter_pages.fetch_add(flushed as u64, Ordering::Relaxed);
+        })?;
+        Ok(BgWriter { stop, join: Some(join) })
     }
 
     // ---- statistics ------------------------------------------------------
@@ -1310,7 +1309,7 @@ mod tests {
         let smgr = switch.get(id).unwrap();
         smgr.create(1).unwrap();
         let pool = Arc::new(pool);
-        let mut bg = pool.spawn_bgwriter(Duration::from_millis(1));
+        let mut bg = pool.spawn_bgwriter(Duration::from_millis(1)).unwrap();
         for i in 0..8 {
             let (_, p) = pool.new_page(id, 1, |pg| pg[0] = i as u8).unwrap();
             drop(p);
@@ -1341,7 +1340,7 @@ mod tests {
         smgr.create(1).unwrap();
         let pool = Arc::new(pool);
         // Long interval: the only flush chance is the shutdown drain.
-        let mut bg = pool.spawn_bgwriter(Duration::from_secs(3600));
+        let mut bg = pool.spawn_bgwriter(Duration::from_secs(3600)).unwrap();
         // Give the thread its initial cycle before dirtying pages.
         std::thread::sleep(Duration::from_millis(20));
         let (b, p) = pool.new_page(id, 1, |pg| pg[0] = 0x5A).unwrap();
@@ -1374,8 +1373,8 @@ mod tests {
         drop(p);
         pool.flush_all().unwrap();
         worm.sync_all().unwrap(); // burn both blocks: further writes refuse
-        // Re-dirty both resident pages: every unpinned frame now holds a
-        // dirty page whose write-back must fail.
+                                  // Re-dirty both resident pages: every unpinned frame now holds a
+                                  // dirty page whose write-back must fail.
         for (b, v) in [(b0, 0xA1u8), (b1, 0xB2)] {
             let p = pool.pin(PageKey::new(id, 1, b)).unwrap();
             p.write()[1] = v;

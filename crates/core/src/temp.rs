@@ -8,18 +8,23 @@
 //! after the query has completed."
 
 use crate::LoId;
-use parking_lot::Mutex;
+use parking_lot::{ranks, Mutex};
 
 /// Registry of temporaries awaiting end-of-query garbage collection.
-#[derive(Default)]
 pub struct TempRegistry {
     ids: Mutex<Vec<LoId>>,
+}
+
+impl Default for TempRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TempRegistry {
     /// An empty registry.
     pub fn new() -> Self {
-        Self::default()
+        Self { ids: Mutex::with_rank(Vec::new(), ranks::TEMP_REGISTRY) }
     }
 
     /// Track a temporary.

@@ -7,7 +7,7 @@
 
 use crate::json::{self, Value};
 use crate::{HeapError, Result};
-use parking_lot::Mutex;
+use parking_lot::{ranks, Mutex};
 use pglo_smgr::SmgrId;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -146,7 +146,10 @@ impl Catalog {
     /// An in-memory catalog (tests, benchmarks on the memory manager).
     pub fn in_memory() -> Self {
         Self {
-            data: Mutex::new(CatalogData { next_oid: FIRST_OID, classes: HashMap::new() }),
+            data: Mutex::with_rank(
+                CatalogData { next_oid: FIRST_OID, classes: HashMap::new() },
+                ranks::CATALOG,
+            ),
             path: None,
         }
     }
@@ -164,7 +167,7 @@ impl Catalog {
         } else {
             CatalogData { next_oid: FIRST_OID, classes: HashMap::new() }
         };
-        Ok(Self { data: Mutex::new(data), path: Some(path) })
+        Ok(Self { data: Mutex::with_rank(data, ranks::CATALOG), path: Some(path) })
     }
 
     fn persist(&self, data: &CatalogData) -> Result<()> {

@@ -116,7 +116,13 @@ impl StorageEnv {
                 readahead_window: opts.readahead_window,
             },
         ));
-        let bgwriter = opts.bgwriter_interval.map(|interval| pool.spawn_bgwriter(interval));
+        let bgwriter = match opts.bgwriter_interval {
+            Some(interval) => Some(
+                pool.spawn_bgwriter(interval)
+                    .map_err(|e| crate::HeapError::Catalog(format!("spawn bgwriter: {e}")))?,
+            ),
+            None => None,
+        };
         let catalog = Catalog::open(&base_dir)?;
         let txns = TxnManager::open(base_dir.join("clog"))
             .map_err(|e| crate::HeapError::Catalog(format!("open commit log: {e}")))?;
@@ -133,8 +139,11 @@ impl StorageEnv {
             disk_smgr,
             mem_smgr,
             worm_smgr,
-            rel_latches: parking_lot::Mutex::new(HashMap::new()),
-            bgwriter: parking_lot::Mutex::new(bgwriter),
+            rel_latches: parking_lot::Mutex::with_rank(
+                HashMap::new(),
+                parking_lot::ranks::ENV_REL_LATCHES,
+            ),
+            bgwriter: parking_lot::Mutex::with_rank(bgwriter, parking_lot::ranks::ENV_BGWRITER),
         }))
     }
 
@@ -154,7 +163,9 @@ impl StorageEnv {
     /// Every caller gets the same `Arc`, so independently opened access
     /// methods on one relation contend on one lock.
     pub fn rel_latch(&self, smgr: SmgrId, oid: u64) -> RelLatch {
-        Arc::clone(self.rel_latches.lock().entry((smgr, oid)).or_default())
+        Arc::clone(self.rel_latches.lock().entry((smgr, oid)).or_insert_with(|| {
+            Arc::new(parking_lot::Mutex::with_rank((), parking_lot::ranks::REL_LATCH))
+        }))
     }
 
     /// Begin a transaction.

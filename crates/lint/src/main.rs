@@ -1,0 +1,211 @@
+//! `pglo-lint` driver: walk the workspace, apply the rules, exit nonzero
+//! on any finding. Run from anywhere inside the repo:
+//!
+//! ```text
+//! cargo run -p pglo-lint --offline
+//! ```
+//!
+//! Scopes (see lib.rs for the rules themselves):
+//! - `crates/*/src`, `src/`: R1 std-sync, R2 unranked-lock, R3
+//!   unwrap-ratchet, R4 safety-comment. The benchmark harness crate
+//!   (`crates/bench`) is test scope — it is a measurement tool, not a
+//!   library I/O path.
+//! - `crates/*/tests`, `crates/*/benches`, `crates/*/examples`, root
+//!   `tests/`: R1, R4 (tests unwrap freely and may build unranked locks).
+//! - `shims/*`: R4 only — shims stand in for external crates and are the
+//!   one place `std::sync` is legal (the checker itself lives there).
+//! - R5 rank-table: `shims/parking_lot/src/ranks.rs` vs. DESIGN.md.
+
+use pglo_lint::{
+    check_rank_table, check_std_sync, check_unranked_locks, check_unsafe, check_unwrap_ratchet,
+    parse_allowlist, parse_code_ranks, parse_design_ranks, tokenize, unwrap_sites, Finding,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pglo-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&root) {
+        Ok((0, files)) => {
+            println!("pglo-lint: workspace clean ({files} files checked)");
+            ExitCode::SUCCESS
+        }
+        Ok((n, files)) => {
+            eprintln!("pglo-lint: {n} finding(s) across {files} files checked");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("pglo-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Walk up from the current directory to the checkout root (the
+/// directory holding both `crates/` and `shims/`).
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("getcwd: {e}"))?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("shims").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("not inside the workspace (no crates/ + shims/ ancestor)".to_string());
+        }
+    }
+}
+
+fn run(root: &Path) -> Result<(usize, usize), String> {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files = 0usize;
+
+    let allowlist_path = root.join("crates/lint/allowlist.txt");
+    let allowlist_text = std::fs::read_to_string(&allowlist_path)
+        .map_err(|e| format!("read {}: {e}", allowlist_path.display()))?;
+    let allowlist = parse_allowlist(&allowlist_text)?;
+    let mut allowlisted_seen: Vec<&str> = Vec::new();
+
+    for file in rust_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .map_err(|_| "walker escaped the root".to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src =
+            std::fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        let tokens = tokenize(&src);
+        files += 1;
+
+        let scope = scope_of(&rel);
+        if scope != Scope::Shim {
+            findings.extend(check_std_sync(&rel, &tokens));
+        }
+        if scope == Scope::Lib {
+            findings.extend(check_unranked_locks(&rel, &tokens));
+            let sites = unwrap_sites(&tokens);
+            let allowed = allowlist.get(rel.as_str()).copied().unwrap_or(0);
+            if allowed > 0 {
+                if let Some(k) = allowlist.keys().find(|k| k.as_str() == rel) {
+                    allowlisted_seen.push(k);
+                }
+            }
+            findings.extend(check_unwrap_ratchet(&rel, &sites, allowed));
+        }
+        findings.extend(check_unsafe(&rel, &src, &tokens));
+    }
+
+    // Stale allowlist entries would let counts silently grow back.
+    for (path, count) in &allowlist {
+        if *count > 0 && !allowlisted_seen.iter().any(|s| s == path) {
+            findings.push(Finding {
+                path: PathBuf::from("crates/lint/allowlist.txt"),
+                line: 0,
+                rule: "unwrap-ratchet",
+                message: format!("allowlist entry for {path} matches no checked library file"),
+            });
+        }
+    }
+
+    // R5: rank table consistency.
+    let ranks_path = root.join("shims/parking_lot/src/ranks.rs");
+    let ranks_src = std::fs::read_to_string(&ranks_path)
+        .map_err(|e| format!("read {}: {e}", ranks_path.display()))?;
+    let design_path = root.join("DESIGN.md");
+    let design_src = std::fs::read_to_string(&design_path)
+        .map_err(|e| format!("read {}: {e}", design_path.display()))?;
+    let code = parse_code_ranks(&ranks_src)?;
+    let design = parse_design_ranks(&design_src)?;
+    if code.is_empty() {
+        return Err("no LockRank constants found in ranks.rs".to_string());
+    }
+    for err in check_rank_table(&code, &design) {
+        findings.push(Finding {
+            path: PathBuf::from("DESIGN.md"),
+            line: 0,
+            rule: "rank-table",
+            message: err,
+        });
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for f in &findings {
+        println!("{f}");
+    }
+    Ok((findings.len(), files))
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Scope {
+    /// Non-test library code: all rules.
+    Lib,
+    /// Tests, benches, examples, the bench harness: R1 + R4.
+    Test,
+    /// Vendored shims: R4 only.
+    Shim,
+}
+
+fn scope_of(rel: &str) -> Scope {
+    if rel.starts_with("shims/") {
+        return Scope::Shim;
+    }
+    if rel.starts_with("crates/bench/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+    {
+        return Scope::Test;
+    }
+    if let Some(in_crate) = rel.strip_prefix("crates/") {
+        if let Some((_, rest)) = in_crate.split_once('/') {
+            if rest.starts_with("tests/")
+                || rest.starts_with("benches/")
+                || rest.starts_with("examples/")
+                // Out-of-line `#[cfg(test)] mod tests;` files live in src/
+                // but are test code.
+                || rest == "src/tests.rs"
+                || rest.starts_with("src/tests/")
+            {
+                return Scope::Test;
+            }
+        }
+    }
+    Scope::Lib
+}
+
+/// Every `.rs` file under the workspace's checked roots, sorted for
+/// deterministic output.
+fn rust_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for top in ["crates", "shims", "src", "tests", "benches", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if name.to_string_lossy() == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -79,8 +79,7 @@ pub fn connect(service: &Arc<LobdService>) -> Result<Loopback> {
     let service = Arc::clone(service);
     let server = std::thread::Builder::new()
         .name("lobd-loopback".into())
-        .spawn(move || serve_stream(&service, &mut server_end))
-        .expect("spawn loopback session");
+        .spawn(move || serve_stream(&service, &mut server_end))?;
     let client = Client::handshake(client_end)?;
     Ok(Loopback { client, server })
 }

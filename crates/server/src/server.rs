@@ -14,10 +14,11 @@
 
 use crate::proto::{self, ErrorCode, FrameError, Opcode, MAGIC, MAX_FRAME, VERSION};
 use crate::service::LobdService;
+use parking_lot::{ranks, Mutex};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -96,7 +97,7 @@ pub fn spawn(service: Arc<LobdService>, config: ServerConfig) -> io::Result<Serv
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let (tx, rx) = sync_channel::<TcpStream>(config.backlog.max(1));
-    let rx = Arc::new(Mutex::new(rx));
+    let rx = Arc::new(Mutex::with_rank(rx, ranks::SERVER_CONN_QUEUE));
 
     let mut workers = Vec::with_capacity(config.workers.max(1));
     for i in 0..config.workers.max(1) {
@@ -105,8 +106,7 @@ pub fn spawn(service: Arc<LobdService>, config: ServerConfig) -> io::Result<Serv
         workers.push(
             std::thread::Builder::new()
                 .name(format!("lobd-worker-{i}"))
-                .spawn(move || worker_loop(&service, &rx))
-                .expect("spawn worker"),
+                .spawn(move || worker_loop(&service, &rx))?,
         );
     }
 
@@ -114,30 +114,27 @@ pub fn spawn(service: Arc<LobdService>, config: ServerConfig) -> io::Result<Serv
     // client frame; an idle listener is polled every ACCEPT_POLL.
     listener.set_nonblocking(true)?;
     let accept_service = Arc::clone(&service);
-    let accept = std::thread::Builder::new()
-        .name("lobd-accept".into())
-        .spawn(move || loop {
-            if accept_service.shutting_down() {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    // Accepted sockets must block; workers rely on read
-                    // timeouts, not O_NONBLOCK.
-                    if stream.set_nonblocking(false).is_err() {
-                        continue;
-                    }
-                    // Blocks when the queue is full: backpressure.
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
+    let accept = std::thread::Builder::new().name("lobd-accept".into()).spawn(move || loop {
+        if accept_service.shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted sockets must block; workers rely on read
+                // timeouts, not O_NONBLOCK.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
                 }
-                Err(e) if is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
-                Err(_) => std::thread::sleep(ACCEPT_POLL),
+                // Blocks when the queue is full: backpressure.
+                if tx.send(stream).is_err() {
+                    break;
+                }
             }
-            // tx drops on break; idle workers see Disconnected and exit.
-        })
-        .expect("spawn accept loop");
+            Err(e) if is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+        // tx drops on break; idle workers see Disconnected and exit.
+    })?;
 
     Ok(ServerHandle { service, local_addr, accept: Some(accept), workers })
 }
@@ -146,7 +143,7 @@ fn worker_loop(service: &Arc<LobdService>, rx: &Arc<Mutex<Receiver<TcpStream>>>)
     loop {
         // Hold the lock only long enough to pull one connection.
         let next = {
-            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            let rx = rx.lock();
             rx.recv_timeout(POLL_INTERVAL)
         };
         match next {

@@ -6,7 +6,7 @@
 //! simulated clock is charged with a 1992-era disk profile.
 
 use crate::{RelFileId, Result, SeqTracker, SmgrError, StorageManager};
-use parking_lot::Mutex;
+use parking_lot::{ranks, Mutex};
 use pglo_pages::{PageBuf, PAGE_SIZE};
 use pglo_sim::{DeviceProfile, IoStats, SimContext};
 use std::collections::HashMap;
@@ -52,7 +52,7 @@ impl DiskSmgr {
             profile,
             stats: IoStats::new(),
             seq: SeqTracker::default(),
-            files: Mutex::new(HashMap::new()),
+            files: Mutex::with_rank(HashMap::new(), ranks::SMGR_DISK_FILES),
             durable_sync: false,
         })
     }

@@ -31,7 +31,7 @@ pub use mem::MemSmgr;
 pub use native::NativeFile;
 pub use worm::WormSmgr;
 
-use parking_lot::RwLock;
+use parking_lot::{ranks, RwLock};
 use pglo_pages::PageBuf;
 use std::sync::Arc;
 
@@ -186,15 +186,20 @@ pub trait StorageManager: Send + Sync {
 /// Managers are registered at database startup (or later — registration is
 /// dynamic, which is the §7 extensibility story) and addressed by
 /// [`SmgrId`].
-#[derive(Default)]
 pub struct SmgrSwitch {
     table: RwLock<Vec<Arc<dyn StorageManager>>>,
+}
+
+impl Default for SmgrSwitch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SmgrSwitch {
     /// An empty switch.
     pub fn new() -> Self {
-        Self::default()
+        Self { table: RwLock::with_rank(Vec::new(), ranks::SMGR_SWITCH) }
     }
 
     /// Register a manager, returning its slot in the table.
@@ -238,9 +243,16 @@ impl SmgrSwitch {
 
 /// Tracks the last block touched per relation so device charging can
 /// distinguish sequential from random access.
-#[derive(Default)]
 pub(crate) struct SeqTracker {
     last: parking_lot::Mutex<std::collections::HashMap<RelFileId, u32>>,
+}
+
+impl Default for SeqTracker {
+    fn default() -> Self {
+        Self {
+            last: parking_lot::Mutex::with_rank(std::collections::HashMap::new(), ranks::SMGR_SEQ),
+        }
+    }
 }
 
 impl SeqTracker {

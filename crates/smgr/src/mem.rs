@@ -6,7 +6,7 @@
 //! positioning cost, memory-bus transfer).
 
 use crate::{RelFileId, Result, SmgrError, StorageManager};
-use parking_lot::RwLock;
+use parking_lot::{ranks, RwLock};
 use pglo_pages::{PageBuf, PAGE_SIZE};
 use pglo_sim::{DeviceProfile, IoStats, SimContext};
 use std::collections::HashMap;
@@ -27,7 +27,7 @@ impl MemSmgr {
             sim,
             profile: DeviceProfile::nvram(),
             stats: IoStats::new(),
-            rels: RwLock::new(HashMap::new()),
+            rels: RwLock::with_rank(HashMap::new(), ranks::SMGR_MEM_RELS),
         }
     }
 

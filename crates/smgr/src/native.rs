@@ -19,7 +19,7 @@
 
 use crate::lru::LruCache;
 use crate::Result;
-use parking_lot::Mutex;
+use parking_lot::{ranks, Mutex};
 use pglo_sim::{DeviceProfile, IoStats, SimContext};
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
@@ -92,11 +92,14 @@ impl NativeFile {
             sim,
             profile,
             stats: IoStats::new(),
-            state: Mutex::new(ChargeState {
-                cache: LruCache::new(os_cache_blocks),
-                last_read: None,
-                last_write: None,
-            }),
+            state: Mutex::with_rank(
+                ChargeState {
+                    cache: LruCache::new(os_cache_blocks),
+                    last_read: None,
+                    last_write: None,
+                },
+                ranks::SMGR_NATIVE,
+            ),
             readahead_blocks: 0,
         })
     }

@@ -20,7 +20,7 @@
 
 use crate::lru::LruCache;
 use crate::{RelFileId, Result, SeqTracker, SmgrError, StorageManager};
-use parking_lot::Mutex;
+use parking_lot::{ranks, Mutex};
 use pglo_pages::{PageBuf, PAGE_SIZE};
 use pglo_sim::{DeviceProfile, IoStats, SimContext};
 use std::collections::HashMap;
@@ -74,7 +74,10 @@ impl WormSmgr {
             jukebox_stats: IoStats::new(),
             seq: SeqTracker::default(),
             cache_seq: SeqTracker::default(),
-            inner: Mutex::new(Inner { rels: HashMap::new(), cache: LruCache::new(cache_blocks) }),
+            inner: Mutex::with_rank(
+                Inner { rels: HashMap::new(), cache: LruCache::new(cache_blocks) },
+                ranks::SMGR_WORM,
+            ),
         }
     }
 

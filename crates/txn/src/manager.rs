@@ -1,7 +1,7 @@
 //! The transaction manager: XID allocation, commit log, snapshots.
 
 use crate::Xid;
-use parking_lot::Mutex;
+use parking_lot::{ranks, Mutex};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -70,13 +70,16 @@ impl TxnManager {
     /// A fresh manager with an empty, in-memory commit log.
     pub fn new() -> Self {
         Self {
-            inner: Mutex::new(TmInner {
-                next_xid: Xid::FIRST_NORMAL.0,
-                status: Vec::new(),
-                commit_ts: Vec::new(),
-                active: BTreeSet::new(),
-                log: None,
-            }),
+            inner: Mutex::with_rank(
+                TmInner {
+                    next_xid: Xid::FIRST_NORMAL.0,
+                    status: Vec::new(),
+                    commit_ts: Vec::new(),
+                    active: BTreeSet::new(),
+                    log: None,
+                },
+                ranks::TXN_MANAGER,
+            ),
             next_ts: AtomicU64::new(1),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -132,13 +135,10 @@ impl TxnManager {
         }
         let log = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Self {
-            inner: Mutex::new(TmInner {
-                next_xid,
-                status,
-                commit_ts,
-                active: BTreeSet::new(),
-                log: Some(log),
-            }),
+            inner: Mutex::with_rank(
+                TmInner { next_xid, status, commit_ts, active: BTreeSet::new(), log: Some(log) },
+                ranks::TXN_MANAGER,
+            ),
             next_ts: AtomicU64::new(max_ts + 1),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),

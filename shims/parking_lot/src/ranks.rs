@@ -1,0 +1,83 @@
+//! The workspace lock-rank table — single source of truth in code.
+//!
+//! Lower rank = acquired earlier (outermost). One thread may hold locks
+//! only in strictly increasing rank order, and never two locks of the
+//! same rank (that is how "at most one buffer-pool shard lock at a time"
+//! is enforced: every shard table shares [`POOL_SHARD`]).
+//!
+//! This module is parsed by `pglo-lint`, which cross-checks every
+//! `LockRank::new(<rank>, "<name>")` constant here against the
+//! machine-readable `lock-ranks` table in DESIGN.md — editing one without
+//! the other fails CI. Keep each constant on a single line.
+
+use crate::LockRank;
+
+/// lobd connection hand-off queue (`crates/server`): workers block here
+/// holding nothing.
+pub const SERVER_CONN_QUEUE: LockRank = LockRank::new(10, "server.conn_queue");
+
+/// Background-writer handle slot in `StorageEnv` (`crates/heap`); held
+/// across thread join at shutdown, so everything the bgwriter itself
+/// takes (frames, smgr) must rank higher.
+pub const ENV_BGWRITER: LockRank = LockRank::new(12, "heap.env.bgwriter");
+
+/// The map of per-relation latches in `StorageEnv` (`crates/heap`); held
+/// only to clone a latch out.
+pub const ENV_REL_LATCHES: LockRank = LockRank::new(14, "heap.env.rel_latches");
+
+/// A per-relation B-tree latch (`StorageEnv::rel_latch`); held across
+/// whole index operations, i.e. across buffer-pool pins and smgr I/O.
+pub const REL_LATCH: LockRank = LockRank::new(20, "heap.rel_latch");
+
+/// Heap catalog state (`crates/heap`); self-contained: catalog methods
+/// never pin pages or take pool locks while holding it.
+pub const CATALOG: LockRank = LockRank::new(24, "heap.catalog");
+
+/// Temporary large-object registry (`crates/core`).
+pub const TEMP_REGISTRY: LockRank = LockRank::new(26, "core.temp_registry");
+
+/// Buffer-pool read-ahead window state (`crates/buffer`); taken before
+/// any shard table in the prefetch planner.
+pub const POOL_READAHEAD: LockRank = LockRank::new(28, "buffer.readahead");
+
+/// A buffer-pool shard page table (`crates/buffer`). All shards share
+/// this rank: DESIGN.md rule "at most one shard lock held at a time"
+/// falls out of the same-rank check.
+pub const POOL_SHARD: LockRank = LockRank::new(30, "buffer.shard_table");
+
+/// A buffer-pool frame latch (`crates/buffer`). Taken after the owning
+/// shard table (rule 1); flushers reach frames only via `try_*` (rule 2).
+pub const POOL_FRAME: LockRank = LockRank::new(40, "buffer.frame");
+
+/// The storage-manager dispatch table (`crates/smgr`); read on every
+/// device I/O, including under a frame latch.
+pub const SMGR_SWITCH: LockRank = LockRank::new(50, "smgr.switch_table");
+
+/// `DiskSmgr` open-file cache (`crates/smgr`).
+pub const SMGR_DISK_FILES: LockRank = LockRank::new(52, "smgr.disk.files");
+
+/// `MemSmgr` relation map (`crates/smgr`).
+pub const SMGR_MEM_RELS: LockRank = LockRank::new(53, "smgr.mem.rels");
+
+/// `WormSmgr` state: relation directory + block cache (`crates/smgr`).
+pub const SMGR_WORM: LockRank = LockRank::new(54, "smgr.worm.inner");
+
+/// `NativeSmgr` charge accounting (`crates/smgr`).
+pub const SMGR_NATIVE: LockRank = LockRank::new(55, "smgr.native.state");
+
+/// Sequential-access tracker for read charging (`crates/smgr`).
+pub const SMGR_SEQ: LockRank = LockRank::new(56, "smgr.seq_tracker");
+
+/// Transaction-manager state (`crates/txn`); taken during visibility
+/// checks while heap scans hold a frame read latch, so it must rank
+/// above [`POOL_FRAME`].
+pub const TXN_MANAGER: LockRank = LockRank::new(60, "txn.manager");
+
+/// ADT type registry (`crates/adt`); leaf, never nested.
+pub const ADT_TYPES: LockRank = LockRank::new(70, "adt.types");
+
+/// ADT function registry (`crates/adt`); leaf, never nested.
+pub const ADT_FUNCS: LockRank = LockRank::new(72, "adt.funcs");
+
+/// ADT operator registry (`crates/adt`); leaf, never nested.
+pub const ADT_OPERATORS: LockRank = LockRank::new(74, "adt.operators");
