@@ -201,6 +201,23 @@ fn phase_json(
     rows
 }
 
+/// Latency percentiles from the process-global obs registry as a JSON
+/// object, so the bench artefact carries the device/pool latency
+/// distribution, not just means. Accumulated across every variant in the
+/// run (the registry is process-wide). Empty in an obs-off build.
+fn percentiles_json() -> Value {
+    let fields = obs::snapshot_entries()
+        .iter()
+        .filter(|e| {
+            e.name.ends_with(".p50_ns")
+                || e.name.ends_with(".p95_ns")
+                || e.name.ends_with(".p99_ns")
+        })
+        .map(|e| (e.name.clone(), Value::Num(e.value.as_u64() as f64)))
+        .collect();
+    Value::Obj(fields)
+}
+
 fn get_num(rows: &[(String, Value)], key: &str) -> f64 {
     match rows.iter().find(|(k, _)| k == key) {
         Some((_, Value::Num(n))) => *n,
@@ -297,6 +314,7 @@ fn main() {
                 ("global".into(), Value::Obj(global)),
             ]),
         ),
+        ("percentiles".into(), percentiles_json()),
     ]);
 
     let out = cfg.out.clone().unwrap_or_else(|| {

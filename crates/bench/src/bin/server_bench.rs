@@ -10,7 +10,13 @@
 //! ```sh
 //! cargo run --release -p pglo-bench --bin server_bench
 //! cargo run --release -p pglo-bench --bin server_bench -- --clients 16 --object-kib 4096
+//! cargo run --release -p pglo-bench --bin server_bench -- --min-seq-mibs 87
 //! ```
+//!
+//! `--min-seq-mibs` turns the run into a regression gate: the process
+//! exits non-zero when the TCP sequential-read rate lands below the
+//! floor. The JSON also carries every latency percentile the server
+//! exposes over the metrics frame (`server.op.*`, `smgr.*`, ...).
 
 use pglo_bench::Rng;
 use pglo_heap::json::{to_string_pretty, Value};
@@ -27,6 +33,7 @@ struct Cfg {
     rand_io: usize,
     rand_ops: usize,
     out: Option<String>,
+    min_seq_mibs: Option<f64>,
 }
 
 impl Default for Cfg {
@@ -38,6 +45,7 @@ impl Default for Cfg {
             rand_io: 8 * 1024,
             rand_ops: 200,
             out: None,
+            min_seq_mibs: None,
         }
     }
 }
@@ -89,14 +97,14 @@ where
                     let chunk = vec![fill; cfg.seq_io];
                     c.begin().unwrap();
                     let id = c.lo_create(&WireSpec::fchunk()).unwrap();
-                    let fd = c.lo_open(id, true, 0).unwrap();
+                    let mut lo = c.lo(id, true, 0).unwrap();
                     let mut written = 0;
                     while written < cfg.object_bytes {
                         let n = cfg.seq_io.min(cfg.object_bytes - written);
-                        c.lo_write(fd, &chunk[..n]).unwrap();
+                        lo.write(&chunk[..n]).unwrap();
                         written += n;
                     }
-                    c.lo_close(fd).unwrap();
+                    lo.close().unwrap();
                     c.commit().unwrap();
                     id
                 })
@@ -116,15 +124,15 @@ where
             s.spawn(move || {
                 let mut c = connect();
                 c.begin().unwrap();
-                let fd = c.lo_open(id, false, 0).unwrap();
+                let mut lo = c.lo(id, false, 0).unwrap();
                 let mut read = 0;
                 while read < cfg.object_bytes {
                     let n = cfg.seq_io.min(cfg.object_bytes - read);
-                    let got = c.lo_read(fd, n as u32).unwrap();
+                    let got = lo.read(n as u32).unwrap();
                     assert_eq!(got.len(), n, "client {i}: short sequential read");
                     read += n;
                 }
-                c.lo_close(fd).unwrap();
+                lo.close().unwrap();
                 c.commit().unwrap();
             });
         }
@@ -141,13 +149,13 @@ where
                 let mut rng = Rng(0xC0FFEE ^ (i as u64) << 16);
                 let span = (cfg.object_bytes - cfg.rand_io) as u64;
                 c.begin().unwrap();
-                let fd = c.lo_open(id, false, 0).unwrap();
+                let mut lo = c.lo(id, false, 0).unwrap();
                 for _ in 0..cfg.rand_ops {
                     let off = rng.below(span);
-                    let got = c.lo_read_at(fd, off, cfg.rand_io as u32).unwrap();
+                    let got = lo.read_at(off, cfg.rand_io as u32).unwrap();
                     assert_eq!(got.len(), cfg.rand_io);
                 }
-                c.lo_close(fd).unwrap();
+                lo.close().unwrap();
                 c.commit().unwrap();
             });
         }
@@ -167,12 +175,12 @@ where
                 let span = (cfg.object_bytes - cfg.rand_io) as u64;
                 let patch = vec![0xA5u8; cfg.rand_io];
                 c.begin().unwrap();
-                let fd = c.lo_open(id, true, 0).unwrap();
+                let mut lo = c.lo(id, true, 0).unwrap();
                 for _ in 0..cfg.rand_ops {
                     let off = rng.below(span);
-                    c.lo_write_at(fd, off, &patch).unwrap();
+                    lo.write_at(off, &patch).unwrap();
                 }
-                c.lo_close(fd).unwrap();
+                lo.close().unwrap();
                 c.commit().unwrap();
             });
         }
@@ -190,9 +198,25 @@ where
 fn usage() -> ! {
     eprintln!(
         "usage: server_bench [--clients N] [--object-kib N] [--seq-io-kib N]\n\
-         \x20                   [--rand-io-kib N] [--rand-ops N] [--out PATH]"
+         \x20                   [--rand-io-kib N] [--rand-ops N] [--out PATH]\n\
+         \x20                   [--min-seq-mibs F]"
     );
     std::process::exit(2);
+}
+
+/// Percentile entries from a metrics frame as a JSON object, so every
+/// bench artefact carries the latency distribution, not just means.
+fn percentiles_json(entries: &[obs::MetricEntry]) -> Value {
+    let fields = entries
+        .iter()
+        .filter(|e| {
+            e.name.ends_with(".p50_ns")
+                || e.name.ends_with(".p95_ns")
+                || e.name.ends_with(".p99_ns")
+        })
+        .map(|e| (e.name.clone(), Value::Num(e.value.as_u64() as f64)))
+        .collect();
+    Value::Obj(fields)
 }
 
 fn main() {
@@ -214,6 +238,10 @@ fn main() {
             "--rand-io-kib" => cfg.rand_io = num(1024),
             "--rand-ops" => cfg.rand_ops = num(1),
             "--out" => cfg.out = Some(iter.next().cloned().unwrap_or_else(|| usage())),
+            "--min-seq-mibs" => {
+                cfg.min_seq_mibs =
+                    Some(iter.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| usage()))
+            }
             _ => usage(),
         }
     }
@@ -235,11 +263,12 @@ fn main() {
         cfg.object_bytes / 1024
     );
     let tcp_phases = bench_suite(|| Client::connect(addr).unwrap(), &cfg);
-    let tcp_stats = {
+    let (tcp_stats, tcp_metrics) = {
         let mut c = Client::connect(addr).unwrap();
         let stats = c.stats().unwrap();
+        let metrics = c.metrics().unwrap();
         c.shutdown().unwrap();
-        stats
+        (stats, metrics)
     };
     handle.join();
 
@@ -252,6 +281,7 @@ fn main() {
         bench_suite(|| -> Client<PipeEnd> { loopback::connect(service).unwrap().client }, &cfg)
     };
     let lb_stats = service.stats_snapshot();
+    let lb_metrics = service.metrics_entries();
 
     let stats_json = |s: &pglo_server::ServerStats| {
         Value::Obj(vec![
@@ -276,8 +306,10 @@ fn main() {
         ),
         ("tcp".into(), Value::Obj(tcp_phases)),
         ("tcp_stats".into(), stats_json(&tcp_stats)),
+        ("tcp_percentiles".into(), percentiles_json(&tcp_metrics)),
         ("loopback".into(), Value::Obj(lb_phases)),
         ("loopback_stats".into(), stats_json(&lb_stats)),
+        ("loopback_percentiles".into(), percentiles_json(&lb_metrics)),
     ]);
 
     let out = cfg.out.clone().unwrap_or_else(|| {
@@ -287,4 +319,20 @@ fn main() {
     std::fs::write(&out, format!("{text}\n")).unwrap();
     println!("{text}");
     eprintln!("server_bench: wrote {out}");
+
+    // Regression gate: fail the run when TCP sequential reads fall under
+    // the floor.
+    if let Some(floor) = cfg.min_seq_mibs {
+        let measured =
+            match doc.get("tcp").and_then(|t| t.get("seq_read")).and_then(|p| p.get("mib_per_sec"))
+            {
+                Some(Value::Num(n)) => *n,
+                _ => 0.0,
+            };
+        if measured < floor {
+            eprintln!("server_bench: FAIL seq_read {measured:.3} MiB/s < floor {floor:.3} MiB/s");
+            std::process::exit(1);
+        }
+        eprintln!("server_bench: seq_read {measured:.3} MiB/s >= floor {floor:.3} MiB/s");
+    }
 }

@@ -406,10 +406,12 @@ impl BufferPool {
                 continue;
             };
             let frame = &self.frames[idx];
+            let load_span = obs::span!("pool.miss.load");
             let loaded = self
                 .switch
                 .get(key.smgr)
                 .and_then(|smgr| smgr.read(key.rel, key.block, &mut data.page));
+            drop(load_span);
             if let Err(e) = loaded {
                 // Undo without inverting the shard-table → frame lock
                 // order: drop the frame guard first, then re-validate
@@ -568,6 +570,7 @@ impl BufferPool {
     fn write_back(&self, data: &mut FrameData) -> Result<()> {
         if data.dirty {
             if let Some(old) = data.key {
+                let _span = obs::span!("pool.writeback");
                 let smgr = self.switch.get(old.smgr)?;
                 smgr.write(old.rel, old.block, &data.page)?;
                 self.writebacks.fetch_add(1, Ordering::Relaxed);

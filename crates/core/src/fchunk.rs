@@ -249,12 +249,15 @@ impl LoBackend for FChunkBackend<'_> {
             return Ok(0);
         }
         let want = (buf.len() as u64).min(self.size - offset) as usize;
+        obs::counter!("lo.fchunk.read.bytes").add(want as u64);
+        let mut chunks_walked = 0u64;
         let mut done = 0usize;
         while done < want {
             let pos = offset + done as u64;
             let seq = pos / self.chunk_size as u64;
             let within = (pos % self.chunk_size as u64) as usize;
             let span = (self.chunk_size - within).min(want - done);
+            chunks_walked += 1;
             self.load_chunk(seq, false)?;
             let data = &self.cache.as_ref().expect("chunk just loaded").data;
             // The chunk may be missing or short (sparse object): copy what
@@ -269,6 +272,7 @@ impl LoBackend for FChunkBackend<'_> {
             buf[done + copy..done + span].fill(0);
             done += span;
         }
+        obs::histogram!("lo.fchunk.chunk_walk").record(chunks_walked);
         Ok(want)
     }
 
@@ -276,6 +280,7 @@ impl LoBackend for FChunkBackend<'_> {
         if self.txn.is_none() {
             return Err(LoError::ReadOnly);
         }
+        obs::counter!("lo.fchunk.write.bytes").add(data.len() as u64);
         let mut done = 0usize;
         while done < data.len() {
             let pos = offset + done as u64;

@@ -29,11 +29,14 @@ impl PFileBackend {
 
 impl LoBackend for PFileBackend {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize> {
-        Ok(self.file.read_at(offset, buf)?)
+        let n = self.file.read_at(offset, buf)?;
+        obs::counter!("lo.pfile.read.bytes").add(n as u64);
+        Ok(n)
     }
 
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
         self.file.write_at(offset, data)?;
+        obs::counter!("lo.pfile.write.bytes").add(data.len() as u64);
         Ok(())
     }
 

@@ -400,6 +400,7 @@ impl InversionFs {
 
     /// List a directory under any visibility (including time travel).
     pub fn readdir_vis(&self, vis: &Visibility, path: &str) -> Result<Vec<DirEntry>> {
+        let _span = obs::span!("inv.readdir");
         let (dir_id, is_dir) = self.resolve_vis(vis, path)?;
         if !is_dir {
             return Err(InvError::NotADirectory(path.to_string()));
@@ -601,22 +602,26 @@ impl<'a> InvFile<'a> {
 
     /// Read at the seek pointer.
     pub fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let _span = obs::span!("inv.read");
         Ok(self.h().read(buf)?)
     }
 
     /// Write at the seek pointer.
     pub fn write(&mut self, data: &[u8]) -> Result<()> {
+        let _span = obs::span!("inv.write");
         self.wrote = true;
         Ok(self.h().write(data)?)
     }
 
     /// Read at an explicit offset without moving the seek pointer.
     pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let _span = obs::span!("inv.read_at");
         Ok(self.h().read_at(offset, buf)?)
     }
 
     /// Write at an explicit offset without moving the seek pointer.
     pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        let _span = obs::span!("inv.write_at");
         self.wrote = true;
         Ok(self.h().write_at(offset, data)?)
     }

@@ -23,6 +23,10 @@
 //!   `shims/parking_lot/src/ranks.rs` match the machine-readable
 //!   ```` ```lock-ranks ```` table in DESIGN.md, rank for rank and name
 //!   for name, with no duplicates on either side.
+//! - `metric-name` (R6): `obs::counter!`/`gauge!`/`histogram!`/`span!`
+//!   metric names in library code must match `^[a-z]+(\.[a-z_]+)+$` and
+//!   be unique workspace-wide — each macro site owns one static, so two
+//!   sites sharing a name would silently split one metric's counts.
 //!
 //! `#[cfg(test)]` items, `#[test]` functions, `tests/`, `benches/`,
 //! `examples/`, and the benchmark harness crate are exempt from R2/R3
@@ -162,7 +166,16 @@ pub fn tokenize(src: &str) -> Vec<Token> {
                     }
                     j += 1;
                 }
-                push(&mut out, TokKind::Str, String::new(), start_line);
+                // Token text is the literal's content (rule R6 reads
+                // metric names out of it); quotes and hashes stripped.
+                let content_start = i + if c == 'b' { 2 } else { 1 } + hashes + 1;
+                let content_end = j.saturating_sub(1 + hashes).max(content_start);
+                push(
+                    &mut out,
+                    TokKind::Str,
+                    b[content_start..content_end].iter().collect(),
+                    start_line,
+                );
                 i = j;
                 continue;
             }
@@ -180,15 +193,13 @@ pub fn tokenize(src: &str) -> Vec<Token> {
         }
         // String / byte-string literal.
         if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"')) {
-            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let content_start = i + if c == 'b' { 2 } else { 1 };
+            let mut j = content_start;
             let start_line = line;
             while j < b.len() {
                 match b[j] {
                     '\\' => j += 2,
-                    '"' => {
-                        j += 1;
-                        break;
-                    }
+                    '"' => break,
                     '\n' => {
                         line += 1;
                         j += 1;
@@ -196,8 +207,15 @@ pub fn tokenize(src: &str) -> Vec<Token> {
                     _ => j += 1,
                 }
             }
-            push(&mut out, TokKind::Str, String::new(), start_line);
-            i = j;
+            // Content between the quotes, escapes left raw — enough for
+            // rule R6, which only reads simple metric-name literals.
+            push(
+                &mut out,
+                TokKind::Str,
+                b[content_start..j.min(b.len())].iter().collect(),
+                start_line,
+            );
+            i = (j + 1).min(b.len());
             continue;
         }
         // Char literal vs. lifetime.
@@ -698,6 +716,79 @@ pub fn check_rank_table(code: &[(u32, String)], design: &[(u32, String)]) -> Vec
     errs
 }
 
+// ---------------------------------------------------------------------------
+// R6: metric names are namespaced and unique
+// ---------------------------------------------------------------------------
+
+/// `(name, line)` of every `obs::counter!`/`gauge!`/`histogram!`/`span!`
+/// invocation in non-test regions. One macro site declares one static, so
+/// these are exactly the workspace's metric registration points.
+pub fn metric_name_sites(tokens: &[Token]) -> Vec<(String, u32)> {
+    let mask = test_mask(tokens);
+    let sig: Vec<(usize, &Token)> =
+        tokens.iter().enumerate().filter(|(_, t)| t.kind != TokKind::Comment).collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < sig.len() {
+        let (i0, a) = sig[i];
+        if a.is_ident("obs")
+            && sig[i + 1].1.is_punct(':')
+            && sig[i + 2].1.is_punct(':')
+            && matches!(sig[i + 3].1.text.as_str(), "counter" | "gauge" | "histogram" | "span")
+            && sig[i + 3].1.kind == TokKind::Ident
+            && sig[i + 4].1.is_punct('!')
+            && sig[i + 5].1.is_punct('(')
+            && sig[i + 6].1.kind == TokKind::Str
+            && !mask[i0]
+        {
+            out.push((sig[i + 6].1.text.clone(), sig[i + 6].1.line));
+            i += 7;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether `name` matches `^[a-z]+(\.[a-z_]+)+$`: a lowercase namespace,
+/// then one or more dot-separated lowercase (or underscore) segments.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut parts = name.split('.');
+    let Some(first) = parts.next() else { return false };
+    if first.is_empty() || !first.chars().all(|c| c.is_ascii_lowercase()) {
+        return false;
+    }
+    let mut segments = 0usize;
+    for part in parts {
+        if part.is_empty() || !part.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 1
+}
+
+/// R6 (per file): every metric name at an `obs::` macro site must be
+/// well-formed. Uniqueness across files is the driver's job — it sees
+/// the whole workspace.
+pub fn check_metric_names(path: &str, sites: &[(String, u32)]) -> Vec<Finding> {
+    sites
+        .iter()
+        .filter(|(name, _)| !valid_metric_name(name))
+        .map(|(name, line)| {
+            finding(
+                path,
+                *line,
+                "metric-name",
+                format!(
+                    "metric name {name:?} does not match ^[a-z]+(\\.[a-z_]+)+$: \
+                     use layer.op[.unit], lowercase, dot-separated"
+                ),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -830,5 +921,41 @@ mod tests {
         assert_eq!(map.get("crates/a/src/lib.rs"), Some(&2));
         assert!(parse_allowlist("1 a.rs\n2 a.rs\n").is_err());
         assert!(parse_allowlist("x a.rs\n").is_err());
+    }
+
+    #[test]
+    fn tokenizer_retains_string_contents() {
+        let toks = tokenize(r##"let a = "pool.hits"; let b = r#"raw.name"#;"##);
+        let strs: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Str).map(|t| t.text.as_str()).collect();
+        assert_eq!(strs, vec!["pool.hits", "raw.name"]);
+    }
+
+    #[test]
+    fn metric_name_grammar() {
+        for good in ["pool.hits", "smgr.disk.read", "lo.fchunk.read.bytes", "txn.clog.append"] {
+            assert!(valid_metric_name(good), "{good} should be valid");
+        }
+        for bad in ["pool", "Pool.hits", "pool.", ".hits", "pool.Hits", "pool.hit-rate", "pool..x"]
+        {
+            assert!(!valid_metric_name(bad), "{bad} should be invalid");
+        }
+    }
+
+    #[test]
+    fn metric_sites_found_outside_tests_only() {
+        let src = "fn f() { let _s = obs::span!(\"pool.writeback\"); }\n\
+                   fn g() { obs::counter!(\"Bad Name\").inc(); }\n\
+                   #[cfg(test)]\nmod t { fn h() { obs::gauge!(\"x\").set(1); } }";
+        let sites = metric_name_sites(&tokenize(src));
+        assert_eq!(
+            sites,
+            vec![("pool.writeback".to_string(), 1), ("Bad Name".to_string(), 2)],
+            "test-gated sites are exempt"
+        );
+        let findings = check_metric_names("x.rs", &sites);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("Bad Name"));
     }
 }

@@ -15,11 +15,15 @@
 //! - `shims/*`: R4 only — shims stand in for external crates and are the
 //!   one place `std::sync` is legal (the checker itself lives there).
 //! - R5 rank-table: `shims/parking_lot/src/ranks.rs` vs. DESIGN.md.
+//! - R6 metric-name: `obs::` macro metric names in library code are
+//!   well-formed per file and unique across the whole workspace.
 
 use pglo_lint::{
-    check_rank_table, check_std_sync, check_unranked_locks, check_unsafe, check_unwrap_ratchet,
-    parse_allowlist, parse_code_ranks, parse_design_ranks, tokenize, unwrap_sites, Finding,
+    check_metric_names, check_rank_table, check_std_sync, check_unranked_locks, check_unsafe,
+    check_unwrap_ratchet, metric_name_sites, parse_allowlist, parse_code_ranks, parse_design_ranks,
+    tokenize, unwrap_sites, Finding,
 };
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -70,6 +74,8 @@ fn run(root: &Path) -> Result<(usize, usize), String> {
         .map_err(|e| format!("read {}: {e}", allowlist_path.display()))?;
     let allowlist = parse_allowlist(&allowlist_text)?;
     let mut allowlisted_seen: Vec<&str> = Vec::new();
+    // R6 uniqueness: metric name -> first registration site seen.
+    let mut metric_owners: BTreeMap<String, (String, u32)> = BTreeMap::new();
 
     for file in rust_files(root)? {
         let rel = file
@@ -96,6 +102,28 @@ fn run(root: &Path) -> Result<(usize, usize), String> {
                 }
             }
             findings.extend(check_unwrap_ratchet(&rel, &sites, allowed));
+            // R6: format per site, uniqueness across the workspace. A
+            // duplicated name means two independent statics registering
+            // under one label — each would carry half the counts.
+            let metric_sites = metric_name_sites(&tokens);
+            findings.extend(check_metric_names(&rel, &metric_sites));
+            for (name, line) in metric_sites {
+                match metric_owners.get(&name) {
+                    Some((owner_path, owner_line)) => findings.push(Finding {
+                        path: PathBuf::from(&rel),
+                        line,
+                        rule: "metric-name",
+                        message: format!(
+                            "metric {name:?} already registered at \
+                             {owner_path}:{owner_line}: names must be unique \
+                             workspace-wide (each site owns its own static)"
+                        ),
+                    }),
+                    None => {
+                        metric_owners.insert(name, (rel.clone(), line));
+                    }
+                }
+            }
         }
         findings.extend(check_unsafe(&rel, &src, &tokens));
     }

@@ -1,0 +1,311 @@
+//! Real instrumentation (the `obs` feature is on).
+//!
+//! Everything here is lock-free: metrics are plain atomics, and the
+//! process-global registry is a fixed array of `OnceLock` slots indexed
+//! by a fetch-add cursor — registration never blocks readers, readers
+//! never block writers. A reader that observes the cursor past a slot
+//! whose `OnceLock` is not yet set simply skips it (the metric appears
+//! in the next snapshot).
+
+use crate::{bucket_upper_bound, MetricEntry, MetricValue, NUM_BUCKETS};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Monotonic event counter.
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Self { v: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Instantaneous level (sessions open, frames pinned, ...).
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Self { v: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Saturating decrement (a release racing a snapshot must not wrap).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.v.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.v.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fixed-bucket power-of-two-ns latency histogram; see the bucket layout
+/// notes in the crate docs. Recording is one atomic add per bucket plus
+/// one for the running sum.
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Self { buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS], sum: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[crate::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total recorded events (sums the buckets; racing recorders make
+    /// this approximate, never torn).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile (0 < q <= 1),
+    /// or 0 when empty. Exact to within the 2x bucket width.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Flatten into the five scalar snapshot entries.
+    fn entries(&self, name: &str, out: &mut Vec<MetricEntry>) {
+        out.push(MetricEntry::new(format!("{name}.count"), MetricValue::Counter(self.count())));
+        out.push(MetricEntry::new(format!("{name}.sum_ns"), MetricValue::Counter(self.sum())));
+        for (q, suffix) in [(0.50, "p50_ns"), (0.95, "p95_ns"), (0.99, "p99_ns")] {
+            out.push(MetricEntry::new(
+                format!("{name}.{suffix}"),
+                MetricValue::Counter(self.percentile(q)),
+            ));
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What a registry slot points at.
+#[derive(Clone, Copy)]
+pub enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+#[derive(Clone, Copy)]
+struct Entry {
+    name: &'static str,
+    metric: MetricRef,
+}
+
+/// Registry capacity. Registration past this is counted (and surfaced in
+/// snapshots as `obs.registry.overflow`) rather than silently dropped.
+const MAX_METRICS: usize = 512;
+
+static SLOTS: [OnceLock<Entry>; MAX_METRICS] = [const { OnceLock::new() }; MAX_METRICS];
+static CURSOR: AtomicUsize = AtomicUsize::new(0);
+static OVERFLOW: AtomicU64 = AtomicU64::new(0);
+
+/// Register a metric in the process-global registry. Called once per
+/// macro site (the macros guard with an `AtomicBool`); callers managing
+/// their own statics may also call it directly.
+pub fn register(name: &'static str, metric: MetricRef) {
+    let idx = CURSOR.fetch_add(1, Ordering::AcqRel);
+    if idx < MAX_METRICS {
+        let _ = SLOTS[idx].set(Entry { name, metric });
+    } else {
+        OVERFLOW.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot every registered metric, name-sorted. Histograms flatten to
+/// `.count`/`.sum_ns`/`.p50_ns`/`.p95_ns`/`.p99_ns` scalar entries.
+pub fn snapshot_entries() -> Vec<MetricEntry> {
+    let n = CURSOR.load(Ordering::Acquire).min(MAX_METRICS);
+    let mut out = Vec::with_capacity(n);
+    for slot in SLOTS.iter().take(n) {
+        // A slot whose cursor ticket was taken but whose set() has not
+        // landed yet is skipped; it shows up in the next snapshot.
+        let Some(e) = slot.get() else { continue };
+        match e.metric {
+            MetricRef::Counter(c) => {
+                out.push(MetricEntry::new(e.name, MetricValue::Counter(c.get())))
+            }
+            MetricRef::Gauge(g) => out.push(MetricEntry::new(e.name, MetricValue::Gauge(g.get()))),
+            MetricRef::Histogram(h) => h.entries(e.name, &mut out),
+        }
+    }
+    let overflow = OVERFLOW.load(Ordering::Relaxed);
+    if overflow > 0 {
+        out.push(MetricEntry::new("obs.registry.overflow", MetricValue::Counter(overflow)));
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Capacity of the per-thread recent-span ring.
+const SPAN_RING: usize = 64;
+
+struct SpanRing {
+    spans: Vec<(&'static str, u64)>,
+    /// Overwrite position once full (oldest entry).
+    next: usize,
+}
+
+impl SpanRing {
+    const fn new() -> Self {
+        Self { spans: Vec::new(), next: 0 }
+    }
+
+    fn push(&mut self, name: &'static str, ns: u64) {
+        if self.spans.len() < SPAN_RING {
+            self.spans.push((name, ns));
+        } else {
+            self.spans[self.next] = (name, ns);
+            self.next = (self.next + 1) % SPAN_RING;
+        }
+    }
+
+    fn oldest_first(&self) -> Vec<(&'static str, u64)> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        out.extend_from_slice(&self.spans[self.next..]);
+        out.extend_from_slice(&self.spans[..self.next]);
+        out
+    }
+}
+
+thread_local! {
+    static RING: RefCell<SpanRing> = const { RefCell::new(SpanRing::new()) };
+}
+
+/// The current thread's recent spans, oldest first: `(name, elapsed_ns)`.
+pub fn recent_spans() -> Vec<(&'static str, u64)> {
+    RING.with(|r| r.borrow().oldest_first())
+}
+
+/// Text dump of the current thread's recent spans, oldest first.
+pub fn dump_recent_spans() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, ns) in recent_spans() {
+        let _ = writeln!(out, "{name} {ns}ns");
+    }
+    out
+}
+
+/// Install a panic hook (once per process) that dumps the panicking
+/// thread's recent spans to stderr before the previous hook runs.
+pub fn install_panic_hook() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let dump = dump_recent_spans();
+        if !dump.is_empty() {
+            eprintln!("--- obs: recent spans on panicking thread (oldest first) ---");
+            eprint!("{dump}");
+            eprintln!("------------------------------------------------------------");
+        }
+        prev(info);
+    }));
+}
+
+/// RAII span timer: created by `obs::span!`, records elapsed ns into its
+/// histogram and the per-thread ring when dropped.
+pub struct SpanGuard {
+    name: &'static str,
+    hist: &'static Histogram,
+    start: Instant,
+}
+
+impl SpanGuard {
+    #[inline]
+    pub fn start(name: &'static str, hist: &'static Histogram) -> Self {
+        Self { name, hist, start: Instant::now() }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+        // try_with: guards may drop during thread teardown.
+        let _ = RING.try_with(|r| r.borrow_mut().push(self.name, ns));
+    }
+}

@@ -1,0 +1,394 @@
+//! Workspace observability: lock-free counters, gauges, and fixed-bucket
+//! latency histograms in a process-global registry, plus RAII span timers
+//! with a per-thread ring of recent spans (dumpable on panic or demand).
+//!
+//! The paper's Section 9 is an exercise in measuring this system; this
+//! crate is the measuring tape. Metric names follow `layer.op.unit`
+//! (e.g. `smgr.disk.read`, `lo.fchunk.read.bytes`) — `pglo-lint` rule R6
+//! enforces the shape and workspace-wide uniqueness of every name passed
+//! to the `counter!`/`gauge!`/`histogram!`/`span!` macros.
+//!
+//! Histograms use 64 power-of-two nanosecond buckets: bucket 0 holds the
+//! value 0 and bucket `i` holds values of bit length `i`, i.e. the range
+//! `[2^(i-1), 2^i - 1]`. Percentiles report the upper bound of the bucket
+//! containing the requested rank, so they are exact to within 2x — plenty
+//! for p50/p95/p99 latency plots, and recording is a single atomic add.
+//!
+//! With the `obs` feature off every metric type here is a ZST and every
+//! macro compiles to nothing (the same pattern the lockcheck shim proves
+//! out), so figure benches can pin a zero-overhead build. The snapshot
+//! types ([`MetricEntry`], [`MetricValue`], [`render_text`]) are always
+//! compiled: the server's metrics wire frame works in both builds (it is
+//! simply shorter when instrumentation is off).
+
+use std::fmt::Write as _;
+
+/// Whether instrumentation is compiled into this build.
+pub const fn active() -> bool {
+    cfg!(feature = "obs")
+}
+
+/// Number of histogram buckets (power-of-two ns, bucket 0 = zero).
+pub const NUM_BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value: 0 for 0, else the bit length,
+/// saturating at the last bucket.
+pub const fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        let bits = 64 - v.leading_zeros() as usize;
+        if bits < NUM_BUCKETS {
+            bits
+        } else {
+            NUM_BUCKETS - 1
+        }
+    }
+}
+
+/// Largest value a bucket can hold (`2^i - 1`; the last bucket is open).
+pub const fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// One metric value in a snapshot. `Counter` is monotonic, `Gauge` is a
+/// level, `Float` carries derived ratios (e.g. a hit rate).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(u64),
+    Float(f64),
+}
+
+impl MetricValue {
+    /// Wire kind byte: 0 = counter, 1 = gauge, 2 = float (f64 bits).
+    pub fn kind(&self) -> u8 {
+        match self {
+            MetricValue::Counter(_) => 0,
+            MetricValue::Gauge(_) => 1,
+            MetricValue::Float(_) => 2,
+        }
+    }
+
+    /// Value as raw u64 bits (floats via `to_bits`).
+    pub fn bits(&self) -> u64 {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+            MetricValue::Float(f) => f.to_bits(),
+        }
+    }
+
+    /// Inverse of [`kind`](Self::kind) + [`bits`](Self::bits); `None` for
+    /// an unknown kind byte (future producers may add kinds).
+    pub fn from_kind_bits(kind: u8, bits: u64) -> Option<Self> {
+        match kind {
+            0 => Some(MetricValue::Counter(bits)),
+            1 => Some(MetricValue::Gauge(bits)),
+            2 => Some(MetricValue::Float(f64::from_bits(bits))),
+            _ => None,
+        }
+    }
+
+    /// Integral view (floats truncate).
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+            MetricValue::Float(f) => *f as u64,
+        }
+    }
+
+    /// Floating view.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => *v as f64,
+            MetricValue::Float(f) => *f,
+        }
+    }
+}
+
+/// One named metric in a snapshot. Histograms appear flattened as five
+/// scalar entries: `{name}.count`, `{name}.sum_ns`, `{name}.p50_ns`,
+/// `{name}.p95_ns`, `{name}.p99_ns`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    pub name: String,
+    pub value: MetricValue,
+}
+
+impl MetricEntry {
+    pub fn new(name: impl Into<String>, value: MetricValue) -> Self {
+        Self { name: name.into(), value }
+    }
+}
+
+/// Prometheus-flavoured text exposition: one `name value` line per entry,
+/// sorted by name. Counters and gauges print as integers, floats with six
+/// decimal places.
+pub fn render_text(entries: &[MetricEntry]) -> String {
+    let mut sorted: Vec<&MetricEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    for e in sorted {
+        match e.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{} {}", e.name, v);
+            }
+            MetricValue::Float(f) => {
+                let _ = writeln!(out, "{} {:.6}", e.name, f);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(feature = "obs")]
+mod imp;
+#[cfg(feature = "obs")]
+pub use imp::{
+    dump_recent_spans, install_panic_hook, recent_spans, register, snapshot_entries, Counter,
+    Gauge, Histogram, MetricRef, SpanGuard,
+};
+
+#[cfg(not(feature = "obs"))]
+mod noop;
+#[cfg(not(feature = "obs"))]
+pub use noop::{
+    dump_recent_spans, install_panic_hook, recent_spans, register, snapshot_entries, Counter,
+    Gauge, Histogram, MetricRef, SpanGuard,
+};
+
+/// A process-global named counter; returns `&'static Counter`.
+///
+/// The backing static registers itself in the global registry on first
+/// use. With the `obs` feature off this is a ZST no-op.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static __OBS_METRIC: $crate::Counter = $crate::Counter::new();
+        static __OBS_ONCE: ::std::sync::atomic::AtomicBool =
+            ::std::sync::atomic::AtomicBool::new(false);
+        if $crate::active() && !__OBS_ONCE.swap(true, ::std::sync::atomic::Ordering::Relaxed) {
+            $crate::register($name, $crate::MetricRef::Counter(&__OBS_METRIC));
+        }
+        &__OBS_METRIC
+    }};
+}
+
+/// A process-global named gauge; returns `&'static Gauge`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static __OBS_METRIC: $crate::Gauge = $crate::Gauge::new();
+        static __OBS_ONCE: ::std::sync::atomic::AtomicBool =
+            ::std::sync::atomic::AtomicBool::new(false);
+        if $crate::active() && !__OBS_ONCE.swap(true, ::std::sync::atomic::Ordering::Relaxed) {
+            $crate::register($name, $crate::MetricRef::Gauge(&__OBS_METRIC));
+        }
+        &__OBS_METRIC
+    }};
+}
+
+/// A process-global named latency histogram; returns `&'static Histogram`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal) => {{
+        static __OBS_METRIC: $crate::Histogram = $crate::Histogram::new();
+        static __OBS_ONCE: ::std::sync::atomic::AtomicBool =
+            ::std::sync::atomic::AtomicBool::new(false);
+        if $crate::active() && !__OBS_ONCE.swap(true, ::std::sync::atomic::Ordering::Relaxed) {
+            $crate::register($name, $crate::MetricRef::Histogram(&__OBS_METRIC));
+        }
+        &__OBS_METRIC
+    }};
+}
+
+/// RAII span timer: `let _span = obs::span!("smgr.disk.read");` records
+/// the elapsed nanoseconds into the named histogram when the guard drops,
+/// and pushes the span into the per-thread recent-span ring.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::SpanGuard::start($name, $crate::histogram!($name))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_kind_bits_roundtrip() {
+        for v in [MetricValue::Counter(42), MetricValue::Gauge(7), MetricValue::Float(0.883)] {
+            let back = MetricValue::from_kind_bits(v.kind(), v.bits()).expect("known kind");
+            assert_eq!(back, v);
+        }
+        assert_eq!(MetricValue::from_kind_bits(9, 0), None);
+    }
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+        // Every value lands in a bucket whose bounds contain it.
+        for v in [0u64, 1, 5, 100, 4096, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn text_exposition_sorted_lines() {
+        let entries = vec![
+            MetricEntry::new("pool.hits", MetricValue::Counter(10)),
+            MetricEntry::new("pool.hit_rate", MetricValue::Float(0.5)),
+            MetricEntry::new("a.first", MetricValue::Gauge(1)),
+        ];
+        let text = render_text(&entries);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["a.first 1", "pool.hit_rate 0.500000", "pool.hits 10"]);
+    }
+
+    #[cfg(feature = "obs")]
+    mod on {
+        use super::super::*;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::thread;
+
+        #[test]
+        fn histogram_hammer_conserves_count_and_sum() {
+            // Satellite test: 8 threads hammering one histogram; the
+            // total count and sum must be conserved.
+            let h = crate::histogram!("obs.test.hammer");
+            let expect_sum = AtomicU64::new(0);
+            thread::scope(|s| {
+                for t in 0..8u64 {
+                    let expect_sum = &expect_sum;
+                    s.spawn(move || {
+                        let mut local = 0u64;
+                        for i in 0..10_000u64 {
+                            let v = t * 31 + i % 977;
+                            h.record(v);
+                            local += v;
+                        }
+                        expect_sum.fetch_add(local, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(h.count(), 80_000);
+            assert_eq!(h.sum(), expect_sum.load(Ordering::Relaxed));
+            // Percentiles are monotone in q.
+            let (p50, p95, p99) = (h.percentile(0.50), h.percentile(0.95), h.percentile(0.99));
+            assert!(p50 <= p95 && p95 <= p99);
+            assert!(p99 >= 976, "p99 bucket bound {p99} below max recorded value");
+        }
+
+        #[test]
+        fn registry_snapshot_sees_macro_metrics() {
+            // One macro site = one static; R6 uniqueness exists so two
+            // sites can never silently split one name's counts.
+            let c = crate::counter!("obs.test.reg_counter");
+            c.add(3);
+            c.inc();
+            crate::gauge!("obs.test.reg_gauge").set(17);
+            let entries = snapshot_entries();
+            let find = |n: &str| {
+                entries
+                    .iter()
+                    .find(|e| e.name == n)
+                    .unwrap_or_else(|| panic!("metric {n} missing from snapshot"))
+                    .value
+            };
+            assert_eq!(find("obs.test.reg_counter"), MetricValue::Counter(4));
+            assert_eq!(find("obs.test.reg_gauge"), MetricValue::Gauge(17));
+            // Snapshots are name-sorted for stable exposition.
+            let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            assert_eq!(names, sorted);
+        }
+
+        #[test]
+        fn histogram_flattens_to_percentile_entries() {
+            let h = crate::histogram!("obs.test.flat");
+            for v in [1u64, 2, 4, 8, 1000] {
+                h.record(v);
+            }
+            let entries = snapshot_entries();
+            for suffix in ["count", "sum_ns", "p50_ns", "p95_ns", "p99_ns"] {
+                assert!(
+                    entries.iter().any(|e| e.name == format!("obs.test.flat.{suffix}")),
+                    "missing obs.test.flat.{suffix}"
+                );
+            }
+            let count = entries
+                .iter()
+                .find(|e| e.name == "obs.test.flat.count")
+                .expect("count entry")
+                .value;
+            assert_eq!(count, MetricValue::Counter(5));
+        }
+
+        #[test]
+        fn span_guard_records_into_ring_and_histogram() {
+            {
+                let _span = crate::span!("obs.test.span");
+                std::hint::black_box(1 + 1);
+            }
+            let spans = recent_spans();
+            assert!(
+                spans.iter().any(|(name, _)| *name == "obs.test.span"),
+                "span missing from recent ring: {spans:?}"
+            );
+            let entries = snapshot_entries();
+            let count = entries
+                .iter()
+                .find(|e| e.name == "obs.test.span.count")
+                .expect("span histogram registered")
+                .value;
+            assert!(count.as_u64() >= 1);
+            assert!(!dump_recent_spans().is_empty());
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    mod off {
+        use super::super::*;
+
+        #[test]
+        fn zst_types_and_silent_macros() {
+            // Satellite test: the obs-off build compiles and the metric
+            // types are zero-sized.
+            assert_eq!(std::mem::size_of::<Counter>(), 0);
+            assert_eq!(std::mem::size_of::<Gauge>(), 0);
+            assert_eq!(std::mem::size_of::<Histogram>(), 0);
+            assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+            assert!(!active());
+            // Macros stay usable; they just do nothing.
+            let c = crate::counter!("obs.test.off_counter");
+            c.add(5);
+            crate::gauge!("obs.test.off_gauge").set(5);
+            crate::histogram!("obs.test.off_hist").record(5);
+            {
+                let _span = crate::span!("obs.test.off_span");
+            }
+            assert_eq!(c.get(), 0);
+            assert!(snapshot_entries().is_empty());
+            assert!(recent_spans().is_empty());
+            assert!(dump_recent_spans().is_empty());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Zero-overhead stand-ins (the `obs` feature is off).
+//!
+//! Every type is a ZST and every method an `#[inline(always)]` no-op, so
+//! instrumented call sites compile to nothing — the same contract the
+//! lockcheck shim's release mode honours. The macros skip registration
+//! entirely (`obs::active()` is `false` and const-folds the branch away).
+
+use crate::MetricEntry;
+
+/// Zero-sized stand-in for the real counter.
+pub struct Counter;
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter
+    }
+
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-sized stand-in for the real gauge.
+pub struct Gauge;
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge
+    }
+
+    #[inline(always)]
+    pub fn set(&self, _n: u64) {}
+
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    #[inline(always)]
+    pub fn sub(&self, _n: u64) {}
+
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-sized stand-in for the real histogram.
+pub struct Histogram;
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Histogram
+    }
+
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn sum(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn percentile(&self, _q: f64) -> u64 {
+        0
+    }
+}
+
+/// Same shape as the real registry reference so macro bodies typecheck.
+#[derive(Clone, Copy)]
+pub enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+#[inline(always)]
+pub fn register(_name: &'static str, _metric: MetricRef) {}
+
+#[inline(always)]
+pub fn snapshot_entries() -> Vec<MetricEntry> {
+    Vec::new()
+}
+
+#[inline(always)]
+pub fn recent_spans() -> Vec<(&'static str, u64)> {
+    Vec::new()
+}
+
+#[inline(always)]
+pub fn dump_recent_spans() -> String {
+    String::new()
+}
+
+#[inline(always)]
+pub fn install_panic_hook() {}
+
+/// Zero-sized span guard; dropping it does nothing.
+pub struct SpanGuard;
+
+impl SpanGuard {
+    #[inline(always)]
+    pub fn start(_name: &'static str, _hist: &'static Histogram) -> Self {
+        SpanGuard
+    }
+}

@@ -1,11 +1,13 @@
 //! The lobd daemon entry point.
 //!
 //! ```text
-//! lobd <data-dir> [--addr HOST:PORT] [--workers N] [--backlog N]
+//! lobd <data-dir> [--addr HOST:PORT] [--workers N] [--backlog N] [--dump-metrics]
 //! ```
 //!
 //! Serves until a client sends the `shutdown` op, then drains sessions and
-//! prints a final statistics snapshot.
+//! prints a final statistics snapshot. With `--dump-metrics`, the full
+//! Prometheus-flavoured metrics exposition (the same text the
+//! `metrics_text` wire op serves) is written to stdout at shutdown.
 
 use pglo_server::{spawn, LobdService, ServerConfig};
 use std::process::ExitCode;
@@ -13,6 +15,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut data_dir = None;
+    let mut dump_metrics = false;
     let mut config = ServerConfig { addr: "127.0.0.1:5433".into(), ..ServerConfig::default() };
 
     while let Some(arg) = args.next() {
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
                 Some(v) if v > 0 => config.backlog = v,
                 _ => return usage("--backlog needs a positive integer"),
             },
+            "--dump-metrics" => dump_metrics = true,
             "--help" | "-h" => return usage(""),
             _ if data_dir.is_none() && !arg.starts_with('-') => data_dir = Some(arg),
             other => return usage(&format!("unrecognized argument: {other}")),
@@ -66,6 +70,9 @@ fn main() -> ExitCode {
         stats.aborts,
         stats.pool_hit_rate * 100.0,
     );
+    if dump_metrics {
+        print!("{}", obs::render_text(&service.metrics_entries()));
+    }
     ExitCode::SUCCESS
 }
 
@@ -73,7 +80,9 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("lobd: {err}");
     }
-    eprintln!("usage: lobd <data-dir> [--addr HOST:PORT] [--workers N] [--backlog N]");
+    eprintln!(
+        "usage: lobd <data-dir> [--addr HOST:PORT] [--workers N] [--backlog N] [--dump-metrics]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

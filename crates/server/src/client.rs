@@ -2,8 +2,11 @@
 //! production, the in-process loopback pipe in tests — so every typed
 //! method exercises the exact same codec either way.
 
-use crate::proto::{self, ErrorCode, Opcode, Reader, WireSpec, MAGIC, MAX_IO, VERSION};
-use crate::stats::ServerStats;
+use crate::proto::{
+    self, ErrorCode, Opcode, Reader, WireSpec, MAGIC, MAX_IO, MIN_VERSION, VERSION,
+};
+use crate::stats::{decode_metrics, ServerStats};
+use obs::MetricEntry;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -16,6 +19,11 @@ pub enum ClientError {
     Server(ErrorCode, String),
     /// The reply did not decode as expected.
     Protocol(String),
+    /// The handshake reply named a different protocol version than the
+    /// one offered. Carries `(server_version, offered_version)`;
+    /// [`Client::connect`] retries with the server's version when it is
+    /// one this client still speaks.
+    Version(u8, u8),
 }
 
 impl std::fmt::Display for ClientError {
@@ -24,6 +32,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Server(code, msg) => write!(f, "server error {code:?}: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Version(server, client) => {
+                write!(f, "server speaks protocol version {server}, client offered {client}")
+            }
         }
     }
 }
@@ -88,35 +99,62 @@ pub struct Entry {
 /// A connected lobd client.
 pub struct Client<S: Read + Write> {
     stream: S,
+    /// Protocol version negotiated at handshake; picks the stats reply
+    /// decoding (v3 metrics frame vs the legacy v2 fixed layout).
+    proto: u8,
 }
 
 impl Client<TcpStream> {
-    /// Connect over TCP and perform the handshake.
+    /// Connect over TCP and perform the handshake. If the server answers
+    /// with an older protocol version this client still speaks
+    /// ([`MIN_VERSION`]`..`[`VERSION`]), reconnect offering that version —
+    /// an old server refuses and closes after naming its version, so the
+    /// downgrade needs a fresh connection.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        match Self::connect_version(&addr, VERSION) {
+            Err(ClientError::Version(server, _)) if (MIN_VERSION..VERSION).contains(&server) => {
+                Self::connect_version(&addr, server)
+            }
+            other => other,
+        }
+    }
+
+    fn connect_version(addr: impl ToSocketAddrs, version: u8) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Self::handshake(stream)
+        Self::handshake_with_version(stream, version)
     }
 }
 
 impl<S: Read + Write> Client<S> {
-    /// Perform the `MAGIC ++ VERSION` handshake over an open transport.
-    pub fn handshake(mut stream: S) -> Result<Self> {
+    /// Perform the `MAGIC ++ VERSION` handshake over an open transport,
+    /// offering the current protocol version.
+    pub fn handshake(stream: S) -> Result<Self> {
+        Self::handshake_with_version(stream, VERSION)
+    }
+
+    /// Handshake offering an explicit protocol version (compatibility
+    /// testing, or a deliberate downgrade to an old server). The server
+    /// must echo the offered version exactly; any other reply is a
+    /// [`ClientError::Version`] carrying what the server named.
+    pub fn handshake_with_version(mut stream: S, version: u8) -> Result<Self> {
         stream.write_all(MAGIC)?;
-        stream.write_all(&[VERSION])?;
+        stream.write_all(&[version])?;
         stream.flush()?;
         let mut hello = [0u8; 5];
         stream.read_exact(&mut hello)?;
         if &hello[..4] != MAGIC {
             return Err(ClientError::Protocol("server did not answer with lobd magic".into()));
         }
-        if hello[4] != VERSION {
-            return Err(ClientError::Protocol(format!(
-                "server speaks protocol version {}, client speaks {VERSION}",
-                hello[4]
-            )));
+        if hello[4] != version {
+            return Err(ClientError::Version(hello[4], version));
         }
-        Ok(Self { stream })
+        Ok(Self { stream, proto: version })
+    }
+
+    /// The protocol version negotiated at handshake.
+    pub fn proto_version(&self) -> u8 {
+        self.proto
     }
 
     /// Give back the transport (e.g. to drop it abruptly in tests).
@@ -201,10 +239,42 @@ impl<S: Read + Write> Client<S> {
         self.call_u64(Opcode::CurrentTs, &[])
     }
 
-    /// A server statistics snapshot.
+    /// A server statistics snapshot. Over proto v3 the reply is the
+    /// self-describing metrics frame, projected into this typed view; a
+    /// v2 session decodes the legacy fixed layout — same struct either
+    /// way, so call sites don't care which protocol was negotiated.
     pub fn stats(&mut self) -> Result<ServerStats> {
         let reply = self.call(Opcode::Stats, &[])?;
-        Ok(ServerStats::decode(&reply)?)
+        if self.proto >= 3 {
+            Ok(ServerStats::from_metrics(&decode_metrics(&reply)?))
+        } else {
+            Ok(ServerStats::decode(&reply)?)
+        }
+    }
+
+    /// The full self-describing metrics snapshot: every counter, gauge,
+    /// and histogram percentile the server reports (per-opcode p50/p95/p99,
+    /// per-smgr-device read/write histograms, per-LO-implementation byte
+    /// counters, ...). On a v2 session this is the compatibility shim:
+    /// the legacy fixed-position reply re-projected into entries, so the
+    /// call works — with fewer entries — against an old server.
+    pub fn metrics(&mut self) -> Result<Vec<MetricEntry>> {
+        let reply = self.call(Opcode::Stats, &[])?;
+        if self.proto >= 3 {
+            Ok(decode_metrics(&reply)?)
+        } else {
+            Ok(ServerStats::decode(&reply)?.to_metrics())
+        }
+    }
+
+    /// The Prometheus-flavoured text exposition dump (proto v3+; a v2
+    /// server doesn't know the opcode and replies `UnknownOp`).
+    pub fn metrics_text(&mut self) -> Result<String> {
+        let reply = self.call(Opcode::MetricsText, &[])?;
+        let mut r = Reader::new(&reply);
+        let text = r.str()?;
+        r.finish()?;
+        Ok(text)
     }
 
     /// Ask the server to shut down gracefully.
@@ -219,8 +289,23 @@ impl<S: Read + Write> Client<S> {
         self.call_u64(Opcode::LoCreate, &p)
     }
 
-    /// Open a large object; returns a session descriptor.
-    pub fn lo_open(&mut self, id: u64, writable: bool, user: u32) -> Result<u32> {
+    /// Open a large object, returning an RAII handle that closes the
+    /// descriptor when dropped. This is the supported way to do
+    /// positioned I/O; the raw-`u32` `lo_open`/`lo_read`/... family is
+    /// deprecated in its favour.
+    pub fn lo(&mut self, id: u64, writable: bool, user: u32) -> Result<LoHandle<'_, S>> {
+        let fd = self.fd_open(id, writable, user)?;
+        Ok(LoHandle { client: self, fd, closed: false })
+    }
+
+    /// Open a large object as of commit timestamp `ts` (read-only; works
+    /// with no transaction open), returning an RAII handle.
+    pub fn lo_as_of(&mut self, id: u64, ts: u64) -> Result<LoHandle<'_, S>> {
+        let fd = self.fd_open_as_of(id, ts)?;
+        Ok(LoHandle { client: self, fd, closed: false })
+    }
+
+    fn fd_open(&mut self, id: u64, writable: bool, user: u32) -> Result<u32> {
         let mut p = Vec::new();
         proto::put_u64(&mut p, id);
         p.push(u8::from(writable));
@@ -228,49 +313,40 @@ impl<S: Read + Write> Client<S> {
         self.call_u32(Opcode::LoOpen, &p)
     }
 
-    /// Open a large object as of commit timestamp `ts` (read-only; works
-    /// with no transaction open).
-    pub fn lo_open_as_of(&mut self, id: u64, ts: u64) -> Result<u32> {
+    fn fd_open_as_of(&mut self, id: u64, ts: u64) -> Result<u32> {
         let mut p = Vec::new();
         proto::put_u64(&mut p, id);
         proto::put_u64(&mut p, ts);
         self.call_u32(Opcode::LoOpenAsOf, &p)
     }
 
-    /// Read up to `len` bytes at the seek pointer.
-    pub fn lo_read(&mut self, fd: u32, len: u32) -> Result<Vec<u8>> {
+    fn fd_read(&mut self, fd: u32, len: u32) -> Result<Vec<u8>> {
         let mut p = Vec::new();
         proto::put_u32(&mut p, fd);
         proto::put_u32(&mut p, len);
         self.call(Opcode::LoRead, &p)
     }
 
-    /// Write `data` at the seek pointer. `data` must fit one op
-    /// ([`MAX_IO`]); see [`Client::lo_write_all`] for chunking.
-    pub fn lo_write(&mut self, fd: u32, data: &[u8]) -> Result<()> {
+    fn fd_write(&mut self, fd: u32, data: &[u8]) -> Result<()> {
         let mut p = Vec::new();
         proto::put_u32(&mut p, fd);
         proto::put_bytes(&mut p, data);
         self.call_unit(Opcode::LoWrite, &p)
     }
 
-    /// Write arbitrarily much data at the seek pointer, chunking into
-    /// [`MAX_IO`]-sized ops.
-    pub fn lo_write_all(&mut self, fd: u32, data: &[u8]) -> Result<()> {
+    fn fd_write_all(&mut self, fd: u32, data: &[u8]) -> Result<()> {
         for chunk in data.chunks(MAX_IO as usize) {
-            self.lo_write(fd, chunk)?;
+            self.fd_write(fd, chunk)?;
         }
         Ok(())
     }
 
-    /// Read exactly `len` bytes starting at the seek pointer, chunking
-    /// into [`MAX_IO`]-sized ops. Short data ends the read early.
-    pub fn lo_read_all(&mut self, fd: u32, len: u64) -> Result<Vec<u8>> {
+    fn fd_read_all(&mut self, fd: u32, len: u64) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(len.min(1 << 20) as usize);
         let mut remaining = len;
         while remaining > 0 {
             let ask = remaining.min(MAX_IO as u64) as u32;
-            let got = self.lo_read(fd, ask)?;
+            let got = self.fd_read(fd, ask)?;
             if got.is_empty() {
                 break;
             }
@@ -280,11 +356,7 @@ impl<S: Read + Write> Client<S> {
         Ok(out)
     }
 
-    /// Move the seek pointer: `whence` is one of
-    /// [`SEEK_SET`](crate::proto::SEEK_SET),
-    /// [`SEEK_CUR`](crate::proto::SEEK_CUR),
-    /// [`SEEK_END`](crate::proto::SEEK_END). Returns the new position.
-    pub fn lo_seek(&mut self, fd: u32, whence: u8, offset: i64) -> Result<u64> {
+    fn fd_seek(&mut self, fd: u32, whence: u8, offset: i64) -> Result<u64> {
         let mut p = Vec::new();
         proto::put_u32(&mut p, fd);
         p.push(whence);
@@ -292,18 +364,99 @@ impl<S: Read + Write> Client<S> {
         self.call_u64(Opcode::LoSeek, &p)
     }
 
-    /// The seek pointer.
-    pub fn lo_tell(&mut self, fd: u32) -> Result<u64> {
+    fn fd_tell(&mut self, fd: u32) -> Result<u64> {
         let mut p = Vec::new();
         proto::put_u32(&mut p, fd);
         self.call_u64(Opcode::LoTell, &p)
     }
 
-    /// Close a descriptor.
-    pub fn lo_close(&mut self, fd: u32) -> Result<()> {
+    fn fd_close(&mut self, fd: u32) -> Result<()> {
         let mut p = Vec::new();
         proto::put_u32(&mut p, fd);
         self.call_unit(Opcode::LoClose, &p)
+    }
+
+    fn fd_size(&mut self, fd: u32) -> Result<u64> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        self.call_u64(Opcode::LoSize, &p)
+    }
+
+    fn fd_read_at(&mut self, fd: u32, offset: u64, len: u32) -> Result<Vec<u8>> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        proto::put_u64(&mut p, offset);
+        proto::put_u32(&mut p, len);
+        self.call(Opcode::LoReadAt, &p)
+    }
+
+    fn fd_write_at(&mut self, fd: u32, offset: u64, data: &[u8]) -> Result<()> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        proto::put_u64(&mut p, offset);
+        proto::put_bytes(&mut p, data);
+        self.call_unit(Opcode::LoWriteAt, &p)
+    }
+
+    /// Open a large object; returns a raw session descriptor.
+    #[deprecated(note = "use `Client::lo` and the returned `LoHandle` instead of raw fds")]
+    pub fn lo_open(&mut self, id: u64, writable: bool, user: u32) -> Result<u32> {
+        self.fd_open(id, writable, user)
+    }
+
+    /// Open a large object as of commit timestamp `ts` (read-only; works
+    /// with no transaction open).
+    #[deprecated(note = "use `Client::lo_as_of` and the returned `LoHandle` instead of raw fds")]
+    pub fn lo_open_as_of(&mut self, id: u64, ts: u64) -> Result<u32> {
+        self.fd_open_as_of(id, ts)
+    }
+
+    /// Read up to `len` bytes at the seek pointer.
+    #[deprecated(note = "use `LoHandle::read` instead of raw fds")]
+    pub fn lo_read(&mut self, fd: u32, len: u32) -> Result<Vec<u8>> {
+        self.fd_read(fd, len)
+    }
+
+    /// Write `data` at the seek pointer. `data` must fit one op
+    /// ([`MAX_IO`]); see [`LoHandle::write_all`] for chunking.
+    #[deprecated(note = "use `LoHandle::write` instead of raw fds")]
+    pub fn lo_write(&mut self, fd: u32, data: &[u8]) -> Result<()> {
+        self.fd_write(fd, data)
+    }
+
+    /// Write arbitrarily much data at the seek pointer, chunking into
+    /// [`MAX_IO`]-sized ops.
+    #[deprecated(note = "use `LoHandle::write_all` instead of raw fds")]
+    pub fn lo_write_all(&mut self, fd: u32, data: &[u8]) -> Result<()> {
+        self.fd_write_all(fd, data)
+    }
+
+    /// Read exactly `len` bytes starting at the seek pointer, chunking
+    /// into [`MAX_IO`]-sized ops. Short data ends the read early.
+    #[deprecated(note = "use `LoHandle::read_all` instead of raw fds")]
+    pub fn lo_read_all(&mut self, fd: u32, len: u64) -> Result<Vec<u8>> {
+        self.fd_read_all(fd, len)
+    }
+
+    /// Move the seek pointer: `whence` is one of
+    /// [`SEEK_SET`](crate::proto::SEEK_SET),
+    /// [`SEEK_CUR`](crate::proto::SEEK_CUR),
+    /// [`SEEK_END`](crate::proto::SEEK_END). Returns the new position.
+    #[deprecated(note = "use `LoHandle::seek` instead of raw fds")]
+    pub fn lo_seek(&mut self, fd: u32, whence: u8, offset: i64) -> Result<u64> {
+        self.fd_seek(fd, whence, offset)
+    }
+
+    /// The seek pointer.
+    #[deprecated(note = "use `LoHandle::tell` instead of raw fds")]
+    pub fn lo_tell(&mut self, fd: u32) -> Result<u64> {
+        self.fd_tell(fd)
+    }
+
+    /// Close a descriptor.
+    #[deprecated(note = "use `LoHandle::close` (or drop the handle) instead of raw fds")]
+    pub fn lo_close(&mut self, fd: u32) -> Result<()> {
+        self.fd_close(fd)
     }
 
     /// Remove a large object.
@@ -314,28 +467,21 @@ impl<S: Read + Write> Client<S> {
     }
 
     /// Logical object size under the descriptor's visibility.
+    #[deprecated(note = "use `LoHandle::size` instead of raw fds")]
     pub fn lo_size(&mut self, fd: u32) -> Result<u64> {
-        let mut p = Vec::new();
-        proto::put_u32(&mut p, fd);
-        self.call_u64(Opcode::LoSize, &p)
+        self.fd_size(fd)
     }
 
     /// Read at an explicit offset without moving the seek pointer.
+    #[deprecated(note = "use `LoHandle::read_at` instead of raw fds")]
     pub fn lo_read_at(&mut self, fd: u32, offset: u64, len: u32) -> Result<Vec<u8>> {
-        let mut p = Vec::new();
-        proto::put_u32(&mut p, fd);
-        proto::put_u64(&mut p, offset);
-        proto::put_u32(&mut p, len);
-        self.call(Opcode::LoReadAt, &p)
+        self.fd_read_at(fd, offset, len)
     }
 
     /// Write at an explicit offset without moving the seek pointer.
+    #[deprecated(note = "use `LoHandle::write_at` instead of raw fds")]
     pub fn lo_write_at(&mut self, fd: u32, offset: u64, data: &[u8]) -> Result<()> {
-        let mut p = Vec::new();
-        proto::put_u32(&mut p, fd);
-        proto::put_u64(&mut p, offset);
-        proto::put_bytes(&mut p, data);
-        self.call_unit(Opcode::LoWriteAt, &p)
+        self.fd_write_at(fd, offset, data)
     }
 
     /// Create a temporary large object (reclaimed at `gc_temps` or
@@ -459,5 +605,109 @@ impl<S: Read + Write> Client<S> {
         let mut p = Vec::new();
         proto::put_str(&mut p, path);
         self.call_unit(Opcode::InvUnlink, &p)
+    }
+}
+
+impl<S: Read + Write> std::fmt::Debug for Client<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").field("proto", &self.proto).finish_non_exhaustive()
+    }
+}
+
+/// An RAII guard over an open large-object descriptor.
+///
+/// Returned by [`Client::lo`] / [`Client::lo_as_of`]; borrows the client
+/// mutably, so all I/O on the object flows through the handle. Dropping
+/// the handle closes the descriptor best-effort (errors — e.g. a dead
+/// connection — are swallowed); call [`LoHandle::close`] to observe the
+/// close result. The handle exists so descriptor leaks are impossible by
+/// construction: the raw-`u32` fd methods it replaces are deprecated.
+pub struct LoHandle<'c, S: Read + Write> {
+    client: &'c mut Client<S>,
+    fd: u32,
+    closed: bool,
+}
+
+impl<S: Read + Write> LoHandle<'_, S> {
+    /// The raw descriptor, for wire-level tests that need it.
+    pub fn fd(&self) -> u32 {
+        self.fd
+    }
+
+    /// Read up to `len` bytes at the seek pointer.
+    pub fn read(&mut self, len: u32) -> Result<Vec<u8>> {
+        let fd = self.fd;
+        self.client.fd_read(fd, len)
+    }
+
+    /// Write `data` at the seek pointer. `data` must fit one op
+    /// ([`MAX_IO`]); see [`LoHandle::write_all`] for chunking.
+    pub fn write(&mut self, data: &[u8]) -> Result<()> {
+        let fd = self.fd;
+        self.client.fd_write(fd, data)
+    }
+
+    /// Write arbitrarily much data at the seek pointer, chunking into
+    /// [`MAX_IO`]-sized ops.
+    pub fn write_all(&mut self, data: &[u8]) -> Result<()> {
+        let fd = self.fd;
+        self.client.fd_write_all(fd, data)
+    }
+
+    /// Read exactly `len` bytes starting at the seek pointer, chunking
+    /// into [`MAX_IO`]-sized ops. Short data ends the read early.
+    pub fn read_all(&mut self, len: u64) -> Result<Vec<u8>> {
+        let fd = self.fd;
+        self.client.fd_read_all(fd, len)
+    }
+
+    /// Move the seek pointer: `whence` is one of
+    /// [`SEEK_SET`](crate::proto::SEEK_SET),
+    /// [`SEEK_CUR`](crate::proto::SEEK_CUR),
+    /// [`SEEK_END`](crate::proto::SEEK_END). Returns the new position.
+    pub fn seek(&mut self, whence: u8, offset: i64) -> Result<u64> {
+        let fd = self.fd;
+        self.client.fd_seek(fd, whence, offset)
+    }
+
+    /// The seek pointer.
+    pub fn tell(&mut self) -> Result<u64> {
+        let fd = self.fd;
+        self.client.fd_tell(fd)
+    }
+
+    /// Logical object size under the descriptor's visibility.
+    pub fn size(&mut self) -> Result<u64> {
+        let fd = self.fd;
+        self.client.fd_size(fd)
+    }
+
+    /// Read at an explicit offset without moving the seek pointer.
+    pub fn read_at(&mut self, offset: u64, len: u32) -> Result<Vec<u8>> {
+        let fd = self.fd;
+        self.client.fd_read_at(fd, offset, len)
+    }
+
+    /// Write at an explicit offset without moving the seek pointer.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        let fd = self.fd;
+        self.client.fd_write_at(fd, offset, data)
+    }
+
+    /// Close the descriptor, reporting the server's answer (unlike the
+    /// silent close on drop).
+    pub fn close(mut self) -> Result<()> {
+        self.closed = true;
+        let fd = self.fd;
+        self.client.fd_close(fd)
+    }
+}
+
+impl<S: Read + Write> Drop for LoHandle<'_, S> {
+    fn drop(&mut self) {
+        if !self.closed {
+            let fd = self.fd;
+            let _ = self.client.fd_close(fd);
+        }
     }
 }

@@ -29,7 +29,7 @@ pub mod service;
 pub mod session;
 pub mod stats;
 
-pub use client::{Client, ClientError, Entry, Stat};
+pub use client::{Client, ClientError, Entry, LoHandle, Stat};
 pub use proto::{ErrorCode, Opcode, WireSpec, MAX_FRAME, MAX_IO};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use service::LobdService;

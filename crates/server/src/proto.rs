@@ -21,11 +21,20 @@ use std::io::{self, Read, Write};
 /// Protocol magic exchanged at connect time.
 pub const MAGIC: &[u8; 4] = b"PGLO";
 
-/// Current protocol version. Bumped to 2 when the stats reply grew the
-/// pool_shards / prefetch_pages / prefetch_hits / bgwriter_pages trailing
-/// fields — a frame-layout change must fail the handshake with
-/// [`ErrorCode::BadVersion`], not a decode error mid-session.
-pub const VERSION: u8 = 2;
+/// Current protocol version. Version 3 replaced the fixed-position stats
+/// reply with a self-describing metrics frame (see
+/// [`crate::stats::encode_metrics`]) and added the `metrics_text` op —
+/// adding a metric no longer changes the frame layout, so it must never
+/// again require a version bump. Version 2's fixed layout is still served
+/// to old clients: the handshake *negotiates* within
+/// [`MIN_VERSION`]`..=`[`VERSION`] by echoing the client's version instead
+/// of rejecting it.
+pub const VERSION: u8 = 3;
+
+/// Oldest protocol version the server still speaks. Version 1 clients
+/// (pre-sharded-pool stats layout) are refused with
+/// [`ErrorCode::BadVersion`].
+pub const MIN_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame's declared length (opcode + payload). Anything
 /// larger is treated as a malformed stream and the connection is dropped —
@@ -54,6 +63,8 @@ pub enum Opcode {
     CurrentTs = 0x06,
     /// Graceful shutdown request (also triggered by process signals).
     Shutdown = 0x07,
+    /// Full metrics dump, Prometheus-flavoured text → `str` (v3+).
+    MetricsText = 0x08,
 
     /// Create a large object from a [`WireSpec`] → `u64` id.
     LoCreate = 0x10,
@@ -110,7 +121,7 @@ pub enum Opcode {
 
 impl Opcode {
     /// All opcodes, for stats table sizing/iteration.
-    pub const ALL: [Opcode; 32] = [
+    pub const ALL: [Opcode; 33] = [
         Opcode::Ping,
         Opcode::Begin,
         Opcode::Commit,
@@ -118,6 +129,7 @@ impl Opcode {
         Opcode::Stats,
         Opcode::CurrentTs,
         Opcode::Shutdown,
+        Opcode::MetricsText,
         Opcode::LoCreate,
         Opcode::LoOpen,
         Opcode::LoOpenAsOf,
@@ -160,6 +172,7 @@ impl Opcode {
             Opcode::Stats => "stats",
             Opcode::CurrentTs => "current_ts",
             Opcode::Shutdown => "shutdown",
+            Opcode::MetricsText => "metrics_text",
             Opcode::LoCreate => "lo_create",
             Opcode::LoOpen => "lo_open",
             Opcode::LoOpenAsOf => "lo_open_as_of",

@@ -12,7 +12,7 @@
 //! frame in flight, reply, and close — draining sessions rather than
 //! cutting them off. The accept thread is woken by a self-connection.
 
-use crate::proto::{self, ErrorCode, FrameError, Opcode, MAGIC, MAX_FRAME, VERSION};
+use crate::proto::{self, ErrorCode, FrameError, Opcode, MAGIC, MAX_FRAME, MIN_VERSION, VERSION};
 use crate::service::LobdService;
 use parking_lot::{ranks, Mutex};
 use std::io::{self, Read, Write};
@@ -170,8 +170,10 @@ fn refuse(mut stream: TcpStream) -> io::Result<()> {
     let mut hello = [0u8; 5];
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     if stream.read_exact(&mut hello).is_ok() {
+        // Echo a version the client speaks so it decodes the refusal.
+        let version = if (MIN_VERSION..=VERSION).contains(&hello[4]) { hello[4] } else { VERSION };
         stream.write_all(MAGIC)?;
-        stream.write_all(&[VERSION])?;
+        stream.write_all(&[version])?;
         proto::write_frame(&mut stream, ErrorCode::ShuttingDown as u8, b"server is shutting down")?;
     }
     Ok(())
@@ -190,7 +192,8 @@ fn serve_tcp(service: &Arc<LobdService>, stream: TcpStream) {
 /// simply never yield timeouts and run until EOF.
 pub fn serve_stream<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) {
     let mut session = service.session_opened();
-    if handshake(service, stream).is_ok() {
+    if let Ok(version) = handshake(service, stream) {
+        session.set_proto_version(version);
         loop {
             match read_frame_poll(stream, service) {
                 Ok(Some((tag, payload))) => {
@@ -226,14 +229,18 @@ pub fn serve_stream<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S)
     service.session_closed(&mut session);
 }
 
-/// Exchange `MAGIC ++ VERSION` in both directions.
-fn handshake<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) -> io::Result<()> {
+/// Exchange `MAGIC ++ version` in both directions, negotiating within
+/// the supported range: the server echoes the client's version when it
+/// can speak it ([`MIN_VERSION`]`..=`[`VERSION`]), so old v2 clients keep
+/// working against a v3 server. Returns the negotiated version.
+fn handshake<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) -> io::Result<u8> {
     let mut hello = [0u8; 5];
     read_full(stream, &mut hello, service, true)?;
     if &hello[..4] != MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
     }
-    if hello[4] != VERSION {
+    let client_version = hello[4];
+    if !(MIN_VERSION..=VERSION).contains(&client_version) {
         // Answer with our magic so the client can tell "wrong version"
         // from "not a lobd server", then refuse.
         stream.write_all(MAGIC)?;
@@ -241,13 +248,14 @@ fn handshake<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) -> io:
         let _ = proto::write_frame(
             stream,
             ErrorCode::BadVersion as u8,
-            format!("unsupported protocol version {}", hello[4]).as_bytes(),
+            format!("unsupported protocol version {client_version}").as_bytes(),
         );
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad version"));
     }
     stream.write_all(MAGIC)?;
-    stream.write_all(&[VERSION])?;
-    stream.flush()
+    stream.write_all(&[client_version])?;
+    stream.flush()?;
+    Ok(client_version)
 }
 
 /// Like [`proto::read_frame`] but tolerant of read timeouts: a timeout

@@ -12,7 +12,8 @@ use crate::proto::{
     self, ErrorCode, Opcode, Reader, WireSpec, MAX_IO, SEEK_CUR, SEEK_END, SEEK_SET,
 };
 use crate::session::Session;
-use crate::stats::{OpStats, ServerStats};
+use crate::stats::{encode_metrics, OpStats, ServerStats};
+use obs::MetricEntry;
 use pglo_compress::CodecKind;
 use pglo_core::{LoCursor, LoError, LoId, LoKind, LoSpec, LoStore, OpenMode, UserId};
 use pglo_heap::StorageEnv;
@@ -62,6 +63,9 @@ impl LobdService {
                 InvError::Lo(e) => e,
                 other => LoError::Meta(other.to_string()),
             })?;
+        // A worker that panics mid-request dumps its recent spans before
+        // the catch_unwind in handle_frame swallows the payload.
+        obs::install_panic_hook();
         Ok(Arc::new(Self {
             env,
             store,
@@ -183,7 +187,20 @@ impl LobdService {
             }
             Opcode::Stats => {
                 r.finish().map_err(malformed)?;
-                Ok(self.stats_snapshot().encode())
+                // v3 sessions get the self-describing metrics frame; v2
+                // sessions keep the legacy fixed-position layout.
+                if session.proto >= 3 {
+                    Ok(encode_metrics(&self.metrics_entries()))
+                } else {
+                    Ok(self.stats_snapshot().encode())
+                }
+            }
+            Opcode::MetricsText => {
+                r.finish().map_err(malformed)?;
+                let text = obs::render_text(&self.metrics_entries());
+                let mut out = Vec::new();
+                proto::put_str(&mut out, &text);
+                Ok(out)
             }
             Opcode::Shutdown => {
                 r.finish().map_err(malformed)?;
@@ -465,6 +482,11 @@ impl LobdService {
     }
 
     /// A full statistics snapshot (also used by `lobd` at exit).
+    ///
+    /// Derived rates are computed from the counters captured here (the
+    /// single `pool` read below), never from a second read of a live
+    /// source — `pool_hit_rate` always agrees with
+    /// `pool_hits / (pool_hits + pool_misses)` of the same reply.
     pub fn stats_snapshot(&self) -> ServerStats {
         let pool = self.env.pool().stats();
         let (commits, aborts) = self.env.txns().counters();
@@ -487,6 +509,19 @@ impl LobdService {
             prefetch_hits: pool.prefetch_hits,
             bgwriter_pages: pool.bgwriter_pages,
         }
+    }
+
+    /// Every metric this service can report: the typed snapshot projected
+    /// to entries, per-op latency percentiles, and the process-global obs
+    /// registry (smgr / pool / txn / LO-implementation layer metrics).
+    /// Name-sorted; this is the proto-v3 stats payload and the
+    /// `metrics_text` exposition source.
+    pub fn metrics_entries(&self) -> Vec<MetricEntry> {
+        let mut entries = self.stats_snapshot().to_metrics();
+        self.stats.latency_entries(&mut entries);
+        entries.extend(obs::snapshot_entries());
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
     }
 }
 

@@ -1,14 +1,30 @@
-//! Server observability: per-op counters and latency sums.
+//! Server observability: per-op counters + latency histograms, and the
+//! self-describing metrics frame that carries them on the wire.
+//!
+//! Protocol history: version 2 served the fixed-position
+//! [`ServerStats::encode`] layout, which broke wire compatibility once
+//! (PR 2) just by growing four trailing u64s. Version 3 replaces it with
+//! a frame of `name | kind | value` entries ([`encode_metrics`]): adding
+//! a metric extends the entry list and never changes the layout, so it
+//! must never again require a version bump. The typed [`ServerStats`]
+//! view survives via [`ServerStats::from_metrics`], so existing call
+//! sites and benches don't churn.
 
 use crate::proto::{self, Opcode, Reader};
+use obs::{MetricEntry, MetricValue};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Lock-free per-opcode accounting. One slot per opcode in
-/// [`Opcode::ALL`] order.
+/// [`Opcode::ALL`] order. The latency histograms are deliberately
+/// service-local (not in the process-global `obs` registry): one process
+/// may host several services (the benches run a TCP service and a
+/// loopback service back to back) and their op latencies must not
+/// cross-pollinate.
 pub struct OpStats {
     count: Vec<AtomicU64>,
     errors: Vec<AtomicU64>,
     total_ns: Vec<AtomicU64>,
+    latency: Vec<obs::Histogram>,
 }
 
 impl Default for OpStats {
@@ -25,6 +41,7 @@ impl OpStats {
             count: (0..n).map(|_| AtomicU64::new(0)).collect(),
             errors: (0..n).map(|_| AtomicU64::new(0)).collect(),
             total_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            latency: (0..n).map(|_| obs::Histogram::new()).collect(),
         }
     }
 
@@ -40,6 +57,7 @@ impl OpStats {
             self.errors[i].fetch_add(1, Ordering::Relaxed);
         }
         self.total_ns[i].fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.latency[i].record(elapsed_ns);
     }
 
     /// Snapshot rows `(opcode, count, errors, total_ns)` for ops seen at
@@ -61,6 +79,61 @@ impl OpStats {
             })
             .collect()
     }
+
+    /// Append `server.op.{name}.p50_ns/.p95_ns/.p99_ns` latency entries
+    /// for every op seen at least once. No-op in an obs-off build (the
+    /// ZST histograms recorded nothing worth reporting).
+    pub fn latency_entries(&self, out: &mut Vec<MetricEntry>) {
+        if !obs::active() {
+            return;
+        }
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            if self.count[i].load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let h = &self.latency[i];
+            for (q, suffix) in [(0.50, "p50_ns"), (0.95, "p95_ns"), (0.99, "p99_ns")] {
+                out.push(MetricEntry::new(
+                    format!("server.op.{}.{suffix}", op.name()),
+                    MetricValue::Counter(h.percentile(q)),
+                ));
+            }
+        }
+    }
+}
+
+/// Encode a self-describing metrics frame: `u16` entry count, then per
+/// entry `str name | u8 kind | u64 value bits` (kind 0 = counter, 1 =
+/// gauge, 2 = float). This is the proto-v3 stats payload.
+pub fn encode_metrics(entries: &[MetricEntry]) -> Vec<u8> {
+    let n = entries.len().min(u16::MAX as usize);
+    let mut out = Vec::new();
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    for e in &entries[..n] {
+        proto::put_str(&mut out, &e.name);
+        out.push(e.value.kind());
+        proto::put_u64(&mut out, e.value.bits());
+    }
+    out
+}
+
+/// Decode a self-describing metrics frame. Entries with an unknown kind
+/// byte are skipped, not fatal: a newer server may grow kinds, and a v3
+/// client must keep decoding the rest of the frame.
+pub fn decode_metrics(payload: &[u8]) -> Result<Vec<MetricEntry>, proto::DecodeError> {
+    let mut r = Reader::new(payload);
+    let n = u16::from_le_bytes([r.u8()?, r.u8()?]) as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let kind = r.u8()?;
+        let bits = r.u64()?;
+        if let Some(value) = MetricValue::from_kind_bits(kind, bits) {
+            out.push(MetricEntry { name, value });
+        }
+    }
+    r.finish()?;
+    Ok(out)
 }
 
 /// The decoded reply of a `stats` request.
@@ -103,7 +176,7 @@ impl ServerStats {
         self.ops.iter().find(|(n, _, _, _)| n == name).map_or(0, |(_, c, _, _)| *c)
     }
 
-    /// Encode as a stats reply payload.
+    /// Encode as the legacy fixed-position stats reply (proto v2).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         proto::put_u32(&mut out, self.ops.len() as u32);
@@ -127,7 +200,7 @@ impl ServerStats {
         out
     }
 
-    /// Decode a stats reply payload.
+    /// Decode the legacy fixed-position stats reply (proto v2).
     pub fn decode(payload: &[u8]) -> Result<Self, proto::DecodeError> {
         let mut r = Reader::new(payload);
         let n = r.u32()? as usize;
@@ -159,6 +232,123 @@ impl ServerStats {
         r.finish()?;
         Ok(stats)
     }
+
+    /// Project this typed view into metrics entries. The per-op rows
+    /// become `server.op.{name}.count/.errors/.total_ns`; the scalars get
+    /// `layer.metric` names. The inverse is [`from_metrics`](Self::from_metrics).
+    pub fn to_metrics(&self) -> Vec<MetricEntry> {
+        let mut out = Vec::with_capacity(self.ops.len() * 3 + 11);
+        for (name, count, errors, ns) in &self.ops {
+            out.push(MetricEntry::new(
+                format!("server.op.{name}.count"),
+                MetricValue::Counter(*count),
+            ));
+            out.push(MetricEntry::new(
+                format!("server.op.{name}.errors"),
+                MetricValue::Counter(*errors),
+            ));
+            out.push(MetricEntry::new(
+                format!("server.op.{name}.total_ns"),
+                MetricValue::Counter(*ns),
+            ));
+        }
+        out.push(MetricEntry::new("pool.hits", MetricValue::Counter(self.pool_hits)));
+        out.push(MetricEntry::new("pool.misses", MetricValue::Counter(self.pool_misses)));
+        out.push(MetricEntry::new("pool.hit_rate", MetricValue::Float(self.pool_hit_rate)));
+        out.push(MetricEntry::new("txn.commits", MetricValue::Counter(self.commits)));
+        out.push(MetricEntry::new("txn.aborts", MetricValue::Counter(self.aborts)));
+        out.push(MetricEntry::new("txn.active", MetricValue::Gauge(self.active_txns)));
+        out.push(MetricEntry::new(
+            "server.sessions.active",
+            MetricValue::Gauge(self.active_sessions),
+        ));
+        out.push(MetricEntry::new("pool.shards", MetricValue::Gauge(self.pool_shards)));
+        out.push(MetricEntry::new(
+            "pool.prefetch_pages",
+            MetricValue::Counter(self.prefetch_pages),
+        ));
+        out.push(MetricEntry::new("pool.prefetch_hits", MetricValue::Counter(self.prefetch_hits)));
+        out.push(MetricEntry::new(
+            "pool.bgwriter_pages",
+            MetricValue::Counter(self.bgwriter_pages),
+        ));
+        out
+    }
+
+    /// Rebuild the typed view from a metrics frame. Names this view
+    /// doesn't know are ignored — that is the forward-compatibility
+    /// contract: servers add metrics freely, old typed clients keep
+    /// working. Derived rates are recomputed from the captured counters
+    /// when the server didn't send one, never from live sources.
+    pub fn from_metrics(entries: &[MetricEntry]) -> Self {
+        let mut stats = Self::default();
+        // name -> (count, errors, total_ns), filled as entries arrive.
+        let mut ops: Vec<(String, u64, u64, u64)> = Vec::new();
+        fn op_row(ops: &mut Vec<(String, u64, u64, u64)>, op: &str) -> usize {
+            match ops.iter().position(|(n, ..)| n == op) {
+                Some(i) => i,
+                None => {
+                    ops.push((op.to_string(), 0, 0, 0));
+                    ops.len() - 1
+                }
+            }
+        }
+        let mut saw_hit_rate = false;
+        for e in entries {
+            if let Some(rest) = e.name.strip_prefix("server.op.") {
+                let Some((op, field)) = rest.rsplit_once('.') else { continue };
+                match field {
+                    "count" => {
+                        let i = op_row(&mut ops, op);
+                        ops[i].1 = e.value.as_u64();
+                    }
+                    "errors" => {
+                        let i = op_row(&mut ops, op);
+                        ops[i].2 = e.value.as_u64();
+                    }
+                    "total_ns" => {
+                        let i = op_row(&mut ops, op);
+                        ops[i].3 = e.value.as_u64();
+                    }
+                    // Percentile entries don't fit the legacy rows.
+                    _ => {}
+                }
+                continue;
+            }
+            let v = e.value.as_u64();
+            match e.name.as_str() {
+                "pool.hits" => stats.pool_hits = v,
+                "pool.misses" => stats.pool_misses = v,
+                "pool.hit_rate" => {
+                    stats.pool_hit_rate = e.value.as_f64();
+                    saw_hit_rate = true;
+                }
+                "txn.commits" => stats.commits = v,
+                "txn.aborts" => stats.aborts = v,
+                "txn.active" => stats.active_txns = v,
+                "server.sessions.active" => stats.active_sessions = v,
+                "pool.shards" => stats.pool_shards = v,
+                "pool.prefetch_pages" => stats.prefetch_pages = v,
+                "pool.prefetch_hits" => stats.prefetch_hits = v,
+                "pool.bgwriter_pages" => stats.bgwriter_pages = v,
+                _ => {}
+            }
+        }
+        if !saw_hit_rate {
+            let total = stats.pool_hits + stats.pool_misses;
+            stats.pool_hit_rate =
+                if total == 0 { 0.0 } else { stats.pool_hits as f64 / total as f64 };
+        }
+        // Ops that never ran are omitted on the wire; drop all-zero rows
+        // that only existed because a stray field mentioned them, and
+        // order known ops by their `Opcode::ALL` position for stability.
+        ops.retain(|(_, c, ..)| *c > 0);
+        ops.sort_by_key(|(n, ..)| {
+            Opcode::ALL.iter().position(|op| op.name() == n.as_str()).unwrap_or(Opcode::ALL.len())
+        });
+        stats.ops = ops;
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +365,23 @@ mod tests {
         assert_eq!(snap.len(), 2);
         let read = snap.iter().find(|(op, ..)| *op == Opcode::LoRead).unwrap();
         assert_eq!((read.1, read.2, read.3), (2, 1, 150));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn latency_entries_cover_seen_ops() {
+        let s = OpStats::new();
+        for ns in [100u64, 200, 400, 100_000] {
+            s.record(Opcode::LoRead, true, ns);
+        }
+        let mut entries = Vec::new();
+        s.latency_entries(&mut entries);
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"server.op.lo_read.p50_ns"));
+        assert!(names.contains(&"server.op.lo_read.p95_ns"));
+        assert!(names.contains(&"server.op.lo_read.p99_ns"));
+        // Unseen ops stay silent.
+        assert!(!names.iter().any(|n| n.starts_with("server.op.ping.")));
     }
 
     #[test]
@@ -195,5 +402,68 @@ mod tests {
         };
         let enc = stats.encode();
         assert_eq!(ServerStats::decode(&enc).unwrap(), stats);
+    }
+
+    #[test]
+    fn metrics_frame_roundtrip() {
+        let entries = vec![
+            MetricEntry::new("pool.hits", MetricValue::Counter(42)),
+            MetricEntry::new("pool.hit_rate", MetricValue::Float(0.883)),
+            MetricEntry::new("txn.active", MetricValue::Gauge(3)),
+        ];
+        let enc = encode_metrics(&entries);
+        assert_eq!(decode_metrics(&enc).unwrap(), entries);
+        // Truncation is an error, not a partial decode.
+        assert!(decode_metrics(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn metrics_frame_skips_unknown_kinds() {
+        let mut enc = Vec::new();
+        enc.extend_from_slice(&2u16.to_le_bytes());
+        proto::put_str(&mut enc, "future.metric");
+        enc.push(9); // unknown kind
+        proto::put_u64(&mut enc, 7);
+        proto::put_str(&mut enc, "pool.hits");
+        enc.push(0);
+        proto::put_u64(&mut enc, 5);
+        let decoded = decode_metrics(&enc).unwrap();
+        assert_eq!(decoded, vec![MetricEntry::new("pool.hits", MetricValue::Counter(5))]);
+    }
+
+    #[test]
+    fn typed_view_roundtrips_through_metrics() {
+        let stats = ServerStats {
+            ops: vec![("begin".into(), 2, 0, 99), ("lo_read".into(), 5, 1, 12345)],
+            pool_hits: 10,
+            pool_misses: 3,
+            pool_hit_rate: 10.0 / 13.0,
+            commits: 4,
+            aborts: 1,
+            active_txns: 2,
+            active_sessions: 3,
+            pool_shards: 8,
+            prefetch_pages: 7,
+            prefetch_hits: 6,
+            bgwriter_pages: 5,
+        };
+        let back = ServerStats::from_metrics(&stats.to_metrics());
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn from_metrics_ignores_unknown_and_recomputes_rate_from_captured_counters() {
+        let entries = vec![
+            MetricEntry::new("pool.hits", MetricValue::Counter(9)),
+            MetricEntry::new("pool.misses", MetricValue::Counter(1)),
+            // No pool.hit_rate sent: the rate must come from the counters
+            // captured in this very frame, not any live source.
+            MetricEntry::new("smgr.disk.read.p99_ns", MetricValue::Counter(2047)),
+            MetricEntry::new("some.future.metric", MetricValue::Float(1.5)),
+        ];
+        let stats = ServerStats::from_metrics(&entries);
+        assert_eq!(stats.pool_hits, 9);
+        assert!((stats.pool_hit_rate - 0.9).abs() < 1e-9);
+        assert!(stats.ops.is_empty());
     }
 }

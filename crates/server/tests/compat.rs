@@ -1,0 +1,125 @@
+//! Protocol version negotiation: a v3 server must keep serving v2
+//! clients bit-for-bit (the legacy fixed-layout stats reply), while v3
+//! sessions get the self-describing metrics frame. Adding a metric must
+//! never again require a version bump — the frame carries its own schema.
+
+use pglo_server::proto::{MAGIC, MIN_VERSION, VERSION};
+use pglo_server::{spawn, Client, ClientError, LobdService, ServerConfig, ServerHandle, WireSpec};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn start() -> (tempfile::TempDir, ServerHandle) {
+    let dir = tempfile::tempdir().unwrap();
+    let service = LobdService::open(dir.path()).unwrap();
+    let handle = spawn(service, ServerConfig::default()).unwrap();
+    (dir, handle)
+}
+
+fn stop(handle: ServerHandle) {
+    handle.shutdown();
+    handle.join();
+}
+
+fn connect_v(handle: &ServerHandle, version: u8) -> Result<Client<TcpStream>, ClientError> {
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    Client::handshake_with_version(stream, version)
+}
+
+#[test]
+fn default_connect_negotiates_current_version() {
+    let (_dir, handle) = start();
+    let c = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(c.proto_version(), VERSION);
+    stop(handle);
+}
+
+#[test]
+fn v2_client_against_v3_server_full_service() {
+    let (_dir, handle) = start();
+    let mut c = connect_v(&handle, 2).unwrap();
+    assert_eq!(c.proto_version(), 2);
+
+    // Full data-path service on the old protocol.
+    assert_eq!(c.ping(b"old dog").unwrap(), b"old dog");
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write(b"spoken in v2").unwrap();
+    assert_eq!(lo.read_at(0, 64).unwrap(), b"spoken in v2");
+    lo.close().unwrap();
+    c.commit().unwrap();
+
+    // Stats decode via the legacy fixed layout…
+    let stats = c.stats().unwrap();
+    assert!(stats.op_count("lo_write") > 0);
+    assert!(stats.commits >= 1);
+
+    // …and metrics() still works: the compat shim re-projects the legacy
+    // reply into (fewer) self-describing entries.
+    let entries = c.metrics().unwrap();
+    assert!(entries.iter().any(|e| e.name == "pool.hits"));
+    assert!(entries.iter().any(|e| e.name == "server.op.lo_write.count"));
+    stop(handle);
+}
+
+#[test]
+fn v2_and_v3_sessions_coexist_on_one_server() {
+    let (_dir, handle) = start();
+    let mut old = connect_v(&handle, 2).unwrap();
+    let mut new = Client::connect(handle.local_addr()).unwrap();
+
+    new.begin().unwrap();
+    let id = new.lo_create(&WireSpec::fchunk()).unwrap();
+    let mut lo = new.lo(id, true, 0).unwrap();
+    lo.write(b"cross-version").unwrap();
+    lo.close().unwrap();
+    new.commit().unwrap();
+
+    old.begin().unwrap();
+    let mut lo = old.lo(id, false, 0).unwrap();
+    assert_eq!(lo.read(64).unwrap(), b"cross-version");
+    lo.close().unwrap();
+    old.commit().unwrap();
+
+    // Each session's stats reply decodes under its own negotiated
+    // version, against the same live server.
+    let s_old = old.stats().unwrap();
+    let s_new = new.stats().unwrap();
+    assert!(s_old.commits >= 1);
+    assert!(s_new.commits >= 1);
+    stop(handle);
+}
+
+#[test]
+fn unsupported_version_refusal_names_the_server_version() {
+    let (_dir, handle) = start();
+    let err = connect_v(&handle, VERSION + 9).unwrap_err();
+    match err {
+        ClientError::Version(server, offered) => {
+            assert_eq!(server, VERSION, "refusal must name a version the server speaks");
+            assert_eq!(offered, VERSION + 9);
+        }
+        other => panic!("expected a version error, got {other}"),
+    }
+    // Below the floor is refused the same way.
+    if MIN_VERSION > 0 {
+        let err = connect_v(&handle, MIN_VERSION - 1).unwrap_err();
+        assert!(matches!(err, ClientError::Version(v, _) if v == VERSION));
+    }
+    stop(handle);
+}
+
+#[test]
+fn refused_handshake_still_answers_with_magic() {
+    let (_dir, handle) = start();
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+    s.write_all(MAGIC).unwrap();
+    s.write_all(&[0]).unwrap();
+    s.flush().unwrap();
+    use std::io::Read;
+    let mut hello = [0u8; 5];
+    s.read_exact(&mut hello).unwrap();
+    assert_eq!(&hello[..4], MAGIC);
+    assert_eq!(hello[4], VERSION);
+    stop(handle);
+}

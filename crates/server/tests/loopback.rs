@@ -21,17 +21,17 @@ fn loopback_full_lifecycle() {
     assert_eq!(c.ping(b"in-process").unwrap(), b"in-process");
     c.begin().unwrap();
     let id = c.lo_create(&WireSpec::fchunk()).unwrap();
-    let fd = c.lo_open(id, true, 0).unwrap();
-    c.lo_write(fd, b"no socket involved").unwrap();
-    c.lo_seek(fd, pglo_server::proto::SEEK_SET, 3).unwrap();
-    assert_eq!(c.lo_read(fd, 6).unwrap(), b"socket");
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write(b"no socket involved").unwrap();
+    lo.seek(pglo_server::proto::SEEK_SET, 3).unwrap();
+    assert_eq!(lo.read(6).unwrap(), b"socket");
+    lo.close().unwrap();
     let ts = c.commit().unwrap();
 
     // Time travel over loopback too.
-    let fd = c.lo_open_as_of(id, ts).unwrap();
-    assert_eq!(c.lo_read_at(fd, 0, 64).unwrap(), b"no socket involved");
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo_as_of(id, ts).unwrap();
+    assert_eq!(lo.read_at(0, 64).unwrap(), b"no socket involved");
+    lo.close().unwrap();
 
     let stats = c.stats().unwrap();
     assert!(stats.total_requests() > 0);
@@ -88,9 +88,9 @@ fn many_loopback_sessions_share_one_stack() {
                 let c = &mut lb.client;
                 c.begin().unwrap();
                 let id = c.lo_create(&WireSpec::fchunk()).unwrap();
-                let fd = c.lo_open(id, true, 0).unwrap();
-                c.lo_write(fd, &vec![i + 1; 10_000]).unwrap();
-                c.lo_close(fd).unwrap();
+                let mut lo = c.lo(id, true, 0).unwrap();
+                lo.write(&vec![i + 1; 10_000]).unwrap();
+                lo.close().unwrap();
                 c.commit().unwrap();
                 drop(lb.client);
                 lb.server.join().unwrap();
@@ -105,11 +105,11 @@ fn many_loopback_sessions_share_one_stack() {
     let c = &mut lb.client;
     c.begin().unwrap();
     for (i, id) in ids.iter().enumerate() {
-        let fd = c.lo_open(*id, false, 0).unwrap();
-        let data = c.lo_read_all(fd, 10_000).unwrap();
+        let mut lo = c.lo(*id, false, 0).unwrap();
+        let data = lo.read_all(10_000).unwrap();
         assert_eq!(data.len(), 10_000);
         assert!(data.iter().all(|b| *b == i as u8 + 1));
-        c.lo_close(fd).unwrap();
+        lo.close().unwrap();
     }
     c.commit().unwrap();
 }
@@ -141,9 +141,9 @@ fn restart_preserves_committed_objects() {
         let c = &mut lb.client;
         c.begin().unwrap();
         let id = c.lo_create(&WireSpec::fchunk()).unwrap();
-        let fd = c.lo_open(id, true, 0).unwrap();
-        c.lo_write(fd, b"durable across restarts").unwrap();
-        c.lo_close(fd).unwrap();
+        let mut lo = c.lo(id, true, 0).unwrap();
+        lo.write(b"durable across restarts").unwrap();
+        lo.close().unwrap();
         let ts = c.commit().unwrap();
         drop(lb.client);
         lb.server.join().unwrap();
@@ -155,15 +155,15 @@ fn restart_preserves_committed_objects() {
     let c = &mut lb.client;
     // A fresh snapshot sees the prior incarnation's commit…
     c.begin().unwrap();
-    let fd = c.lo_open(id, false, 0).unwrap();
-    assert_eq!(c.lo_read_at(fd, 0, 64).unwrap(), b"durable across restarts");
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo(id, false, 0).unwrap();
+    assert_eq!(lo.read_at(0, 64).unwrap(), b"durable across restarts");
+    lo.close().unwrap();
     c.commit().unwrap();
     // …and so does a time-travel open at the old commit's timestamp.
     assert!(c.current_ts().unwrap() >= ts);
-    let fd = c.lo_open_as_of(id, ts).unwrap();
-    assert_eq!(c.lo_read_at(fd, 8, 6).unwrap(), b"across");
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo_as_of(id, ts).unwrap();
+    assert_eq!(lo.read_at(8, 6).unwrap(), b"across");
+    lo.close().unwrap();
     drop(lb.client);
     lb.server.join().unwrap();
 }

@@ -38,9 +38,9 @@ fn assert_still_serving(handle: &ServerHandle) {
     assert_eq!(c.ping(b"alive?").unwrap(), b"alive?");
     c.begin().unwrap();
     let id = c.lo_create(&WireSpec::fchunk()).unwrap();
-    let fd = c.lo_open(id, true, 0).unwrap();
-    c.lo_write(fd, b"post-abuse write").unwrap();
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write(b"post-abuse write").unwrap();
+    lo.close().unwrap();
     c.commit().unwrap();
 }
 
@@ -175,6 +175,10 @@ fn wrong_version_gets_bad_version_error() {
     stop(handle);
 }
 
+// Deliberately leaves a raw descriptor open while the connection is torn
+// out from under it — `LoHandle`'s drop would close the fd first, which is
+// exactly what this test must not do.
+#[allow(deprecated)]
 #[test]
 fn mid_write_disconnect_aborts_orphaned_txn() {
     let (_dir, handle) = start();
@@ -205,9 +209,9 @@ fn mid_write_disconnect_aborts_orphaned_txn() {
     // And the uncommitted write is invisible to everyone else.
     let mut c2 = Client::connect(handle.local_addr()).unwrap();
     c2.begin().unwrap();
-    let fd2 = c2.lo_open(id, false, 0).unwrap();
-    assert_eq!(c2.lo_size(fd2).unwrap(), 0, "orphaned write must be rolled back");
-    c2.lo_close(fd2).unwrap();
+    let mut lo2 = c2.lo(id, false, 0).unwrap();
+    assert_eq!(lo2.size().unwrap(), 0, "orphaned write must be rolled back");
+    lo2.close().unwrap();
     c2.commit().unwrap();
 
     assert_still_serving(&handle);
@@ -220,13 +224,13 @@ fn overlimit_io_request_is_rejected() {
     let mut c = Client::connect(handle.local_addr()).unwrap();
     c.begin().unwrap();
     let id = c.lo_create(&WireSpec::fchunk()).unwrap();
-    let fd = c.lo_open(id, true, 0).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
     // Ask for more than MAX_IO in one read.
-    let err = c.lo_read(fd, pglo_server::MAX_IO + 1).unwrap_err();
+    let err = lo.read(pglo_server::MAX_IO + 1).unwrap_err();
     assert_eq!(err.code(), Some(ErrorCode::TooLarge));
     // Connection (and txn) still fine.
-    c.lo_write(fd, b"still works").unwrap();
-    c.lo_close(fd).unwrap();
+    lo.write(b"still works").unwrap();
+    lo.close().unwrap();
     c.commit().unwrap();
     stop(handle);
 }

@@ -1,5 +1,6 @@
 //! End-to-end tests over real TCP: concurrent clients, MVCC isolation
-//! through the wire, time travel, temporaries, Inversion ops, statistics.
+//! through the wire, time travel, temporaries, Inversion ops, statistics,
+//! and the self-describing metrics frame.
 
 use pglo_server::{spawn, Client, LobdService, ServerConfig, ServerHandle, WireSpec};
 use std::net::TcpStream;
@@ -40,14 +41,14 @@ fn create_write_read_roundtrip() {
 
     c.begin().unwrap();
     let id = c.lo_create(&WireSpec::fchunk()).unwrap();
-    let fd = c.lo_open(id, true, 0).unwrap();
-    c.lo_write(fd, b"the quick brown fox").unwrap();
-    assert_eq!(c.lo_tell(fd).unwrap(), 19);
-    assert_eq!(c.lo_size(fd).unwrap(), 19);
-    c.lo_seek(fd, pglo_server::proto::SEEK_SET, 4).unwrap();
-    assert_eq!(c.lo_read(fd, 5).unwrap(), b"quick");
-    assert_eq!(c.lo_read_at(fd, 10, 5).unwrap(), b"brown");
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write(b"the quick brown fox").unwrap();
+    assert_eq!(lo.tell().unwrap(), 19);
+    assert_eq!(lo.size().unwrap(), 19);
+    lo.seek(pglo_server::proto::SEEK_SET, 4).unwrap();
+    assert_eq!(lo.read(5).unwrap(), b"quick");
+    assert_eq!(lo.read_at(10, 5).unwrap(), b"brown");
+    lo.close().unwrap();
     let ts = c.commit().unwrap();
     assert!(ts > 0);
     stop(handle);
@@ -69,13 +70,13 @@ fn eight_concurrent_clients_isolated_writes() {
                 let data = vec![fill; SIZE];
                 c.begin().unwrap();
                 let id = c.lo_create(&WireSpec::fchunk()).unwrap();
-                let fd = c.lo_open(id, true, 0).unwrap();
-                c.lo_write_all(fd, &data).unwrap();
+                let mut lo = c.lo(id, true, 0).unwrap();
+                lo.write_all(&data).unwrap();
                 // Read back inside the same transaction (own writes).
-                assert_eq!(c.lo_size(fd).unwrap() as usize, SIZE);
-                let back = c.lo_read_at(fd, SIZE as u64 / 2, 64).unwrap();
+                assert_eq!(lo.size().unwrap() as usize, SIZE);
+                let back = lo.read_at(SIZE as u64 / 2, 64).unwrap();
                 assert!(back.iter().all(|b| *b == fill));
-                c.lo_close(fd).unwrap();
+                lo.close().unwrap();
                 c.commit().unwrap();
                 (id, fill)
             }));
@@ -88,12 +89,12 @@ fn eight_concurrent_clients_isolated_writes() {
     let mut c = connect(&handle);
     c.begin().unwrap();
     for (id, fill) in &ids {
-        let fd = c.lo_open(*id, false, 0).unwrap();
-        assert_eq!(c.lo_size(fd).unwrap() as usize, SIZE);
-        let data = c.lo_read_all(fd, SIZE as u64).unwrap();
+        let mut lo = c.lo(*id, false, 0).unwrap();
+        assert_eq!(lo.size().unwrap() as usize, SIZE);
+        let data = lo.read_all(SIZE as u64).unwrap();
         assert_eq!(data.len(), SIZE);
         assert!(data.iter().all(|b| b == fill), "object {id} corrupted");
-        c.lo_close(fd).unwrap();
+        lo.close().unwrap();
     }
     c.commit().unwrap();
 
@@ -114,32 +115,32 @@ fn snapshot_isolation_across_sessions() {
     // Writer commits v1.
     writer.begin().unwrap();
     let id = writer.lo_create(&WireSpec::fchunk()).unwrap();
-    let wfd = writer.lo_open(id, true, 0).unwrap();
-    writer.lo_write(wfd, b"version-one").unwrap();
-    writer.lo_close(wfd).unwrap();
+    let mut wlo = writer.lo(id, true, 0).unwrap();
+    wlo.write(b"version-one").unwrap();
+    wlo.close().unwrap();
     writer.commit().unwrap();
 
     // Reader snapshots now — before v2 exists.
     reader.begin().unwrap();
-    let rfd = reader.lo_open(id, false, 0).unwrap();
+    let mut rlo = reader.lo(id, false, 0).unwrap();
 
     // Writer overwrites and commits v2 while the reader's txn is open.
     writer.begin().unwrap();
-    let wfd = writer.lo_open(id, true, 0).unwrap();
-    writer.lo_write_at(wfd, 0, b"VERSION-TWO").unwrap();
-    writer.lo_close(wfd).unwrap();
+    let mut wlo = writer.lo(id, true, 0).unwrap();
+    wlo.write_at(0, b"VERSION-TWO").unwrap();
+    wlo.close().unwrap();
     writer.commit().unwrap();
 
     // The reader's snapshot still sees v1 — MVCC through the wire.
-    assert_eq!(reader.lo_read_at(rfd, 0, 64).unwrap(), b"version-one");
-    reader.lo_close(rfd).unwrap();
+    assert_eq!(rlo.read_at(0, 64).unwrap(), b"version-one");
+    rlo.close().unwrap();
     reader.commit().unwrap();
 
     // A fresh transaction sees v2.
     reader.begin().unwrap();
-    let rfd = reader.lo_open(id, false, 0).unwrap();
-    assert_eq!(reader.lo_read_at(rfd, 0, 64).unwrap(), b"VERSION-TWO");
-    reader.lo_close(rfd).unwrap();
+    let mut rlo = reader.lo(id, false, 0).unwrap();
+    assert_eq!(rlo.read_at(0, 64).unwrap(), b"VERSION-TWO");
+    rlo.close().unwrap();
     reader.commit().unwrap();
     stop(handle);
 }
@@ -152,28 +153,28 @@ fn uncommitted_writes_invisible_to_others() {
 
     a.begin().unwrap();
     let id = a.lo_create(&WireSpec::fchunk()).unwrap();
-    let afd = a.lo_open(id, true, 0).unwrap();
-    a.lo_write(afd, b"secret").unwrap();
+    let mut alo = a.lo(id, true, 0).unwrap();
+    alo.write(b"secret").unwrap();
     // A sees its own uncommitted write.
-    assert_eq!(a.lo_size(afd).unwrap(), 6);
+    assert_eq!(alo.size().unwrap(), 6);
 
     // The object's *name* is catalog state, but none of A's uncommitted
     // data is visible to B: the object reads as empty.
     b.begin().unwrap();
-    let bfd = b.lo_open(id, false, 0).unwrap();
-    assert_eq!(b.lo_size(bfd).unwrap(), 0, "uncommitted writes must be invisible");
-    assert_eq!(b.lo_read_at(bfd, 0, 16).unwrap(), b"");
-    b.lo_close(bfd).unwrap();
+    let mut blo = b.lo(id, false, 0).unwrap();
+    assert_eq!(blo.size().unwrap(), 0, "uncommitted writes must be invisible");
+    assert_eq!(blo.read_at(0, 16).unwrap(), b"");
+    blo.close().unwrap();
     b.commit().unwrap();
 
-    a.lo_close(afd).unwrap();
+    alo.close().unwrap();
     a.abort().unwrap();
 
     // Aborted: the data stays invisible, forever.
     b.begin().unwrap();
-    let bfd = b.lo_open(id, false, 0).unwrap();
-    assert_eq!(b.lo_size(bfd).unwrap(), 0, "aborted writes must stay invisible");
-    b.lo_close(bfd).unwrap();
+    let mut blo = b.lo(id, false, 0).unwrap();
+    assert_eq!(blo.size().unwrap(), 0, "aborted writes must stay invisible");
+    blo.close().unwrap();
     b.commit().unwrap();
     stop(handle);
 }
@@ -185,28 +186,28 @@ fn time_travel_reads_old_version_over_wire() {
 
     c.begin().unwrap();
     let id = c.lo_create(&WireSpec::fchunk()).unwrap();
-    let fd = c.lo_open(id, true, 0).unwrap();
-    c.lo_write(fd, b"old contents").unwrap();
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write(b"old contents").unwrap();
+    lo.close().unwrap();
     let ts1 = c.commit().unwrap();
 
     c.begin().unwrap();
-    let fd = c.lo_open(id, true, 0).unwrap();
-    c.lo_write_at(fd, 0, b"NEW CONTENTS").unwrap();
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write_at(0, b"NEW CONTENTS").unwrap();
+    lo.close().unwrap();
     let ts2 = c.commit().unwrap();
     assert!(ts2 > ts1);
 
     // Time travel needs no transaction at all.
-    let fd = c.lo_open_as_of(id, ts1).unwrap();
-    assert_eq!(c.lo_read_at(fd, 0, 64).unwrap(), b"old contents");
+    let mut lo = c.lo_as_of(id, ts1).unwrap();
+    assert_eq!(lo.read_at(0, 64).unwrap(), b"old contents");
     // Descriptors are read-only as of a timestamp.
-    assert!(c.lo_write_at(fd, 0, b"x").is_err());
-    c.lo_close(fd).unwrap();
+    assert!(lo.write_at(0, b"x").is_err());
+    lo.close().unwrap();
 
-    let fd = c.lo_open_as_of(id, ts2).unwrap();
-    assert_eq!(c.lo_read_at(fd, 0, 64).unwrap(), b"NEW CONTENTS");
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo_as_of(id, ts2).unwrap();
+    assert_eq!(lo.read_at(0, 64).unwrap(), b"NEW CONTENTS");
+    lo.close().unwrap();
 
     assert_eq!(c.current_ts().unwrap(), ts2);
     stop(handle);
@@ -220,19 +221,19 @@ fn temp_objects_are_reclaimed_unless_kept() {
     c.begin().unwrap();
     let doomed = c.lo_create_temp(&WireSpec::fchunk()).unwrap();
     let kept = c.lo_create_temp(&WireSpec::fchunk()).unwrap();
-    let fd = c.lo_open(kept, true, 0).unwrap();
-    c.lo_write(fd, b"keep me").unwrap();
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo(kept, true, 0).unwrap();
+    lo.write(b"keep me").unwrap();
+    lo.close().unwrap();
     c.commit().unwrap();
 
     assert!(c.lo_keep_temp(kept).unwrap());
     assert_eq!(c.gc_temps().unwrap(), 1, "only the unpromoted temp is reclaimed");
 
     c.begin().unwrap();
-    assert!(c.lo_open(doomed, false, 0).is_err(), "gc'd temp must be gone");
-    let fd = c.lo_open(kept, false, 0).unwrap();
-    assert_eq!(c.lo_read(fd, 16).unwrap(), b"keep me");
-    c.lo_close(fd).unwrap();
+    assert!(c.lo(doomed, false, 0).is_err(), "gc'd temp must be gone");
+    let mut lo = c.lo(kept, false, 0).unwrap();
+    assert_eq!(lo.read(16).unwrap(), b"keep me");
+    lo.close().unwrap();
     c.commit().unwrap();
     stop(handle);
 }
@@ -251,8 +252,36 @@ fn temp_objects_reclaimed_on_disconnect() {
     wait_for(|| service.store().temp_count() == 0, "temp GC at disconnect");
     let mut c2 = connect(&handle);
     c2.begin().unwrap();
-    assert!(c2.lo_open(id, false, 0).is_err(), "session temp must die with the session");
+    assert!(c2.lo(id, false, 0).is_err(), "session temp must die with the session");
     c2.commit().unwrap();
+    stop(handle);
+}
+
+#[test]
+fn handle_drop_closes_descriptor() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    {
+        let mut lo = c.lo(id, true, 0).unwrap();
+        lo.write(b"dropped, not closed").unwrap();
+        // No close(): the Drop impl must issue it.
+    }
+    // The descriptor is gone server-side: the next open gets the same
+    // fd number back (fds are per-session, but the session's count of
+    // open descriptors is observable through stats being serviceable) —
+    // cheaper to just verify the session still works and a fresh handle
+    // reads the data back.
+    let mut lo = c.lo(id, false, 0).unwrap();
+    assert_eq!(lo.read(64).unwrap(), b"dropped, not closed");
+    lo.close().unwrap();
+    c.commit().unwrap();
+
+    let service = Arc::clone(handle.service());
+    drop(c);
+    wait_for(|| service.session_count() == 0, "session teardown");
     stop(handle);
 }
 
@@ -311,16 +340,16 @@ fn vsegment_compressed_object_over_wire() {
 
     c.begin().unwrap();
     let id = c.lo_create(&WireSpec::vsegment(1)).unwrap();
-    let fd = c.lo_open(id, true, 0).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
     let data = vec![b'z'; 50_000];
-    c.lo_write_all(fd, &data).unwrap();
-    c.lo_close(fd).unwrap();
+    lo.write_all(&data).unwrap();
+    lo.close().unwrap();
     c.commit().unwrap();
 
     c.begin().unwrap();
-    let fd = c.lo_open(id, false, 0).unwrap();
-    assert_eq!(c.lo_read_all(fd, 50_000).unwrap(), data);
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo(id, false, 0).unwrap();
+    assert_eq!(lo.read_all(50_000).unwrap(), data);
+    lo.close().unwrap();
     c.commit().unwrap();
     stop(handle);
 }
@@ -331,9 +360,9 @@ fn graceful_shutdown_via_client_frame() {
     let mut c = connect(&handle);
     c.begin().unwrap();
     let id = c.lo_create(&WireSpec::fchunk()).unwrap();
-    let fd = c.lo_open(id, true, 0).unwrap();
-    c.lo_write(fd, b"persisted before shutdown").unwrap();
-    c.lo_close(fd).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write(b"persisted before shutdown").unwrap();
+    lo.close().unwrap();
     c.commit().unwrap();
 
     c.shutdown().unwrap();
@@ -343,6 +372,10 @@ fn graceful_shutdown_via_client_frame() {
     assert_eq!(service.session_count(), 0, "all sessions drained");
 }
 
+// Raw descriptor numbers are the point here: feeding the server an fd it
+// never issued must come back as a typed error, which only the deprecated
+// raw-fd API can express.
+#[allow(deprecated)]
 #[test]
 fn protocol_errors_are_replies_not_disconnects() {
     let (_dir, handle) = start();
@@ -366,5 +399,102 @@ fn protocol_errors_are_replies_not_disconnects() {
     // The connection survived all of it.
     assert_eq!(c.ping(b"still here").unwrap(), b"still here");
     c.commit().unwrap();
+    stop(handle);
+}
+
+#[test]
+fn metrics_expose_opcode_percentiles_and_device_histograms() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+    assert_eq!(c.proto_version(), pglo_server::proto::VERSION);
+
+    // Drive enough I/O that the interesting metrics exist.
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write_all(&vec![7u8; 200_000]).unwrap();
+    lo.seek(pglo_server::proto::SEEK_SET, 0).unwrap();
+    assert_eq!(lo.read_all(200_000).unwrap().len(), 200_000);
+    lo.close().unwrap();
+    c.commit().unwrap();
+
+    let entries = c.metrics().unwrap();
+    let has = |name: &str| entries.iter().any(|e| e.name == name);
+
+    // Per-op counters are always in the frame; the latency percentiles
+    // ride on the obs histograms and vanish in a zero-overhead build.
+    for op in ["lo_write", "lo_read", "commit"] {
+        assert!(has(&format!("server.op.{op}.count")));
+        if obs::active() {
+            for q in ["p50_ns", "p95_ns", "p99_ns"] {
+                assert!(has(&format!("server.op.{op}.{q}")), "missing server.op.{op}.{q}");
+            }
+        }
+    }
+
+    // The frame is sorted by name — that is part of the exposition
+    // contract (render_text relies on it too).
+    for w in entries.windows(2) {
+        assert!(w[0].name <= w[1].name, "metrics frame must be name-sorted");
+    }
+
+    // Instrumentation below the server: per-device smgr histograms, LO
+    // byte counters, pool and txn spans. Only present when the `obs`
+    // feature is on (the default); a zero-overhead build strips them.
+    if obs::active() {
+        for name in [
+            "smgr.disk.write.count",
+            "smgr.disk.write.p99_ns",
+            "smgr.disk.allocate.p50_ns",
+            "lo.fchunk.write.bytes",
+            "lo.fchunk.read.bytes",
+            "lo.fchunk.chunk_walk.p95_ns",
+            "txn.commit.p50_ns",
+        ] {
+            assert!(has(name), "missing {name}");
+        }
+        let wrote = entries
+            .iter()
+            .find(|e| e.name == "lo.fchunk.write.bytes")
+            .map(|e| e.value.as_u64())
+            .unwrap();
+        assert!(wrote >= 200_000, "byte counter undercounts: {wrote}");
+    }
+
+    // The text exposition carries the same snapshot, one `name value`
+    // line each.
+    let text = c.metrics_text().unwrap();
+    assert!(text.lines().any(|l| l.starts_with("server.op.lo_write.count ")));
+    stop(handle);
+}
+
+#[test]
+fn stats_reply_is_internally_consistent() {
+    let (_dir, handle) = start();
+    let mut c = connect(&handle);
+
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write_all(&vec![3u8; 300_000]).unwrap();
+    lo.seek(pglo_server::proto::SEEK_SET, 0).unwrap();
+    lo.read_all(300_000).unwrap();
+    lo.close().unwrap();
+    c.commit().unwrap();
+
+    // The derived rate must be computed from the counters captured in the
+    // same snapshot — i.e. the reply agrees with itself even while other
+    // traffic mutates the live pool.
+    let stats = c.stats().unwrap();
+    let total = stats.pool_hits + stats.pool_misses;
+    assert!(total > 0);
+    let expect = stats.pool_hits as f64 / total as f64;
+    assert!(
+        (stats.pool_hit_rate - expect).abs() < 1e-9,
+        "hit rate {} disagrees with captured counters {}/{}",
+        stats.pool_hit_rate,
+        stats.pool_hits,
+        total
+    );
     stop(handle);
 }

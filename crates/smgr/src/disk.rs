@@ -144,6 +144,7 @@ impl StorageManager for DiskSmgr {
     }
 
     fn extend(&self, rel: RelFileId, page: &PageBuf) -> Result<u32> {
+        let _span = obs::span!("smgr.disk.extend");
         let f = self.open_file(rel)?;
         let block = (f.metadata()?.len() / PAGE_SIZE as u64) as u32;
         f.write_all_at(page, block as u64 * PAGE_SIZE as u64)?;
@@ -152,6 +153,7 @@ impl StorageManager for DiskSmgr {
     }
 
     fn allocate(&self, rel: RelFileId) -> Result<u32> {
+        let _span = obs::span!("smgr.disk.allocate");
         let f = self.open_file(rel)?;
         let len = f.metadata()?.len();
         let block = (len / PAGE_SIZE as u64) as u32;
@@ -161,6 +163,7 @@ impl StorageManager for DiskSmgr {
     }
 
     fn read(&self, rel: RelFileId, block: u32, out: &mut PageBuf) -> Result<()> {
+        let _span = obs::span!("smgr.disk.read");
         let f = self.open_file(rel)?;
         let nblocks = (f.metadata()?.len() / PAGE_SIZE as u64) as u32;
         if block >= nblocks {
@@ -172,6 +175,7 @@ impl StorageManager for DiskSmgr {
     }
 
     fn write(&self, rel: RelFileId, block: u32, page: &PageBuf) -> Result<()> {
+        let _span = obs::span!("smgr.disk.write");
         let f = self.open_file(rel)?;
         let nblocks = (f.metadata()?.len() / PAGE_SIZE as u64) as u32;
         if block >= nblocks {
@@ -183,6 +187,7 @@ impl StorageManager for DiskSmgr {
     }
 
     fn read_many(&self, rel: RelFileId, start: u32, out: &mut [PageBuf]) -> Result<usize> {
+        let _span = obs::span!("smgr.disk.read_many");
         if out.is_empty() {
             return Ok(0);
         }

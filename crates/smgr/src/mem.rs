@@ -65,6 +65,7 @@ impl StorageManager for MemSmgr {
     }
 
     fn extend(&self, rel: RelFileId, page: &PageBuf) -> Result<u32> {
+        let _span = obs::span!("smgr.mem.extend");
         let mut rels = self.rels.write();
         let pages = rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;
         pages.push(Box::new(*page));
@@ -74,6 +75,7 @@ impl StorageManager for MemSmgr {
     }
 
     fn allocate(&self, rel: RelFileId) -> Result<u32> {
+        let _span = obs::span!("smgr.mem.allocate");
         let mut rels = self.rels.write();
         let pages = rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;
         pages.push(Box::new([0u8; PAGE_SIZE]));
@@ -81,6 +83,7 @@ impl StorageManager for MemSmgr {
     }
 
     fn read(&self, rel: RelFileId, block: u32, out: &mut PageBuf) -> Result<()> {
+        let _span = obs::span!("smgr.mem.read");
         let rels = self.rels.read();
         let pages = rels.get(&rel).ok_or(SmgrError::NotFound(rel))?;
         let page = pages.get(block as usize).ok_or(SmgrError::OutOfRange {
@@ -112,6 +115,7 @@ impl StorageManager for MemSmgr {
     }
 
     fn write(&self, rel: RelFileId, block: u32, page: &PageBuf) -> Result<()> {
+        let _span = obs::span!("smgr.mem.write");
         let mut rels = self.rels.write();
         let pages = rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;
         let nblocks = pages.len() as u32;

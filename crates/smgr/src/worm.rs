@@ -142,6 +142,7 @@ impl StorageManager for WormSmgr {
     }
 
     fn extend(&self, rel: RelFileId, page: &PageBuf) -> Result<u32> {
+        let _span = obs::span!("smgr.worm.extend");
         let mut inner = self.inner.lock();
         let blocks = inner.rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;
         blocks.push(BlockState::Staged(Box::new(*page)));
@@ -153,6 +154,7 @@ impl StorageManager for WormSmgr {
     }
 
     fn allocate(&self, rel: RelFileId) -> Result<u32> {
+        let _span = obs::span!("smgr.worm.allocate");
         let mut inner = self.inner.lock();
         let blocks = inner.rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;
         blocks.push(BlockState::Staged(Box::new([0u8; PAGE_SIZE])));
@@ -160,6 +162,7 @@ impl StorageManager for WormSmgr {
     }
 
     fn read(&self, rel: RelFileId, block: u32, out: &mut PageBuf) -> Result<()> {
+        let _span = obs::span!("smgr.worm.read");
         let mut inner = self.inner.lock();
         let blocks = inner.rels.get(&rel).ok_or(SmgrError::NotFound(rel))?;
         let nblocks = blocks.len() as u32;
@@ -235,6 +238,7 @@ impl StorageManager for WormSmgr {
     }
 
     fn write(&self, rel: RelFileId, block: u32, page: &PageBuf) -> Result<()> {
+        let _span = obs::span!("smgr.worm.write");
         let mut inner = self.inner.lock();
         let blocks = inner.rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;
         let nblocks = blocks.len() as u32;

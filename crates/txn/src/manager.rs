@@ -40,6 +40,9 @@ struct TmInner {
 
 impl TmInner {
     fn append(&mut self, line: std::fmt::Arguments<'_>) {
+        // "clog force time" in the paper's terms: how long the commit-log
+        // append keeps the manager lock.
+        let _span = obs::span!("txn.clog.append");
         if let Some(f) = &mut self.log {
             use std::io::Write;
             // Commit durability rides on the no-overwrite system's
@@ -289,12 +292,14 @@ impl Txn {
 
     /// Commit, returning the commit timestamp.
     pub fn commit(mut self) -> CommitTs {
+        let _span = obs::span!("txn.commit");
         self.done = true;
         self.tm.finish(self.xid, true).expect("commit returns ts")
     }
 
     /// Abort explicitly.
     pub fn abort(mut self) {
+        let _span = obs::span!("txn.abort");
         self.done = true;
         self.tm.finish(self.xid, false);
     }
