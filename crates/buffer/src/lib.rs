@@ -410,6 +410,7 @@ impl BufferPool {
             let loaded = self
                 .switch
                 .get(key.smgr)
+                // LINT: allow(R7, the frame write lock must block readers of the new key until the page load lands; only shard traffic proceeds during the I/O)
                 .and_then(|smgr| smgr.read(key.rel, key.block, &mut data.page));
             drop(load_span);
             if let Err(e) = loaded {
@@ -557,6 +558,7 @@ impl BufferPool {
             frame.pin.fetch_add(1, Ordering::AcqRel);
             let mut data = frame.data.write();
             drop(table);
+            // LINT: allow(R7, eviction write-back keeps the frame lock so no reader sees a half-flushed page; the shard table is dropped first)
             let written = self.write_back(&mut data);
             drop(data);
             frame.pin.fetch_sub(1, Ordering::AcqRel);
@@ -774,6 +776,7 @@ impl BufferPool {
             if let Some(mut data) = self.frames[idx].data.try_write() {
                 if data.key == Some(key) && data.dirty {
                     let Ok(smgr) = self.switch.get(key.smgr) else { continue };
+                    // LINT: allow(R7, bgwriter write-back keeps the frame lock so the page image is stable while it goes to the device)
                     if smgr.write(key.rel, key.block, &data.page).is_ok() {
                         data.dirty = false;
                         self.writebacks.fetch_add(1, Ordering::Relaxed);
@@ -817,6 +820,7 @@ impl BufferPool {
             // evicted or flushed concurrently.
             if data.key == Some(key) && data.dirty {
                 let smgr = self.switch.get(key.smgr)?;
+                // LINT: allow(R7, sync-flush keeps the frame lock so the page image is stable while it goes to the device)
                 smgr.write(key.rel, key.block, &data.page)?;
                 data.dirty = false;
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
@@ -938,7 +942,9 @@ impl BgWriter {
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Release);
         if let Some(join) = self.join.take() {
-            let _ = join.join();
+            if join.join().is_err() {
+                obs::counter!("pool.bgwriter.panics").add(1);
+            }
         }
     }
 }

@@ -161,7 +161,9 @@ impl<'a> LoHandle<'a> {
 impl Drop for LoHandle<'_> {
     fn drop(&mut self) {
         // Best-effort flush; use `close()` to observe failures.
-        let _ = self.backend.flush();
+        if self.backend.flush().is_err() {
+            obs::counter!("lo.drop_flush.errors").add(1);
+        }
     }
 }
 

@@ -72,7 +72,10 @@ impl<'a> TempScope<'a> {
 
 impl Drop for TempScope<'_> {
     fn drop(&mut self) {
-        let _ = self.store.gc_temps();
+        // Best-effort sweep; call `gc_temps()` directly to observe failures.
+        if self.store.gc_temps().is_err() {
+            obs::counter!("lo.temp.gc.errors").add(1);
+        }
     }
 }
 

@@ -48,6 +48,9 @@ impl ClassMeta {
 struct CatalogData {
     next_oid: u64,
     classes: HashMap<String, ClassMeta>,
+    /// In-memory mutation counter (not persisted): orders snapshot
+    /// writes that happen after the data lock is released.
+    version: u64,
 }
 
 // JSON mapping, kept byte-compatible with the serde_json derive layout the
@@ -77,7 +80,7 @@ impl CatalogData {
             Some(_) => return Err("classes is not an object".into()),
             None => HashMap::new(),
         };
-        Ok(Self { next_oid, classes })
+        Ok(Self { next_oid, classes, version: 0 })
     }
 }
 
@@ -134,8 +137,16 @@ impl ClassMeta {
 }
 
 /// The catalog. Thread-safe; optionally persisted to `<dir>/catalog.json`.
+///
+/// Mutators never write the file while holding the data lock: they
+/// bump `CatalogData::version`, render the JSON snapshot in memory,
+/// release the data lock, and then write under the `persist` lock
+/// (rank `heap.catalog_persist`), which serializes writers and drops
+/// snapshots that lost the race to a newer version.
 pub struct Catalog {
     data: Mutex<CatalogData>,
+    /// Version of the last snapshot written to disk.
+    persist: Mutex<u64>,
     path: Option<PathBuf>,
 }
 
@@ -147,9 +158,10 @@ impl Catalog {
     pub fn in_memory() -> Self {
         Self {
             data: Mutex::with_rank(
-                CatalogData { next_oid: FIRST_OID, classes: HashMap::new() },
+                CatalogData { next_oid: FIRST_OID, classes: HashMap::new(), version: 0 },
                 ranks::CATALOG,
             ),
+            persist: Mutex::with_rank(0, ranks::CATALOG_PERSIST),
             path: None,
         }
     }
@@ -165,19 +177,38 @@ impl Catalog {
             CatalogData::from_json(&value)
                 .map_err(|e| HeapError::Catalog(format!("parse {}: {e}", path.display())))?
         } else {
-            CatalogData { next_oid: FIRST_OID, classes: HashMap::new() }
+            CatalogData { next_oid: FIRST_OID, classes: HashMap::new(), version: 0 }
         };
-        Ok(Self { data: Mutex::with_rank(data, ranks::CATALOG), path: Some(path) })
+        Ok(Self {
+            data: Mutex::with_rank(data, ranks::CATALOG),
+            persist: Mutex::with_rank(0, ranks::CATALOG_PERSIST),
+            path: Some(path),
+        })
     }
 
-    fn persist(&self, data: &CatalogData) -> Result<()> {
-        if let Some(path) = &self.path {
-            let text = json::to_string_pretty(&data.to_json());
-            let tmp = path.with_extension("json.tmp");
-            std::fs::write(&tmp, text)
-                .map_err(|e| HeapError::Catalog(format!("write {}: {e}", tmp.display())))?;
-            std::fs::rename(&tmp, path).map_err(|e| HeapError::Catalog(format!("rename: {e}")))?;
+    /// Bump the version and render the JSON text while the data lock is
+    /// held; the file write itself happens in [`Self::write_snapshot`]
+    /// after the caller drops the lock. Returns `None` for in-memory
+    /// catalogs.
+    fn snapshot(&self, data: &mut CatalogData) -> Option<(u64, String)> {
+        self.path.as_ref()?;
+        data.version += 1;
+        Some((data.version, json::to_string_pretty(&data.to_json())))
+    }
+
+    /// Write a rendered snapshot to disk unless a newer one already won.
+    fn write_snapshot(&self, snap: Option<(u64, String)>) -> Result<()> {
+        let (Some((version, text)), Some(path)) = (snap, self.path.as_ref()) else {
+            return Ok(());
+        };
+        let mut last_written = self.persist.lock();
+        if version <= *last_written {
+            // A later mutator already persisted a newer snapshot.
+            return Ok(());
         }
+        // LINT: allow(R7, the persist lock exists to serialize snapshot writes; it is a file-I/O leaf rank never held with the data lock)
+        atomic_write(path, &text)?;
+        *last_written = version;
         Ok(())
     }
 
@@ -187,7 +218,9 @@ impl Catalog {
         let mut data = self.data.lock();
         let oid = data.next_oid;
         data.next_oid += 1;
-        self.persist(&data)?;
+        let snap = self.snapshot(&mut data);
+        drop(data);
+        self.write_snapshot(snap)?;
         Ok(oid)
     }
 
@@ -207,7 +240,9 @@ impl Catalog {
         data.next_oid += 1;
         let meta = ClassMeta { oid, name: name.to_string(), kind, smgr: smgr.0, props };
         data.classes.insert(name.to_string(), meta.clone());
-        self.persist(&data)?;
+        let snap = self.snapshot(&mut data);
+        drop(data);
+        self.write_snapshot(snap)?;
         Ok(meta)
     }
 
@@ -218,7 +253,9 @@ impl Catalog {
             .classes
             .remove(name)
             .ok_or_else(|| HeapError::Catalog(format!("class \"{name}\" does not exist")))?;
-        self.persist(&data)?;
+        let snap = self.snapshot(&mut data);
+        drop(data);
+        self.write_snapshot(snap)?;
         Ok(meta)
     }
 
@@ -248,7 +285,9 @@ impl Catalog {
             .get_mut(name)
             .ok_or_else(|| HeapError::Catalog(format!("class \"{name}\" does not exist")))?;
         meta.props = props;
-        self.persist(&data)?;
+        let snap = self.snapshot(&mut data);
+        drop(data);
+        self.write_snapshot(snap)?;
         Ok(())
     }
 
@@ -260,7 +299,9 @@ impl Catalog {
             .get_mut(name)
             .ok_or_else(|| HeapError::Catalog(format!("class \"{name}\" does not exist")))?;
         let existed = meta.props.remove(key).is_some();
-        self.persist(&data)?;
+        let snap = self.snapshot(&mut data);
+        drop(data);
+        self.write_snapshot(snap)?;
         Ok(existed)
     }
 
@@ -272,9 +313,20 @@ impl Catalog {
             .get_mut(name)
             .ok_or_else(|| HeapError::Catalog(format!("class \"{name}\" does not exist")))?;
         meta.props.insert(key.to_string(), value.to_string());
-        self.persist(&data)?;
+        let snap = self.snapshot(&mut data);
+        drop(data);
+        self.write_snapshot(snap)?;
         Ok(())
     }
+}
+
+/// Write `text` to `path` via a sibling temp file + rename.
+fn atomic_write(path: &Path, text: &str) -> Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, text)
+        .map_err(|e| HeapError::Catalog(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| HeapError::Catalog(format!("rename: {e}")))?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -695,7 +695,10 @@ impl std::io::Seek for InvFile<'_> {
 impl Drop for InvFile<'_> {
     fn drop(&mut self) {
         if self.handle.is_some() {
-            let _ = self.finish();
+            // Best-effort finish; use `finish()` to observe failures.
+            if self.finish().is_err() {
+                obs::counter!("inv.file.drop_finish.errors").add(1);
+            }
         }
     }
 }

@@ -3,39 +3,76 @@
 //! runtime lock-rank checker in `shims/parking_lot`).
 //!
 //! Hand-rolled and dependency-free: a small Rust tokenizer (comments,
-//! strings, raw strings, char literals vs. lifetimes) plus rule passes
-//! over the token stream, so string and comment contents can never
-//! produce false positives.
+//! strings, raw strings, char literals vs. lifetimes), a token-tree
+//! builder ([`ast`]), an item parser (functions, enums, consts, trait
+//! impls), a workspace symbol table, and a call graph. Token-stream
+//! rules can never be fooled by string or comment contents; the AST
+//! rules get real statement and expression structure to walk.
 //!
-//! Rules:
-//! - `std-sync` (R1): no `std::sync::{Mutex, RwLock, ...}` outside
-//!   `shims/` — every lock must flow through the `parking_lot` shim,
-//!   the single choke point where ranks are enforced.
-//! - `unranked-lock` (R2): library code constructs locks with
-//!   `with_rank`, never bare `Mutex::new`/`RwLock::new`/`::default`.
-//! - `unwrap-ratchet` (R3): no `.unwrap()`/`.expect()` in non-test
-//!   library code beyond `crates/lint/allowlist.txt`; recorded counts
-//!   must match exactly, so the total can only go down.
-//! - `safety-comment` (R4): every `unsafe` token is preceded by a
-//!   `// SAFETY:` comment within three lines (the workspace currently
-//!   has zero `unsafe`; this locks that in).
-//! - `rank-table` (R5): the `LockRank` constants in
-//!   `shims/parking_lot/src/ranks.rs` match the machine-readable
-//!   ```` ```lock-ranks ```` table in DESIGN.md, rank for rank and name
-//!   for name, with no duplicates on either side.
-//! - `metric-name` (R6): `obs::counter!`/`gauge!`/`histogram!`/`span!`
-//!   metric names in library code must match `^[a-z]+(\.[a-z_]+)+$` and
-//!   be unique workspace-wide — each macro site owns one static, so two
-//!   sites sharing a name would silently split one metric's counts.
+//! Token-stream rules:
+//! - R1 no `std::sync::{Mutex, RwLock, ...}` outside `shims/` — every
+//!   lock must flow through the `parking_lot` shim, the single choke
+//!   point where ranks are enforced.
+//! - R2 library code constructs locks with `with_rank`, never bare
+//!   `Mutex::new`/`RwLock::new`/`::default`.
+//! - R3 no `.unwrap()`/`.expect()` in non-test library code beyond
+//!   `crates/lint/allowlist.txt`; recorded counts must match exactly,
+//!   so the total can only go down.
+//! - R4 every `unsafe` token is preceded by a `// SAFETY:` comment
+//!   within three lines (the workspace currently has zero `unsafe`;
+//!   this locks that in).
+//! - R5 the `LockRank` constants in `shims/parking_lot/src/ranks.rs`
+//!   match the machine-readable ```` ```lock-ranks ```` table in
+//!   DESIGN.md, rank for rank and name for name, with no duplicates.
+//! - R6 `obs::counter!`/`gauge!`/`histogram!`/`span!` metric names in
+//!   library code must match `^[a-z]+(\.[a-z_]+)+$` and be unique
+//!   workspace-wide — each macro site owns one static, so two sites
+//!   sharing a name would silently split one metric's counts.
+//!
+//! AST/dataflow rules ([`flow`], [`proto_sync`], [`panic_reach`]):
+//! - R7 guard-across-I/O: a lock guard or pinned page must not be live
+//!   across a blocking I/O call — direct device/socket calls (tier A)
+//!   or same-crate wrappers that bottom out in one (tier B). A
+//!   `drop(guard)` or scope end clears liveness; deliberate sites carry
+//!   `// LINT: allow(R7, reason)`, counted exactly in
+//!   `crates/lint/allows.txt` so the total only shrinks.
+//! - R8 pin-leak: `mem::forget`/`ManuallyDrop` on guard types is
+//!   forbidden workspace-wide (tests included), and `buffer` must keep
+//!   an `impl Drop for PinnedPage`.
+//! - R9 error-swallow: `let _ =`, `.ok()`-in-statement-position, and
+//!   discarded `#[must_use]` results on I/O/txn/wire crates must either
+//!   propagate or record an `obs` counter; budget in
+//!   `crates/lint/swallow_allowlist.txt` (currently empty).
+//! - R10 protocol exhaustiveness: the `Opcode` enum in
+//!   `crates/server/src/proto.rs`, the `service.rs` dispatch, the typed
+//!   client, and the ```` ```wire-ops ```` table in DESIGN.md must
+//!   agree four-ways, opcode for opcode.
+//! - PR panic-reachability: a call-graph walk from the pub APIs of
+//!   `server`/`core`/`inversion`/`buffer` lists every reachable
+//!   `unwrap`/`expect`/`panic!` site in `crates/lint/panic_reach.txt`;
+//!   the committed file may only shrink (regenerate with
+//!   `--write-panic-reach`).
 //!
 //! `#[cfg(test)]` items, `#[test]` functions, `tests/`, `benches/`,
-//! `examples/`, and the benchmark harness crate are exempt from R2/R3
-//! (tests unwrap freely and may build unranked locks); R1 applies to all
-//! non-shim code and R4 applies everywhere, shims included.
+//! `examples/`, and the benchmark harness crate are exempt from
+//! R2/R3/R7/R9 (tests unwrap freely and may build unranked locks); R1
+//! applies to all non-shim code and R4/R8 apply everywhere, shims and
+//! tests included.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
+
+pub mod ast;
+pub mod flow;
+pub mod panic_reach;
+pub mod proto_sync;
+
+pub use flow::{
+    check_guard_flow, check_manually_drop_types, collect_allows, Allow, WorkspaceIndex,
+};
+pub use panic_reach::{panic_report, parse_committed, ReachFile, ROOT_CRATES};
+pub use proto_sync::{check_proto_sync, parse_wire_ops};
 
 // ---------------------------------------------------------------------------
 // Tokenizer
@@ -381,11 +418,39 @@ pub struct Finding {
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.rule, self.message)
+        // `path:line: R# message` — one finding per line, so CI
+        // annotations and editors can jump straight to the site.
+        write!(f, "{}:{}: {} {}", self.path.display(), self.line, self.rule, self.message)
     }
 }
 
-fn finding(path: &str, line: u32, rule: &'static str, message: String) -> Finding {
+impl Finding {
+    /// JSON object for `--json` output (hand-rolled; the only escapes a
+    /// finding message can need are quotes, backslashes, and newlines).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    '\n' => "\\n".chars().collect(),
+                    '\t' => "\\t".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        format!(
+            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            esc(&self.path.display().to_string()),
+            self.line,
+            esc(self.rule),
+            esc(&self.message)
+        )
+    }
+}
+
+pub(crate) fn finding(path: &str, line: u32, rule: &'static str, message: String) -> Finding {
     Finding { path: PathBuf::from(path), line, rule, message }
 }
 
@@ -426,7 +491,7 @@ pub fn check_std_sync(path: &str, tokens: &[Token]) -> Vec<Finding> {
                         out.push(finding(
                             path,
                             sig[j].line,
-                            "std-sync",
+                            "R1",
                             format!(
                                 "std::sync::{} is banned outside shims/: use the \
                                  parking_lot shim so the lock-rank checker sees it",
@@ -442,7 +507,7 @@ pub fn check_std_sync(path: &str, tokens: &[Token]) -> Vec<Finding> {
                 out.push(finding(
                     path,
                     sig[j].line,
-                    "std-sync",
+                    "R1",
                     format!(
                         "std::sync::{} is banned outside shims/: use the \
                          parking_lot shim so the lock-rank checker sees it",
@@ -482,7 +547,7 @@ pub fn check_unranked_locks(path: &str, tokens: &[Token]) -> Vec<Finding> {
             out.push(finding(
                 path,
                 a.line,
-                "unranked-lock",
+                "R2",
                 format!(
                     "{}::{} in library code: construct with with_rank(.., ranks::..) \
                      so the lock-rank checker can order it",
@@ -550,7 +615,7 @@ pub fn check_unwrap_ratchet(path: &str, sites: &[u32], allowed: usize) -> Vec<Fi
         return vec![finding(
             path,
             0,
-            "unwrap-ratchet",
+            "R3",
             format!(
                 "{} unwrap()/expect() sites but allowlist grants {allowed}: \
                  tighten crates/lint/allowlist.txt (the count only goes down)",
@@ -565,7 +630,7 @@ pub fn check_unwrap_ratchet(path: &str, sites: &[u32], allowed: usize) -> Vec<Fi
             finding(
                 path,
                 line,
-                "unwrap-ratchet",
+                "R3",
                 format!(
                     "unwrap()/expect() in non-test library code ({} sites, allowlist \
                      grants {allowed}): propagate the error instead",
@@ -594,7 +659,7 @@ pub fn check_unsafe(path: &str, src: &str, tokens: &[Token]) -> Vec<Finding> {
             out.push(finding(
                 path,
                 t.line,
-                "safety-comment",
+                "R4",
                 "unsafe without a `// SAFETY:` comment in the preceding three lines".to_string(),
             ));
         }
@@ -779,7 +844,7 @@ pub fn check_metric_names(path: &str, sites: &[(String, u32)]) -> Vec<Finding> {
             finding(
                 path,
                 *line,
-                "metric-name",
+                "R6",
                 format!(
                     "metric name {name:?} does not match ^[a-z]+(\\.[a-z_]+)+$: \
                      use layer.op[.unit], lowercase, dot-separated"

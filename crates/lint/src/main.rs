@@ -2,32 +2,69 @@
 //! on any finding. Run from anywhere inside the repo:
 //!
 //! ```text
-//! cargo run -p pglo-lint --offline
+//! cargo run -p pglo-lint --offline [-- --json] [-- --write-panic-reach]
 //! ```
+//!
+//! Output is one finding per line, `path:line: R# message`; `--json`
+//! emits the same findings as a JSON array for tooling.
 //!
 //! Scopes (see lib.rs for the rules themselves):
 //! - `crates/*/src`, `src/`: R1 std-sync, R2 unranked-lock, R3
-//!   unwrap-ratchet, R4 safety-comment. The benchmark harness crate
-//!   (`crates/bench`) is test scope — it is a measurement tool, not a
-//!   library I/O path.
+//!   unwrap-ratchet, R4 safety-comment, R7 guard-across-I/O, R8
+//!   pin-leak, R9 error-swallow (I/O/txn/wire crates), R6 metric-name.
+//!   The benchmark harness crate (`crates/bench`) is test scope — it is
+//!   a measurement tool, not a library I/O path.
 //! - `crates/*/tests`, `crates/*/benches`, `crates/*/examples`, root
-//!   `tests/`: R1, R4 (tests unwrap freely and may build unranked locks).
+//!   `tests/`: R1, R4, R8 type scan (tests unwrap freely and may build
+//!   unranked locks, but may not defeat guard Drop).
 //! - `shims/*`: R4 only — shims stand in for external crates and are the
 //!   one place `std::sync` is legal (the checker itself lives there).
+//! - `crates/lint/tests/fixtures/`: skipped — those files are the lint
+//!   self-tests' *inputs* and violate rules on purpose.
 //! - R5 rank-table: `shims/parking_lot/src/ranks.rs` vs. DESIGN.md.
-//! - R6 metric-name: `obs::` macro metric names in library code are
-//!   well-formed per file and unique across the whole workspace.
+//! - R10 proto-sync: proto.rs enum/ALL/name() vs. service.rs dispatch
+//!   vs. client.rs vs. the DESIGN.md ```wire-ops``` table.
+//! - Panic-reach report: committed `crates/lint/panic_reach.txt` must
+//!   equal the computed reachability set (only-shrinks ratchet).
+//!
+//! Ratchet files (exact counts, both directions, so budgets only go
+//! down): `allowlist.txt` (R3), `swallow_allowlist.txt` (R9),
+//! `allows.txt` (counted `// LINT: allow(R7, reason)` sites).
 
+use pglo_lint::ast::{build_trees, parse_items, Items, Tree};
 use pglo_lint::{
-    check_metric_names, check_rank_table, check_std_sync, check_unranked_locks, check_unsafe,
-    check_unwrap_ratchet, metric_name_sites, parse_allowlist, parse_code_ranks, parse_design_ranks,
-    tokenize, unwrap_sites, Finding,
+    check_guard_flow, check_manually_drop_types, check_metric_names, check_proto_sync,
+    check_rank_table, check_std_sync, check_unranked_locks, check_unsafe, check_unwrap_ratchet,
+    collect_allows, metric_name_sites, panic_report, parse_allowlist, parse_code_ranks,
+    parse_committed, parse_design_ranks, test_mask, tokenize, unwrap_sites, Finding, ReachFile,
+    TokKind, Token, WorkspaceIndex,
 };
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// Crates where R9 (error-swallow) is an error: every file is on an
+/// I/O, txn, or wire path. `query`/`adt`/`pages` are pure in-memory
+/// transforms; `obs` and `lint` are the tooling itself.
+const R9_CRATES: [&str; 7] = ["buffer", "core", "heap", "inversion", "server", "smgr", "txn"];
+
+struct Opts {
+    json: bool,
+    write_reach: bool,
+}
+
 fn main() -> ExitCode {
+    let mut opts = Opts { json: false, write_reach: false };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--write-panic-reach" => opts.write_reach = true,
+            other => {
+                eprintln!("pglo-lint: unknown flag {other:?} (known: --json, --write-panic-reach)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let root = match workspace_root() {
         Ok(r) => r,
         Err(e) => {
@@ -35,9 +72,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&root) {
+    match run(&root, &opts) {
         Ok((0, files)) => {
-            println!("pglo-lint: workspace clean ({files} files checked)");
+            if !opts.json {
+                println!("pglo-lint: workspace clean ({files} files checked)");
+            }
             ExitCode::SUCCESS
         }
         Ok((n, files)) => {
@@ -65,18 +104,35 @@ fn workspace_root() -> Result<PathBuf, String> {
     }
 }
 
-fn run(root: &Path) -> Result<(usize, usize), String> {
+/// One loaded source file with everything the passes need.
+struct Rec {
+    rel: String,
+    src: String,
+    tokens: Vec<Token>,
+    scope: Scope,
+    crate_name: String,
+    /// Items parsed from comment-free, test-masked trees (library files
+    /// only).
+    items: Option<Items>,
+    /// Comment-free trees with test code KEPT (for the workspace-wide
+    /// R8 ManuallyDrop type scan).
+    full_trees: Option<Vec<Tree>>,
+}
+
+fn run(root: &Path, opts: &Opts) -> Result<(usize, usize), String> {
     let mut findings: Vec<Finding> = Vec::new();
-    let mut files = 0usize;
 
-    let allowlist_path = root.join("crates/lint/allowlist.txt");
-    let allowlist_text = std::fs::read_to_string(&allowlist_path)
-        .map_err(|e| format!("read {}: {e}", allowlist_path.display()))?;
-    let allowlist = parse_allowlist(&allowlist_text)?;
-    let mut allowlisted_seen: Vec<&str> = Vec::new();
-    // R6 uniqueness: metric name -> first registration site seen.
-    let mut metric_owners: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    // --- ratchet files ----------------------------------------------------
+    let allowlist = read_ratchet(root, "crates/lint/allowlist.txt")?;
+    let swallow = read_ratchet(root, "crates/lint/swallow_allowlist.txt")?;
+    let rule_allows = read_rule_allows(root, "crates/lint/allows.txt")?;
+    let mut allowlisted_seen: Vec<String> = Vec::new();
+    let mut swallow_seen: Vec<String> = Vec::new();
+    // path -> number of findings excused by LINT: allow(R7, ..) there.
+    let mut allow_counts: BTreeMap<String, usize> = BTreeMap::new();
 
+    // --- pass 1: load + parse --------------------------------------------
+    let mut recs: Vec<Rec> = Vec::new();
     for file in rust_files(root)? {
         let rel = file
             .strip_prefix(root)
@@ -86,93 +142,420 @@ fn run(root: &Path) -> Result<(usize, usize), String> {
         let src =
             std::fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
         let tokens = tokenize(&src);
-        files += 1;
-
         let scope = scope_of(&rel);
-        if scope != Scope::Shim {
-            findings.extend(check_std_sync(&rel, &tokens));
-        }
-        if scope == Scope::Lib {
-            findings.extend(check_unranked_locks(&rel, &tokens));
-            let sites = unwrap_sites(&tokens);
-            let allowed = allowlist.get(rel.as_str()).copied().unwrap_or(0);
-            if allowed > 0 {
-                if let Some(k) = allowlist.keys().find(|k| k.as_str() == rel) {
-                    allowlisted_seen.push(k);
-                }
+        let crate_name =
+            rel.strip_prefix("crates/").and_then(|r| r.split('/').next()).unwrap_or("").to_string();
+        let (items, full_trees) = if scope == Scope::Shim {
+            (None, None)
+        } else {
+            let no_comments: Vec<Token> =
+                tokens.iter().filter(|t| t.kind != TokKind::Comment).cloned().collect();
+            let full = build_trees(&no_comments);
+            if scope == Scope::Lib {
+                let mask = test_mask(&tokens);
+                let kept: Vec<Token> = tokens
+                    .iter()
+                    .zip(&mask)
+                    .filter(|(t, m)| !**m && t.kind != TokKind::Comment)
+                    .map(|(t, _)| t.clone())
+                    .collect();
+                let trees = build_trees(&kept);
+                let items = parse_items(&trees);
+                (Some(items), Some(full))
+            } else {
+                (None, Some(full))
             }
-            findings.extend(check_unwrap_ratchet(&rel, &sites, allowed));
-            // R6: format per site, uniqueness across the workspace. A
-            // duplicated name means two independent statics registering
-            // under one label — each would carry half the counts.
-            let metric_sites = metric_name_sites(&tokens);
-            findings.extend(check_metric_names(&rel, &metric_sites));
-            for (name, line) in metric_sites {
-                match metric_owners.get(&name) {
-                    Some((owner_path, owner_line)) => findings.push(Finding {
-                        path: PathBuf::from(&rel),
-                        line,
-                        rule: "metric-name",
-                        message: format!(
-                            "metric {name:?} already registered at \
-                             {owner_path}:{owner_line}: names must be unique \
-                             workspace-wide (each site owns its own static)"
-                        ),
-                    }),
-                    None => {
-                        metric_owners.insert(name, (rel.clone(), line));
-                    }
-                }
-            }
-        }
-        findings.extend(check_unsafe(&rel, &src, &tokens));
+        };
+        recs.push(Rec { rel, src, tokens, scope, crate_name, items, full_trees });
     }
 
-    // Stale allowlist entries would let counts silently grow back.
+    // Workspace index for R7 Tier-B wrappers / guard fns / must_use fns.
+    let index_input: Vec<(String, &Items)> =
+        recs.iter().filter_map(|r| r.items.as_ref().map(|i| (r.crate_name.clone(), i))).collect();
+    let index = WorkspaceIndex::build(&index_input);
+
+    // R6 uniqueness: metric name -> first registration site seen.
+    let mut metric_owners: BTreeMap<String, (String, u32)> = BTreeMap::new();
+
+    // --- pass 2: per-file rules ------------------------------------------
+    for rec in &recs {
+        let rel = rec.rel.as_str();
+        if rec.scope != Scope::Shim {
+            findings.extend(check_std_sync(rel, &rec.tokens));
+        }
+        findings.extend(check_unsafe(rel, &rec.src, &rec.tokens));
+        // R8 type scan covers tests too: a test wrapping a guard in
+        // ManuallyDrop hides real leak behavior.
+        if let Some(full) = &rec.full_trees {
+            findings.extend(check_manually_drop_types(rel, full));
+        }
+        if rec.scope != Scope::Lib {
+            continue;
+        }
+        findings.extend(check_unranked_locks(rel, &rec.tokens));
+        let sites = unwrap_sites(&rec.tokens);
+        let allowed = allowlist.get(rel).copied().unwrap_or(0);
+        if allowed > 0 {
+            allowlisted_seen.push(rel.to_string());
+        }
+        findings.extend(check_unwrap_ratchet(rel, &sites, allowed));
+        // R6: format per site, uniqueness across the workspace.
+        let metric_sites = metric_name_sites(&rec.tokens);
+        findings.extend(check_metric_names(rel, &metric_sites));
+        for (name, line) in metric_sites {
+            match metric_owners.get(&name) {
+                Some((owner_path, owner_line)) => findings.push(Finding {
+                    path: PathBuf::from(rel),
+                    line,
+                    rule: "R6",
+                    message: format!(
+                        "metric {name:?} already registered at \
+                         {owner_path}:{owner_line}: names must be unique \
+                         workspace-wide (each site owns its own static)"
+                    ),
+                }),
+                None => {
+                    metric_owners.insert(name, (rel.to_string(), line));
+                }
+            }
+        }
+        // R7 / R8 / R9 dataflow. The linter's own sources quote the
+        // `LINT: allow` syntax in messages and tests and do plain
+        // config-file I/O with no guards — flow analysis is for the
+        // engine crates, not the tooling.
+        let Some(items) = &rec.items else { continue };
+        if rec.crate_name.is_empty() || rec.crate_name == "lint" {
+            continue;
+        }
+        let r9 = R9_CRATES.contains(&rec.crate_name.as_str());
+        let mut flow = check_guard_flow(rel, &rec.crate_name, items, &index, r9);
+
+        // Apply `// LINT: allow(R7, reason)` directives: same line or the
+        // line below (comment-above style). An allow with no reason is
+        // itself a finding — the acceptance bar is zero un-reasoned allows.
+        let allows = collect_allows(&rec.src);
+        let mut used = vec![false; allows.len()];
+        for (k, a) in allows.iter().enumerate() {
+            if a.rule != "R7" {
+                findings.push(Finding {
+                    path: PathBuf::from(rel),
+                    line: a.line,
+                    rule: "R7",
+                    message: format!(
+                        "LINT: allow({}) is not a recognized escape hatch: only R7 \
+                         takes per-site allows (R9 uses swallow_allowlist.txt)",
+                        a.rule
+                    ),
+                });
+                used[k] = true;
+            } else if a.reason.is_empty() {
+                findings.push(Finding {
+                    path: PathBuf::from(rel),
+                    line: a.line,
+                    rule: "R7",
+                    message: "LINT: allow(R7) without a reason: write why the guard must \
+                              stay held — `// LINT: allow(R7, reason)`"
+                        .to_string(),
+                });
+                used[k] = true;
+            }
+        }
+        flow.retain(|f| {
+            if f.rule != "R7" {
+                return true;
+            }
+            let hit = allows.iter().enumerate().find(|(_, a)| {
+                a.rule == "R7" && !a.reason.is_empty() && (a.line == f.line || a.line + 1 == f.line)
+            });
+            match hit {
+                Some((k, _)) => {
+                    used[k] = true;
+                    *allow_counts.entry(rel.to_string()).or_insert(0) += 1;
+                    false
+                }
+                None => true,
+            }
+        });
+        for (k, a) in allows.iter().enumerate() {
+            if !used[k] {
+                findings.push(Finding {
+                    path: PathBuf::from(rel),
+                    line: a.line,
+                    rule: "R7",
+                    message: "stale LINT: allow(R7) — no finding on this or the next line; \
+                              delete it so the escape-hatch count stays honest"
+                        .to_string(),
+                });
+            }
+        }
+
+        // R9 exact-count ratchet (same semantics as R3).
+        let mut r9_findings: Vec<Finding> = Vec::new();
+        flow.retain(|f| {
+            if f.rule == "R9" {
+                r9_findings.push(Finding {
+                    path: f.path.clone(),
+                    line: f.line,
+                    rule: f.rule,
+                    message: f.message.clone(),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        r9_findings.sort_by_key(|f| f.line);
+        let allowed = swallow.get(rel).copied().unwrap_or(0);
+        if allowed > 0 {
+            swallow_seen.push(rel.to_string());
+        }
+        match r9_findings.len().cmp(&allowed) {
+            std::cmp::Ordering::Equal => {}
+            std::cmp::Ordering::Less => findings.push(Finding {
+                path: PathBuf::from(rel),
+                line: 0,
+                rule: "R9",
+                message: format!(
+                    "{} error-swallow sites but swallow_allowlist.txt grants {allowed}: \
+                     tighten it (the count only goes down)",
+                    r9_findings.len()
+                ),
+            }),
+            std::cmp::Ordering::Greater => {
+                findings.extend(r9_findings.into_iter().skip(allowed));
+            }
+        }
+        findings.extend(flow);
+    }
+
+    // Stale ratchet entries would let counts silently grow back.
     for (path, count) in &allowlist {
         if *count > 0 && !allowlisted_seen.iter().any(|s| s == path) {
-            findings.push(Finding {
-                path: PathBuf::from("crates/lint/allowlist.txt"),
-                line: 0,
-                rule: "unwrap-ratchet",
-                message: format!("allowlist entry for {path} matches no checked library file"),
-            });
+            findings.push(ratchet_finding(
+                "crates/lint/allowlist.txt",
+                "R3",
+                format!("allowlist entry for {path} matches no checked library file"),
+            ));
+        }
+    }
+    for (path, count) in &swallow {
+        if *count > 0 && !swallow_seen.iter().any(|s| s == path) {
+            findings.push(ratchet_finding(
+                "crates/lint/swallow_allowlist.txt",
+                "R9",
+                format!("swallow_allowlist entry for {path} matches no checked library file"),
+            ));
+        }
+    }
+    // allows.txt must record the excused-R7 count per file, exactly.
+    for (path, counted) in &allow_counts {
+        let recorded = rule_allows.get(&("R7".to_string(), path.clone())).copied().unwrap_or(0);
+        if recorded != *counted {
+            findings.push(ratchet_finding(
+                "crates/lint/allows.txt",
+                "R7",
+                format!(
+                    "{path} has {counted} allowed R7 site(s) but allows.txt records \
+                     {recorded}: update the line to `{counted} R7 {path}`"
+                ),
+            ));
+        }
+    }
+    for ((rule, path), count) in &rule_allows {
+        if *count > 0 && !allow_counts.contains_key(path) {
+            findings.push(ratchet_finding(
+                "crates/lint/allows.txt",
+                "R7",
+                format!("allows.txt entry `{count} {rule} {path}` matches no allowed site"),
+            ));
         }
     }
 
-    // R5: rank table consistency.
-    let ranks_path = root.join("shims/parking_lot/src/ranks.rs");
-    let ranks_src = std::fs::read_to_string(&ranks_path)
-        .map_err(|e| format!("read {}: {e}", ranks_path.display()))?;
-    let design_path = root.join("DESIGN.md");
-    let design_src = std::fs::read_to_string(&design_path)
-        .map_err(|e| format!("read {}: {e}", design_path.display()))?;
+    // R8 structural: the pool's RAII pin type must actually implement
+    // Drop — without it every pin is a leak and R8's forget ban is moot.
+    let pinned_has_drop = recs.iter().filter(|r| r.crate_name == "buffer").any(|r| {
+        r.items.as_ref().is_some_and(|i| {
+            i.trait_impls.iter().any(|t| t.trait_name == "Drop" && t.type_name == "PinnedPage")
+        })
+    });
+    if !pinned_has_drop {
+        findings.push(ratchet_finding(
+            "crates/buffer/src/lib.rs",
+            "R8",
+            "no `impl Drop for PinnedPage` found in crates/buffer: the pin guard must \
+             unpin on Drop"
+                .to_string(),
+        ));
+    }
+
+    // --- R5: rank table consistency --------------------------------------
+    let ranks_src = read_rel(root, "shims/parking_lot/src/ranks.rs")?;
+    let design_src = read_rel(root, "DESIGN.md")?;
     let code = parse_code_ranks(&ranks_src)?;
     let design = parse_design_ranks(&design_src)?;
     if code.is_empty() {
         return Err("no LockRank constants found in ranks.rs".to_string());
     }
     for err in check_rank_table(&code, &design) {
-        findings.push(Finding {
-            path: PathBuf::from("DESIGN.md"),
-            line: 0,
-            rule: "rank-table",
-            message: err,
-        });
+        findings.push(ratchet_finding("DESIGN.md", "R5", err));
     }
 
-    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    for f in &findings {
-        println!("{f}");
+    // --- R10: protocol four-way sync --------------------------------------
+    let proto_src = read_rel(root, "crates/server/src/proto.rs")?;
+    let service_src = read_rel(root, "crates/server/src/service.rs")?;
+    let client_src = read_rel(root, "crates/server/src/client.rs")?;
+    findings.extend(check_proto_sync(
+        ("crates/server/src/proto.rs", &proto_src),
+        ("crates/server/src/service.rs", &service_src),
+        ("crates/server/src/client.rs", &client_src),
+        ("DESIGN.md", &design_src),
+    ));
+
+    // --- panic-reachability report ----------------------------------------
+    let reach_input: Vec<ReachFile> = recs
+        .iter()
+        .filter(|r| {
+            r.scope == Scope::Lib
+                && !r.crate_name.is_empty()
+                && r.crate_name != "lint"
+                && r.items.is_some()
+        })
+        .filter_map(|r| r.items.as_ref().map(|i| (r.rel.as_str(), r.crate_name.as_str(), i)))
+        .collect();
+    let computed = panic_report(&reach_input);
+    let reach_path = root.join("crates/lint/panic_reach.txt");
+    if opts.write_reach {
+        let mut text = String::from(
+            "# Panic-reachability report: every unwrap/expect/panic!/unreachable! site\n\
+             # transitively reachable from a pub fn of server/core/inversion/buffer.\n\
+             # Regenerate with: cargo run -p pglo-lint --offline -- --write-panic-reach\n\
+             # CI enforces this file matches the computed set exactly (only-shrinks).\n",
+        );
+        for line in &computed {
+            text.push_str(line);
+            text.push('\n');
+        }
+        std::fs::write(&reach_path, text)
+            .map_err(|e| format!("write {}: {e}", reach_path.display()))?;
+        eprintln!("pglo-lint: wrote {} ({} sites)", reach_path.display(), computed.len());
     }
-    Ok((findings.len(), files))
+    match std::fs::read_to_string(&reach_path) {
+        Err(_) => findings.push(ratchet_finding(
+            "crates/lint/panic_reach.txt",
+            "PR",
+            "missing panic_reach.txt: generate it with \
+             `cargo run -p pglo-lint --offline -- --write-panic-reach` and commit it"
+                .to_string(),
+        )),
+        Ok(text) => {
+            let committed = parse_committed(&text);
+            let computed_set: std::collections::BTreeSet<String> =
+                computed.iter().cloned().collect();
+            for grown in computed_set.difference(&committed) {
+                findings.push(reach_line_finding(
+                    grown,
+                    "new panic-reachable site (not in committed panic_reach.txt): \
+                     remove the panic path, or regenerate the report and justify the \
+                     growth in review",
+                ));
+            }
+            for stale in committed.difference(&computed_set) {
+                findings.push(Finding {
+                    path: PathBuf::from("crates/lint/panic_reach.txt"),
+                    line: 0,
+                    rule: "PR",
+                    message: format!(
+                        "stale entry `{stale}`: site no longer reachable — regenerate \
+                         with --write-panic-reach so the ratchet tightens"
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- output ------------------------------------------------------------
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    if opts.json {
+        let body: Vec<String> = findings.iter().map(|f| f.to_json()).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+    Ok((findings.len(), recs.len()))
+}
+
+fn read_rel(root: &Path, rel: &str) -> Result<String, String> {
+    let p = root.join(rel);
+    std::fs::read_to_string(&p).map_err(|e| format!("read {}: {e}", p.display()))
+}
+
+/// `<count> <path>` ratchet file (R3 allowlist, R9 swallow allowlist).
+/// A missing swallow file is an empty budget, not an error — but the
+/// R3 allowlist must exist (it predates this driver).
+fn read_ratchet(root: &Path, rel: &str) -> Result<BTreeMap<String, usize>, String> {
+    match std::fs::read_to_string(root.join(rel)) {
+        Ok(text) => parse_allowlist(&text).map_err(|e| format!("{rel}: {e}")),
+        Err(e)
+            if rel.ends_with("swallow_allowlist.txt")
+                && e.kind() == std::io::ErrorKind::NotFound =>
+        {
+            Ok(BTreeMap::new())
+        }
+        Err(e) => Err(format!("read {rel}: {e}")),
+    }
+}
+
+/// `<count> <rule> <path>` — the counted `LINT: allow` ratchet.
+fn read_rule_allows(root: &Path, rel: &str) -> Result<BTreeMap<(String, String), usize>, String> {
+    let text = match std::fs::read_to_string(root.join(rel)) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(format!("read {rel}: {e}")),
+    };
+    let mut map = BTreeMap::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (Some(count), Some(rule), Some(path)) = (fields.next(), fields.next(), fields.next())
+        else {
+            return Err(format!("{rel} line {}: expected `<count> <rule> <path>`", n + 1));
+        };
+        let count: usize =
+            count.parse().map_err(|_| format!("{rel} line {}: bad count {count:?}", n + 1))?;
+        if map.insert((rule.to_string(), path.to_string()), count).is_some() {
+            return Err(format!("{rel} line {}: duplicate entry for {rule} {path}", n + 1));
+        }
+    }
+    Ok(map)
+}
+
+fn ratchet_finding(path: &str, rule: &'static str, message: String) -> Finding {
+    Finding { path: PathBuf::from(path), line: 0, rule, message }
+}
+
+/// Turn a `path:line kind reachable in ...` report line into a finding
+/// anchored at the site itself, so editors can jump to it.
+fn reach_line_finding(report_line: &str, note: &str) -> Finding {
+    let (path, rest) = report_line.split_once(':').unwrap_or(("crates/lint/panic_reach.txt", ""));
+    let line = rest.split_once(' ').and_then(|(l, _)| l.parse::<u32>().ok()).unwrap_or(0);
+    Finding {
+        path: PathBuf::from(path),
+        line,
+        rule: "PR",
+        message: format!("{note}: `{report_line}`"),
+    }
 }
 
 #[derive(PartialEq, Eq, Clone, Copy)]
 enum Scope {
     /// Non-test library code: all rules.
     Lib,
-    /// Tests, benches, examples, the bench harness: R1 + R4.
+    /// Tests, benches, examples, the bench harness: R1 + R4 + R8 scan.
     Test,
     /// Vendored shims: R4 only.
     Shim,
@@ -207,7 +590,8 @@ fn scope_of(rel: &str) -> Scope {
 }
 
 /// Every `.rs` file under the workspace's checked roots, sorted for
-/// deterministic output.
+/// deterministic output. Lint-test fixture inputs are excluded: they
+/// violate rules on purpose.
 fn rust_files(root: &Path) -> Result<Vec<PathBuf>, String> {
     let mut out = Vec::new();
     for top in ["crates", "shims", "src", "tests", "benches", "examples"] {
@@ -216,6 +600,7 @@ fn rust_files(root: &Path) -> Result<Vec<PathBuf>, String> {
             walk(&dir, &mut out)?;
         }
     }
+    out.retain(|p| !p.to_string_lossy().replace('\\', "/").contains("tests/fixtures/"));
     out.sort();
     Ok(out)
 }

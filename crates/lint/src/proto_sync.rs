@@ -1,0 +1,444 @@
+//! R10: four-way protocol exhaustiveness. The `Opcode` enum in
+//! `proto.rs` (variants, discriminants, `ALL`, `name()`), the server
+//! dispatch match in `service.rs`, the typed client's `Opcode::`
+//! references, and the machine-readable ```` ```wire-ops ```` table in
+//! DESIGN.md must all describe the same opcode set. An opcode added (or
+//! removed) anywhere but everywhere fails the build; a wildcard arm in
+//! dispatch is itself a violation because it would hide the drift.
+
+use crate::ast::{parse_int, parse_items, parse_trees, Tree};
+use crate::{finding, Finding, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One source file input: `(display path, source text)`.
+pub type Src<'a> = (&'a str, &'a str);
+
+/// Run the four-way check. Inputs are `(path, text)` pairs so fixture
+/// tests can feed synthetic sources.
+pub fn check_proto_sync(proto: Src, service: Src, client: Src, design: Src) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // --- proto.rs: enum + ALL + name() -----------------------------------
+    let trees = parse_trees(proto.1);
+    let items = parse_items(&trees);
+    let Some(op_enum) = items.enums.iter().find(|e| e.name == "Opcode") else {
+        out.push(finding(proto.0, 0, "R10", "no `enum Opcode` found".to_string()));
+        return out;
+    };
+    let mut variants: BTreeMap<String, (u64, u32)> = BTreeMap::new();
+    let mut discs: BTreeMap<u64, String> = BTreeMap::new();
+    for (vname, disc, vline) in &op_enum.variants {
+        let Some(d) = disc else {
+            out.push(finding(
+                proto.0,
+                *vline,
+                "R10",
+                format!("Opcode::{vname} has no explicit discriminant: wire opcodes must pin their byte"),
+            ));
+            continue;
+        };
+        if let Some(prev) = discs.insert(*d, vname.clone()) {
+            out.push(finding(
+                proto.0,
+                *vline,
+                "R10",
+                format!("Opcode::{vname} reuses discriminant {d:#04x} of Opcode::{prev}"),
+            ));
+        }
+        variants.insert(vname.clone(), (*d, *vline));
+    }
+    let vset: BTreeSet<&String> = variants.keys().collect();
+
+    // ALL: `Opcode::X` refs inside the const's value.
+    if let Some(all) = items.consts.iter().find(|c| c.name == "ALL") {
+        let refs = opcode_refs_deep(&all.value);
+        let aset: BTreeSet<&String> = refs.keys().collect();
+        for v in vset.difference(&aset) {
+            out.push(finding(
+                proto.0,
+                all.line,
+                "R10",
+                format!("Opcode::{v} missing from Opcode::ALL"),
+            ));
+        }
+        for v in aset.difference(&vset) {
+            out.push(finding(
+                proto.0,
+                all.line,
+                "R10",
+                format!("Opcode::ALL lists unknown variant {v}"),
+            ));
+        }
+    } else {
+        out.push(finding(proto.0, 0, "R10", "no `const ALL` in proto.rs".to_string()));
+    }
+
+    // name(): match arms `Opcode::X => "snake"`.
+    let mut names: BTreeMap<String, String> = BTreeMap::new();
+    if let Some(name_fn) =
+        items.fns.iter().find(|f| f.name == "name" && f.qual.as_deref() == Some("Opcode"))
+    {
+        if let Some(body) = &name_fn.body {
+            collect_name_arms(&body.trees, &mut names);
+        }
+        let nset: BTreeSet<&String> = names.keys().collect();
+        for v in vset.difference(&nset) {
+            out.push(finding(
+                proto.0,
+                name_fn.line,
+                "R10",
+                format!("Opcode::{v} has no arm in Opcode::name()"),
+            ));
+        }
+        for v in nset.difference(&vset) {
+            out.push(finding(
+                proto.0,
+                name_fn.line,
+                "R10",
+                format!("Opcode::name() names unknown variant {v}"),
+            ));
+        }
+        let mut seen: BTreeMap<&String, &String> = BTreeMap::new();
+        for (v, s) in &names {
+            if let Some(prev) = seen.insert(s, v) {
+                out.push(finding(
+                    proto.0,
+                    name_fn.line,
+                    "R10",
+                    format!("Opcode::name() maps both {prev} and {v} to {s:?}"),
+                ));
+            }
+        }
+    } else {
+        out.push(finding(proto.0, 0, "R10", "no `Opcode::name()` in proto.rs".to_string()));
+    }
+
+    // --- service.rs: dispatch match --------------------------------------
+    let service_items = parse_items(&parse_trees(service.1));
+    if let Some(dispatch) = service_items.fns.iter().find(|f| f.name == "dispatch") {
+        let mut arms: BTreeMap<String, u32> = BTreeMap::new();
+        let mut wildcard: Option<u32> = None;
+        if let Some(body) = &dispatch.body {
+            collect_dispatch_arms(&body.trees, &mut arms, &mut wildcard);
+        }
+        if let Some(line) = wildcard {
+            out.push(finding(
+                service.0,
+                line,
+                "R10",
+                "wildcard `_ =>` arm in dispatch: every opcode must have an explicit arm \
+                 so adding one is a visible decision, not silent fallthrough"
+                    .to_string(),
+            ));
+        }
+        let aset: BTreeSet<&String> = arms.keys().collect();
+        for v in vset.difference(&aset) {
+            out.push(finding(
+                service.0,
+                dispatch.line,
+                "R10",
+                format!("Opcode::{v} has no dispatch arm in service.rs"),
+            ));
+        }
+        for v in aset.difference(&vset) {
+            out.push(finding(
+                service.0,
+                arms[*v],
+                "R10",
+                format!("dispatch arm for unknown Opcode::{v}"),
+            ));
+        }
+    } else {
+        out.push(finding(service.0, 0, "R10", "no `fn dispatch` in service.rs".to_string()));
+    }
+
+    // --- client.rs: typed client must exercise every opcode ---------------
+    let client_trees = parse_trees(client.1);
+    let client_refs = opcode_refs_deep(&client_trees);
+    let cset: BTreeSet<&String> = client_refs.keys().collect();
+    for v in vset.difference(&cset) {
+        out.push(finding(
+            client.0,
+            0,
+            "R10",
+            format!("typed client never references Opcode::{v}: every wire op needs a typed API"),
+        ));
+    }
+
+    // --- DESIGN.md: wire-ops table ----------------------------------------
+    match parse_wire_ops(design.1) {
+        Err(e) => out.push(finding(design.0, 0, "R10", e)),
+        Ok(rows) => {
+            let mut row_by_name: BTreeMap<&String, (u64, u32)> = BTreeMap::new();
+            for (disc, name, line) in &rows {
+                if row_by_name.insert(name, (*disc, *line)).is_some() {
+                    out.push(finding(
+                        design.0,
+                        *line,
+                        "R10",
+                        format!("duplicate wire-ops row for {name}"),
+                    ));
+                }
+            }
+            // Compare (discriminant, snake name) pairs against enum+name().
+            for (v, (d, vline)) in &variants {
+                let Some(snake) = names.get(v) else { continue };
+                match row_by_name.get(snake) {
+                    None => out.push(finding(
+                        design.0,
+                        0,
+                        "R10",
+                        format!(
+                            "opcode {snake} ({d:#04x}, Opcode::{v} at {}:{vline}) missing from \
+                             the DESIGN.md wire-ops table",
+                            proto.0
+                        ),
+                    )),
+                    Some((row_d, row_line)) if row_d != d => out.push(finding(
+                        design.0,
+                        *row_line,
+                        "R10",
+                        format!(
+                            "wire-ops row {snake} says {row_d:#04x} but Opcode::{v} is {d:#04x}"
+                        ),
+                    )),
+                    Some(_) => {}
+                }
+            }
+            let snake_set: BTreeSet<&String> = names.values().collect();
+            for (_, name, line) in &rows {
+                if !snake_set.contains(name) {
+                    out.push(finding(
+                        design.0,
+                        *line,
+                        "R10",
+                        format!("wire-ops row {name} matches no Opcode::name()"),
+                    ));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// `Opcode::X` references (X uppercase-initial) in a tree slice, mapped
+/// to the first line seen. Non-recursive over groups.
+/// `Opcode::X` references anywhere in `trees`, recursing into groups.
+fn opcode_refs_deep(trees: &[Tree]) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    scan_opcode_refs(trees, true, &mut out);
+    out
+}
+
+fn scan_opcode_refs(trees: &[Tree], deep: bool, out: &mut BTreeMap<String, u32>) {
+    for (i, t) in trees.iter().enumerate() {
+        if t.is_ident("Opcode")
+            && trees.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && trees.get(i + 2).is_some_and(|x| x.is_punct(':'))
+        {
+            if let Some(name) = trees.get(i + 3).and_then(|x| x.ident()) {
+                if name.chars().next().is_some_and(|c| c.is_uppercase()) && name != "ALL" {
+                    out.entry(name.to_string()).or_insert(trees[i + 3].line());
+                }
+            }
+        }
+        if deep {
+            if let Some(g) = t.group() {
+                scan_opcode_refs(&g.trees, deep, out);
+            }
+        }
+    }
+}
+
+/// Arms of `Opcode::name()`: `Opcode::X => "snake"`.
+fn collect_name_arms(trees: &[Tree], out: &mut BTreeMap<String, String>) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Some(g) = t.group() {
+            collect_name_arms(&g.trees, out);
+            continue;
+        }
+        if t.is_ident("Opcode")
+            && trees.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && trees.get(i + 2).is_some_and(|x| x.is_punct(':'))
+        {
+            let Some(variant) = trees.get(i + 3).and_then(|x| x.ident()) else { continue };
+            if trees.get(i + 4).is_some_and(|x| x.is_punct('='))
+                && trees.get(i + 5).is_some_and(|x| x.is_punct('>'))
+            {
+                if let Some(Tree::Tok(tok)) = trees.get(i + 6) {
+                    if tok.kind == TokKind::Str {
+                        out.insert(variant.to_string(), tok.text.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `Opcode::X =>` match-arm patterns inside dispatch, plus any `_ =>`
+/// wildcard found in a group that also contains Opcode arms.
+fn collect_dispatch_arms(
+    trees: &[Tree],
+    out: &mut BTreeMap<String, u32>,
+    wildcard: &mut Option<u32>,
+) {
+    let mut local_has_arms = false;
+    let mut local_wildcard: Option<u32> = None;
+    for (i, t) in trees.iter().enumerate() {
+        if let Some(g) = t.group() {
+            collect_dispatch_arms(&g.trees, out, wildcard);
+            continue;
+        }
+        if t.is_ident("_")
+            && trees.get(i + 1).is_some_and(|x| x.is_punct('='))
+            && trees.get(i + 2).is_some_and(|x| x.is_punct('>'))
+        {
+            local_wildcard = Some(t.line());
+        }
+        if t.is_ident("Opcode")
+            && trees.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && trees.get(i + 2).is_some_and(|x| x.is_punct(':'))
+        {
+            let Some(variant) = trees.get(i + 3).and_then(|x| x.ident()) else { continue };
+            if trees.get(i + 4).is_some_and(|x| x.is_punct('='))
+                && trees.get(i + 5).is_some_and(|x| x.is_punct('>'))
+                && variant.chars().next().is_some_and(|c| c.is_uppercase())
+            {
+                out.insert(variant.to_string(), trees[i + 3].line());
+                local_has_arms = true;
+            }
+        }
+    }
+    if local_has_arms && local_wildcard.is_some() && wildcard.is_none() {
+        *wildcard = local_wildcard;
+    }
+}
+
+/// Rows of the ```` ```wire-ops ```` fenced block: `0xNN name — note`.
+/// Returns `(discriminant, snake name, line)` per row.
+pub fn parse_wire_ops(md: &str) -> Result<Vec<(u64, String, u32)>, String> {
+    let mut rows = Vec::new();
+    let mut in_block = false;
+    let mut seen = false;
+    for (n, line) in md.lines().enumerate() {
+        let trimmed = line.trim();
+        if !in_block {
+            if trimmed == "```wire-ops" {
+                in_block = true;
+                seen = true;
+            }
+            continue;
+        }
+        if trimmed == "```" {
+            in_block = false;
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let (Some(disc), Some(name)) = (fields.next(), fields.next()) else {
+            return Err(format!("wire-ops line {}: expected `0xNN name — note`", n + 1));
+        };
+        let Some(disc) = parse_int(disc) else {
+            return Err(format!("wire-ops line {}: bad opcode byte {disc:?}", n + 1));
+        };
+        rows.push((disc, name.to_string(), n as u32 + 1));
+    }
+    if !seen {
+        return Err("DESIGN.md has no ```wire-ops fenced block".to_string());
+    }
+    if in_block {
+        return Err("DESIGN.md wire-ops block is unterminated".to_string());
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROTO: &str = r#"
+        pub enum Opcode { Ping = 0x01, Read = 0x02 }
+        impl Opcode {
+            pub const ALL: [Opcode; 2] = [Opcode::Ping, Opcode::Read];
+            pub fn name(self) -> &'static str {
+                match self { Opcode::Ping => "ping", Opcode::Read => "read" }
+            }
+        }
+    "#;
+    const SERVICE: &str = r#"
+        impl Service {
+            fn dispatch(&mut self, op: Opcode) -> Reply {
+                match op { Opcode::Ping => self.ping(), Opcode::Read => self.read() }
+            }
+        }
+    "#;
+    const CLIENT: &str = r#"
+        impl Client {
+            pub fn ping(&mut self) { self.call(Opcode::Ping) }
+            pub fn read(&mut self) { self.call(Opcode::Read) }
+        }
+    "#;
+    const DESIGN: &str =
+        "x\n```wire-ops\n0x01 ping — liveness probe\n0x02 read — read bytes\n```\n";
+
+    fn run(proto: &str, service: &str, client: &str, design: &str) -> Vec<Finding> {
+        check_proto_sync(
+            ("proto.rs", proto),
+            ("service.rs", service),
+            ("client.rs", client),
+            ("DESIGN.md", design),
+        )
+    }
+
+    #[test]
+    fn in_sync_is_clean() {
+        let f = run(PROTO, SERVICE, CLIENT, DESIGN);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn opcode_only_in_proto_fails_everywhere_else() {
+        let proto = PROTO.replace("Read = 0x02 }", "Read = 0x02, Purge = 0x03 }");
+        // Not in ALL, name(), dispatch, client, or the design table.
+        let f = run(&proto, SERVICE, CLIENT, DESIGN);
+        assert!(f.len() >= 4, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("missing from Opcode::ALL")));
+        assert!(f.iter().any(|x| x.message.contains("no arm in Opcode::name()")));
+        assert!(f.iter().any(|x| x.message.contains("no dispatch arm")));
+        assert!(f.iter().any(|x| x.message.contains("never references Opcode::Purge")));
+    }
+
+    #[test]
+    fn removed_dispatch_arm_fails() {
+        let service = SERVICE.replace("Opcode::Read => self.read()", "_ => self.nope()");
+        let f = run(PROTO, &service, CLIENT, DESIGN);
+        assert!(f.iter().any(|x| x.message.contains("wildcard")), "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("Opcode::Read has no dispatch arm")), "{f:?}");
+    }
+
+    #[test]
+    fn design_drift_fails() {
+        let wrong_byte = DESIGN.replace("0x02 read", "0x05 read");
+        let f = run(PROTO, SERVICE, CLIENT, &wrong_byte);
+        assert!(f.iter().any(|x| x.message.contains("says 0x05")), "{f:?}");
+        let missing_row = DESIGN.replace("0x02 read — read bytes\n", "");
+        let f = run(PROTO, SERVICE, CLIENT, &missing_row);
+        assert!(
+            f.iter().any(|x| x.message.contains("missing from the DESIGN.md wire-ops table")),
+            "{f:?}"
+        );
+        let no_block = "nothing here";
+        let f = run(PROTO, SERVICE, CLIENT, no_block);
+        assert!(f.iter().any(|x| x.message.contains("no ```wire-ops")), "{f:?}");
+    }
+
+    #[test]
+    fn duplicate_discriminant_fails() {
+        let proto = PROTO.replace("Read = 0x02", "Read = 0x01");
+        let f = run(&proto, SERVICE, CLIENT, DESIGN);
+        assert!(f.iter().any(|x| x.message.contains("reuses discriminant")), "{f:?}");
+    }
+}

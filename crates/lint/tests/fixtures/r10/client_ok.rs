@@ -1,0 +1,14 @@
+// R10 fixture: typed client touching every proto_ok.rs opcode.
+impl Client {
+    pub fn ping(&mut self) -> Result<()> {
+        self.call(Opcode::Ping)
+    }
+
+    pub fn read(&mut self) -> Result<Vec<u8>> {
+        self.call(Opcode::Read)
+    }
+
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.call(Opcode::Shutdown)
+    }
+}

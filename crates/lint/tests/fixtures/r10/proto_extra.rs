@@ -1,0 +1,22 @@
+// R10 fixture: proto.rs gained an opcode (Stats = 0x05) that service,
+// client, and DESIGN.md do not know about. Lint must fail three ways.
+pub enum Opcode {
+    Ping = 0x01,
+    Read = 0x02,
+    Stats = 0x05,
+    Shutdown = 0x07,
+}
+
+impl Opcode {
+    pub const ALL: [Opcode; 4] =
+        [Opcode::Ping, Opcode::Read, Opcode::Stats, Opcode::Shutdown];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Ping => "ping",
+            Opcode::Read => "read",
+            Opcode::Stats => "stats",
+            Opcode::Shutdown => "shutdown",
+        }
+    }
+}

@@ -1,0 +1,18 @@
+// R10 fixture: a miniature proto.rs in sync with its peers.
+pub enum Opcode {
+    Ping = 0x01,
+    Read = 0x02,
+    Shutdown = 0x07,
+}
+
+impl Opcode {
+    pub const ALL: [Opcode; 3] = [Opcode::Ping, Opcode::Read, Opcode::Shutdown];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Ping => "ping",
+            Opcode::Read => "read",
+            Opcode::Shutdown => "shutdown",
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// R10 fixture: dispatch match covering every proto_ok.rs opcode.
+impl Service {
+    fn dispatch(&mut self, op: Opcode) -> Reply {
+        match op {
+            Opcode::Ping => self.ping(),
+            Opcode::Read => self.read(),
+            Opcode::Shutdown => self.shutdown(),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+// R7 positive fixture: a lock guard stays live across device I/O, and a
+// frame guard obtained from a guard-returning fn stays live across a
+// same-crate I/O wrapper.
+pub struct Pool;
+
+impl Pool {
+    fn load(&self) {
+        let g = self.state.lock();
+        self.smgr.read(rel, block, buf);
+        drop(g);
+    }
+
+    fn claim(&self) -> Option<RwLockWriteGuard<'_, Frame>> {
+        self.frame.try_write()
+    }
+
+    fn spill(&self, smgr: &S) {
+        std::fs::write(self.path, b"spill")
+    }
+
+    fn evict(&self, smgr: &S) {
+        if let Some(data) = self.claim() {
+            self.spill(smgr);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+// R8 negative fixture: forget(self) in a by-value close() is the
+// sanctioned way to skip a Drop impl after manual cleanup, and
+// forgetting a plain value is not a guard leak.
+pub struct Handle;
+
+impl Handle {
+    pub fn close(mut self) -> Result<()> {
+        self.flush()?;
+        std::mem::forget(self);
+        Ok(())
+    }
+
+    fn stash(&self) {
+        let v = vec![1, 2, 3];
+        std::mem::forget(v);
+    }
+}

@@ -1,0 +1,14 @@
+// R8 positive fixture: a guard is leaked with mem::forget, and a guard
+// type is wrapped in ManuallyDrop.
+pub struct Pool;
+
+impl Pool {
+    fn leak_pin(&self) {
+        let page = self.pool.pin(key);
+        std::mem::forget(page);
+    }
+}
+
+struct Stash {
+    held: ManuallyDrop<MutexGuard<'static, u32>>,
+}

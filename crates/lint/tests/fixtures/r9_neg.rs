@@ -1,0 +1,19 @@
+// R9 negative fixture: errors are propagated, matched, or bound.
+pub struct Conn;
+
+impl Conn {
+    fn hang_up(&mut self) -> Result<()> {
+        self.flush()?;
+        if self.stream.set_nodelay(true).is_err() {
+            self.soft_errors += 1;
+        }
+        let status = self.check();
+        drop(status);
+        Ok(())
+    }
+
+    #[must_use]
+    fn check(&self) -> Status {
+        self.status
+    }
+}

@@ -1,0 +1,15 @@
+// R9 positive fixture: all three swallow shapes.
+pub struct Conn;
+
+impl Conn {
+    fn hang_up(&mut self) {
+        let _ = self.flush();
+        self.stream.set_nodelay(true).ok();
+        self.check();
+    }
+
+    #[must_use]
+    fn check(&self) -> Status {
+        self.status
+    }
+}

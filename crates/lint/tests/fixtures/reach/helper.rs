@@ -1,0 +1,12 @@
+// Panic-reach fixture, crate "heap": one reachable panic site, one not.
+fn lookup(name: &str) -> u64 {
+    table().get(name).copied().expect("name registered")
+}
+
+fn dead_end() {
+    panic!("never reached from a pub root")
+}
+
+fn orphan() {
+    x.unwrap();
+}

@@ -1,0 +1,16 @@
+// Panic-reach fixture, crate "server": pub entry points seeding the walk.
+pub struct Api;
+
+impl Api {
+    pub fn open(&self, name: &str) -> u64 {
+        lookup(name)
+    }
+
+    pub fn ping(&self) -> u64 {
+        7
+    }
+
+    fn internal(&self) {
+        dead_end()
+    }
+}

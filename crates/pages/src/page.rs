@@ -90,11 +90,15 @@ impl<B: AsRef<[u8]>> Page<B> {
     }
 
     fn get_u16(&self, off: usize) -> u16 {
-        u16::from_le_bytes(self.b()[off..off + 2].try_into().unwrap())
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.b()[off..off + 2]);
+        u16::from_le_bytes(b)
     }
 
     fn get_u32(&self, off: usize) -> u32 {
-        u32::from_le_bytes(self.b()[off..off + 4].try_into().unwrap())
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.b()[off..off + 4]);
+        u32::from_le_bytes(b)
     }
 
     /// True if the page has been initialized (magic + version match).

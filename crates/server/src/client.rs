@@ -707,7 +707,10 @@ impl<S: Read + Write> Drop for LoHandle<'_, S> {
     fn drop(&mut self) {
         if !self.closed {
             let fd = self.fd;
-            let _ = self.client.fd_close(fd);
+            // Best-effort close; use `close()` to observe failures.
+            if self.client.fd_close(fd).is_err() {
+                obs::counter!("client.drop_close.errors").add(1);
+            }
         }
     }
 }

@@ -373,6 +373,15 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Read exactly `N` bytes as a fixed array (`take` already
+    /// length-checked, so the conversion cannot fail).
+    fn take_n<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+
     /// Read one byte.
     pub fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
@@ -380,17 +389,17 @@ impl<'a> Reader<'a> {
 
     /// Read a u32.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_n()?))
     }
 
     /// Read a u64.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_n()?))
     }
 
     /// Read an i64.
     pub fn i64(&mut self) -> Result<i64, DecodeError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_n()?))
     }
 
     /// Read a length-prefixed byte string (u32 length).

@@ -83,12 +83,30 @@ impl ServerHandle {
     /// the shared service so callers can read final statistics.
     pub fn join(mut self) -> Arc<LobdService> {
         if let Some(h) = self.accept.take() {
-            let _ = h.join();
+            reap(h);
         }
         for h in self.workers.drain(..) {
-            let _ = h.join();
+            reap(h);
         }
         Arc::clone(&self.service)
+    }
+}
+
+/// Reap a server thread, counting a panic instead of discarding it: a
+/// panicked worker is a served-connection loss the operator should see.
+fn reap(h: JoinHandle<()>) {
+    if h.join().is_err() {
+        obs::counter!("server.worker.panics").add(1);
+    }
+}
+
+/// Count a failed best-effort network nicety (a courtesy reply to a
+/// dying connection, a socket-option tweak) instead of discarding it.
+/// These failures are expected under client disconnects, but a rising
+/// rate flags network trouble.
+fn soft_error<T, E>(res: std::result::Result<T, E>) {
+    if res.is_err() {
+        obs::counter!("server.net.soft_errors").add(1);
     }
 }
 
@@ -150,7 +168,7 @@ fn worker_loop(service: &Arc<LobdService>, rx: &Arc<Mutex<Receiver<TcpStream>>>)
             Ok(stream) => {
                 if service.shutting_down() {
                     // Drain: refuse new work once shutdown has begun.
-                    let _ = refuse(stream);
+                    soft_error(refuse(stream));
                     continue;
                 }
                 serve_tcp(service, stream);
@@ -168,7 +186,7 @@ fn worker_loop(service: &Arc<LobdService>, rx: &Arc<Mutex<Receiver<TcpStream>>>)
 /// Best-effort "shutting down" reply to a connection we will not serve.
 fn refuse(mut stream: TcpStream) -> io::Result<()> {
     let mut hello = [0u8; 5];
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    soft_error(stream.set_read_timeout(Some(POLL_INTERVAL)));
     if stream.read_exact(&mut hello).is_ok() {
         // Echo a version the client speaks so it decodes the refusal.
         let version = if (MIN_VERSION..=VERSION).contains(&hello[4]) { hello[4] } else { VERSION };
@@ -180,8 +198,8 @@ fn refuse(mut stream: TcpStream) -> io::Result<()> {
 }
 
 fn serve_tcp(service: &Arc<LobdService>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    soft_error(stream.set_nodelay(true));
+    soft_error(stream.set_read_timeout(Some(POLL_INTERVAL)));
     let mut stream = stream;
     serve_stream(service, &mut stream);
 }
@@ -207,18 +225,22 @@ pub fn serve_stream<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S)
                 }
                 // Idle at shutdown: tell the client and drain out.
                 Ok(None) => {
-                    let _ = proto::write_frame(
+                    soft_error(proto::write_frame(
                         stream,
                         ErrorCode::ShuttingDown as u8,
                         b"server is shutting down",
-                    );
+                    ));
                     break;
                 }
                 // A lying length prefix means the stream can no longer be
                 // trusted to frame correctly; reply best-effort and close.
                 Err(FrameError::BadLength(n)) => {
                     let msg = format!("bad frame length {n} (max {MAX_FRAME})");
-                    let _ = proto::write_frame(stream, ErrorCode::Malformed as u8, msg.as_bytes());
+                    soft_error(proto::write_frame(
+                        stream,
+                        ErrorCode::Malformed as u8,
+                        msg.as_bytes(),
+                    ));
                     break;
                 }
                 // Clean close or torn frame: nothing to say, just clean up.
@@ -245,11 +267,11 @@ fn handshake<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) -> io:
         // from "not a lobd server", then refuse.
         stream.write_all(MAGIC)?;
         stream.write_all(&[VERSION])?;
-        let _ = proto::write_frame(
+        soft_error(proto::write_frame(
             stream,
             ErrorCode::BadVersion as u8,
             format!("unsupported protocol version {client_version}").as_bytes(),
-        );
+        ));
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad version"));
     }
     stream.write_all(MAGIC)?;

@@ -45,13 +45,14 @@ impl OpStats {
         }
     }
 
-    fn slot(op: Opcode) -> usize {
-        Opcode::ALL.iter().position(|o| *o == op).expect("opcode in ALL")
+    fn slot(op: Opcode) -> Option<usize> {
+        Opcode::ALL.iter().position(|o| *o == op)
     }
 
-    /// Record one completed request.
+    /// Record one completed request. An opcode missing from `ALL` is
+    /// unrecordable, not fatal (and R10 keeps `ALL` exhaustive anyway).
     pub fn record(&self, op: Opcode, ok: bool, elapsed_ns: u64) {
-        let i = Self::slot(op);
+        let Some(i) = Self::slot(op) else { return };
         self.count[i].fetch_add(1, Ordering::Relaxed);
         if !ok {
             self.errors[i].fetch_add(1, Ordering::Relaxed);

@@ -73,17 +73,22 @@ impl DiskSmgr {
     }
 
     fn open_file(&self, rel: RelFileId) -> Result<Arc<File>> {
-        let mut files = self.files.lock();
-        if let Some(f) = files.get(&rel) {
-            return Ok(Arc::clone(f));
+        {
+            let files = self.files.lock();
+            if let Some(f) = files.get(&rel) {
+                return Ok(Arc::clone(f));
+            }
         }
+        // Cache miss: do the host-file probing and open with the cache
+        // lock released, then re-check — a racing opener may have won,
+        // in which case its handle is kept and ours is dropped.
         let path = self.rel_path(rel);
         if !path.exists() {
             return Err(SmgrError::NotFound(rel));
         }
         let f = Arc::new(OpenOptions::new().read(true).write(true).open(path)?);
-        files.insert(rel, Arc::clone(&f));
-        Ok(f)
+        let mut files = self.files.lock();
+        Ok(Arc::clone(files.entry(rel).or_insert(f)))
     }
 
     fn charge(&self, rel: RelFileId, block: u32, bytes: usize, write: bool) {

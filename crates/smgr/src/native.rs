@@ -138,6 +138,14 @@ impl NativeFile {
         }
         let first = offset / NATIVE_BLOCK as u64;
         let last = (offset + len as u64 - 1) / NATIVE_BLOCK as u64;
+        // Fetched before taking the state lock: the read-ahead planner
+        // below needs the file length, and `metadata()` is host I/O that
+        // must not run under `smgr.native.state`.
+        let file_len = if !write && self.readahead_blocks > 0 {
+            self.file.metadata().ok().map(|m| m.len())
+        } else {
+            None
+        };
         let mut state = self.state.lock();
         let was_sequential =
             !write && state.last_read.is_some_and(|prev| first == prev || first == prev + 1);
@@ -161,11 +169,11 @@ impl NativeFile {
                 self.charge_block(&mut state, evicted, true);
             }
         }
-        if was_sequential && self.readahead_blocks > 0 {
+        if was_sequential {
             // Cluster read-ahead: stream the next blocks into the cache
             // while the arm is already positioned. Bounded by file length.
-            if let Ok(meta) = self.file.metadata() {
-                let file_blocks = meta.len().div_ceil(NATIVE_BLOCK as u64);
+            if let Some(len) = file_len {
+                let file_blocks = len.div_ceil(NATIVE_BLOCK as u64);
                 let from = last + 1;
                 let to = (last + 1 + self.readahead_blocks as u64).min(file_blocks);
                 for block in from..to {

@@ -33,6 +33,12 @@ pub const REL_LATCH: LockRank = LockRank::new(20, "heap.rel_latch");
 /// never pin pages or take pool locks while holding it.
 pub const CATALOG: LockRank = LockRank::new(24, "heap.catalog");
 
+/// Catalog snapshot writer (`crates/heap`); serializes catalog.json
+/// writes *after* the data lock is released, so mutators never hold
+/// `heap.catalog` across file I/O. Versioned: stale snapshots are
+/// skipped, not written out of order.
+pub const CATALOG_PERSIST: LockRank = LockRank::new(25, "heap.catalog_persist");
+
 /// Temporary large-object registry (`crates/core`).
 pub const TEMP_REGISTRY: LockRank = LockRank::new(26, "core.temp_registry");
 
