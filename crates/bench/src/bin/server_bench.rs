@@ -34,6 +34,8 @@ struct Cfg {
     rand_ops: usize,
     out: Option<String>,
     min_seq_mibs: Option<f64>,
+    min_rand_write_mibs: Option<f64>,
+    max_commit_p99_us: Option<f64>,
 }
 
 impl Default for Cfg {
@@ -46,6 +48,8 @@ impl Default for Cfg {
             rand_ops: 200,
             out: None,
             min_seq_mibs: None,
+            min_rand_write_mibs: None,
+            max_commit_p99_us: None,
         }
     }
 }
@@ -199,7 +203,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: server_bench [--clients N] [--object-kib N] [--seq-io-kib N]\n\
          \x20                   [--rand-io-kib N] [--rand-ops N] [--out PATH]\n\
-         \x20                   [--min-seq-mibs F]"
+         \x20                   [--min-seq-mibs F] [--min-rand-write-mibs F]\n\
+         \x20                   [--max-commit-p99-us F]"
     );
     std::process::exit(2);
 }
@@ -242,6 +247,14 @@ fn main() {
                 cfg.min_seq_mibs =
                     Some(iter.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| usage()))
             }
+            "--min-rand-write-mibs" => {
+                cfg.min_rand_write_mibs =
+                    Some(iter.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| usage()))
+            }
+            "--max-commit-p99-us" => {
+                cfg.max_commit_p99_us =
+                    Some(iter.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| usage()))
+            }
             _ => usage(),
         }
     }
@@ -253,6 +266,9 @@ fn main() {
     // --- TCP ---
     let tcp_dir = tempfile::tempdir().unwrap();
     let service = LobdService::open(tcp_dir.path()).unwrap();
+    // Record the active commit-durability mode: throughput numbers are
+    // meaningless to compare unless the fsync discipline matches.
+    let durable_sync = service.env().wal().options().durable_sync;
     let handle =
         spawn(service, ServerConfig { workers: cfg.clients.max(8), ..ServerConfig::default() })
             .unwrap();
@@ -302,6 +318,7 @@ fn main() {
                 ("seq_io_bytes".into(), Value::Num(cfg.seq_io as f64)),
                 ("rand_io_bytes".into(), Value::Num(cfg.rand_io as f64)),
                 ("rand_ops_per_client".into(), Value::Num(cfg.rand_ops as f64)),
+                ("durable_sync".into(), Value::Bool(durable_sync)),
             ]),
         ),
         ("tcp".into(), Value::Obj(tcp_phases)),
@@ -320,19 +337,45 @@ fn main() {
     println!("{text}");
     eprintln!("server_bench: wrote {out}");
 
-    // Regression gate: fail the run when TCP sequential reads fall under
-    // the floor.
-    if let Some(floor) = cfg.min_seq_mibs {
-        let measured =
-            match doc.get("tcp").and_then(|t| t.get("seq_read")).and_then(|p| p.get("mib_per_sec"))
-            {
-                Some(Value::Num(n)) => *n,
-                _ => 0.0,
-            };
+    // Regression gates: fail the run when a TCP rate falls under its
+    // floor or the commit tail latency climbs over its ceiling.
+    let tcp_rate = |phase: &str| match doc
+        .get("tcp")
+        .and_then(|t| t.get(phase))
+        .and_then(|p| p.get("mib_per_sec"))
+    {
+        Some(Value::Num(n)) => *n,
+        _ => 0.0,
+    };
+    let mut failed = false;
+    let mut rate_floor = |phase: &str, floor: f64| {
+        let measured = tcp_rate(phase);
         if measured < floor {
-            eprintln!("server_bench: FAIL seq_read {measured:.3} MiB/s < floor {floor:.3} MiB/s");
-            std::process::exit(1);
+            eprintln!("server_bench: FAIL {phase} {measured:.3} MiB/s < floor {floor:.3} MiB/s");
+            failed = true;
+        } else {
+            eprintln!("server_bench: {phase} {measured:.3} MiB/s >= floor {floor:.3} MiB/s");
         }
-        eprintln!("server_bench: seq_read {measured:.3} MiB/s >= floor {floor:.3} MiB/s");
+    };
+    if let Some(floor) = cfg.min_seq_mibs {
+        rate_floor("seq_read", floor);
+    }
+    if let Some(floor) = cfg.min_rand_write_mibs {
+        rate_floor("rand_write", floor);
+    }
+    if let Some(ceiling) = cfg.max_commit_p99_us {
+        let measured = tcp_metrics
+            .iter()
+            .find(|e| e.name == "server.op.commit.p99_ns")
+            .map_or(f64::INFINITY, |e| e.value.as_u64() as f64 / 1000.0);
+        if measured > ceiling {
+            eprintln!("server_bench: FAIL commit p99 {measured:.1} us > ceiling {ceiling:.1} us");
+            failed = true;
+        } else {
+            eprintln!("server_bench: commit p99 {measured:.1} us <= ceiling {ceiling:.1} us");
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -34,9 +34,10 @@
 use parking_lot::{ranks, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use pglo_pages::{PageBuf, PAGE_SIZE};
 use pglo_smgr::{RelFileId, SmgrError, SmgrId, SmgrSwitch};
+use pglo_wal::{Lsn, Wal};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -77,6 +78,9 @@ pub enum BufferError {
     Smgr(SmgrError),
     /// Every frame is pinned; no victim available.
     PoolExhausted,
+    /// The redo log refused an append or flush (WAL-before-data means
+    /// the page write cannot proceed either).
+    Wal(std::io::Error),
 }
 
 impl std::fmt::Display for BufferError {
@@ -84,6 +88,7 @@ impl std::fmt::Display for BufferError {
         match self {
             BufferError::Smgr(e) => write!(f, "storage manager: {e}"),
             BufferError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            BufferError::Wal(e) => write!(f, "redo log: {e}"),
         }
     }
 }
@@ -92,6 +97,7 @@ impl std::error::Error for BufferError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BufferError::Smgr(e) => Some(e),
+            BufferError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -110,12 +116,42 @@ struct FrameData {
     key: Option<PageKey>,
     page: Box<PageBuf>,
     dirty: bool,
+    /// WAL position just past the last full-page image logged for this
+    /// frame (0 = never logged). Write-back forces the log here first.
+    page_lsn: Lsn,
+    /// WAL position of the earliest logged image whose page has not yet
+    /// reached its home location (0 = none). Replay after a crash must
+    /// start at or before the minimum over dirty frames — that minimum
+    /// is the checkpoint horizon.
+    rec_lsn: Lsn,
+    /// Dirtied since the last capture: the next commit must log a fresh
+    /// image of this frame before its commit record.
+    log_pending: bool,
+}
+
+impl FrameData {
+    /// Reset WAL bookkeeping when the frame starts holding a freshly
+    /// loaded (clean, device-backed) page image.
+    fn reset_wal_state(&mut self) {
+        self.page_lsn = 0;
+        self.rec_lsn = 0;
+        self.log_pending = false;
+    }
 }
 
 struct Frame {
     data: RwLock<FrameData>,
     pin: AtomicU32,
     used: AtomicBool,
+    /// Next frame index in the pending-capture chain (`usize::MAX` = end).
+    /// Only meaningful while `queued` is set.
+    next_pending: AtomicUsize,
+    /// True while this frame sits on the pending-capture chain. Pushers
+    /// transition false→true (so a frame is chained at most once); a
+    /// capture clears it after consuming the chain. Chain links are
+    /// stable while `queued` holds, which is what lets a capture walk a
+    /// stolen chain without locks.
+    queued: AtomicBool,
     /// Installed by read-ahead and not yet pinned; the first pin of such a
     /// frame counts as a prefetch hit.
     prefetched: AtomicBool,
@@ -236,6 +272,29 @@ impl Default for PoolOptions {
 /// The shared buffer pool.
 pub struct BufferPool {
     switch: Arc<SmgrSwitch>,
+    /// Redo log, when attached: page writes are captured as full-page
+    /// images at commit and write-back enforces WAL-before-data.
+    wal: std::sync::OnceLock<Arc<Wal>>,
+    /// Serializes capture batches; rank `buffer.capture` (38), taken
+    /// before any frame latch.
+    capture: Mutex<()>,
+    /// Start LSN of the in-flight capture batch (`u64::MAX` when idle).
+    /// Between batch append and LSN stamping, a captured frame briefly
+    /// shows `rec_lsn == 0` while its image already sits in the log;
+    /// [`BufferPool::dirty_horizon`] folds this floor in so a checkpoint
+    /// cannot recycle that image away.
+    capture_floor: AtomicU64,
+    /// Head of the lock-free pending-frame chain (`usize::MAX` = empty):
+    /// frame indices flagged `log_pending` since the last capture, so a
+    /// capture costs O(pending), never a whole-pool scan. Frames link
+    /// through `Frame::next_pending`; membership is guarded by
+    /// `Frame::queued`.
+    pending_head: AtomicUsize,
+    /// Advisory length of the pending chain (reset at steal; racing
+    /// pushes may briefly undercount). Lets callers batch capture work:
+    /// drain when the backlog is worth a trip through the append lock,
+    /// coalescing re-dirtied hot pages in between.
+    pending_count: AtomicUsize,
     frames: Vec<Frame>,
     shards: Vec<Shard>,
     readahead_window: usize,
@@ -277,11 +336,20 @@ impl BufferPool {
         let frames: Vec<Frame> = (0..capacity)
             .map(|_| Frame {
                 data: RwLock::with_rank(
-                    FrameData { key: None, page: pglo_pages::alloc_page(), dirty: false },
+                    FrameData {
+                        key: None,
+                        page: pglo_pages::alloc_page(),
+                        dirty: false,
+                        page_lsn: 0,
+                        rec_lsn: 0,
+                        log_pending: false,
+                    },
                     ranks::POOL_FRAME,
                 ),
                 pin: AtomicU32::new(0),
                 used: AtomicBool::new(false),
+                next_pending: AtomicUsize::new(usize::MAX),
+                queued: AtomicBool::new(false),
                 prefetched: AtomicBool::new(false),
                 valid: AtomicBool::new(false),
             })
@@ -310,6 +378,11 @@ impl BufferPool {
             .collect();
         Self {
             switch,
+            wal: std::sync::OnceLock::new(),
+            capture: Mutex::with_rank((), ranks::POOL_CAPTURE),
+            capture_floor: AtomicU64::new(u64::MAX),
+            pending_head: AtomicUsize::new(usize::MAX),
+            pending_count: AtomicUsize::new(0),
             frames,
             shards,
             readahead_window: opts.readahead_window,
@@ -437,6 +510,7 @@ impl BufferPool {
             }
             data.key = Some(key);
             data.dirty = false;
+            data.reset_wal_state();
             frame.valid.store(true, Ordering::Release);
             drop(data);
             if hint == AccessHint::Sequential {
@@ -468,6 +542,9 @@ impl BufferPool {
                 data.page.copy_from_slice(&page[..]);
                 data.key = Some(key);
                 data.dirty = true;
+                data.reset_wal_state();
+                data.log_pending = true;
+                self.note_pending(idx);
                 self.frames[idx].valid.store(true, Ordering::Release);
                 drop(data);
                 return Ok((block, PinnedPage { pool: self, idx }));
@@ -487,6 +564,8 @@ impl BufferPool {
             data.page.copy_from_slice(&page[..]);
             data.key = Some(key);
             data.dirty = true;
+            data.log_pending = true;
+            self.note_pending(idx);
             frame.valid.store(true, Ordering::Release);
             drop(data);
             return Ok((block, PinnedPage { pool: self, idx }));
@@ -569,15 +648,31 @@ impl BufferPool {
     }
 
     /// Write `data`'s page back to its device if dirty, clearing the flag.
+    /// WAL-before-data: the log is forced past the frame's last captured
+    /// image first, so the on-disk page never runs ahead of what replay
+    /// can reconstruct.
     fn write_back(&self, data: &mut FrameData) -> Result<()> {
         if data.dirty {
             if let Some(old) = data.key {
                 let _span = obs::span!("pool.writeback");
+                self.force_wal(data.page_lsn)?;
                 let smgr = self.switch.get(old.smgr)?;
                 smgr.write(old.rel, old.block, &data.page)?;
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
             }
             data.dirty = false;
+            data.rec_lsn = 0;
+        }
+        Ok(())
+    }
+
+    /// Force the attached redo log past `page_lsn` (no-op when 0 or when
+    /// no log is attached).
+    fn force_wal(&self, page_lsn: Lsn) -> Result<()> {
+        if page_lsn > 0 {
+            if let Some(wal) = self.wal.get() {
+                wal.flush_to(page_lsn).map_err(BufferError::Wal)?;
+            }
         }
         Ok(())
     }
@@ -698,6 +793,7 @@ impl BufferPool {
         data.page.copy_from_slice(&page[..]);
         data.key = Some(key);
         data.dirty = false;
+        data.reset_wal_state();
         // The install cannot fail past this point; any pinner that found
         // the new mapping is blocked on our write latch and wakes to the
         // right bytes, so `valid` may vouch for the frame again.
@@ -776,9 +872,15 @@ impl BufferPool {
             if let Some(mut data) = self.frames[idx].data.try_write() {
                 if data.key == Some(key) && data.dirty {
                     let Ok(smgr) = self.switch.get(key.smgr) else { continue };
+                    // WAL-before-data; a log failure leaves the frame
+                    // dirty for a later (error-surfacing) flusher.
+                    if self.force_wal(data.page_lsn).is_err() {
+                        continue;
+                    }
                     // LINT: allow(R7, bgwriter write-back keeps the frame lock so the page image is stable while it goes to the device)
                     if smgr.write(key.rel, key.block, &data.page).is_ok() {
                         data.dirty = false;
+                        data.rec_lsn = 0;
                         self.writebacks.fetch_add(1, Ordering::Relaxed);
                         flushed += 1;
                     }
@@ -786,6 +888,185 @@ impl BufferPool {
             }
         }
         flushed
+    }
+
+    // ---- redo-log interplay ----------------------------------------------
+
+    /// Attach the redo log (first call wins; returns whether this call
+    /// attached it). With a log attached, page writes are captured as
+    /// full-page images at commit time and every write-back enforces the
+    /// WAL-before-data invariant.
+    pub fn set_wal(&self, wal: Arc<Wal>) -> bool {
+        self.wal.set(wal).is_ok()
+    }
+
+    /// Chain `idx` onto the pending-capture list. Called right after a
+    /// frame is flagged `log_pending` (atomics only — safe under the
+    /// frame latch). The `queued` transition ensures a frame is chained
+    /// at most once; re-dirtying an already-chained frame is a single
+    /// failed compare-exchange.
+    fn note_pending(&self, idx: usize) {
+        let frame = &self.frames[idx];
+        if frame.queued.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_err()
+        {
+            return;
+        }
+        let mut head = self.pending_head.load(Ordering::Acquire);
+        loop {
+            frame.next_pending.store(head, Ordering::Release);
+            match self.pending_head.compare_exchange_weak(
+                head,
+                idx,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        self.pending_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate number of frames waiting on the pending-capture
+    /// chain. Advisory: lets eager callers (the server request loop)
+    /// skip [`BufferPool::capture_pending`] until enough backlog has
+    /// built up to be worth an append — re-dirtied hot pages then
+    /// coalesce into one image per drain instead of one per request.
+    pub fn capture_backlog(&self) -> usize {
+        self.pending_count.load(Ordering::Relaxed)
+    }
+
+    /// Log a full-page image of every frame dirtied since its last
+    /// capture, stamping `page_lsn`/`rec_lsn`. The commit path calls
+    /// this *before* appending its commit record: any page delta the
+    /// home location holds but the log does not is then, by
+    /// construction, uncommitted work — replaying an older image over it
+    /// after a crash loses nothing visible. Returns the log position
+    /// past the last image (0 = nothing pending or no log attached).
+    ///
+    /// Cost is O(pages pending), not O(pool): candidates come off the
+    /// pending chain, so callers can afford to invoke this eagerly (the
+    /// server drains after every request) and a commit finds at most a
+    /// requests' worth of backlog instead of the whole pool.
+    pub fn capture_pending(&self) -> Result<Lsn> {
+        let Some(wal) = self.wal.get() else { return Ok(0) };
+        // Fast path: nothing chained *and* no capture in flight. The
+        // second check matters for commits — another capture may have
+        // stolen the chain (head empty) while its images are not yet in
+        // the log; a committer must wait behind it on the mutex so its
+        // commit record lands after those images.
+        if self.pending_head.load(Ordering::Acquire) == usize::MAX
+            && self.capture_floor.load(Ordering::Acquire) == u64::MAX
+        {
+            return Ok(0);
+        }
+        let _span = obs::span!("pool.capture");
+        let _serial = self.capture.lock();
+        // Publish the floor before stealing the chain: it keeps the
+        // checkpoint horizon from advancing past where this batch's
+        // images will land, and (set-before-steal) makes the fast path
+        // above race-free.
+        self.capture_floor.store(wal.end_lsn(), Ordering::Release);
+        // Steal the whole chain. Everything flagged before this point is
+        // ours; frames flagged afterwards start a fresh chain for the
+        // next capture — which is exactly the commit contract, since a
+        // committer's own writes all completed (and chained) before it
+        // asked for the capture.
+        let mut cursor = self.pending_head.swap(usize::MAX, Ordering::AcqRel);
+        self.pending_count.store(0, Ordering::Relaxed);
+        if cursor == usize::MAX {
+            self.capture_floor.store(u64::MAX, Ordering::Release);
+            return Ok(0);
+        }
+        // Walk the stolen chain first, before clearing any `queued` flag:
+        // while `queued` holds, no frame can be re-chained, so the links
+        // are stable.
+        let mut indices: Vec<usize> = Vec::new();
+        while cursor != usize::MAX {
+            indices.push(cursor);
+            cursor = self.frames[cursor].next_pending.load(Ordering::Acquire);
+        }
+        // Phase 1: encode and checksum every pending page outside the
+        // append lock, frame latches taken one at a time.
+        let mut batch: Vec<pglo_wal::PreparedRecord> = Vec::new();
+        let mut sources: Vec<(usize, PageKey)> = Vec::new();
+        for &idx in &indices {
+            let frame = &self.frames[idx];
+            // Off the chain now; a writer re-dirtying from here on chains
+            // the frame again for the *next* capture. If that happens
+            // before our latch below, we capture the newer bytes and the
+            // next capture skips a clean frame — never a lost image.
+            frame.queued.store(false, Ordering::Release);
+            let mut data = frame.data.write();
+            if !data.log_pending {
+                continue;
+            }
+            let Some(key) = data.key else {
+                data.log_pending = false;
+                continue;
+            };
+            batch.push(pglo_wal::PreparedRecord::page_image(
+                key.smgr.0 as u32,
+                key.rel,
+                key.block,
+                &data.page,
+            ));
+            sources.push((idx, key));
+            data.log_pending = false;
+        }
+        obs::histogram!("pool.capture.batch").record(batch.len() as u64);
+        if batch.is_empty() {
+            self.capture_floor.store(u64::MAX, Ordering::Release);
+            return Ok(0);
+        }
+        // Phase 2: one append-lock acquisition, coalesced device writes.
+        let ats = match wal.append_batch(&mut batch) {
+            Ok(ats) => ats,
+            Err(e) => {
+                self.capture_floor.store(u64::MAX, Ordering::Release);
+                return Err(BufferError::Wal(e));
+            }
+        };
+        // Phase 3: stamp LSNs back. A frame re-keyed in between (its old
+        // page was evicted — which wrote it back, making the home copy
+        // current) is skipped; a frame written back but still resident
+        // gets `page_lsn` only, so a later write-back still forces the
+        // log far enough.
+        for ((idx, key), at) in sources.iter().zip(&ats) {
+            let mut data = self.frames[*idx].data.write();
+            if data.key != Some(*key) {
+                continue;
+            }
+            data.page_lsn = data.page_lsn.max(at.end);
+            if data.dirty && data.rec_lsn == 0 {
+                data.rec_lsn = at.start;
+            }
+        }
+        self.capture_floor.store(u64::MAX, Ordering::Release);
+        Ok(ats.last().map_or(0, |at| at.end))
+    }
+
+    /// The checkpoint horizon contribution of this pool: the oldest
+    /// `rec_lsn` among dirty frames, i.e. the log position replay must
+    /// reach back to in order to reconstruct every dirty page. `None`
+    /// when no dirty frame has a captured image (callers bound the
+    /// horizon by a log position sampled *before* this scan: a capture
+    /// racing past the scan lands at a higher LSN than that sample).
+    pub fn dirty_horizon(&self) -> Option<Lsn> {
+        let mut min: Option<Lsn> = None;
+        for frame in &self.frames {
+            let data = frame.data.read();
+            if data.dirty && data.rec_lsn > 0 && min.is_none_or(|m| data.rec_lsn < m) {
+                min = Some(data.rec_lsn);
+            }
+        }
+        // An in-flight capture batch may have appended images whose
+        // frames are not yet stamped; its floor bounds them all.
+        let floor = self.capture_floor.load(Ordering::Acquire);
+        if floor != u64::MAX {
+            min = Some(min.map_or(floor, |m| m.min(floor)));
+        }
+        min
     }
 
     /// Write back every dirty page of `rel` (leaving them resident).
@@ -820,9 +1101,11 @@ impl BufferPool {
             // evicted or flushed concurrently.
             if data.key == Some(key) && data.dirty {
                 let smgr = self.switch.get(key.smgr)?;
+                self.force_wal(data.page_lsn)?;
                 // LINT: allow(R7, sync-flush keeps the frame lock so the page image is stable while it goes to the device)
                 smgr.write(key.rel, key.block, &data.page)?;
                 data.dirty = false;
+                data.rec_lsn = 0;
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -841,6 +1124,7 @@ impl BufferPool {
                     let mut data = self.frames[idx].data.write();
                     data.key = None;
                     data.dirty = false;
+                    data.reset_wal_state();
                     self.frames[idx].prefetched.store(false, Ordering::Relaxed);
                 }
             }
@@ -863,6 +1147,13 @@ impl BufferPool {
         let flag = Arc::clone(&stop);
         let join = std::thread::Builder::new().name("bgwriter".into()).spawn(move || {
             while !flag.load(Ordering::Acquire) {
+                // Capture pending page images every cycle so commits find
+                // most of their redo already logged (and flushed) — the
+                // commit path then appends only the residual tail plus its
+                // commit record.
+                if pool.capture_pending().is_err() {
+                    obs::counter!("pool.bgwriter.capture_errors").add(1);
+                }
                 let flushed = pool.flush_dirty(true);
                 pool.bgwriter_pages.fetch_add(flushed as u64, Ordering::Relaxed);
                 pool.bgwriter_cycles.fetch_add(1, Ordering::Relaxed);
@@ -967,10 +1258,13 @@ impl PinnedPage<'_> {
         PageReadGuard { guard: self.pool.frames[self.idx].data.read() }
     }
 
-    /// Exclusive access; the page is marked dirty.
+    /// Exclusive access; the page is marked dirty (and flagged for
+    /// capture into the redo log at the next commit).
     pub fn write(&self) -> PageWriteGuard<'_> {
         let mut guard = self.pool.frames[self.idx].data.write();
         guard.dirty = true;
+        guard.log_pending = true;
+        self.pool.note_pending(self.idx);
         PageWriteGuard { guard }
     }
 
@@ -1540,5 +1834,39 @@ mod tests {
             shards.iter().filter(|s| s.misses > 0).count() >= 2,
             "load must spread over shards"
         );
+    }
+
+    #[test]
+    fn pending_chain_drains_and_rebuilds() {
+        let (switch, id, pool) = setup(8);
+        switch.get(id).unwrap().create(1).unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        let wal =
+            Arc::new(pglo_wal::Wal::open(dir.path(), pglo_wal::WalOptions::default()).unwrap());
+        assert!(pool.set_wal(Arc::clone(&wal)));
+        // Three new pages chain three frames; re-dirtying one of them
+        // must not chain it twice.
+        let mut keys = Vec::new();
+        for _ in 0..3 {
+            let (block, p) = pool.new_page(id, 1, |_| {}).unwrap();
+            keys.push(PageKey::new(id, 1, block));
+            drop(p);
+        }
+        let p = pool.pin(keys[0]).unwrap();
+        p.write()[0] = 1;
+        drop(p);
+        assert_eq!(pool.capture_backlog(), 3);
+        let end = pool.capture_pending().unwrap();
+        assert!(end > 0, "capture must log the chained images");
+        assert_eq!(pool.capture_backlog(), 0);
+        assert_eq!(pool.capture_pending().unwrap(), 0, "chain drained");
+        // A captured frame re-dirtied after the drain chains again and a
+        // second capture logs a fresh image past the first.
+        let p = pool.pin(keys[1]).unwrap();
+        p.write()[0] = 2;
+        drop(p);
+        assert_eq!(pool.capture_backlog(), 1);
+        let end2 = pool.capture_pending().unwrap();
+        assert!(end2 > end, "second capture must append past the first");
     }
 }

@@ -8,10 +8,14 @@ use pglo_buffer::{
     DEFAULT_READAHEAD_WINDOW,
 };
 use pglo_sim::SimContext;
-use pglo_smgr::{DiskSmgr, MemSmgr, SmgrId, SmgrSwitch, StorageManager, WormSmgr};
-use pglo_txn::{Txn, TxnManager};
+use pglo_smgr::{
+    DiskSmgr, MemSmgr, RelFileId, SmgrError, SmgrId, SmgrSwitch, StorageManager, WormSmgr,
+};
+use pglo_txn::{CommitTs, DurabilityHook, Txn, TxnManager, Xid};
+use pglo_wal::{Wal, WalOptions, WalRecord};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,6 +39,10 @@ pub struct EnvOptions {
     /// WORM magnetic-disk cache size in blocks (0 disables — the §9.3
     /// ablation).
     pub worm_cache_blocks: usize,
+    /// Redo-log segment size in bytes (clamped upward to the WAL's
+    /// minimum). Small segments exercise rotation/recycling in tests;
+    /// the default amortizes fsyncs for benchmarks.
+    pub wal_segment_bytes: u64,
     /// Simulation context; a fresh default-1992 context if `None`.
     pub sim: Option<SimContext>,
 }
@@ -48,6 +56,7 @@ impl Default for EnvOptions {
             bgwriter_interval: None,
             durable_sync: false,
             worm_cache_blocks: pglo_smgr::worm::DEFAULT_WORM_CACHE_BLOCKS,
+            wal_segment_bytes: pglo_wal::DEFAULT_SEGMENT_BYTES,
             sim: None,
         }
     }
@@ -63,6 +72,7 @@ pub struct StorageEnv {
     sim: SimContext,
     switch: Arc<SmgrSwitch>,
     pool: Arc<BufferPool>,
+    wal: Arc<Wal>,
     txns: Arc<TxnManager>,
     catalog: Catalog,
     base_dir: PathBuf,
@@ -81,10 +91,136 @@ pub struct StorageEnv {
     /// Background-writer thread, when enabled; stopped (with a final
     /// drain) when the environment drops.
     bgwriter: parking_lot::Mutex<Option<BgWriter>>,
+    /// Checkpointer thread, when enabled; stopped (with a final
+    /// checkpoint) via [`Self::stop_checkpointer`].
+    checkpointer: parking_lot::Mutex<Option<Checkpointer>>,
 }
 
 /// A relation-wide latch shared by every access-method object open on it.
 pub type RelLatch = Arc<parking_lot::Mutex<()>>;
+
+/// Commit durability via the redo log: capture any still-unlogged dirty
+/// pages as full-page images, append the commit record, and group-commit
+/// fsync up to it. Installed on the [`TxnManager`], which calls it with no
+/// transaction locks held — only after it returns does the transaction
+/// become visibly committed.
+struct WalDurability {
+    pool: Arc<BufferPool>,
+    wal: Arc<Wal>,
+}
+
+impl DurabilityHook for WalDurability {
+    fn prepare_commit(&self, xid: Xid, ts: CommitTs) -> std::io::Result<()> {
+        self.pool.capture_pending().map_err(std::io::Error::other)?;
+        let end = self.wal.append(&WalRecord::Commit { xid: xid.0, ts })?;
+        self.wal.flush_to(end)
+    }
+}
+
+/// Replay one page image: make the relation exist, make it long enough,
+/// write the image home. Every step is idempotent, so replaying the same
+/// record twice (crash during recovery) is harmless.
+fn redo_page_image(
+    mgr: &Arc<dyn StorageManager>,
+    rel: RelFileId,
+    block: u32,
+    image: &pglo_pages::PageBuf,
+) -> std::io::Result<()> {
+    if !mgr.exists(rel) {
+        match mgr.create(rel) {
+            Ok(()) | Err(SmgrError::AlreadyExists(_)) => {}
+            Err(e) => return Err(std::io::Error::other(e)),
+        }
+    }
+    let zero = pglo_pages::alloc_page();
+    while mgr.nblocks(rel).map_err(std::io::Error::other)? <= block {
+        mgr.extend(rel, &zero).map_err(std::io::Error::other)?;
+    }
+    match mgr.write(rel, block, image) {
+        Ok(()) => Ok(()),
+        // The block was already burned to the platter before the crash;
+        // the durable copy wins and the image is stale-identical.
+        Err(SmgrError::WormOverwrite { .. }) => Ok(()),
+        Err(e) => Err(std::io::Error::other(e)),
+    }
+}
+
+/// One checkpoint pass: bound the horizon by the log end *before* scanning
+/// (a concurrent commit may append images below a later-read end), sync
+/// data files so the horizon never overtakes a write still in the page
+/// cache, then let the WAL clamp by pinned records and recycle segments.
+fn checkpoint_once(pool: &BufferPool, wal: &Wal, disk: &DiskSmgr) -> std::io::Result<()> {
+    let cap = wal.end_lsn();
+    let horizon = pool.dirty_horizon().map_or(cap, |h| h.min(cap));
+    disk.sync_all_open().map_err(std::io::Error::other)?;
+    wal.checkpoint(Some(horizon))?;
+    Ok(())
+}
+
+/// Handle to a running checkpointer thread. Dropping it (or calling
+/// [`Checkpointer::stop`]) stops the thread after one final checkpoint.
+pub struct Checkpointer {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+    errors: Arc<AtomicU64>,
+}
+
+impl Checkpointer {
+    fn spawn(
+        pool: Arc<BufferPool>,
+        wal: Arc<Wal>,
+        disk: Arc<DiskSmgr>,
+        interval: Duration,
+    ) -> std::io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let errors = Arc::new(AtomicU64::new(0));
+        let flag = Arc::clone(&stop);
+        let errs = Arc::clone(&errors);
+        let join = std::thread::Builder::new().name("checkpointer".into()).spawn(move || {
+            loop {
+                // Sleep in short slices so shutdown stays responsive.
+                let mut slept = Duration::ZERO;
+                while slept < interval && !flag.load(Ordering::Acquire) {
+                    let slice = (interval - slept).min(Duration::from_millis(5));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                // A checkpoint failure (full disk, I/O error) only delays
+                // horizon advance — durability is unaffected — so count it
+                // and retry next cycle rather than killing the thread.
+                if checkpoint_once(&pool, &wal, &disk).is_err() {
+                    errs.fetch_add(1, Ordering::Relaxed);
+                }
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        })?;
+        Ok(Self { stop, join: Some(join), errors })
+    }
+
+    /// Cumulative failed checkpoint passes.
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Stop and join the checkpointer (idempotent); the loop takes one
+    /// final checkpoint on its way out.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            if join.join().is_err() {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
 
 impl StorageEnv {
     /// Open (or create) a database rooted at `dir` with default options.
@@ -116,6 +252,54 @@ impl StorageEnv {
                 readahead_window: opts.readahead_window,
             },
         ));
+        // Open the redo log and replay it before any subsystem that reads
+        // storage state (catalog, commit log). Replay re-applies page
+        // images whose home writes may not have reached disk before a
+        // crash; the clog repair below then re-marks any commit whose WAL
+        // record survived but whose clog line did not. Uncommitted
+        // replayed tuples are filtered by MVCC at read time — unknown
+        // XIDs read as aborted — so redo needs no undo pass.
+        let wal = Arc::new(
+            Wal::open(
+                base_dir.join("wal"),
+                WalOptions {
+                    durable_sync: opts.durable_sync,
+                    segment_bytes: opts.wal_segment_bytes,
+                },
+            )
+            .map_err(|e| crate::HeapError::Catalog(format!("open wal: {e}")))?,
+        );
+        // WORM platters cannot be overwritten, so a burned block's only
+        // durable copy may be the WAL image until the burn record lands;
+        // pin the WORM manager's records against segment recycling.
+        wal.pin_smgr(worm.0 as u32);
+        let mut replayed_commits: Vec<(Xid, CommitTs)> = Vec::new();
+        wal.replay(|_lsn, rec| match rec {
+            WalRecord::PageImage { smgr, rel, block, image } => {
+                match switch.get(SmgrId(smgr as u16)) {
+                    Ok(mgr) => redo_page_image(&mgr, rel, block, &image),
+                    // A manager registered after the standard three in a
+                    // prior run; its relations are rebuilt by whoever
+                    // registers it, not by us.
+                    Err(_) => Ok(()),
+                }
+            }
+            WalRecord::Commit { xid, ts } => {
+                replayed_commits.push((Xid(xid), ts));
+                Ok(())
+            }
+            WalRecord::WormBurn { smgr, rel } => match switch.get(SmgrId(smgr as u16)) {
+                Ok(mgr) => match mgr.sync(rel) {
+                    // The relation may have been burned and unlinked, or
+                    // never reached the cache before the crash.
+                    Ok(()) | Err(SmgrError::NotFound(_)) => Ok(()),
+                    Err(e) => Err(std::io::Error::other(e)),
+                },
+                Err(_) => Ok(()),
+            },
+            WalRecord::Checkpoint { .. } => Ok(()),
+        })
+        .map_err(|e| crate::HeapError::Catalog(format!("wal replay: {e}")))?;
         let bgwriter = match opts.bgwriter_interval {
             Some(interval) => Some(
                 pool.spawn_bgwriter(interval)
@@ -124,13 +308,41 @@ impl StorageEnv {
             None => None,
         };
         let catalog = Catalog::open(&base_dir)?;
-        let txns = TxnManager::open(base_dir.join("clog"))
-            .map_err(|e| crate::HeapError::Catalog(format!("open commit log: {e}")))?;
+        let txns = Arc::new(
+            TxnManager::open(base_dir.join("clog"))
+                .map_err(|e| crate::HeapError::Catalog(format!("open commit log: {e}")))?,
+        );
+        // Repair the clog: a crash between WAL commit-record flush and the
+        // clog append leaves a committed transaction looking in-progress.
+        for (xid, ts) in replayed_commits {
+            txns.ensure_committed(xid, ts);
+        }
+        pool.set_wal(Arc::clone(&wal));
+        txns.set_durability_hook(Arc::new(WalDurability {
+            pool: Arc::clone(&pool),
+            wal: Arc::clone(&wal),
+        }));
+        // Checkpoint far less often than the bgwriter writes back: the
+        // horizon only advances once home writes are durable, so each
+        // checkpoint costs an fsync sweep in durable mode.
+        let checkpointer = match opts.bgwriter_interval {
+            Some(interval) => Some(
+                Checkpointer::spawn(
+                    Arc::clone(&pool),
+                    Arc::clone(&wal),
+                    Arc::clone(&disk_smgr),
+                    interval * 16,
+                )
+                .map_err(|e| crate::HeapError::Catalog(format!("spawn checkpointer: {e}")))?,
+            ),
+            None => None,
+        };
         Ok(Arc::new(Self {
             sim,
             switch,
             pool,
-            txns: Arc::new(txns),
+            wal,
+            txns,
             catalog,
             base_dir,
             disk,
@@ -144,6 +356,10 @@ impl StorageEnv {
                 parking_lot::ranks::ENV_REL_LATCHES,
             ),
             bgwriter: parking_lot::Mutex::with_rank(bgwriter, parking_lot::ranks::ENV_BGWRITER),
+            checkpointer: parking_lot::Mutex::with_rank(
+                checkpointer,
+                parking_lot::ranks::ENV_CHECKPOINTER,
+            ),
         }))
     }
 
@@ -157,6 +373,28 @@ impl StorageEnv {
         if let Some(mut bg) = self.bgwriter.lock().take() {
             bg.stop();
         }
+    }
+
+    /// Whether a checkpointer is running.
+    pub fn checkpointer_running(&self) -> bool {
+        self.checkpointer.lock().is_some()
+    }
+
+    /// Stop the checkpointer (final checkpoint included); idempotent.
+    pub fn stop_checkpointer(&self) {
+        if let Some(mut cp) = self.checkpointer.lock().take() {
+            cp.stop();
+        }
+    }
+
+    /// Take a checkpoint: advance the WAL redo horizon behind the oldest
+    /// dirty page still owing a home write, fsyncing data files first in
+    /// durable mode so the horizon never passes a write the disk hasn't
+    /// accepted. Recovery then replays only from that horizon, and older
+    /// log segments are recycled.
+    pub fn checkpoint(&self) -> Result<()> {
+        checkpoint_once(&self.pool, &self.wal, &self.disk_smgr)
+            .map_err(|e| crate::HeapError::Catalog(format!("checkpoint: {e}")))
     }
 
     /// The shared latch for relation `oid` on storage manager `smgr`.
@@ -191,6 +429,11 @@ impl StorageEnv {
     /// The transaction manager.
     pub fn txns(&self) -> &Arc<TxnManager> {
         &self.txns
+    }
+
+    /// The redo log.
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
     }
 
     /// The class catalog.

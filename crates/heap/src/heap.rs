@@ -277,7 +277,22 @@ impl Heap {
     }
 
     /// Write back all of this heap's dirty pages (commit-time forcing).
+    ///
+    /// On the WORM manager the sync below *burns* staged blocks to the
+    /// platter, and staging is volatile — so the page images and the burn
+    /// intent are logged and flushed first. If the machine dies between
+    /// the log flush and the burn, recovery replays the images into
+    /// staging and the burn record re-syncs them; if it dies after, the
+    /// replayed writes bounce off the burned blocks as idempotent no-ops.
     pub fn flush(&self) -> Result<()> {
+        if self.smgr == self.env.worm_id() {
+            self.env.pool().capture_pending().map_err(HeapError::Buffer)?;
+            let wal = self.env.wal();
+            let end = wal
+                .append(&pglo_wal::WalRecord::WormBurn { smgr: self.smgr.0 as u32, rel: self.rel })
+                .map_err(|e| HeapError::Catalog(format!("log worm burn: {e}")))?;
+            wal.flush_to(end).map_err(|e| HeapError::Catalog(format!("flush worm burn: {e}")))?;
+        }
         self.env.pool().flush_rel(self.smgr, self.rel)?;
         self.env.switch().get(self.smgr)?.sync(self.rel)?;
         Ok(())

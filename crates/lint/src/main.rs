@@ -46,7 +46,8 @@ use std::process::ExitCode;
 /// Crates where R9 (error-swallow) is an error: every file is on an
 /// I/O, txn, or wire path. `query`/`adt`/`pages` are pure in-memory
 /// transforms; `obs` and `lint` are the tooling itself.
-const R9_CRATES: [&str; 7] = ["buffer", "core", "heap", "inversion", "server", "smgr", "txn"];
+const R9_CRATES: [&str; 8] =
+    ["buffer", "core", "heap", "inversion", "server", "smgr", "txn", "wal"];
 
 struct Opts {
     json: bool,

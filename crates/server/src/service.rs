@@ -28,6 +28,13 @@ use std::time::Instant;
 /// A reply: `Ok(payload)` or an error code with a human-readable message.
 pub type Reply = Result<Vec<u8>, (ErrorCode, String)>;
 
+/// Pending-page backlog at which the request loop drains redo capture.
+/// Low enough that no commit ever waits behind more than roughly this
+/// many page images; high enough that hot pages re-dirtied every
+/// request (index roots, catalog) are logged once per drain, not once
+/// per touch.
+const CAPTURE_BACKLOG_PAGES: usize = 16;
+
 /// The shared server core: one storage stack, many sessions.
 pub struct LobdService {
     env: Arc<StorageEnv>,
@@ -43,11 +50,16 @@ impl LobdService {
     /// Open (or create) a database under `dir` and build the service.
     ///
     /// Unlike the embedded default, the server runs a background writer so
-    /// dirty-page write-back happens off the commit path.
+    /// dirty-page write-back happens off the commit path, and a deeper
+    /// buffer pool: with redo logging, commit no longer forces data pages,
+    /// so dirty pages can sit in the pool behind the checkpoint horizon —
+    /// a server-sized pool (32 MB) turns the old force-at-commit write
+    /// storms into pool hits drained lazily by the bgwriter.
     pub fn open(dir: impl AsRef<Path>) -> Result<Arc<Self>, LoError> {
         let env = StorageEnv::open_with(
             dir.as_ref(),
             pglo_heap::EnvOptions {
+                pool_frames: 4096,
                 bgwriter_interval: Some(std::time::Duration::from_millis(2)),
                 ..Default::default()
             },
@@ -139,6 +151,18 @@ impl LobdService {
             });
         let elapsed = start.elapsed().as_nanos() as u64;
         self.stats.record(op, outcome.is_ok(), elapsed);
+        // Amortized redo capture: once enough dirtied pages have
+        // accumulated, drain them into the WAL off the op's critical
+        // path, so a commit never stalls behind a pool-sized batch. The
+        // threshold keeps hot pages (index roots, catalog) coalescing
+        // across requests instead of logging one image per touch; a
+        // failure here is not this request's failure — the commit that
+        // needs those images durable will surface it.
+        if self.env.pool().capture_backlog() >= CAPTURE_BACKLOG_PAGES
+            && self.env.pool().capture_pending().is_err()
+        {
+            obs::counter!("server.capture_errors").add(1);
+        }
         match outcome {
             Ok(payload) => (0, payload),
             Err((code, msg)) => err_reply(code, msg),
@@ -161,14 +185,14 @@ impl LobdService {
             Opcode::Commit => {
                 r.finish().map_err(malformed)?;
                 let txn = session.txn.take().ok_or_else(no_txn)?;
-                // Force-at-commit: dirty pages reach their storage managers
-                // before the commit record — a later incarnation of the
-                // server must find every page a committed transaction wrote.
-                self.env
-                    .pool()
-                    .flush_all()
-                    .map_err(|e| (ErrorCode::Internal, format!("flush at commit: {e}")))?;
-                let ts = txn.commit();
+                // Durability rides the redo log, not data-page forcing:
+                // commit captures still-unlogged page images, appends the
+                // commit record, and group-commit fsyncs the log. Dirty
+                // pages drain lazily via the bgwriter behind the
+                // checkpoint horizon.
+                let ts = txn
+                    .try_commit()
+                    .map_err(|e| (ErrorCode::Internal, format!("commit durability: {e}")))?;
                 let mut out = Vec::new();
                 proto::put_u64(&mut out, ts);
                 Ok(out)

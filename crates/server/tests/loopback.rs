@@ -167,3 +167,45 @@ fn restart_preserves_committed_objects() {
     drop(lb.client);
     lb.server.join().unwrap();
 }
+
+/// The v3 self-describing metrics frame carries the WAL instrumentation:
+/// the append byte counter, the fsync latency histogram, and the
+/// group-commit batch-size histogram — and the text exposition renders
+/// them. Durable sync is on so the fsync span actually fires.
+#[cfg(feature = "obs")]
+#[test]
+fn metrics_frame_exposes_wal_instrumentation() {
+    let dir = tempfile::tempdir().unwrap();
+    let env = pglo_heap::StorageEnv::open_with(
+        dir.path(),
+        pglo_heap::EnvOptions { durable_sync: true, ..Default::default() },
+    )
+    .unwrap();
+    let service = LobdService::with_env(env).unwrap();
+    let mut lb = loopback::connect(&service).unwrap();
+    let c = &mut lb.client;
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write(b"committed through the redo log").unwrap();
+    lo.close().unwrap();
+    c.commit().unwrap();
+
+    let entries = service.metrics_entries();
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    for want in [
+        "wal.append.bytes",
+        "wal.fsync.count",
+        "wal.fsync.p99_ns",
+        "wal.group_commit.batch.count",
+        "wal.group_commit.batch.p99_ns",
+    ] {
+        assert!(names.contains(&want), "metrics frame missing {want}");
+    }
+    let text = obs::render_text(&entries);
+    assert!(text.contains("wal.append.bytes"), "text exposition missing wal.append.bytes");
+    assert!(text.contains("wal.fsync"), "text exposition missing wal.fsync");
+
+    drop(lb.client);
+    lb.server.join().unwrap();
+}

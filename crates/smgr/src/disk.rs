@@ -101,6 +101,22 @@ impl DiskSmgr {
         }
     }
 
+    /// Fsync every relation file in the open-file cache. Checkpoint-time
+    /// durability discipline: the redo horizon may only advance past page
+    /// writes once they are on the platter. No-op unless `durable_sync`
+    /// is set (matching [`StorageManager::sync`]). Handles are cloned out
+    /// of the cache first so no lock is held across the fsyncs.
+    pub fn sync_all_open(&self) -> Result<()> {
+        if !self.durable_sync {
+            return Ok(());
+        }
+        let files: Vec<Arc<File>> = self.files.lock().values().map(Arc::clone).collect();
+        for f in files {
+            f.sync_all()?;
+        }
+        Ok(())
+    }
+
     /// The device profile in use.
     pub fn profile(&self) -> DeviceProfile {
         self.profile

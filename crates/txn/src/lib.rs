@@ -16,7 +16,7 @@
 pub mod manager;
 pub mod visibility;
 
-pub use manager::{CommitTs, Txn, TxnManager, TxnStatus};
+pub use manager::{CommitTs, DurabilityHook, Txn, TxnManager, TxnStatus};
 pub use visibility::{tuple_visible, Visibility};
 
 /// A transaction identifier.

@@ -53,11 +53,27 @@ impl TmInner {
     }
 }
 
+/// Storage-layer hook run on the commit path *before* the outcome becomes
+/// visible: it must make the transaction durable (redo-log the dirty page
+/// images, append a commit record, force the log). Installed once by the
+/// storage environment; a manager without one falls back to the clog-only
+/// durability contract (force-at-commit page writes by the caller).
+pub trait DurabilityHook: Send + Sync {
+    /// Make `(xid, ts)` durable. An error aborts the commit.
+    ///
+    /// Called with no transaction-manager locks held, after the commit
+    /// timestamp is allocated but before the in-memory status flips, so
+    /// concurrent snapshots still see the transaction in progress while
+    /// the log is forced.
+    fn prepare_commit(&self, xid: Xid, ts: CommitTs) -> std::io::Result<()>;
+}
+
 /// The transaction manager. One per database instance; cheaply shared via
 /// `Arc`.
 pub struct TxnManager {
     inner: Mutex<TmInner>,
     next_ts: AtomicU64,
+    durability: std::sync::OnceLock<Arc<dyn DurabilityHook>>,
     /// Commits since creation (ablation benchmarks read this).
     commits: AtomicU64,
     aborts: AtomicU64,
@@ -84,6 +100,7 @@ impl TxnManager {
                 ranks::TXN_MANAGER,
             ),
             next_ts: AtomicU64::new(1),
+            durability: std::sync::OnceLock::new(),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
         }
@@ -143,9 +160,16 @@ impl TxnManager {
                 ranks::TXN_MANAGER,
             ),
             next_ts: AtomicU64::new(max_ts + 1),
+            durability: std::sync::OnceLock::new(),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
         })
+    }
+
+    /// Install the commit-durability hook (first install wins). Returns
+    /// whether this call installed it.
+    pub fn set_durability_hook(&self, hook: Arc<dyn DurabilityHook>) -> bool {
+        self.durability.set(hook).is_ok()
     }
 
     /// Begin a transaction, returning an RAII handle that aborts on drop
@@ -202,23 +226,59 @@ impl TxnManager {
         }
     }
 
-    fn finish(&self, xid: Xid, commit: bool) -> Option<CommitTs> {
+    fn finish_abort(&self, xid: Xid) {
         let mut inner = self.inner.lock();
         let i = Self::idx(xid).expect("finish of special xid");
         assert_eq!(inner.status[i], TxnStatus::InProgress, "{xid} already finished");
         inner.active.remove(&xid.0);
-        if commit {
-            let ts = self.next_ts.fetch_add(1, Ordering::Relaxed);
+        inner.status[i] = TxnStatus::Aborted;
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Commit `xid`: allocate a timestamp, force durability through the
+    /// installed hook (with no manager locks held — the hook does log
+    /// I/O), then flip the in-memory status and append the clog line. A
+    /// hook failure aborts the transaction and surfaces the error.
+    fn finish_commit(&self, xid: Xid) -> std::io::Result<CommitTs> {
+        let ts = self.next_ts.fetch_add(1, Ordering::Relaxed);
+        if let Some(hook) = self.durability.get() {
+            if let Err(e) = hook.prepare_commit(xid, ts) {
+                self.finish_abort(xid);
+                return Err(e);
+            }
+        }
+        let mut inner = self.inner.lock();
+        let i = Self::idx(xid).expect("finish of special xid");
+        assert_eq!(inner.status[i], TxnStatus::InProgress, "{xid} already finished");
+        inner.active.remove(&xid.0);
+        inner.status[i] = TxnStatus::Committed;
+        inner.commit_ts[i] = ts;
+        inner.append(format_args!("C {} {}", xid.0, ts));
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(ts)
+    }
+
+    /// Recovery repair: the redo log holds a *flushed* commit record for
+    /// `xid` at `ts`, but the clog may have lost the `C` line (crash
+    /// between the log force and the clog append). Re-mark the
+    /// transaction committed, re-append the missing clog line, and pull
+    /// the XID/timestamp allocators past it.
+    pub fn ensure_committed(&self, xid: Xid, ts: CommitTs) {
+        let Some(i) = Self::idx(xid) else { return };
+        let mut inner = self.inner.lock();
+        if i >= inner.status.len() {
+            inner.status.resize(i + 1, TxnStatus::Aborted);
+            inner.commit_ts.resize(i + 1, 0);
+        }
+        inner.next_xid = inner.next_xid.max(xid.0 + 1);
+        if inner.status[i] != TxnStatus::Committed {
+            inner.active.remove(&xid.0);
             inner.status[i] = TxnStatus::Committed;
             inner.commit_ts[i] = ts;
             inner.append(format_args!("C {} {}", xid.0, ts));
-            self.commits.fetch_add(1, Ordering::Relaxed);
-            Some(ts)
-        } else {
-            inner.status[i] = TxnStatus::Aborted;
-            self.aborts.fetch_add(1, Ordering::Relaxed);
-            None
         }
+        drop(inner);
+        self.next_ts.fetch_max(ts + 1, Ordering::Relaxed);
     }
 
     /// The timestamp an "as of now" read should use: the most recently
@@ -290,25 +350,33 @@ impl Txn {
         &self.tm
     }
 
-    /// Commit, returning the commit timestamp.
-    pub fn commit(mut self) -> CommitTs {
+    /// Commit, returning the commit timestamp. Panics if the durability
+    /// hook cannot force the log; callers that need to survive a log
+    /// device failure use [`Txn::try_commit`].
+    pub fn commit(self) -> CommitTs {
+        self.try_commit().expect("commit durability failure")
+    }
+
+    /// Commit, surfacing a durability failure as an error (in which case
+    /// the transaction has been aborted).
+    pub fn try_commit(mut self) -> std::io::Result<CommitTs> {
         let _span = obs::span!("txn.commit");
         self.done = true;
-        self.tm.finish(self.xid, true).expect("commit returns ts")
+        self.tm.finish_commit(self.xid)
     }
 
     /// Abort explicitly.
     pub fn abort(mut self) {
         let _span = obs::span!("txn.abort");
         self.done = true;
-        self.tm.finish(self.xid, false);
+        self.tm.finish_abort(self.xid);
     }
 }
 
 impl Drop for Txn {
     fn drop(&mut self) {
         if !self.done {
-            self.tm.finish(self.xid, false);
+            self.tm.finish_abort(self.xid);
         }
     }
 }

@@ -21,6 +21,10 @@ pub const SERVER_CONN_QUEUE: LockRank = LockRank::new(10, "server.conn_queue");
 /// takes (frames, smgr) must rank higher.
 pub const ENV_BGWRITER: LockRank = LockRank::new(12, "heap.env.bgwriter");
 
+/// Checkpointer-thread handle slot in `StorageEnv` (`crates/heap`); held
+/// across thread join at shutdown, like [`ENV_BGWRITER`].
+pub const ENV_CHECKPOINTER: LockRank = LockRank::new(13, "heap.env.checkpointer");
+
 /// The map of per-relation latches in `StorageEnv` (`crates/heap`); held
 /// only to clone a latch out.
 pub const ENV_REL_LATCHES: LockRank = LockRank::new(14, "heap.env.rel_latches");
@@ -51,9 +55,25 @@ pub const POOL_READAHEAD: LockRank = LockRank::new(28, "buffer.readahead");
 /// falls out of the same-rank check.
 pub const POOL_SHARD: LockRank = LockRank::new(30, "buffer.shard_table");
 
+/// Serializes page-image capture batches (`crates/buffer`): one capture
+/// at a time encodes pending frames, batch-appends to the WAL, and
+/// stamps LSNs back. Taken before the frame latches the capture visits.
+pub const POOL_CAPTURE: LockRank = LockRank::new(38, "buffer.capture");
+
 /// A buffer-pool frame latch (`crates/buffer`). Taken after the owning
 /// shard table (rule 1); flushers reach frames only via `try_*` (rule 2).
 pub const POOL_FRAME: LockRank = LockRank::new(40, "buffer.frame");
+
+/// WAL group-commit flush slot (`crates/wal`): committers park here and
+/// ride the leader's fsync. The leader snapshots the appender under this
+/// lock, so it must rank *below* [`WAL_APPEND`]; buffer writeback calls
+/// `flush_to` under a frame latch, so it must rank above [`POOL_FRAME`].
+pub const WAL_FLUSH: LockRank = LockRank::new(44, "wal.flush");
+
+/// WAL appender state (`crates/wal`): tail segment file + end LSN. The
+/// log's serialization point; buffer write-back forces the log under a
+/// frame latch, so this sits between [`POOL_FRAME`] and the smgr ranks.
+pub const WAL_APPEND: LockRank = LockRank::new(46, "wal.append");
 
 /// The storage-manager dispatch table (`crates/smgr`); read on every
 /// device I/O, including under a frame latch.

@@ -45,6 +45,7 @@
 //! | [`smgr`] | `pglo-smgr` | storage-manager switch; disk / memory / WORM managers |
 //! | [`buffer`] | `pglo-buffer` | buffer pool |
 //! | [`txn`] | `pglo-txn` | transactions, MVCC snapshots, time travel |
+//! | [`wal`] | `pglo-wal` | redo log: group commit, checkpoints, crash recovery |
 //! | [`heap`] | `pglo-heap` | catalog, storage environment, no-overwrite heap |
 //! | [`btree`] | `pglo-btree` | B-tree access method |
 //! | [`compress`] | `pglo-compress` | RLE / LZ77 codecs, cost model, workload synthesis |
@@ -65,6 +66,7 @@ pub use pglo_query as query;
 pub use pglo_sim as sim;
 pub use pglo_smgr as smgr;
 pub use pglo_txn as txn;
+pub use pglo_wal as wal;
 
 /// The most commonly used names, in one import.
 pub mod prelude {
