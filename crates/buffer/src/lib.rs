@@ -635,11 +635,11 @@ impl BufferPool {
             };
             let frame = &self.frames[idx];
             frame.pin.fetch_add(1, Ordering::AcqRel);
-            let mut data = frame.data.write();
             drop(table);
-            // LINT: allow(R7, eviction write-back keeps the frame lock so no reader sees a half-flushed page; the shard table is dropped first)
-            let written = self.write_back(&mut data);
-            drop(data);
+            // The pin keeps the victim from being re-keyed while the
+            // write-back (plus any required image logging) runs outside
+            // the shard lock.
+            let written = self.write_back_frame(idx, None);
             frame.pin.fetch_sub(1, Ordering::AcqRel);
             written?;
             // Frame is clean now (a concurrent claimer may steal it — the
@@ -650,7 +650,11 @@ impl BufferPool {
     /// Write `data`'s page back to its device if dirty, clearing the flag.
     /// WAL-before-data: the log is forced past the frame's last captured
     /// image first, so the on-disk page never runs ahead of what replay
-    /// can reconstruct.
+    /// can reconstruct. Callers with a log attached must not pass a
+    /// `log_pending` frame here directly — route through
+    /// [`BufferPool::write_back_frame`], which logs the never-captured
+    /// delta first; otherwise a re-key after the write-back would erase
+    /// the only copy of a delta some later commit claims as durable.
     fn write_back(&self, data: &mut FrameData) -> Result<()> {
         if data.dirty {
             if let Some(old) = data.key {
@@ -658,12 +662,105 @@ impl BufferPool {
                 self.force_wal(data.page_lsn)?;
                 let smgr = self.switch.get(old.smgr)?;
                 smgr.write(old.rel, old.block, &data.page)?;
+                // The home write has landed but (for a log-resident
+                // manager) is only *staged* there: re-pin the frame's
+                // oldest image so a checkpoint cannot recycle it while
+                // the staged block still needs replay. Registered under
+                // the held frame latch, before `dirty`/`rec_lsn` clear,
+                // so the dirty horizon and the pin hand off without a
+                // window in between.
+                if let Some(wal) = self.wal.get() {
+                    wal.pin_record(old.smgr.0 as u32, old.rel, data.rec_lsn);
+                }
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
             }
             data.dirty = false;
             data.rec_lsn = 0;
         }
         Ok(())
+    }
+
+    /// Log a full-page image of a `log_pending` frame immediately,
+    /// stamping its LSNs, under the caller's held frame write latch.
+    /// Write-back paths call this before moving a never-captured delta
+    /// to its home location: by the time the home copy exists, the log
+    /// must be able to reconstruct it, or a crash after the owning
+    /// transaction commits would replay an older image over committed
+    /// bytes. On failure the flag stays set, so the frame remains
+    /// protected (and the write-back that needed the image fails too).
+    fn log_pending_image(&self, data: &mut FrameData) -> Result<()> {
+        if !data.log_pending {
+            return Ok(());
+        }
+        let Some(wal) = self.wal.get() else {
+            return Ok(());
+        };
+        let Some(key) = data.key else {
+            data.log_pending = false;
+            return Ok(());
+        };
+        let mut batch = [pglo_wal::PreparedRecord::page_image(
+            key.smgr.0 as u32,
+            key.rel,
+            key.block,
+            &data.page,
+        )];
+        let ats = wal.append_batch(&mut batch).map_err(BufferError::Wal)?;
+        let at = ats[0];
+        data.page_lsn = data.page_lsn.max(at.end);
+        if data.dirty && data.rec_lsn == 0 {
+            data.rec_lsn = at.start;
+        }
+        data.log_pending = false;
+        Ok(())
+    }
+
+    /// Write frame `idx` back, first logging any never-captured delta.
+    /// `expect` re-validates the frame's key under the latch (pass
+    /// `None` when the caller holds a pin, which already rules out a
+    /// re-key). When an image must be logged, the capture mutex is taken
+    /// *before* the frame latch (rank 38 before 40): an in-flight
+    /// capture may hold an older copy of this page that is not yet in
+    /// the log — appending our fresher image first would let the
+    /// capture's older image land at a higher LSN and win replay,
+    /// tearing the page. Parking behind the capture serializes the two.
+    fn write_back_frame(&self, idx: usize, expect: Option<PageKey>) -> Result<()> {
+        let frame = &self.frames[idx];
+        loop {
+            let pend = {
+                let data = frame.data.read();
+                if expect.is_some() && data.key != expect {
+                    return Ok(());
+                }
+                if !data.dirty {
+                    return Ok(());
+                }
+                data.log_pending
+            };
+            if pend && self.wal.get().is_some() {
+                let _serial = self.capture.lock();
+                let mut data = frame.data.write();
+                if expect.is_some() && data.key != expect {
+                    return Ok(());
+                }
+                // A capture may have logged the image while we waited on
+                // its mutex; `log_pending_image` no-ops then.
+                self.log_pending_image(&mut data)?;
+                // LINT: allow(R7, the capture mutex and frame latch must span image logging and home write so no concurrent capture interleaves an older image)
+                return self.write_back(&mut data);
+            }
+            let mut data = frame.data.write();
+            if expect.is_some() && data.key != expect {
+                return Ok(());
+            }
+            if data.dirty && data.log_pending && self.wal.get().is_some() {
+                // Re-dirtied between the read check and our latch: go
+                // around and take the capture-serialized path above.
+                drop(data);
+                continue;
+            }
+            return self.write_back(&mut data);
+        }
     }
 
     /// Force the attached redo log past `page_lsn` (no-op when 0 or when
@@ -869,22 +966,60 @@ impl BufferPool {
         targets.sort_unstable_by_key(|(k, _)| (k.smgr, k.rel, k.block));
         let mut flushed = 0;
         for (key, idx) in targets {
-            if let Some(mut data) = self.frames[idx].data.try_write() {
-                if data.key == Some(key) && data.dirty {
-                    let Ok(smgr) = self.switch.get(key.smgr) else { continue };
-                    // WAL-before-data; a log failure leaves the frame
-                    // dirty for a later (error-surfacing) flusher.
-                    if self.force_wal(data.page_lsn).is_err() {
-                        continue;
-                    }
-                    // LINT: allow(R7, bgwriter write-back keeps the frame lock so the page image is stable while it goes to the device)
-                    if smgr.write(key.rel, key.block, &data.page).is_ok() {
-                        data.dirty = false;
-                        data.rec_lsn = 0;
-                        self.writebacks.fetch_add(1, Ordering::Relaxed);
-                        flushed += 1;
-                    }
+            let frame = &self.frames[idx];
+            // A frame dirtied since its last capture (`log_pending`)
+            // must have its image logged before the home write, and
+            // that requires the capture mutex *before* the frame latch
+            // (rank 38 before 40) so an in-flight capture cannot land
+            // an older image at a higher LSN. Everything stays
+            // try-style: a contended mutex or latch skips the frame,
+            // never blocks the flusher.
+            let need_log = {
+                let Some(data) = frame.data.try_read() else { continue };
+                if data.key != Some(key) || !data.dirty {
+                    continue;
                 }
+                data.log_pending && self.wal.get().is_some()
+            };
+            let serial = if need_log {
+                match self.capture.try_lock() {
+                    Some(guard) => Some(guard),
+                    None => continue,
+                }
+            } else {
+                None
+            };
+            let Some(mut data) = frame.data.try_write() else { continue };
+            if data.key != Some(key) || !data.dirty {
+                continue;
+            }
+            if data.log_pending && self.wal.get().is_some() {
+                if serial.is_none() {
+                    // Re-flagged between the peek and our latch; only
+                    // proceed when serialized against captures.
+                    continue;
+                }
+                if self.log_pending_image(&mut data).is_err() {
+                    continue;
+                }
+            }
+            let Ok(smgr) = self.switch.get(key.smgr) else { continue };
+            // WAL-before-data; a log failure leaves the frame dirty
+            // for a later (error-surfacing) flusher.
+            if self.force_wal(data.page_lsn).is_err() {
+                continue;
+            }
+            // LINT: allow(R7, bgwriter write-back keeps the frame lock so the page image is stable while it goes to the device)
+            if smgr.write(key.rel, key.block, &data.page).is_ok() {
+                if let Some(wal) = self.wal.get() {
+                    // Same hand-off as `write_back`: pin before the
+                    // dirty horizon lets go of the record.
+                    wal.pin_record(key.smgr.0 as u32, key.rel, data.rec_lsn);
+                }
+                data.dirty = false;
+                data.rec_lsn = 0;
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+                flushed += 1;
             }
         }
         flushed
@@ -1031,7 +1166,11 @@ impl BufferPool {
         // page was evicted — which wrote it back, making the home copy
         // current) is skipped; a frame written back but still resident
         // gets `page_lsn` only, so a later write-back still forces the
-        // log far enough.
+        // log far enough. Recycle safety for those skipped frames needs
+        // no work here: `append_batch` registered a per-relation pin at
+        // each image's start LSN for log-resident managers, so the
+        // records outlive the frames regardless of what happened to
+        // `rec_lsn` in the window.
         for ((idx, key), at) in sources.iter().zip(&ats) {
             let mut data = self.frames[*idx].data.write();
             if data.key != Some(*key) {
@@ -1096,18 +1235,10 @@ impl BufferPool {
         }
         dirty.sort_by_key(|(k, _)| (k.smgr, k.rel, k.block));
         for (key, idx) in dirty {
-            let mut data = self.frames[idx].data.write();
-            // Re-check under the write lock: the frame may have been
-            // evicted or flushed concurrently.
-            if data.key == Some(key) && data.dirty {
-                let smgr = self.switch.get(key.smgr)?;
-                self.force_wal(data.page_lsn)?;
-                // LINT: allow(R7, sync-flush keeps the frame lock so the page image is stable while it goes to the device)
-                smgr.write(key.rel, key.block, &data.page)?;
-                data.dirty = false;
-                data.rec_lsn = 0;
-                self.writebacks.fetch_add(1, Ordering::Relaxed);
-            }
+            // `write_back_frame` re-checks the key and dirty flag under
+            // the latch (the frame may have been evicted or flushed
+            // concurrently) and logs a still-pending image first.
+            self.write_back_frame(idx, Some(key))?;
         }
         Ok(())
     }
@@ -1868,5 +1999,71 @@ mod tests {
         assert_eq!(pool.capture_backlog(), 1);
         let end2 = pool.capture_pending().unwrap();
         assert!(end2 > end, "second capture must append past the first");
+    }
+
+    /// A dirty frame whose delta was never captured must not go home
+    /// silently: eviction and explicit flushes both log the image first,
+    /// so replay can always reconstruct what the home location holds.
+    #[test]
+    fn write_back_logs_pending_image_first() {
+        let (switch, id, pool) = setup(2);
+        let smgr = switch.get(id).unwrap();
+        smgr.create(1).unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        let wal =
+            Arc::new(pglo_wal::Wal::open(dir.path(), pglo_wal::WalOptions::default()).unwrap());
+        assert!(pool.set_wal(Arc::clone(&wal)));
+        for _ in 0..4 {
+            let (_, p) = pool.new_page(id, 1, |_| {}).unwrap();
+            drop(p);
+        }
+        pool.capture_pending().unwrap();
+        pool.flush_all().unwrap();
+        let logged_before = wal.end_lsn();
+        // Dirty block 0 — log_pending now set, no capture runs — then
+        // force its eviction with two simultaneous pins.
+        {
+            let p = pool.pin(PageKey::new(id, 1, 0)).unwrap();
+            p.write()[7] = 99;
+        }
+        let keep1 = pool.pin(PageKey::new(id, 1, 1)).unwrap();
+        let keep2 = pool.pin(PageKey::new(id, 1, 2)).unwrap();
+        let mut out = pglo_pages::alloc_page();
+        smgr.read(1, 0, &mut out).unwrap();
+        assert_eq!(out[7], 99, "eviction must still write the page home");
+        drop(keep1);
+        drop(keep2);
+        assert!(
+            wal.end_lsn() > logged_before,
+            "eviction of a never-captured frame must log its image"
+        );
+        // Same contract on the explicit flush path.
+        {
+            let p = pool.pin(PageKey::new(id, 1, 3)).unwrap();
+            p.write()[9] = 7;
+        }
+        let flush_mark = wal.end_lsn();
+        pool.flush_all().unwrap();
+        assert!(wal.end_lsn() > flush_mark, "flush must log pending images");
+        // Both images are in the log with the bytes that went home.
+        drop(pool);
+        drop(wal);
+        let wal =
+            Arc::new(pglo_wal::Wal::open(dir.path(), pglo_wal::WalOptions::default()).unwrap());
+        let mut evicted = None;
+        let mut flushed = None;
+        wal.replay(|_, rec| {
+            if let pglo_wal::WalRecord::PageImage { rel: 1, block, image, .. } = rec {
+                match block {
+                    0 => evicted = Some(image[7]),
+                    3 => flushed = Some(image[9]),
+                    _ => {}
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(evicted, Some(99), "evicted delta must be replayable");
+        assert_eq!(flushed, Some(7), "flushed delta must be replayable");
     }
 }

@@ -148,11 +148,21 @@ fn redo_page_image(
 /// One checkpoint pass: bound the horizon by the log end *before* scanning
 /// (a concurrent commit may append images below a later-read end), sync
 /// data files so the horizon never overtakes a write still in the page
-/// cache, then let the WAL clamp by pinned records and recycle segments.
-fn checkpoint_once(pool: &BufferPool, wal: &Wal, disk: &DiskSmgr) -> std::io::Result<()> {
+/// cache, prune recycle pins for WORM relations whose blocks are all
+/// burned (the platter file is then their durable home and replay is
+/// unneeded), then let the WAL clamp by the surviving pins and recycle
+/// segments.
+fn checkpoint_once(
+    pool: &BufferPool,
+    wal: &Wal,
+    disk: &DiskSmgr,
+    worm_id: SmgrId,
+    worm: &WormSmgr,
+) -> std::io::Result<()> {
     let cap = wal.end_lsn();
     let horizon = pool.dirty_horizon().map_or(cap, |h| h.min(cap));
     disk.sync_all_open().map_err(std::io::Error::other)?;
+    wal.prune_pins(worm_id.0 as u32, |rel| worm.has_staged(rel));
     wal.checkpoint(Some(horizon))?;
     Ok(())
 }
@@ -170,6 +180,8 @@ impl Checkpointer {
         pool: Arc<BufferPool>,
         wal: Arc<Wal>,
         disk: Arc<DiskSmgr>,
+        worm_id: SmgrId,
+        worm: Arc<WormSmgr>,
         interval: Duration,
     ) -> std::io::Result<Self> {
         let stop = Arc::new(AtomicBool::new(false));
@@ -188,7 +200,7 @@ impl Checkpointer {
                 // A checkpoint failure (full disk, I/O error) only delays
                 // horizon advance — durability is unaffected — so count it
                 // and retry next cycle rather than killing the thread.
-                if checkpoint_once(&pool, &wal, &disk).is_err() {
+                if checkpoint_once(&pool, &wal, &disk, worm_id, &worm).is_err() {
                     errs.fetch_add(1, Ordering::Relaxed);
                 }
                 if flag.load(Ordering::Acquire) {
@@ -269,9 +281,16 @@ impl StorageEnv {
             )
             .map_err(|e| crate::HeapError::Catalog(format!("open wal: {e}")))?,
         );
-        // WORM platters cannot be overwritten, so a burned block's only
-        // durable copy may be the WAL image until the burn record lands;
-        // pin the WORM manager's records against segment recycling.
+        // WORM jukebox writes are simulated, so the "platter" needs a real
+        // durable home on the host; attach it before replay so recovered
+        // burns land on it and already-burned blocks come back write-once.
+        worm_smgr
+            .attach_platter(base_dir.join("worm"), opts.durable_sync)
+            .map_err(|e| crate::HeapError::Catalog(format!("attach worm platter: {e}")))?;
+        // Until a relation's blocks are all burned to the platter, the WAL
+        // image is a staged block's only durable copy; pin the WORM
+        // manager's records against segment recycling. Checkpoints prune
+        // each relation's pin once `has_staged` proves it platter-durable.
         wal.pin_smgr(worm.0 as u32);
         let mut replayed_commits: Vec<(Xid, CommitTs)> = Vec::new();
         wal.replay(|_lsn, rec| match rec {
@@ -331,6 +350,8 @@ impl StorageEnv {
                     Arc::clone(&pool),
                     Arc::clone(&wal),
                     Arc::clone(&disk_smgr),
+                    worm,
+                    Arc::clone(&worm_smgr),
                     interval * 16,
                 )
                 .map_err(|e| crate::HeapError::Catalog(format!("spawn checkpointer: {e}")))?,
@@ -390,10 +411,11 @@ impl StorageEnv {
     /// Take a checkpoint: advance the WAL redo horizon behind the oldest
     /// dirty page still owing a home write, fsyncing data files first in
     /// durable mode so the horizon never passes a write the disk hasn't
-    /// accepted. Recovery then replays only from that horizon, and older
-    /// log segments are recycled.
+    /// accepted, and releasing recycle pins for WORM relations that are
+    /// fully burned. Recovery then replays only from that horizon, and
+    /// older log segments are recycled.
     pub fn checkpoint(&self) -> Result<()> {
-        checkpoint_once(&self.pool, &self.wal, &self.disk_smgr)
+        checkpoint_once(&self.pool, &self.wal, &self.disk_smgr, self.worm, &self.worm_smgr)
             .map_err(|e| crate::HeapError::Catalog(format!("checkpoint: {e}")))
     }
 

@@ -17,6 +17,11 @@
 //! * Reads of burned blocks consult the magnetic-disk LRU block cache
 //!   first (disk-priced); misses pay the jukebox's positioning and transfer
 //!   costs and populate the cache.
+//! * With a **platter directory attached** ([`WormSmgr::attach_platter`]),
+//!   burns are persisted: each burned page is appended to the relation's
+//!   platter file with a CRC + magic trailer, and reattaching after a
+//!   restart reloads every durable burn. Staged blocks stay volatile —
+//!   WAL replay (held by the log's pin map) recreates them.
 
 use crate::lru::LruCache;
 use crate::{RelFileId, Result, SeqTracker, SmgrError, StorageManager};
@@ -24,6 +29,9 @@ use parking_lot::{ranks, Mutex};
 use pglo_pages::{PageBuf, PAGE_SIZE};
 use pglo_sim::{DeviceProfile, IoStats, SimContext};
 use std::collections::HashMap;
+use std::fs::{self, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
 
 enum BlockState {
     /// Written but not yet burned: mutable, lives in the staging area.
@@ -32,9 +40,54 @@ enum BlockState {
     Burned(Box<PageBuf>),
 }
 
+/// Trailer magic for one platter record: `b"PLAT"` little-endian.
+const PLATTER_MAGIC: u32 = 0x5441_4c50;
+
+/// One platter record: the page, then a CRC32 of it, then the magic.
+/// The trailer makes a torn tail (crash mid-burn) detectable: load
+/// truncates at the first record whose trailer does not validate, and
+/// WAL replay re-stages whatever the truncation dropped.
+const PLATTER_REC: usize = PAGE_SIZE + 8;
+
+/// CRC32 (IEEE 802.3), byte-at-a-time: platter burns are jukebox-speed,
+/// not commit-path, so the simple table is plenty.
+fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    };
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Where burned blocks persist (one `<rel>.platter` file per relation).
+struct Platter {
+    dir: PathBuf,
+    durable: bool,
+}
+
+fn platter_path(dir: &Path, rel: RelFileId) -> PathBuf {
+    dir.join(format!("{rel:016x}.platter"))
+}
+
 struct Inner {
     rels: HashMap<RelFileId, Vec<BlockState>>,
     cache: LruCache<(RelFileId, u32), Box<PageBuf>>,
+    platter: Option<Platter>,
 }
 
 /// Storage manager for a write-once optical-disk jukebox with a
@@ -75,10 +128,78 @@ impl WormSmgr {
             seq: SeqTracker::default(),
             cache_seq: SeqTracker::default(),
             inner: Mutex::with_rank(
-                Inner { rels: HashMap::new(), cache: LruCache::new(cache_blocks) },
+                Inner { rels: HashMap::new(), cache: LruCache::new(cache_blocks), platter: None },
                 ranks::SMGR_WORM,
             ),
         }
+    }
+
+    /// Attach a platter directory: every burned block recorded there is
+    /// reloaded (a torn tail from a crashed burn is truncated away), and
+    /// future burns persist to it. Call at startup, *before* WAL replay,
+    /// so replayed page images land on top of the recovered burns —
+    /// writes to already-burned blocks bounce idempotently.
+    pub fn attach_platter(&self, dir: impl AsRef<Path>, durable: bool) -> Result<()> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        // Scan and repair with no lock held — attach precedes any
+        // traffic by protocol — then install everything in one locked
+        // step.
+        let mut loaded: Vec<(RelFileId, Vec<BlockState>)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(hex) = name.strip_suffix(".platter") else { continue };
+            let Ok(rel) = RelFileId::from_str_radix(hex, 16) else { continue };
+            let bytes = fs::read(entry.path())?;
+            let mut blocks = Vec::new();
+            let mut off = 0usize;
+            while off + PLATTER_REC <= bytes.len() {
+                let page = &bytes[off..off + PAGE_SIZE];
+                let mut w = [0u8; 4];
+                w.copy_from_slice(&bytes[off + PAGE_SIZE..off + PAGE_SIZE + 4]);
+                let crc = u32::from_le_bytes(w);
+                w.copy_from_slice(&bytes[off + PAGE_SIZE + 4..off + PLATTER_REC]);
+                let magic = u32::from_le_bytes(w);
+                if magic != PLATTER_MAGIC || crc32(page) != crc {
+                    break;
+                }
+                let mut p = pglo_pages::alloc_page();
+                p.copy_from_slice(page);
+                blocks.push(BlockState::Burned(p));
+                off += PLATTER_REC;
+            }
+            if off < bytes.len() {
+                // Torn or garbage tail: drop it so a later burn cannot
+                // splice new records onto invalid ones.
+                let f = OpenOptions::new().write(true).open(entry.path())?;
+                f.set_len(off as u64)?;
+                if durable {
+                    f.sync_data()?;
+                }
+            }
+            loaded.push((rel, blocks));
+        }
+        let mut inner = self.inner.lock();
+        for (rel, blocks) in loaded {
+            inner.rels.insert(rel, blocks);
+        }
+        inner.platter = Some(Platter { dir, durable });
+        Ok(())
+    }
+
+    /// Does `rel` still hold staged (not yet burned) blocks? The
+    /// checkpoint asks this to decide whether the relation's log records
+    /// may be pruned from the WAL pin map: a relation with no staged
+    /// blocks is fully platter-durable and never needs replay. A
+    /// relation this manager does not know is trivially prunable.
+    pub fn has_staged(&self, rel: RelFileId) -> bool {
+        self.inner
+            .lock()
+            .rels
+            .get(&rel)
+            .is_some_and(|blocks| blocks.iter().any(|b| matches!(b, BlockState::Staged(_))))
     }
 
     /// `(hits, misses)` of the magnetic-disk block cache.
@@ -133,6 +254,13 @@ impl StorageManager for WormSmgr {
         inner.rels.remove(&rel).ok_or(SmgrError::NotFound(rel))?;
         inner.cache.retain(|(r, _)| *r != rel);
         self.seq.forget(rel);
+        if let Some(p) = &inner.platter {
+            // LINT: allow(R7, unlink under the lock keeps a concurrent re-create of the same rel from losing its fresh platter file)
+            match fs::remove_file(platter_path(&p.dir, rel)) {
+                Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e.into()),
+                _ => {}
+            }
+        }
         Ok(())
     }
 
@@ -204,7 +332,7 @@ impl StorageManager for WormSmgr {
         // unchanged (the sequential trackers already make consecutive
         // platter and cache accesses cheap).
         let mut inner = self.inner.lock();
-        let Inner { rels, cache } = &mut *inner;
+        let Inner { rels, cache, .. } = &mut *inner;
         let blocks = rels.get(&rel).ok_or(SmgrError::NotFound(rel))?;
         if start as usize >= blocks.len() {
             return Ok(0);
@@ -257,7 +385,7 @@ impl StorageManager for WormSmgr {
 
     fn sync(&self, rel: RelFileId) -> Result<()> {
         let mut inner = self.inner.lock();
-        let Inner { rels, cache } = &mut *inner;
+        let Inner { rels, cache, platter } = &mut *inner;
         let blocks = rels.get_mut(&rel).ok_or(SmgrError::NotFound(rel))?;
         let mut burned_any = false;
         for (block, state) in blocks.iter_mut().enumerate() {
@@ -279,6 +407,47 @@ impl StorageManager for WormSmgr {
         if burned_any {
             // One positioning charge for the burn batch.
             self.sim.charge_io(&self.jukebox, 0, false);
+            if let Some(p) = platter {
+                // Persist the newly burned suffix. Burned blocks always
+                // form a prefix of the relation (a sync burns everything
+                // staged), so the platter file only ever appends — the
+                // records past `persisted` are exactly this burn.
+                // The lock stays held across the file I/O on purpose:
+                // `has_staged` (the checkpointer's prune predicate) must
+                // not observe the in-memory `Burned` states until the
+                // platter holds the bytes — otherwise the WAL pin could
+                // be pruned with the platter write still in flight.
+                let path = platter_path(&p.dir, rel);
+                // LINT: allow(R7, platter append must complete under the lock before has_staged can report the relation prunable)
+                let f = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+                // LINT: allow(R7, platter append must complete under the lock before has_staged can report the relation prunable)
+                let len = f.metadata()?.len();
+                // Defensive: clear any partial record before appending.
+                let keep = len - len % PLATTER_REC as u64;
+                if keep != len {
+                    // LINT: allow(R7, platter append must complete under the lock before has_staged can report the relation prunable)
+                    f.set_len(keep)?;
+                }
+                let persisted = (keep / PLATTER_REC as u64) as usize;
+                let mut buf =
+                    Vec::with_capacity(blocks.len().saturating_sub(persisted) * PLATTER_REC);
+                for state in blocks.get(persisted..).unwrap_or(&[]) {
+                    // The loop above burned every staged block, so only
+                    // `Burned` states remain in the suffix.
+                    let BlockState::Burned(page) = state else { continue };
+                    buf.extend_from_slice(&page[..]);
+                    buf.extend_from_slice(&crc32(&page[..]).to_le_bytes());
+                    buf.extend_from_slice(&PLATTER_MAGIC.to_le_bytes());
+                }
+                if !buf.is_empty() {
+                    // LINT: allow(R7, platter append must complete under the lock before has_staged can report the relation prunable)
+                    f.write_all_at(&buf, keep)?;
+                    if p.durable {
+                        // LINT: allow(R7, platter append must complete under the lock before has_staged can report the relation prunable)
+                        f.sync_data()?;
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -394,6 +563,80 @@ mod tests {
         let platter = smgr.platter_io_stats();
         assert_eq!(platter.reads, 1, "only the cold read reaches the platter");
         assert_eq!(smgr.io_stats().reads, 3);
+    }
+
+    #[test]
+    fn platter_survives_reattach() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let smgr = WormSmgr::new(SimContext::default_1992());
+            smgr.attach_platter(dir.path(), true).unwrap();
+            smgr.create(7).unwrap();
+            for i in 0..5u8 {
+                smgr.extend(7, &page_with(i)).unwrap();
+            }
+            smgr.sync(7).unwrap();
+            // A staged block burned in a second batch also persists.
+            smgr.extend(7, &page_with(9)).unwrap();
+            smgr.sync(7).unwrap();
+        }
+        let smgr = WormSmgr::new(SimContext::default_1992());
+        smgr.attach_platter(dir.path(), true).unwrap();
+        assert_eq!(smgr.nblocks(7).unwrap(), 6);
+        let mut out = alloc_page();
+        for (i, want) in [0u8, 1, 2, 3, 4, 9].iter().enumerate() {
+            smgr.read(7, i as u32, &mut out).unwrap();
+            assert_eq!(out[0], *want, "block {i}");
+        }
+        // Recovered blocks are burned: still write-once.
+        assert!(matches!(smgr.write(7, 0, &page_with(0)), Err(SmgrError::WormOverwrite { .. })));
+    }
+
+    #[test]
+    fn platter_torn_tail_truncated() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let smgr = WormSmgr::new(SimContext::default_1992());
+            smgr.attach_platter(dir.path(), false).unwrap();
+            smgr.create(3).unwrap();
+            smgr.extend(3, &page_with(1)).unwrap();
+            smgr.extend(3, &page_with(2)).unwrap();
+            smgr.sync(3).unwrap();
+        }
+        // Tear the last record mid-page, as a crashed burn would.
+        let path = platter_path(dir.path(), 3);
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - PLATTER_REC as u64 / 2).unwrap();
+        drop(f);
+
+        let smgr = WormSmgr::new(SimContext::default_1992());
+        smgr.attach_platter(dir.path(), false).unwrap();
+        // Only the intact record survives; the torn one was truncated.
+        assert_eq!(smgr.nblocks(3).unwrap(), 1);
+        let mut out = alloc_page();
+        smgr.read(3, 0, &mut out).unwrap();
+        assert_eq!(out[0], 1);
+        assert_eq!(fs::metadata(&path).unwrap().len(), PLATTER_REC as u64);
+        // The lost block can be re-staged and burned again.
+        smgr.extend(3, &page_with(2)).unwrap();
+        assert!(smgr.has_staged(3));
+        smgr.sync(3).unwrap();
+        assert!(!smgr.has_staged(3));
+        assert_eq!(fs::metadata(&path).unwrap().len(), 2 * PLATTER_REC as u64);
+    }
+
+    #[test]
+    fn unlink_removes_platter_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let smgr = WormSmgr::new(SimContext::default_1992());
+        smgr.attach_platter(dir.path(), false).unwrap();
+        smgr.create(5).unwrap();
+        smgr.extend(5, &page_with(1)).unwrap();
+        smgr.sync(5).unwrap();
+        assert!(platter_path(dir.path(), 5).exists());
+        smgr.unlink(5).unwrap();
+        assert!(!platter_path(dir.path(), 5).exists());
     }
 
     #[test]

@@ -30,6 +30,12 @@ struct TmInner {
     commit_ts: Vec<CommitTs>,
     /// Currently in-progress XIDs (for snapshot construction).
     active: BTreeSet<u32>,
+    /// Commit timestamps allocated but not yet resolved: the owning
+    /// transaction is inside the durability hook (or about to flip its
+    /// status). `visible_ts` may never reach a pending timestamp —
+    /// otherwise an `AsOf(current_timestamp())` reader would get
+    /// different answers before and after the in-flight commit lands.
+    pending_ts: BTreeSet<CommitTs>,
     /// Durable commit log, appended under the inner lock: `B <xid>` when a
     /// transaction begins, `C <xid> <ts>` when it commits. Aborts write
     /// nothing — on replay, any begun-but-uncommitted XID reads as aborted,
@@ -73,6 +79,13 @@ pub trait DurabilityHook: Send + Sync {
 pub struct TxnManager {
     inner: Mutex<TmInner>,
     next_ts: AtomicU64,
+    /// Highest timestamp T such that every commit with `ts <= T` has
+    /// already flipped to `Committed`. Strictly trails `next_ts - 1`
+    /// while a commit is inside the durability hook, so
+    /// [`TxnManager::current_timestamp`] is always repeatable: a
+    /// timestamp is published only once nothing below it can still
+    /// appear. Advanced under the inner lock, read lock-free.
+    visible_ts: AtomicU64,
     durability: std::sync::OnceLock<Arc<dyn DurabilityHook>>,
     /// Commits since creation (ablation benchmarks read this).
     commits: AtomicU64,
@@ -95,11 +108,13 @@ impl TxnManager {
                     status: Vec::new(),
                     commit_ts: Vec::new(),
                     active: BTreeSet::new(),
+                    pending_ts: BTreeSet::new(),
                     log: None,
                 },
                 ranks::TXN_MANAGER,
             ),
             next_ts: AtomicU64::new(1),
+            visible_ts: AtomicU64::new(0),
             durability: std::sync::OnceLock::new(),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -156,10 +171,18 @@ impl TxnManager {
         let log = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Self {
             inner: Mutex::with_rank(
-                TmInner { next_xid, status, commit_ts, active: BTreeSet::new(), log: Some(log) },
+                TmInner {
+                    next_xid,
+                    status,
+                    commit_ts,
+                    active: BTreeSet::new(),
+                    pending_ts: BTreeSet::new(),
+                    log: Some(log),
+                },
                 ranks::TXN_MANAGER,
             ),
             next_ts: AtomicU64::new(max_ts + 1),
+            visible_ts: AtomicU64::new(max_ts),
             durability: std::sync::OnceLock::new(),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -235,14 +258,42 @@ impl TxnManager {
         self.aborts.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Commit `xid`: allocate a timestamp, force durability through the
-    /// installed hook (with no manager locks held — the hook does log
-    /// I/O), then flip the in-memory status and append the clog line. A
-    /// hook failure aborts the transaction and surfaces the error.
+    /// Recompute `visible_ts` under the inner lock: the timestamp just
+    /// below the oldest still-pending commit, or the last one allocated
+    /// when nothing is pending. Monotone because both the pending
+    /// minimum and `next_ts` only grow between serialized calls.
+    fn publish_visible(&self, inner: &TmInner) {
+        let vis = match inner.pending_ts.first() {
+            Some(&oldest) => oldest - 1,
+            None => self.next_ts.load(Ordering::Relaxed) - 1,
+        };
+        self.visible_ts.fetch_max(vis, Ordering::AcqRel);
+    }
+
+    /// Commit `xid`: allocate a timestamp (registered as *pending* under
+    /// the lock, so the visible horizon cannot pass it), force durability
+    /// through the installed hook (with no manager locks held — the hook
+    /// does log I/O), then flip the in-memory status, resolve the pending
+    /// entry, and append the clog line. A hook failure aborts the
+    /// transaction, releases the pending timestamp, and surfaces the
+    /// error.
     fn finish_commit(&self, xid: Xid) -> std::io::Result<CommitTs> {
-        let ts = self.next_ts.fetch_add(1, Ordering::Relaxed);
+        let ts = {
+            let mut inner = self.inner.lock();
+            // Allocate-and-register atomically: a later committer taking
+            // this lock sees the timestamp as pending before it can
+            // compute a visible horizon past it.
+            let ts = self.next_ts.fetch_add(1, Ordering::Relaxed);
+            inner.pending_ts.insert(ts);
+            ts
+        };
         if let Some(hook) = self.durability.get() {
             if let Err(e) = hook.prepare_commit(xid, ts) {
+                {
+                    let mut inner = self.inner.lock();
+                    inner.pending_ts.remove(&ts);
+                    self.publish_visible(&inner);
+                }
                 self.finish_abort(xid);
                 return Err(e);
             }
@@ -253,6 +304,8 @@ impl TxnManager {
         inner.active.remove(&xid.0);
         inner.status[i] = TxnStatus::Committed;
         inner.commit_ts[i] = ts;
+        inner.pending_ts.remove(&ts);
+        self.publish_visible(&inner);
         inner.append(format_args!("C {} {}", xid.0, ts));
         self.commits.fetch_add(1, Ordering::Relaxed);
         Ok(ts)
@@ -279,13 +332,19 @@ impl TxnManager {
         }
         drop(inner);
         self.next_ts.fetch_max(ts + 1, Ordering::Relaxed);
+        self.visible_ts.fetch_max(ts, Ordering::AcqRel);
     }
 
-    /// The timestamp an "as of now" read should use: the most recently
-    /// assigned commit timestamp. `AsOf(current_timestamp())` sees every
-    /// commit so far and nothing that commits later.
+    /// The timestamp an "as of now" read should use: the highest
+    /// timestamp whose every commit at or below it has fully landed.
+    /// `AsOf(current_timestamp())` is *repeatable*: the answer at this
+    /// timestamp never changes, because a timestamp is published only
+    /// once no in-flight commit below it remains. A commit still inside
+    /// the durability hook (or ordered after one that is) is not yet
+    /// visible here — its own `commit()` return value is the first
+    /// moment it is.
     pub fn current_timestamp(&self) -> CommitTs {
-        self.next_ts.load(Ordering::Relaxed) - 1
+        self.visible_ts.load(Ordering::Acquire)
     }
 
     /// `(commits, aborts)` since creation.
@@ -531,5 +590,91 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 200, "commit timestamps must be unique");
+    }
+
+    /// A durability hook that parks its *first* call until released,
+    /// exposing the window where a commit timestamp is allocated but the
+    /// commit has not yet landed. Later calls pass straight through.
+    struct ParkingHook {
+        entered: std::sync::mpsc::Sender<CommitTs>,
+        release: Mutex<std::sync::mpsc::Receiver<()>>,
+        fail: bool,
+        calls: AtomicU64,
+    }
+
+    impl DurabilityHook for ParkingHook {
+        fn prepare_commit(&self, _xid: Xid, ts: CommitTs) -> std::io::Result<()> {
+            if self.calls.fetch_add(1, Ordering::Relaxed) > 0 {
+                return Ok(());
+            }
+            self.entered.send(ts).unwrap();
+            self.release.lock().recv().unwrap();
+            if self.fail {
+                Err(std::io::Error::other("injected hook failure"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    fn parking_hook(
+        tm: &TxnManager,
+        fail: bool,
+    ) -> (std::sync::mpsc::Receiver<CommitTs>, std::sync::mpsc::Sender<()>) {
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        assert!(tm.set_durability_hook(Arc::new(ParkingHook {
+            entered: entered_tx,
+            release: Mutex::with_rank(release_rx, ranks::ADT_TYPES),
+            fail,
+            calls: AtomicU64::new(0),
+        })));
+        (entered_rx, release_tx)
+    }
+
+    #[test]
+    fn in_flight_commit_not_visible_at_current_timestamp() {
+        let tm = tm();
+        let before = tm.begin().commit();
+        let (entered, release) = parking_hook(&tm, false);
+        let committer = {
+            let tm = Arc::clone(&tm);
+            std::thread::spawn(move || tm.begin().commit())
+        };
+        let pending = entered.recv().unwrap();
+        // The timestamp is allocated but still inside the hook: the
+        // visible horizon must not have reached it, or an AsOf(now)
+        // reader would see different data at the same timestamp before
+        // and after the commit lands.
+        assert_eq!(tm.current_timestamp(), before);
+        assert!(pending > before);
+        release.send(()).unwrap();
+        let ts = committer.join().unwrap();
+        assert_eq!(ts, pending);
+        assert_eq!(tm.current_timestamp(), ts);
+    }
+
+    #[test]
+    fn failed_hook_releases_pending_timestamp() {
+        let tm = tm();
+        let (entered, release) = parking_hook(&tm, true);
+        let committer = {
+            let tm = Arc::clone(&tm);
+            std::thread::spawn(move || {
+                let t = tm.begin();
+                let xid = t.xid();
+                (xid, t.try_commit())
+            })
+        };
+        let pending = entered.recv().unwrap();
+        release.send(()).unwrap();
+        let (xid, res) = committer.join().unwrap();
+        assert!(res.is_err(), "hook failure must abort the commit");
+        assert_eq!(tm.status(xid), TxnStatus::Aborted);
+        // The aborted timestamp no longer holds the horizon back: a
+        // later commit becomes visible immediately.
+        let ts = tm.begin().commit();
+        assert!(ts > pending);
+        assert_eq!(tm.current_timestamp(), ts);
     }
 }

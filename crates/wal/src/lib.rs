@@ -32,8 +32,12 @@
 //!   LSN — the oldest `rec_lsn` of any dirty page still unlogged to its
 //!   home location — and segments wholly below it are renamed to future
 //!   positions and truncated (recycled). Storage managers whose contents
-//!   live *only* in the log (the WORM archive) pin the horizon via
-//!   [`Wal::pin_smgr`] so their records are never recycled away.
+//!   are not yet home-durable (the WORM archive's staged blocks) pin the
+//!   horizon via [`Wal::pin_smgr`]: the oldest live record per
+//!   `(smgr, rel)` is tracked and clamps the horizon until the manager
+//!   proves the relation durable and the pin is pruned at checkpoint
+//!   ([`Wal::prune_pins`]) — so WORM activity delays recycling only
+//!   while it actually needs replay, instead of freezing it forever.
 //!
 //! Lock order (see `shims/parking_lot/src/ranks.rs`): `wal.flush` (44) is
 //! taken before `wal.append` (46); the flush leader snapshots the appender
@@ -43,6 +47,7 @@
 
 use parking_lot::{ranks, Mutex};
 use pglo_pages::{PageBuf, PAGE_SIZE};
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
@@ -241,13 +246,15 @@ impl WalRecord {
                 buf.extend_from_slice(&redo_lsn.to_le_bytes());
             }
         }
-        PreparedRecord::seal(buf, self.pin_smgr())
+        PreparedRecord::seal(buf, self.pin())
     }
 
-    /// The smgr id that should pin the recycle horizon, if any.
-    fn pin_smgr(&self) -> Option<u32> {
+    /// The `(smgr, rel)` whose recycle pin this record should note, if any.
+    fn pin(&self) -> Option<(u32, u64)> {
         match self {
-            WalRecord::PageImage { smgr, .. } | WalRecord::WormBurn { smgr, .. } => Some(*smgr),
+            WalRecord::PageImage { smgr, rel, .. } | WalRecord::WormBurn { smgr, rel } => {
+                Some((*smgr, *rel))
+            }
             _ => None,
         }
     }
@@ -259,14 +266,14 @@ impl WalRecord {
 /// straight from a borrowed page (no intermediate copy).
 pub struct PreparedRecord {
     bytes: Vec<u8>,
-    pin_smgr: Option<u32>,
+    pin: Option<(u32, u64)>,
 }
 
 impl PreparedRecord {
-    fn seal(mut buf: Vec<u8>, pin_smgr: Option<u32>) -> Self {
+    fn seal(mut buf: Vec<u8>, pin: Option<(u32, u64)>) -> Self {
         let crc = crc32_update(crc32_update(0, &buf[8..16]), &buf[HEADER_BYTES..]);
         buf[4..8].copy_from_slice(&crc.to_le_bytes());
-        PreparedRecord { bytes: buf, pin_smgr }
+        PreparedRecord { bytes: buf, pin }
     }
 
     /// Encode a page-image record directly from a borrowed page: the
@@ -285,7 +292,7 @@ impl PreparedRecord {
         buf.extend_from_slice(&block.to_le_bytes());
         buf.extend_from_slice(&rel.to_le_bytes());
         buf.extend_from_slice(&image[..]);
-        Self::seal(buf, Some(smgr))
+        Self::seal(buf, Some((smgr, rel)))
     }
 
     /// Total encoded size (header + payload).
@@ -548,8 +555,12 @@ pub struct Wal {
     last_ckpt: AtomicU64,
     /// Bitmask of smgr ids (< 64) whose records pin recycling.
     pinned_smgrs: AtomicU64,
-    /// Oldest record LSN belonging to a pinned smgr; `u64::MAX` if none.
-    pin_lsn: AtomicU64,
+    /// Oldest live record LSN per `(smgr, rel)` for pinned (log-resident)
+    /// storage managers; rank `wal.pins` (48). An entry clamps the
+    /// recycle horizon until [`Wal::prune_pins`] removes it — at
+    /// checkpoint, once the owning manager proves the relation's
+    /// contents are durable at home and replay is no longer needed.
+    pins: Mutex<HashMap<(u32, u64), Lsn>>,
 }
 
 impl Wal {
@@ -590,7 +601,7 @@ impl Wal {
             redo: AtomicU64::new(state.redo),
             last_ckpt: AtomicU64::new(state.end),
             pinned_smgrs: AtomicU64::new(0),
-            pin_lsn: AtomicU64::new(u64::MAX),
+            pins: Mutex::with_rank(HashMap::new(), ranks::WAL_PINS),
         })
     }
 
@@ -615,19 +626,50 @@ impl Wal {
     }
 
     /// Mark storage manager `smgr` as log-resident: its page images and
-    /// burn records pin the recycle horizon, because replay is the only
+    /// burn records pin the recycle horizon per relation, because until
+    /// the manager makes a relation durable at home, replay is the only
     /// way its contents come back. Call before [`Wal::replay`] so pins
-    /// recovered from the log are honored.
+    /// recovered from the log are honored; release with
+    /// [`Wal::prune_pins`] once relations become home-durable.
     pub fn pin_smgr(&self, smgr: u32) {
         if smgr < 64 {
             self.pinned_smgrs.fetch_or(1 << smgr, Ordering::AcqRel);
         }
     }
 
-    fn note_pinned(&self, smgr: u32, lsn: Lsn) {
+    fn note_pinned(&self, smgr: u32, rel: u64, lsn: Lsn) {
         if smgr < 64 && self.pinned_smgrs.load(Ordering::Acquire) & (1 << smgr) != 0 {
-            self.pin_lsn.fetch_min(lsn, Ordering::AcqRel);
+            let mut pins = self.pins.lock();
+            let e = pins.entry((smgr, rel)).or_insert(lsn);
+            if lsn < *e {
+                *e = lsn;
+            }
         }
+    }
+
+    /// Record that log position `lsn` still matters for `(smgr, rel)`:
+    /// the data it describes is not yet durable at home, so the record
+    /// must survive recycling. No-op unless [`Wal::pin_smgr`] marked the
+    /// manager log-resident, or when `lsn` is 0 (page never logged).
+    /// Callers register the pin *after* staging data into the manager
+    /// and *before* releasing whatever latch made the two atomic, so a
+    /// concurrent [`Wal::prune_pins`] either sees the staged data or the
+    /// pin — never neither.
+    pub fn pin_record(&self, smgr: u32, rel: u64, lsn: Lsn) {
+        if lsn != 0 {
+            self.note_pinned(smgr, rel, lsn);
+        }
+    }
+
+    /// Drop pins owned by `smgr` for every relation where `keep(rel)`
+    /// returns false — i.e. the manager attests the relation's contents
+    /// are durable at home and its log records need never replay. The
+    /// pins lock is held across the callback so a concurrent
+    /// stage-then-pin writer is ordered: its [`Wal::pin_record`] blocks
+    /// here and registers after the prune, keeping the new data pinned.
+    pub fn prune_pins(&self, smgr: u32, mut keep: impl FnMut(u64) -> bool) {
+        let mut pins = self.pins.lock();
+        pins.retain(|&(s, rel), _| s != smgr || keep(rel));
     }
 
     /// Append one record; returns the stream position just *past* it —
@@ -649,37 +691,55 @@ impl Wal {
     pub fn append_batch(&self, batch: &mut [PreparedRecord]) -> io::Result<Vec<AppendedAt>> {
         let mut out = Vec::with_capacity(batch.len());
         let mut buf: Vec<u8> = Vec::with_capacity(batch.iter().map(|r| r.bytes.len()).sum());
+        let mut pins: Vec<(u32, u64, Lsn)> = Vec::new();
         let mut total = 0u64;
         let mut a = self.append.lock();
         let mut run_start = a.end;
-        for rec in batch.iter_mut() {
-            let len = rec.total_len();
-            if a.end + len > a.seg_start + self.opts.segment_bytes {
-                if !buf.is_empty() {
-                    // LINT: allow(R7, the append mutex is the log's serialization point)
-                    a.file.write_all_at(&buf, run_start - a.seg_start)?;
-                    buf.clear();
+        // On any failure `a.end` rolls back to `run_start`, the position
+        // just past the bytes actually written: leaving it advanced past
+        // an unwritten range would let later appends continue after a
+        // permanent hole — recovery's scan stops at the hole, silently
+        // losing every "durably flushed" record past it.
+        let result: io::Result<()> = (|| {
+            for rec in batch.iter_mut() {
+                let len = rec.total_len();
+                if a.end + len > a.seg_start + self.opts.segment_bytes {
+                    if !buf.is_empty() {
+                        a.file.write_all_at(&buf, run_start - a.seg_start)?;
+                        buf.clear();
+                        // The buffered run is on disk now; a rotation
+                        // failure below must not roll it back.
+                        run_start = a.end;
+                    }
+                    self.rotate(&mut a)?;
+                    run_start = a.end;
                 }
-                // LINT: allow(R7, rotation must be serialized with appends)
-                self.rotate(&mut a)?;
-                run_start = a.end;
+                let lsn = a.end;
+                rec.bytes[16..24].copy_from_slice(&lsn.to_le_bytes());
+                buf.extend_from_slice(&rec.bytes);
+                a.end = lsn + len;
+                total += len;
+                out.push(AppendedAt { start: lsn, end: a.end });
+                if let Some((smgr, rel)) = rec.pin {
+                    pins.push((smgr, rel, lsn));
+                }
             }
-            let lsn = a.end;
-            rec.bytes[16..24].copy_from_slice(&lsn.to_le_bytes());
-            buf.extend_from_slice(&rec.bytes);
-            a.end = lsn + len;
-            total += len;
-            out.push(AppendedAt { start: lsn, end: a.end });
-            if let Some(smgr) = rec.pin_smgr {
-                self.note_pinned(smgr, lsn);
+            if !buf.is_empty() {
+                a.file.write_all_at(&buf, run_start - a.seg_start)?;
             }
-        }
-        if !buf.is_empty() {
-            // LINT: allow(R7, the append mutex is the log's serialization point)
-            a.file.write_all_at(&buf, run_start - a.seg_start)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            // Records written before the failure stay in the stream as
+            // orphans (replay-idempotent); the caller retries the rest.
+            a.end = run_start;
         }
         self.end.store(a.end, Ordering::Release);
         drop(a);
+        result?;
+        for (smgr, rel, lsn) in pins {
+            self.note_pinned(smgr, rel, lsn);
+        }
         obs::counter!("wal.append.bytes").add(total);
         Ok(out)
     }
@@ -764,7 +824,11 @@ impl Wal {
             return Ok(self.redo.load(Ordering::Acquire));
         }
         let mut horizon = dirty_horizon.unwrap_or_else(|| self.end_lsn());
-        horizon = horizon.min(self.pin_lsn.load(Ordering::Acquire));
+        let pin_floor = {
+            let pins = self.pins.lock();
+            pins.values().copied().min().unwrap_or(u64::MAX)
+        };
+        horizon = horizon.min(pin_floor);
         let prev = self.redo.load(Ordering::Acquire);
         horizon = horizon.max(prev);
         let end = self.append(&WalRecord::Checkpoint { redo_lsn: horizon })?;
@@ -791,6 +855,19 @@ impl Wal {
             }
             // LINT: allow(R7, the append lock reserves target names against rotation)
             fs::rename(path, self.dir.join(segment_name(target)))?;
+            if self.opts.durable_sync {
+                // Persist each rename before the next. `segs` is sorted
+                // ascending, so a power loss always leaves a *prefix* of
+                // the renames on disk and the surviving below-horizon
+                // segments stay contiguous. One deferred sync could let
+                // the renames persist out of order — a gap that
+                // recovery's scan mistakes for the end of log, far below
+                // the durable tail. (Truncation persistence is not
+                // needed: stale content at a future name is defused by
+                // the positional LSN check.)
+                // LINT: allow(R7, rename persistence order is part of the reserved-name protocol)
+                self.sync_dir()?;
+            }
             // LINT: allow(R7, reopen the just-renamed segment under the same reservation)
             let f = OpenOptions::new().write(true).open(self.dir.join(segment_name(target)))?;
             // LINT: allow(R7, stale bytes are truncated before the name can be reused)
@@ -800,9 +877,6 @@ impl Wal {
         }
         drop(a);
         if recycled > 0 {
-            if self.opts.durable_sync {
-                self.sync_dir()?;
-            }
             obs::counter!("wal.recycle.segments").add(recycled);
         }
         Ok(())
@@ -839,8 +913,9 @@ impl Wal {
                     format!("wal: undecodable kind {} at lsn {}", info.kind, info.lsn),
                 ));
             };
-            if let WalRecord::PageImage { smgr, .. } | WalRecord::WormBurn { smgr, .. } = &rec {
-                self.note_pinned(*smgr, info.lsn);
+            if let WalRecord::PageImage { smgr, rel, .. } | WalRecord::WormBurn { smgr, rel } = &rec
+            {
+                self.note_pinned(*smgr, *rel, info.lsn);
             }
             f(info.lsn, rec)?;
             records += 1;
@@ -1088,6 +1163,61 @@ mod tests {
         wal.pin_smgr(3);
         let recs = collect_replay(&wal);
         assert!(recs.iter().any(|(_, r)| matches!(r, WalRecord::PageImage { smgr: 3, .. })));
+    }
+
+    #[test]
+    fn pruned_pins_release_the_recycle_horizon() {
+        let dir = tempfile::tempdir().unwrap();
+        let wal = Wal::open(dir.path(), small_opts()).unwrap();
+        wal.pin_smgr(3);
+        wal.append(&WalRecord::PageImage { smgr: 3, rel: 1, block: 0, image: page(7) }).unwrap();
+        for i in 0..20u32 {
+            wal.append(&WalRecord::PageImage { smgr: 1, rel: 1, block: i, image: page(1) })
+                .unwrap();
+        }
+        let first = wal.checkpoint(None).unwrap();
+        assert!(first < wal.end_lsn(), "pinned record holds the horizon");
+        // The manager attests rel 1 is durable at home: the pin goes
+        // away and the next checkpoint advances past the pinned image.
+        wal.prune_pins(3, |_rel| false);
+        wal.append(&WalRecord::Commit { xid: 1, ts: 1 }).unwrap();
+        let after = wal.checkpoint(None).unwrap();
+        assert!(after > first, "horizon advances once the pin is pruned");
+        assert_eq!(after, wal.redo_lsn());
+    }
+
+    #[test]
+    fn failed_append_leaves_no_hole() {
+        let dir = tempfile::tempdir().unwrap();
+        let wal = Wal::open(dir.path(), small_opts()).unwrap();
+        // Make rotation fail: occupy the next segment's name with a
+        // directory so the appender cannot create the file.
+        fs::create_dir(dir.path().join(segment_name(MIN_SEGMENT_BYTES))).unwrap();
+        let mut appended = 0u32;
+        let mut block = 0u32;
+        let failed = loop {
+            let rec = WalRecord::PageImage { smgr: 1, rel: 1, block, image: page(block as u8) };
+            block += 1;
+            match wal.append(&rec) {
+                Ok(_) => appended += 1,
+                Err(_) => break wal.end_lsn(),
+            }
+            assert!(block < 100, "rotation never hit the blocked segment");
+        };
+        // The failed append must not advance the end past written bytes.
+        let before_retry = wal.end_lsn();
+        assert_eq!(before_retry, failed);
+        // Unblock rotation; appends pick up exactly where the log ends.
+        fs::remove_dir(dir.path().join(segment_name(MIN_SEGMENT_BYTES))).unwrap();
+        wal.append(&WalRecord::Commit { xid: 9, ts: 9 }).unwrap();
+        wal.flush_all().unwrap();
+        drop(wal);
+        // Recovery sees a contiguous log: every surviving page image
+        // plus the post-retry commit, no gap in between.
+        let wal = Wal::open(dir.path(), small_opts()).unwrap();
+        let recs = collect_replay(&wal);
+        assert_eq!(recs.len(), appended as usize + 1);
+        assert_eq!(recs.last().unwrap().1, WalRecord::Commit { xid: 9, ts: 9 });
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub const WAL_FLUSH: LockRank = LockRank::new(44, "wal.flush");
 /// frame latch, so this sits between [`POOL_FRAME`] and the smgr ranks.
 pub const WAL_APPEND: LockRank = LockRank::new(46, "wal.append");
 
+/// WAL pinned-record map (`crates/wal`): oldest live LSN per
+/// `(smgr, rel)` for log-resident storage managers. Pins are noted
+/// under buffer frame latches (write-back) and the checkpoint prune
+/// holds this lock while asking the WORM manager which relations still
+/// have staged blocks, so it sits between [`WAL_APPEND`] and the smgr
+/// ranks.
+pub const WAL_PINS: LockRank = LockRank::new(48, "wal.pins");
+
 /// The storage-manager dispatch table (`crates/smgr`); read on every
 /// device I/O, including under a frame latch.
 pub const SMGR_SWITCH: LockRank = LockRank::new(50, "smgr.switch_table");

@@ -248,3 +248,120 @@ fn worm_burned_heap_survives_crash_and_redo() {
     assert_eq!(rows.len(), 20);
     assert!(rows.iter().any(|r| r == b"platter row 7"));
 }
+
+/// A frame dirtied after its last capture and then *evicted* under pool
+/// pressure must still reach the log: the eviction write-back logs the
+/// pending image first. Otherwise replay rewinds the page to its older
+/// captured image and a committed delta is torn out.
+#[test]
+fn evicted_uncaptured_delta_survives_crash() {
+    let tmp = tempfile::tempdir().unwrap();
+    let opts = || EnvOptions {
+        pool_frames: 64,
+        pool_shards: 4,
+        wal_segment_bytes: 64 * 1024,
+        ..Default::default()
+    };
+    let v1: Vec<u8> = vec![0xAA; 200_000];
+    let v2: Vec<u8> = (0..200_000u32).map(|i| (i.wrapping_mul(17) % 249) as u8).collect();
+    let id = {
+        let env = StorageEnv::open_with(tmp.path(), opts()).unwrap();
+        let store = LoStore::new(Arc::clone(&env));
+        let txn = env.begin();
+        let id = store.create(&txn, &LoSpec::fchunk()).unwrap();
+        let mut h = store.open(&txn, id, OpenMode::ReadWrite).unwrap();
+        h.write_at(0, &v1).unwrap();
+        h.close().unwrap();
+        // First version's images land in the log.
+        env.pool().capture_pending().unwrap();
+        // Overwrite in place: the frames are dirty again, uncaptured.
+        let mut h = store.open(&txn, id, OpenMode::ReadWrite).unwrap();
+        h.write_at(0, &v2).unwrap();
+        h.close().unwrap();
+        // Pool pressure: a filler object twice the pool size evicts the
+        // overwritten frames while their deltas are still uncaptured.
+        let filler = store.create(&txn, &LoSpec::fchunk()).unwrap();
+        let mut h = store.open(&txn, filler, OpenMode::ReadWrite).unwrap();
+        h.write_at(0, &vec![0x55u8; 64 * 8192 * 2]).unwrap();
+        h.close().unwrap();
+        txn.commit();
+        std::mem::forget(env); // crash: home writes may be arbitrarily stale
+        id
+    };
+
+    let env = StorageEnv::open_with(tmp.path(), opts()).unwrap();
+    let store = LoStore::new(Arc::clone(&env));
+    let txn = env.begin();
+    let mut h = store.open(&txn, id, OpenMode::ReadOnly).unwrap();
+    let mut buf = vec![0u8; v2.len()];
+    assert_eq!(h.read_at(0, &mut buf).unwrap(), v2.len());
+    assert_eq!(buf, v2, "an evicted page must not rewind to its older image");
+    drop(buf);
+    let _ = v1;
+}
+
+/// Once every block of a WORM relation is burned, its recycle pin is
+/// pruned at checkpoint — the redo horizon sails past the archived
+/// images — and after a crash the rows come back from the platter file,
+/// not from replay.
+#[test]
+fn burned_worm_pin_prunes_and_platter_restores_after_recycle() {
+    let tmp = tempfile::tempdir().unwrap();
+    {
+        let env = StorageEnv::open_with(tmp.path(), crash_opts()).unwrap();
+        let heap = Heap::create(&env, "VAULT", env.worm_id(), Default::default()).unwrap();
+        let txn = env.begin();
+        for i in 0..20u32 {
+            heap.insert(&txn, format!("vault row {i}").as_bytes()).unwrap();
+        }
+        heap.flush().unwrap(); // burn every staged block
+        txn.commit();
+        env.pool().flush_all().unwrap();
+        let committed_end = env.wal().end_lsn();
+        env.checkpoint().unwrap();
+        assert!(
+            env.wal().redo_lsn() >= committed_end,
+            "a fully burned relation must not pin the redo horizon"
+        );
+        std::mem::forget(env);
+    }
+
+    let env = StorageEnv::open_with(tmp.path(), crash_opts()).unwrap();
+    let heap = Heap::open(&env, "VAULT").unwrap();
+    let txn = env.begin();
+    let rows: Vec<Vec<u8>> = heap.scan(Visibility::for_txn(&txn)).map(|r| r.unwrap().1).collect();
+    assert_eq!(rows.len(), 20);
+    assert!(rows.iter().any(|r| r == b"vault row 13"));
+}
+
+/// Staged-but-unburned WORM blocks live only in the log: a checkpoint
+/// must keep their records pinned (no premature prune), and a crash then
+/// rebuilds them by replay.
+#[test]
+fn staged_worm_blocks_pin_checkpoint_and_survive_crash() {
+    let tmp = tempfile::tempdir().unwrap();
+    {
+        let env = StorageEnv::open_with(tmp.path(), crash_opts()).unwrap();
+        let heap = Heap::create(&env, "STAGE", env.worm_id(), Default::default()).unwrap();
+        let txn = env.begin();
+        for i in 0..20u32 {
+            heap.insert(&txn, format!("staged row {i}").as_bytes()).unwrap();
+        }
+        txn.commit(); // images logged; no burn — blocks stay staged
+        env.pool().flush_all().unwrap();
+        let committed_end = env.wal().end_lsn();
+        env.checkpoint().unwrap();
+        assert!(
+            env.wal().redo_lsn() < committed_end,
+            "a staged relation's records must pin the redo horizon"
+        );
+        std::mem::forget(env);
+    }
+
+    let env = StorageEnv::open_with(tmp.path(), crash_opts()).unwrap();
+    let heap = Heap::open(&env, "STAGE").unwrap();
+    let txn = env.begin();
+    let rows: Vec<Vec<u8>> = heap.scan(Visibility::for_txn(&txn)).map(|r| r.unwrap().1).collect();
+    assert_eq!(rows.len(), 20);
+    assert!(rows.iter().any(|r| r == b"staged row 13"));
+}
