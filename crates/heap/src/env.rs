@@ -5,7 +5,7 @@
 use crate::{Catalog, Result};
 use pglo_buffer::{
     BgWriter, BufferPool, PoolOptions, DEFAULT_POOL_FRAMES, DEFAULT_POOL_SHARDS,
-    DEFAULT_READAHEAD_WINDOW,
+    DEFAULT_READAHEAD_GATE_NS, DEFAULT_READAHEAD_WINDOW,
 };
 use pglo_sim::SimContext;
 use pglo_smgr::{
@@ -28,6 +28,11 @@ pub struct EnvOptions {
     pub pool_shards: usize,
     /// Sequential read-ahead window in blocks; 0 disables read-ahead.
     pub readahead_window: usize,
+    /// Read-ahead latency gate in nanoseconds: the window only opens
+    /// while the pool's observed per-read latency EWMA is at or above
+    /// this; 0 disables the gate. See
+    /// [`pglo_buffer::PoolOptions::readahead_gate_ns`].
+    pub readahead_gate_ns: u64,
     /// Background-writer wakeup interval; `None` (the default — benchmarks
     /// reproducing the paper's figures need a deterministic simulated
     /// clock) leaves write-back to evictions and explicit flushes. The
@@ -53,6 +58,7 @@ impl Default for EnvOptions {
             pool_frames: DEFAULT_POOL_FRAMES,
             pool_shards: DEFAULT_POOL_SHARDS,
             readahead_window: DEFAULT_READAHEAD_WINDOW,
+            readahead_gate_ns: DEFAULT_READAHEAD_GATE_NS,
             bgwriter_interval: None,
             durable_sync: false,
             worm_cache_blocks: pglo_smgr::worm::DEFAULT_WORM_CACHE_BLOCKS,
@@ -262,6 +268,7 @@ impl StorageEnv {
                 frames: opts.pool_frames,
                 shards: opts.pool_shards,
                 readahead_window: opts.readahead_window,
+                readahead_gate_ns: opts.readahead_gate_ns,
             },
         ));
         // Open the redo log and replay it before any subsystem that reads

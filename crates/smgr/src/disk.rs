@@ -240,6 +240,10 @@ impl StorageManager for DiskSmgr {
         Ok(())
     }
 
+    fn clock_ns(&self) -> u64 {
+        self.sim.clock().now_ns()
+    }
+
     fn io_stats(&self) -> pglo_sim::stats::IoSnapshot {
         self.stats.snapshot()
     }

@@ -174,6 +174,18 @@ pub trait StorageManager: Send + Sync {
         true
     }
 
+    /// Current reading of the simulated device clock, in nanoseconds;
+    /// 0 for managers without one. The buffer pool samples this around
+    /// reads (adding the delta to real wall-clock time) to estimate
+    /// per-read device latency for its read-ahead gate. The clock may be
+    /// shared between devices and advanced by other threads, so a delta
+    /// is a heuristic over-estimate under concurrency, never an exact
+    /// per-op cost — which is fine for a gate that only needs to tell a
+    /// ~100 µs simulated 1992 device from a ~µs host page cache.
+    fn clock_ns(&self) -> u64 {
+        0
+    }
+
     /// Aggregate I/O statistics for this device.
     fn io_stats(&self) -> pglo_sim::stats::IoSnapshot;
 

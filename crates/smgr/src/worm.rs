@@ -418,8 +418,11 @@ impl StorageManager for WormSmgr {
                 // platter holds the bytes — otherwise the WAL pin could
                 // be pruned with the platter write still in flight.
                 let path = platter_path(&p.dir, rel);
+                let mut open_opts = OpenOptions::new();
                 // LINT: allow(R7, platter append must complete under the lock before has_staged can report the relation prunable)
-                let f = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+                open_opts.read(true).write(true).create(true).truncate(false);
+                // LINT: allow(R7, platter append must complete under the lock before has_staged can report the relation prunable)
+                let f = open_opts.open(&path)?;
                 // LINT: allow(R7, platter append must complete under the lock before has_staged can report the relation prunable)
                 let len = f.metadata()?.len();
                 // Defensive: clear any partial record before appending.
@@ -454,6 +457,10 @@ impl StorageManager for WormSmgr {
 
     fn supports_overwrite(&self) -> bool {
         false
+    }
+
+    fn clock_ns(&self) -> u64 {
+        self.sim.clock().now_ns()
     }
 
     fn io_stats(&self) -> pglo_sim::stats::IoSnapshot {

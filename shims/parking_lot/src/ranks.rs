@@ -47,12 +47,15 @@ pub const CATALOG_PERSIST: LockRank = LockRank::new(25, "heap.catalog_persist");
 pub const TEMP_REGISTRY: LockRank = LockRank::new(26, "core.temp_registry");
 
 /// Buffer-pool read-ahead window state (`crates/buffer`); taken before
-/// any shard table in the prefetch planner.
+/// any shard table in the prefetch planner, and only once the observed
+/// read-latency EWMA has engaged the gate.
 pub const POOL_READAHEAD: LockRank = LockRank::new(28, "buffer.readahead");
 
 /// A buffer-pool shard page table (`crates/buffer`). All shards share
 /// this rank: DESIGN.md rule "at most one shard lock held at a time"
-/// falls out of the same-rank check.
+/// falls out of the same-rank check. Guards misses, evictions, and
+/// re-keying only — pool hits ride the lock-free fast path and never
+/// take it.
 pub const POOL_SHARD: LockRank = LockRank::new(30, "buffer.shard_table");
 
 /// Serializes page-image capture batches (`crates/buffer`): one capture
