@@ -40,15 +40,19 @@
 //! (`try_read`/`try_write`, skipping pinned or contended frames), never
 //! a shard-table lock.
 
+use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use parking_lot::{ranks, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use pglo_pages::{PageBuf, PAGE_SIZE};
 use pglo_smgr::{RelFileId, SmgrError, SmgrId, SmgrSwitch};
 use pglo_wal::{Lsn, Wal};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+pub mod protocol;
+
+use protocol::{FrameState, PendingLink, PendingQueue, SlotArray};
 
 /// Identifies a page across the whole storage-manager switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,47 +152,16 @@ impl FrameData {
     }
 }
 
-/// Bit 32 of [`Frame::state`]: the frame's image is installed and its
-/// published key vouches for it.
-const FRAME_VALID: u64 = 1 << 32;
-/// Low 32 bits of [`Frame::state`]: the pin count.
-const FRAME_PIN_MASK: u64 = FRAME_VALID - 1;
-
 struct Frame {
     data: RwLock<FrameData>,
-    /// Pin count (low 32 bits) and the `VALID` flag (bit 32) in ONE
-    /// atomic word, so "pin if valid" and "retire if unpinned" are both
-    /// single CASes on the same location and totally ordered against
-    /// each other. Two separate atomics would re-create the classic
-    /// store-buffer litmus: a pinner could increment the count while
-    /// loading a stale `valid=true` at the same instant a retirer clears
-    /// `valid` while loading a stale `pins=0`, and both would proceed.
-    ///
-    /// `VALID` means: the frame holds an installed page image and the
-    /// published key fields below identify it, so a lock-free pinner may
-    /// trust the bytes without any lock. It is cleared only by a CAS
-    /// that simultaneously observes `pins == 0` (retiring for a re-key)
-    /// or under the exclusive paths that own the frame (failed load,
-    /// `discard_rel`). While a pin is held `VALID` cannot fall, which is
-    /// what freezes the published key for post-pin revalidation.
-    state: AtomicU64,
+    /// The pin/`VALID` state word plus the published key pair — the whole
+    /// lock-free pin/revalidate/retire protocol, extracted to
+    /// [`protocol::FrameState`] so the model checker can explore it.
+    sync: FrameState,
     used: AtomicBool,
-    /// Published copy of `FrameData::key.rel` for lock-free revalidation.
-    /// Written only while `VALID` is clear (so a successful pin CAS
-    /// proves these fields are frozen); made visible by the `Release`
-    /// that sets `VALID`.
-    pub_rel: AtomicU64,
-    /// Published `(smgr << 32) | block` companion to `pub_rel`.
-    pub_sb: AtomicU64,
-    /// Next frame index in the pending-capture chain (`usize::MAX` = end).
-    /// Only meaningful while `queued` is set.
-    next_pending: AtomicUsize,
-    /// True while this frame sits on the pending-capture chain. Pushers
-    /// transition false→true (so a frame is chained at most once); a
-    /// capture clears it after consuming the chain. Chain links are
-    /// stable while `queued` holds, which is what lets a capture walk a
-    /// stolen chain without locks.
-    queued: AtomicBool,
+    /// Intrusive link on the pending-capture chain (see
+    /// [`protocol::PendingLink`]).
+    pending: PendingLink,
     /// Installed by read-ahead and not yet pinned; the first pin of such a
     /// frame counts as a prefetch hit.
     prefetched: AtomicBool,
@@ -196,147 +169,67 @@ struct Frame {
 
 impl Frame {
     fn pin_count(&self) -> u32 {
-        (self.state.load(Ordering::Acquire) & FRAME_PIN_MASK) as u32
+        self.sync.pin_count()
     }
 
     fn is_valid(&self) -> bool {
-        self.state.load(Ordering::Acquire) & FRAME_VALID != 0
+        self.sync.is_valid()
     }
 
-    /// Raise the pin count without requiring `VALID`. Only callers
-    /// holding the owning shard's table lock (or an existing pin, for
-    /// the write-back re-pin) may use this: the shard lock is what keeps
-    /// a concurrent retire-for-re-key from racing the unconditional
-    /// increment, since retires happen under that lock too.
+    /// See [`FrameState::pin_unconditional`] — caller holds the owning
+    /// shard's table lock or an existing pin.
     fn pin_unconditional(&self) {
-        self.state.fetch_add(1, Ordering::AcqRel);
+        self.sync.pin_unconditional();
     }
 
     fn unpin(&self) {
-        self.state.fetch_sub(1, Ordering::AcqRel);
+        self.sync.unpin();
     }
 
-    /// The lock-free pin: CAS-increment the pin count *only while*
-    /// `VALID` is set, in one RMW. Success means the published key was
-    /// frozen at the moment the pin landed (no retire can clear `VALID`
-    /// past a nonzero count), so the caller's key re-check is stable.
-    /// Returns `(pinned, cas_retries)`; gives up after a bounded number
-    /// of contended retries so the fast path never spins unboundedly.
+    /// See [`FrameState::try_pin_valid`] — the lock-free pin.
     fn try_pin_valid(&self) -> (bool, u32) {
-        let mut retries = 0u32;
-        let mut s = self.state.load(Ordering::Acquire);
-        loop {
-            if s & FRAME_VALID == 0 {
-                return (false, retries);
-            }
-            match self.state.compare_exchange_weak(s, s + 1, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(_) => return (true, retries),
-                Err(cur) => {
-                    retries += 1;
-                    if retries >= 16 {
-                        return (false, retries);
-                    }
-                    s = cur;
-                }
-            }
-        }
+        self.sync.try_pin_valid()
     }
 
-    /// Publish the frame as installed. `Release` so a pinner whose CAS
-    /// observes `VALID` also observes the published key written before.
     fn set_valid(&self) {
-        self.state.fetch_or(FRAME_VALID, Ordering::Release);
+        self.sync.set_valid();
     }
 
-    /// Withdraw `VALID` unconditionally. Only for paths that own the
-    /// frame outright (failed load with the pin still held, discard of
-    /// the mapped relation) — re-keying must go through
-    /// [`Frame::try_retire`] instead.
     fn clear_valid(&self) {
-        self.state.fetch_and(!FRAME_VALID, Ordering::AcqRel);
+        self.sync.clear_valid();
     }
 
-    /// Atomically retire the frame for a re-key: clear `VALID` while the
-    /// pin count is exactly zero. Fails (`None`) if a pin is held — a
-    /// lock-free pinner got there first and the caller must pick another
-    /// victim. On success returns whether `VALID` was set beforehand, so
-    /// a caller that bails out afterwards knows whether to restore it.
-    /// Caller must hold the owning shard's table lock: that is what
-    /// keeps slow-path unconditional pins (which don't check `VALID`)
-    /// from racing this, while fast-path pins are excluded by the CAS
-    /// itself.
+    /// See [`FrameState::try_retire`] — caller holds the owning shard's
+    /// table lock.
     fn try_retire(&self) -> Option<bool> {
-        let mut s = self.state.load(Ordering::Acquire);
-        loop {
-            if s & FRAME_PIN_MASK != 0 {
-                return None;
-            }
-            if s & FRAME_VALID == 0 {
-                return Some(false);
-            }
-            match self.state.compare_exchange_weak(
-                s,
-                s & !FRAME_VALID,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => return Some(true),
-                Err(cur) => s = cur,
-            }
-        }
+        self.sync.try_retire()
     }
 
-    /// Publish `key` for lock-free revalidation. Only while `VALID` is
-    /// clear and under the frame's write latch (the retire/install
-    /// protocol), so no lock-free pinner can be mid-validation against a
-    /// half-written pair: a *successful* pin proves `VALID` was set,
-    /// which proves these stores are complete and frozen.
+    /// See [`FrameState::publish`] — only while `VALID` is clear, under
+    /// the frame's write latch.
     fn publish_key(&self, key: &PageKey) {
-        self.pub_rel.store(key.rel, Ordering::Relaxed);
-        self.pub_sb.store(Self::pack_sb(key), Ordering::Relaxed);
+        self.sync.publish(key.rel, Self::pack_sb(key));
     }
 
     fn pack_sb(key: &PageKey) -> u64 {
         ((key.smgr.0 as u64) << 32) | key.block as u64
     }
 
-    /// Whether the published key equals `key`. Only meaningful while the
-    /// caller holds a pin taken by [`Frame::try_pin_valid`] (frozen
-    /// fields); before that it is a cheap advisory filter whose stale
-    /// reads are caught by the post-pin re-check.
+    /// See [`FrameState::matches`] — advisory before a pin, authoritative
+    /// after one.
     fn published_matches(&self, key: &PageKey) -> bool {
-        self.pub_sb.load(Ordering::Relaxed) == Self::pack_sb(key)
-            && self.pub_rel.load(Ordering::Relaxed) == key.rel
+        self.sync.matches(key.rel, Self::pack_sb(key))
     }
 }
-
-/// Slot-array sentinel: never occupied.
-const SLOT_EMPTY: usize = 0;
-/// Slot-array sentinel: occupied once, key since removed. Probes must
-/// continue past it; inserts may reuse it.
-const SLOT_TOMB: usize = usize::MAX;
-/// Probe-length bound for lock-free slot lookups; past this the pinner
-/// gives up and takes the authoritative locked path. Bounds fast-path
-/// latency under pathological clustering without affecting correctness.
-const SLOT_PROBE_LIMIT: usize = 32;
 
 /// One lock shard: a page table over a contiguous frame range with its own
 /// clock hand and counters.
 struct Shard {
     table: Mutex<PageTable>,
-    /// Lock-free mirror of `PageTable::map` for the pin fast path: an
-    /// open-addressed, linearly probed array of `frame index + 1`
-    /// values ([`SLOT_EMPTY`]/[`SLOT_TOMB`] sentinels), power-of-two
-    /// sized at ≥ 2× the shard's frames so load factor stays ≤ ½.
-    /// Mutated only while holding `table` (the `HashMap` stays
-    /// authoritative); read without any lock. Slot values are pure
-    /// *hints*: every lookup is validated against the frame's own
-    /// `state`/published key, so a racing reader that sees a stale,
-    /// torn, or rebuilt-in-progress slot at worst falls back to the
-    /// locked path, never returns wrong bytes.
-    slots: Vec<AtomicUsize>,
-    /// `slots.len() - 1` (power-of-two mask).
-    slot_mask: usize,
+    /// Lock-free mirror of `PageTable::map` for the pin fast path; see
+    /// [`protocol::SlotArray`]. Mutated only while holding `table` (the
+    /// `HashMap` stays authoritative); read without any lock.
+    slots: SlotArray,
     /// First frame owned by this shard.
     lo: usize,
     /// One past the last frame owned by this shard.
@@ -464,12 +357,11 @@ pub struct BufferPool {
     /// [`BufferPool::dirty_horizon`] folds this floor in so a checkpoint
     /// cannot recycle that image away.
     capture_floor: AtomicU64,
-    /// Head of the lock-free pending-frame chain (`usize::MAX` = empty):
-    /// frame indices flagged `log_pending` since the last capture, so a
-    /// capture costs O(pending), never a whole-pool scan. Frames link
-    /// through `Frame::next_pending`; membership is guarded by
-    /// `Frame::queued`.
-    pending_head: AtomicUsize,
+    /// The lock-free pending-frame chain: frame indices flagged
+    /// `log_pending` since the last capture, so a capture costs
+    /// O(pending), never a whole-pool scan. Frames link through
+    /// `Frame::pending`; see [`protocol::PendingQueue`].
+    pending: PendingQueue,
     /// Advisory length of the pending chain (reset at steal; racing
     /// pushes may briefly undercount). Lets callers batch capture work:
     /// drain when the backlog is worth a trip through the append lock,
@@ -543,12 +435,9 @@ impl BufferPool {
                     },
                     ranks::POOL_FRAME,
                 ),
-                state: AtomicU64::new(0),
+                sync: FrameState::new(),
                 used: AtomicBool::new(false),
-                pub_rel: AtomicU64::new(0),
-                pub_sb: AtomicU64::new(0),
-                next_pending: AtomicUsize::new(usize::MAX),
-                queued: AtomicBool::new(false),
+                pending: PendingLink::new(),
                 prefetched: AtomicBool::new(false),
             })
             .collect();
@@ -565,8 +454,7 @@ impl BufferPool {
                         PageTable { map: HashMap::new(), hand: lo, tombs: 0 },
                         ranks::POOL_SHARD,
                     ),
-                    slots: (0..slot_len).map(|_| AtomicUsize::new(SLOT_EMPTY)).collect(),
-                    slot_mask: slot_len - 1,
+                    slots: SlotArray::new(slot_len),
                     lo,
                     hi: lo + len,
                     hits: AtomicU64::new(0),
@@ -586,7 +474,7 @@ impl BufferPool {
             wal: std::sync::OnceLock::new(),
             capture: Mutex::with_rank((), ranks::POOL_CAPTURE),
             capture_floor: AtomicU64::new(u64::MAX),
-            pending_head: AtomicUsize::new(usize::MAX),
+            pending: PendingQueue::new(),
             pending_count: AtomicUsize::new(0),
             frames,
             shards,
@@ -657,17 +545,8 @@ impl BufferPool {
 
     /// Mirror a `map.insert(key, idx)`; caller holds the shard's table lock.
     fn slot_insert(&self, shard: &Shard, table: &mut PageTable, key: &PageKey, idx: usize) {
-        let mut i = Self::slot_start(Self::key_hash(key), shard.slot_mask);
-        loop {
-            let v = shard.slots[i].load(Ordering::Relaxed);
-            if v == SLOT_EMPTY || v == SLOT_TOMB {
-                shard.slots[i].store(idx + 1, Ordering::Relaxed);
-                if v == SLOT_TOMB {
-                    table.tombs -= 1;
-                }
-                return;
-            }
-            i = (i + 1) & shard.slot_mask;
+        if shard.slots.insert(Self::slot_start(Self::key_hash(key), shard.slots.mask()), idx) {
+            table.tombs -= 1;
         }
     }
 
@@ -676,43 +555,24 @@ impl BufferPool {
     /// past ⅛ of it, keeping probe chains (and the fast path's bounded
     /// probe) short.
     fn slot_remove(&self, shard: &Shard, table: &mut PageTable, key: &PageKey, idx: usize) {
-        let mut i = Self::slot_start(Self::key_hash(key), shard.slot_mask);
-        let mut steps = 0;
-        loop {
-            let v = shard.slots[i].load(Ordering::Relaxed);
-            if v == idx + 1 {
-                shard.slots[i].store(SLOT_TOMB, Ordering::Relaxed);
-                table.tombs += 1;
-                if table.tombs * 8 > shard.slot_mask + 1 {
-                    self.slot_rebuild(shard, table);
-                }
-                return;
+        if shard.slots.remove(Self::slot_start(Self::key_hash(key), shard.slots.mask()), idx) {
+            table.tombs += 1;
+            if table.tombs * 8 > shard.slots.len() {
+                self.slot_rebuild(shard, table);
             }
-            if v == SLOT_EMPTY || steps > shard.slot_mask {
-                debug_assert!(false, "slot entry missing for a mapped key");
-                return;
-            }
-            steps += 1;
-            i = (i + 1) & shard.slot_mask;
+        } else {
+            debug_assert!(false, "slot entry missing for a mapped key");
         }
     }
 
-    /// Re-derive the slot array from the map, dropping all tombstones.
-    /// Concurrent lock-free readers may observe the array mid-rebuild;
-    /// they fall back to the locked path on a transient `SLOT_EMPTY` and
-    /// revalidate everything else against the frames, so no fence is
-    /// needed beyond the stores themselves.
+    /// Re-derive the slot array from the map, dropping all tombstones
+    /// (see [`SlotArray::clear`] for why concurrent lock-free readers are
+    /// safe against a mid-rebuild view).
     fn slot_rebuild(&self, shard: &Shard, table: &mut PageTable) {
-        for slot in &shard.slots {
-            slot.store(SLOT_EMPTY, Ordering::Relaxed);
-        }
+        shard.slots.clear();
         table.tombs = 0;
         for (key, &idx) in &table.map {
-            let mut i = Self::slot_start(Self::key_hash(key), shard.slot_mask);
-            while shard.slots[i].load(Ordering::Relaxed) != SLOT_EMPTY {
-                i = (i + 1) & shard.slot_mask;
-            }
-            shard.slots[i].store(idx + 1, Ordering::Relaxed);
+            shard.slots.insert(Self::slot_start(Self::key_hash(key), shard.slots.mask()), idx);
         }
     }
 
@@ -724,45 +584,38 @@ impl BufferPool {
     /// key, probe bound hit, frame mid-install or just retired, CAS
     /// contention, revalidation failure).
     fn try_pin_fast(&self, shard: &Shard, key: &PageKey) -> Option<usize> {
-        let hash = Self::key_hash(key);
-        let mut i = Self::slot_start(hash, shard.slot_mask);
         let mut retries = 0u32;
-        let mut found = None;
-        for _ in 0..SLOT_PROBE_LIMIT.min(shard.slot_mask + 1) {
-            let v = shard.slots[i].load(Ordering::Relaxed);
-            if v == SLOT_EMPTY {
-                break;
-            }
-            if v != SLOT_TOMB && v != SLOT_EMPTY {
-                let idx = v - 1;
+        let found = shard
+            .slots
+            .probe(Self::slot_start(Self::key_hash(key), shard.slots.mask()), |idx| {
                 // Advisory pre-filter on the published key; the read may
                 // be stale or torn, which either sends us onward down the
                 // probe chain (missed match → locked path finds it) or
                 // into a pin attempt the post-pin re-check rejects.
-                if idx < self.frames.len() && self.frames[idx].published_matches(key) {
-                    let frame = &self.frames[idx];
-                    let (pinned, cas_retries) = frame.try_pin_valid();
-                    retries += cas_retries;
-                    if pinned {
-                        // The pin held `VALID` up, so the published key
-                        // is frozen: this re-read decides for real.
-                        if frame.published_matches(key) {
-                            found = Some(idx);
-                        } else {
-                            // Re-keyed between filter and pin.
-                            frame.unpin();
-                            retries += 1;
-                        }
-                    } else {
-                        // Mid-install, failed load, or being retired —
-                        // the locked path sorts it out.
-                        retries += 1;
-                    }
-                    break;
+                if idx >= self.frames.len() || !self.frames[idx].published_matches(key) {
+                    return None;
                 }
-            }
-            i = (i + 1) & shard.slot_mask;
-        }
+                let frame = &self.frames[idx];
+                let (pinned, cas_retries) = frame.try_pin_valid();
+                retries += cas_retries;
+                if pinned {
+                    // The pin held `VALID` up, so the published key is
+                    // frozen: this re-read decides for real.
+                    if frame.published_matches(key) {
+                        return Some(Some(idx));
+                    }
+                    // Re-keyed between filter and pin.
+                    frame.unpin();
+                    retries += 1;
+                } else {
+                    // Mid-install, failed load, or being retired — the
+                    // locked path sorts it out.
+                    retries += 1;
+                }
+                // A probed match ends the walk either way.
+                Some(None)
+            })
+            .flatten();
         if retries > 0 {
             obs::counter!("pool.pin.retries").add(retries as u64);
         }
@@ -775,24 +628,15 @@ impl BufferPool {
     /// a stale answer costs one redundant device read or one locked
     /// confirmation, never correctness.
     fn resident_fast(&self, shard: &Shard, key: &PageKey) -> bool {
-        let mut i = Self::slot_start(Self::key_hash(key), shard.slot_mask);
-        for _ in 0..SLOT_PROBE_LIMIT.min(shard.slot_mask + 1) {
-            let v = shard.slots[i].load(Ordering::Relaxed);
-            if v == SLOT_EMPTY {
-                return false;
-            }
-            if v != SLOT_TOMB {
-                let idx = v - 1;
-                if idx < self.frames.len()
+        shard
+            .slots
+            .probe(Self::slot_start(Self::key_hash(key), shard.slots.mask()), |idx| {
+                (idx < self.frames.len()
                     && self.frames[idx].published_matches(key)
-                    && self.frames[idx].is_valid()
-                {
-                    return true;
-                }
-            }
-            i = (i + 1) & shard.slot_mask;
-        }
-        false
+                    && self.frames[idx].is_valid())
+                .then_some(())
+            })
+            .is_some()
     }
 
     /// Pin `key`'s page into the pool, loading it from its storage manager
@@ -1557,25 +1401,9 @@ impl BufferPool {
     /// at most once; re-dirtying an already-chained frame is a single
     /// failed compare-exchange.
     fn note_pending(&self, idx: usize) {
-        let frame = &self.frames[idx];
-        if frame.queued.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_err()
-        {
-            return;
+        if self.pending.push(idx, &self.frames[idx].pending) {
+            self.pending_count.fetch_add(1, Ordering::Relaxed);
         }
-        let mut head = self.pending_head.load(Ordering::Acquire);
-        loop {
-            frame.next_pending.store(head, Ordering::Release);
-            match self.pending_head.compare_exchange_weak(
-                head,
-                idx,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => break,
-                Err(h) => head = h,
-            }
-        }
-        self.pending_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Approximate number of frames waiting on the pending-capture
@@ -1606,9 +1434,7 @@ impl BufferPool {
         // stolen the chain (head empty) while its images are not yet in
         // the log; a committer must wait behind it on the mutex so its
         // commit record lands after those images.
-        if self.pending_head.load(Ordering::Acquire) == usize::MAX
-            && self.capture_floor.load(Ordering::Acquire) == u64::MAX
-        {
+        if self.pending.is_empty_fast() && self.capture_floor.load(Ordering::Acquire) == u64::MAX {
             return Ok(0);
         }
         let _span = obs::span!("pool.capture");
@@ -1622,20 +1448,13 @@ impl BufferPool {
         // ours; frames flagged afterwards start a fresh chain for the
         // next capture — which is exactly the commit contract, since a
         // committer's own writes all completed (and chained) before it
-        // asked for the capture.
-        let mut cursor = self.pending_head.swap(usize::MAX, Ordering::AcqRel);
+        // asked for the capture. The walk happens before any `queued`
+        // release, so the links are stable (see `PendingQueue::steal`).
+        let indices = self.pending.steal(|i| &self.frames[i].pending);
         self.pending_count.store(0, Ordering::Relaxed);
-        if cursor == usize::MAX {
+        if indices.is_empty() {
             self.capture_floor.store(u64::MAX, Ordering::Release);
             return Ok(0);
-        }
-        // Walk the stolen chain first, before clearing any `queued` flag:
-        // while `queued` holds, no frame can be re-chained, so the links
-        // are stable.
-        let mut indices: Vec<usize> = Vec::new();
-        while cursor != usize::MAX {
-            indices.push(cursor);
-            cursor = self.frames[cursor].next_pending.load(Ordering::Acquire);
         }
         // Phase 1: encode and checksum every pending page outside the
         // append lock, frame latches taken one at a time.
@@ -1647,7 +1466,7 @@ impl BufferPool {
             // the frame again for the *next* capture. If that happens
             // before our latch below, we capture the newer bytes and the
             // next capture skips a clean frame — never a lost image.
-            frame.queued.store(false, Ordering::Release);
+            frame.pending.release();
             let mut data = frame.data.write();
             if !data.log_pending {
                 continue;

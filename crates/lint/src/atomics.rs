@@ -1,0 +1,728 @@
+//! R11 atomics-protocol sync: every atomic field in the lock-free
+//! protocol crates (`buffer`, `wal`, `txn`) is named in the machine-
+//! readable ```` ```atomics-protocol ```` table in DESIGN.md, and every
+//! atomic operation in those crates uses an ordering at least as strong
+//! as the table requires. Two-way, like the R5 lock-ranks table: a field
+//! in code but not the table fails, and a table row naming no code field
+//! fails, so the table can never silently rot.
+//!
+//! Table row grammar (inside the fenced block; `#` comments allowed):
+//!
+//! ```text
+//! <crate>.<field> <role> load=<Ord|-> store=<Ord|-> rmw=<Ord|-> — note
+//! ```
+//!
+//! `Ord` is one of `Relaxed | Acquire | Release | AcqRel | SeqCst`; `-`
+//! means the protocol performs no such operation on the field (doing one
+//! anyway is a finding — the table is the protocol, not a suggestion).
+//! `compare_exchange*` success orderings check against `rmw=`, failure
+//! orderings against `load=`; `fetch_update` checks its set ordering
+//! against `rmw=` and its fetch ordering against `load=`.
+//!
+//! Orderings *stronger* than required never fail R11 (the model checker
+//! shim treats `SeqCst` as `AcqRel`, so "too strong" is a perf nit, not
+//! a bug) — but every `Ordering::Relaxed` token in library code is also
+//! counted against the exact per-file budget in
+//! `crates/lint/relaxed_allows.txt` (shrink-only, like R3): adding a
+//! relaxed access anywhere means raising a committed count in review.
+//!
+//! Receiver resolution is lexical: `<ident>.<op>(..)` attributes the
+//! operation to `<ident>` (walking back over one `[..]`/`(..)` group, so
+//! `self.slots[i].store(..)` resolves to `slots`). An operation whose
+//! receiver is not a declared atomic field of the crate (a local alias,
+//! e.g. `flag.load(..)` on a cloned `Arc<AtomicBool>`) is not checked —
+//! keep protocol accesses on named fields.
+
+use crate::{finding, test_mask, Finding, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose atomics must be covered by the DESIGN.md table.
+pub const ATOMIC_PROTOCOL_CRATES: [&str; 3] = ["buffer", "wal", "txn"];
+
+const ATOMIC_TYPES: [&str; 7] =
+    ["AtomicBool", "AtomicU8", "AtomicU16", "AtomicU32", "AtomicU64", "AtomicUsize", "AtomicI64"];
+
+/// Atomic-op method names and how their ordering arguments are checked.
+/// `(method, n_orderings, kinds-per-argument)`.
+const OPS: [(&str, &[OpKind]); 14] = [
+    ("load", &[OpKind::Load]),
+    ("store", &[OpKind::Store]),
+    ("swap", &[OpKind::Rmw]),
+    ("fetch_add", &[OpKind::Rmw]),
+    ("fetch_sub", &[OpKind::Rmw]),
+    ("fetch_and", &[OpKind::Rmw]),
+    ("fetch_nand", &[OpKind::Rmw]),
+    ("fetch_or", &[OpKind::Rmw]),
+    ("fetch_xor", &[OpKind::Rmw]),
+    ("fetch_max", &[OpKind::Rmw]),
+    ("fetch_min", &[OpKind::Rmw]),
+    ("compare_exchange", &[OpKind::Rmw, OpKind::Load]),
+    ("compare_exchange_weak", &[OpKind::Rmw, OpKind::Load]),
+    ("fetch_update", &[OpKind::Rmw, OpKind::Load]),
+];
+
+/// Which of a row's three requirement columns an ordering argument is
+/// checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+impl OpKind {
+    fn column(self) -> &'static str {
+        match self {
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Rmw => "rmw",
+        }
+    }
+}
+
+/// One row of the ```` ```atomics-protocol ```` table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicRow {
+    /// `<crate>.<field>`.
+    pub key: String,
+    /// Free-form role tag (`publish-watermark`, `counter`, ...).
+    pub role: String,
+    /// Required minimum ordering per operation kind; `None` = the
+    /// protocol performs no such operation.
+    pub load: Option<String>,
+    pub store: Option<String>,
+    pub rmw: Option<String>,
+}
+
+impl AtomicRow {
+    fn requirement(&self, kind: OpKind) -> Option<&str> {
+        match kind {
+            OpKind::Load => self.load.as_deref(),
+            OpKind::Store => self.store.as_deref(),
+            OpKind::Rmw => self.rmw.as_deref(),
+        }
+    }
+}
+
+/// An atomic-typed struct field declared in library code.
+#[derive(Debug, Clone)]
+pub struct AtomicDecl {
+    pub field: String,
+    pub line: u32,
+}
+
+/// One atomic operation site: `<field>.<method>(.., Ordering::X ..)`.
+#[derive(Debug, Clone)]
+pub struct AtomicOp {
+    pub field: String,
+    pub method: String,
+    pub line: u32,
+    /// Ordering arguments in source order (`load`/`store`/RMW: one;
+    /// `compare_exchange*`/`fetch_update`: success/set then failure/fetch).
+    pub orderings: Vec<String>,
+}
+
+/// `(acquire, release, seqcst)` strength bits. `a` satisfies `b` iff
+/// every bit of `b` is set in `a` — Acquire and Release are incomparable,
+/// AcqRel covers both, SeqCst covers everything.
+fn strength(ord: &str) -> Option<(bool, bool, bool)> {
+    Some(match ord {
+        "Relaxed" => (false, false, false),
+        "Acquire" => (true, false, false),
+        "Release" => (false, true, false),
+        "AcqRel" => (true, true, false),
+        "SeqCst" => (true, true, true),
+        _ => return None,
+    })
+}
+
+/// Whether ordering `actual` is at least as strong as `required`.
+pub fn ordering_satisfies(actual: &str, required: &str) -> bool {
+    match (strength(actual), strength(required)) {
+        (Some((aa, ar, asc)), Some((ra, rr, rsc))) => (aa || !ra) && (ar || !rr) && (asc || !rsc),
+        _ => false,
+    }
+}
+
+/// Parse the ```` ```atomics-protocol ```` fenced block out of DESIGN.md.
+pub fn parse_atomics_protocol(md: &str) -> Result<Vec<AtomicRow>, String> {
+    let mut rows = Vec::new();
+    let mut in_block = false;
+    let mut seen_block = false;
+    for (n, line) in md.lines().enumerate() {
+        let trimmed = line.trim();
+        if !in_block {
+            if trimmed == "```atomics-protocol" {
+                in_block = true;
+                seen_block = true;
+            }
+            continue;
+        }
+        if trimmed == "```" {
+            in_block = false;
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| format!("DESIGN.md line {}: {msg}", n + 1);
+        // Cut the trailing `— note` (em dash) before splitting fields.
+        let spec = trimmed.split('—').next().unwrap_or(trimmed).trim();
+        let mut fields = spec.split_whitespace();
+        let (Some(key), Some(role)) = (fields.next(), fields.next()) else {
+            return Err(err(
+                "expected `<crate>.<field> <role> load=.. store=.. rmw=.. — note`".to_string()
+            ));
+        };
+        let Some((krate, field)) = key.split_once('.') else {
+            return Err(err(format!("key {key:?} must be `<crate>.<field>`")));
+        };
+        if !ATOMIC_PROTOCOL_CRATES.contains(&krate) {
+            return Err(err(format!(
+                "crate {krate:?} is not covered by R11 (known: {ATOMIC_PROTOCOL_CRATES:?})"
+            )));
+        }
+        if field.is_empty() {
+            return Err(err(format!("key {key:?} has an empty field name")));
+        }
+        let mut row = AtomicRow {
+            key: key.to_string(),
+            role: role.to_string(),
+            load: None,
+            store: None,
+            rmw: None,
+        };
+        let mut seen_cols = BTreeSet::new();
+        for col in fields {
+            let Some((name, val)) = col.split_once('=') else {
+                return Err(err(format!("expected `load=..`/`store=..`/`rmw=..`, got {col:?}")));
+            };
+            if !seen_cols.insert(name.to_string()) {
+                return Err(err(format!("duplicate column {name:?}")));
+            }
+            let parsed = match val {
+                "-" => None,
+                ord if strength(ord).is_some() => Some(ord.to_string()),
+                other => return Err(err(format!("bad ordering {other:?} in {col:?}"))),
+            };
+            match name {
+                "load" => row.load = parsed,
+                "store" => row.store = parsed,
+                "rmw" => row.rmw = parsed,
+                other => return Err(err(format!("unknown column {other:?}"))),
+            }
+        }
+        for col in ["load", "store", "rmw"] {
+            if !seen_cols.contains(col) {
+                return Err(err(format!("row {key:?} is missing the `{col}=` column")));
+            }
+        }
+        rows.push(row);
+    }
+    if !seen_block {
+        return Err("DESIGN.md has no ```atomics-protocol fenced block".to_string());
+    }
+    if in_block {
+        return Err("DESIGN.md atomics-protocol block is unterminated".to_string());
+    }
+    Ok(rows)
+}
+
+/// Atomic-typed field declarations in non-test regions: `name:` followed
+/// by a type (up to `,` / `}` at bracket depth zero) that mentions an
+/// atomic type — catches `AtomicU64`, `Vec<AtomicUsize>`,
+/// `Arc<AtomicBool>` alike. Struct-literal initializers
+/// (`used: AtomicU8::new(0)`) don't match: there the atomic type name
+/// is a path prefix (followed by `::`), never the final type segment.
+pub fn atomic_field_decls(tokens: &[Token]) -> Vec<AtomicDecl> {
+    let mask = test_mask(tokens);
+    let sig: Vec<(usize, &Token)> =
+        tokens.iter().enumerate().filter(|(_, t)| t.kind != TokKind::Comment).collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < sig.len() {
+        let (i0, name) = sig[i];
+        // `name :` not followed by another `:` (which would be a path).
+        let is_decl = name.kind == TokKind::Ident
+            && sig[i + 1].1.is_punct(':')
+            && !sig[i + 2].1.is_punct(':')
+            && !sig.get(i.wrapping_sub(1)).is_some_and(|(_, t)| t.is_punct(':'));
+        if !is_decl || mask[i0] {
+            i += 1;
+            continue;
+        }
+        // Scan the type region for an atomic type name.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let mut found = false;
+        while j < sig.len() {
+            let t = sig[j].1;
+            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if depth >= 0
+                && (t.is_punct(',') || t.is_punct('{') || t.is_punct('}') || t.is_punct(';'))
+                && depth == 0
+            {
+                break;
+            } else if t.kind == TokKind::Ident
+                && ATOMIC_TYPES.contains(&t.text.as_str())
+                && !sig.get(j + 1).is_some_and(|(_, n)| n.is_punct(':'))
+            {
+                // Followed by `::` means `AtomicU64::new(..)` — a value
+                // expression, not a type position.
+                found = true;
+            } else if t.is_punct('=') {
+                // `let x: T = ..` / default value — stop at the type end.
+                break;
+            }
+            j += 1;
+        }
+        if found {
+            out.push(AtomicDecl { field: name.text.clone(), line: name.line });
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Atomic operation sites in non-test regions, with receivers resolved
+/// lexically (see module docs).
+pub fn atomic_op_sites(tokens: &[Token]) -> Vec<AtomicOp> {
+    let mask = test_mask(tokens);
+    let sig: Vec<(usize, &Token)> =
+        tokens.iter().enumerate().filter(|(_, t)| t.kind != TokKind::Comment).collect();
+    let mut out = Vec::new();
+    for i in 0..sig.len() {
+        let (i0, m) = sig[i];
+        if m.kind != TokKind::Ident || mask[i0] {
+            continue;
+        }
+        let Some((_, kinds)) = OPS.iter().find(|(name, _)| m.is_ident(name)) else { continue };
+        // `<recv> . method (` shape.
+        if !(i >= 2
+            && sig[i - 1].1.is_punct('.')
+            && sig.get(i + 1).is_some_and(|t| t.1.is_punct('(')))
+        {
+            continue;
+        }
+        let Some(field) = receiver_ident(&sig, i - 2) else { continue };
+        // Collect `Ordering::X` (or a bare ordering ident) inside the
+        // call's parentheses.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut orderings = Vec::new();
+        while j < sig.len() {
+            let t = sig[j].1;
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident && strength(&t.text).is_some() {
+                // `Ordering::Relaxed` or a bare `Relaxed` import — both
+                // resolve to the same ordering name.
+                orderings.push(t.text.clone());
+            }
+            j += 1;
+        }
+        // Only keep sites that look like real atomic ops: the ordering
+        // argument is what separates `rows.swap(a, b)` (Vec::swap) or an
+        // iterator's `.max()` from atomic accesses.
+        if orderings.is_empty() {
+            continue;
+        }
+        let _ = kinds;
+        out.push(AtomicOp { field, method: m.text.clone(), line: m.line, orderings });
+    }
+    out
+}
+
+/// Resolve the receiver identifier ending at `sig[at]`: an ident is
+/// itself; a closing `]`/`)` walks back over one balanced group to the
+/// ident before it (`self.slots[i]` → `slots`, `link_of(cursor).next` is
+/// handled by the ident case since `next` precedes the `.`).
+fn receiver_ident(sig: &[(usize, &Token)], at: usize) -> Option<String> {
+    let t = sig.get(at)?.1;
+    if t.kind == TokKind::Ident {
+        return Some(t.text.clone());
+    }
+    let close = if t.is_punct(']') {
+        ']'
+    } else if t.is_punct(')') {
+        ')'
+    } else {
+        return None;
+    };
+    let open = if close == ']' { '[' } else { '(' };
+    let mut depth = 0i32;
+    let mut k = at;
+    loop {
+        let t = sig.get(k)?.1;
+        if t.is_punct(close) {
+            depth += 1;
+        } else if t.is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        k = k.checked_sub(1)?;
+    }
+    let prev = sig.get(k.checked_sub(1)?)?.1;
+    if prev.kind == TokKind::Ident {
+        Some(prev.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Count of `Ordering::Relaxed` (or imported bare `Relaxed` ordering
+/// argument) tokens in non-test regions — the R11 relaxed budget.
+pub fn relaxed_sites(tokens: &[Token]) -> Vec<u32> {
+    // Count via op sites so `Relaxed` in doc text or unrelated idents
+    // can't trip the budget: every relaxed *ordering argument* is what
+    // the budget meters.
+    atomic_op_sites(tokens)
+        .iter()
+        .flat_map(|op| op.orderings.iter().map(move |o| (o, op.line)))
+        .filter(|(o, _)| o.as_str() == "Relaxed")
+        .map(|(_, line)| line)
+        .collect()
+}
+
+/// Everything R11 needs from one library file.
+pub struct AtomicFile<'a> {
+    pub rel: &'a str,
+    pub krate: &'a str,
+    pub decls: Vec<AtomicDecl>,
+    pub ops: Vec<AtomicOp>,
+}
+
+/// R11: check every op against the table and sync the table against the
+/// declared fields, two-way.
+pub fn check_atomics_protocol(rows: &[AtomicRow], files: &[AtomicFile<'_>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut by_key: BTreeMap<&str, &AtomicRow> = BTreeMap::new();
+    for row in rows {
+        if by_key.insert(row.key.as_str(), row).is_some() {
+            findings.push(finding(
+                "DESIGN.md",
+                0,
+                "R11",
+                format!("atomics-protocol table lists {:?} twice", row.key),
+            ));
+        }
+    }
+    // Declared fields per key, for the two-way sync.
+    let mut declared: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for f in files {
+        for d in &f.decls {
+            let key = format!("{}.{}", f.krate, d.field);
+            if let Some((prev_rel, prev_line)) = declared.get(&key) {
+                // Two structs in one crate sharing a field name must share
+                // one protocol row; flag it so the ambiguity is explicit.
+                findings.push(finding(
+                    f.rel,
+                    d.line,
+                    "R11",
+                    format!(
+                        "atomic field {key:?} also declared at {prev_rel}:{prev_line}: \
+                         R11 keys fields by `<crate>.<name>`, so rename one or keep \
+                         their protocols identical"
+                    ),
+                ));
+            } else {
+                declared.insert(key.clone(), (f.rel.to_string(), d.line));
+            }
+            if !by_key.contains_key(key.as_str()) {
+                findings.push(finding(
+                    f.rel,
+                    d.line,
+                    "R11",
+                    format!(
+                        "atomic field {key:?} is not in the DESIGN.md atomics-protocol \
+                         table: add a row naming its role and required orderings"
+                    ),
+                ));
+            }
+        }
+    }
+    for row in rows {
+        if !declared.contains_key(&row.key) {
+            findings.push(finding(
+                "DESIGN.md",
+                0,
+                "R11",
+                format!(
+                    "atomics-protocol row {:?} names no atomic field in the code: \
+                     delete the row or fix the name",
+                    row.key
+                ),
+            ));
+        }
+    }
+    // Ordering checks.
+    for f in files {
+        let fields: BTreeSet<&str> = f.decls.iter().map(|d| d.field.as_str()).collect();
+        for op in &f.ops {
+            if !fields.contains(op.field.as_str()) {
+                continue; // local atomic or alias: not a protocol field
+            }
+            let key = format!("{}.{}", f.krate, op.field);
+            let Some(row) = by_key.get(key.as_str()) else {
+                continue; // already reported as missing from the table
+            };
+            let kinds: &[OpKind] = match OPS.iter().find(|(name, _)| *name == op.method) {
+                Some((_, kinds)) => kinds,
+                None => continue,
+            };
+            if op.orderings.len() != kinds.len() {
+                findings.push(finding(
+                    f.rel,
+                    op.line,
+                    "R11",
+                    format!(
+                        "{key}.{}: expected {} ordering argument(s), found {} — \
+                         R11 cannot verify this site",
+                        op.method,
+                        kinds.len(),
+                        op.orderings.len()
+                    ),
+                ));
+                continue;
+            }
+            for (ord, kind) in op.orderings.iter().zip(kinds) {
+                match row.requirement(*kind) {
+                    None => findings.push(finding(
+                        f.rel,
+                        op.line,
+                        "R11",
+                        format!(
+                            "{key}.{}: the atomics-protocol table says this field has \
+                             no `{}` operations (column is `-`): update the protocol \
+                             row or remove the access",
+                            op.method,
+                            kind.column(),
+                        ),
+                    )),
+                    Some(required) => {
+                        if !ordering_satisfies(ord, required) {
+                            findings.push(finding(
+                                f.rel,
+                                op.line,
+                                "R11",
+                                format!(
+                                    "{key}.{}: Ordering::{ord} is weaker than the \
+                                     protocol's required `{}={required}` — strengthen \
+                                     the access or revise the table with a proof",
+                                    op.method,
+                                    kind.column(),
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// R11 relaxed-budget verdict for one file (same exact-count semantics
+/// as R3): more relaxed sites than budgeted is a violation, fewer means
+/// the committed count must be tightened.
+pub fn check_relaxed_budget(path: &str, sites: &[u32], allowed: usize) -> Vec<Finding> {
+    if sites.len() == allowed {
+        return Vec::new();
+    }
+    if sites.len() < allowed {
+        return vec![finding(
+            path,
+            0,
+            "R11",
+            format!(
+                "{} Ordering::Relaxed site(s) but relaxed_allows.txt grants {allowed}: \
+                 tighten crates/lint/relaxed_allows.txt (the count only goes down)",
+                sites.len()
+            ),
+        )];
+    }
+    sites
+        .iter()
+        .skip(allowed)
+        .map(|&line| {
+            finding(
+                path,
+                line,
+                "R11",
+                format!(
+                    "Ordering::Relaxed outside the budget ({} sites, relaxed_allows.txt \
+                     grants {allowed}): use a stronger ordering, or raise the committed \
+                     count in the same commit with a reason in review",
+                    sites.len()
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    const TABLE: &str = "\
+intro text
+```atomics-protocol
+# comment line
+buffer.state   frame-state    load=Acquire store=- rmw=Release — pin/valid word
+buffer.pub_rel publish-hint   load=Relaxed store=Relaxed rmw=- — revalidation hint
+wal.flushed    watermark      load=Acquire store=Release rmw=- — durable LSN
+```
+";
+
+    #[test]
+    fn table_parses() {
+        let rows = parse_atomics_protocol(TABLE).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].key, "buffer.state");
+        assert_eq!(rows[0].role, "frame-state");
+        assert_eq!(rows[0].load.as_deref(), Some("Acquire"));
+        assert_eq!(rows[0].store, None);
+        assert_eq!(rows[0].rmw.as_deref(), Some("Release"));
+    }
+
+    #[test]
+    fn table_rejects_bad_rows() {
+        for bad in [
+            "```atomics-protocol\nstate counter load=Acquire store=- rmw=-\n```", // no crate.
+            "```atomics-protocol\nheap.x counter load=- store=- rmw=-\n```",      // unknown crate
+            "```atomics-protocol\nwal.x counter load=Sloppy store=- rmw=-\n```",  // bad ordering
+            "```atomics-protocol\nwal.x counter load=- store=-\n```",             // missing column
+            "```atomics-protocol\nwal.x counter load=- load=- store=- rmw=-\n```", // dup column
+            "no block at all",
+        ] {
+            assert!(parse_atomics_protocol(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn strength_lattice() {
+        assert!(ordering_satisfies("AcqRel", "Release"));
+        assert!(ordering_satisfies("AcqRel", "Acquire"));
+        assert!(ordering_satisfies("SeqCst", "AcqRel"));
+        assert!(ordering_satisfies("Acquire", "Acquire"));
+        assert!(!ordering_satisfies("Acquire", "Release"));
+        assert!(!ordering_satisfies("Release", "Acquire"));
+        assert!(!ordering_satisfies("Relaxed", "Acquire"));
+        assert!(!ordering_satisfies("AcqRel", "SeqCst"));
+        assert!(ordering_satisfies("Release", "Relaxed"));
+    }
+
+    #[test]
+    fn decls_found_including_wrapped() {
+        let src = "struct S { a: AtomicU64, b: Vec<AtomicUsize>, c: Arc<AtomicBool>, d: u64 }\n\
+                   #[cfg(test)] mod t { struct T { e: AtomicU64 } }";
+        let decls = atomic_field_decls(&tokenize(src));
+        let names: Vec<&str> = decls.iter().map(|d| d.field.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"], "test-gated and plain fields excluded");
+    }
+
+    #[test]
+    fn constructor_calls_are_not_decls() {
+        let src = "fn f() -> S {\n\
+            let x = AtomicU64::new(0);\n\
+            S { a: AtomicU64::new(0), b: Vec::new(), c: Arc::new(AtomicBool::new(false)) }\n\
+        }";
+        assert!(atomic_field_decls(&tokenize(src)).is_empty());
+    }
+
+    #[test]
+    fn ops_resolve_receivers() {
+        let src = "fn f(&self) {\n\
+            self.state.load(Ordering::Acquire);\n\
+            self.slots[i].store(v, Ordering::Relaxed);\n\
+            self.head.compare_exchange_weak(a, b, Ordering::AcqRel, Ordering::Acquire);\n\
+            rows.swap(0, 1);\n\
+        }";
+        let ops = atomic_op_sites(&tokenize(src));
+        assert_eq!(ops.len(), 3, "{ops:?} — Vec::swap has no ordering args");
+        assert_eq!((ops[0].field.as_str(), ops[0].orderings.len()), ("state", 1));
+        assert_eq!(ops[1].field.as_str(), "slots");
+        assert_eq!((ops[2].field.as_str(), ops[2].orderings.len()), ("head", 2));
+        assert_eq!(ops[2].orderings, vec!["AcqRel", "Acquire"]);
+    }
+
+    #[test]
+    fn protocol_check_end_to_end() {
+        let rows = parse_atomics_protocol(TABLE).unwrap();
+        let src = "struct FrameState { state: AtomicU64, pub_rel: AtomicU64 }\n\
+                   impl FrameState {\n\
+                     fn pin(&self) { self.state.load(Ordering::Acquire); }\n\
+                     fn bad(&self) { self.state.load(Ordering::Relaxed); }\n\
+                     fn worse(&self) { self.state.store(0, Ordering::Release); }\n\
+                   }";
+        let toks = tokenize(src);
+        let files = [AtomicFile {
+            rel: "crates/buffer/src/protocol.rs",
+            krate: "buffer",
+            decls: atomic_field_decls(&toks),
+            ops: atomic_op_sites(&toks),
+        }];
+        let findings = check_atomics_protocol(&rows, &files);
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        // weaker-than-required load; store on a `store=-` field; the
+        // wal.flushed row matches no declared field.
+        assert_eq!(findings.len(), 3, "{msgs:#?}");
+        assert!(msgs.iter().any(|m| m.contains("weaker than")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("no `store` operations")), "{msgs:?}");
+        assert!(
+            msgs.iter().filter(|m| m.contains("names no atomic field")).count() == 1,
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn undeclared_field_is_reported() {
+        let rows = parse_atomics_protocol(TABLE).unwrap();
+        let src = "struct W { flushed: AtomicU64, waiters: AtomicU64 }";
+        let toks = tokenize(src);
+        let files = [AtomicFile {
+            rel: "crates/wal/src/group.rs",
+            krate: "wal",
+            decls: atomic_field_decls(&toks),
+            ops: vec![],
+        }];
+        let findings = check_atomics_protocol(&rows, &files);
+        assert!(
+            findings.iter().any(|f| f.message.contains("\"wal.waiters\" is not in")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn relaxed_budget_is_exact() {
+        let src = "fn f(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }";
+        let sites = relaxed_sites(&tokenize(src));
+        assert_eq!(sites.len(), 1);
+        assert!(check_relaxed_budget("x.rs", &sites, 1).is_empty());
+        assert_eq!(check_relaxed_budget("x.rs", &sites, 0).len(), 1);
+        let slack = check_relaxed_budget("x.rs", &sites, 2);
+        assert_eq!(slack.len(), 1);
+        assert!(slack[0].message.contains("tighten"));
+    }
+
+    #[test]
+    fn relaxed_in_comments_or_tests_not_counted() {
+        let src = "// Ordering::Relaxed in prose\n\
+                   #[cfg(test)] mod t { fn f() { x.load(Ordering::Relaxed); } }";
+        assert!(relaxed_sites(&tokenize(src)).is_empty());
+    }
+}

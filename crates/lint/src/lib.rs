@@ -28,6 +28,13 @@
 //!   library code must match `^[a-z]+(\.[a-z_]+)+$` and be unique
 //!   workspace-wide — each macro site owns one static, so two sites
 //!   sharing a name would silently split one metric's counts.
+//! - R11 atomics-protocol sync ([`atomics`]): every atomic field in
+//!   `buffer`/`wal`/`txn` library code appears in the machine-readable
+//!   ```` ```atomics-protocol ```` table in DESIGN.md (two-way, like
+//!   R5), every load/store/RMW/compare-exchange uses an ordering at
+//!   least as strong as the table requires, and every
+//!   `Ordering::Relaxed` site is exact-counted in
+//!   `crates/lint/relaxed_allows.txt` (shrink-only, like R3).
 //!
 //! AST/dataflow rules ([`flow`], [`proto_sync`], [`panic_reach`]):
 //! - R7 guard-across-I/O: a lock guard or pinned page must not be live
@@ -64,10 +71,15 @@ use std::fmt;
 use std::path::PathBuf;
 
 pub mod ast;
+pub mod atomics;
 pub mod flow;
 pub mod panic_reach;
 pub mod proto_sync;
 
+pub use atomics::{
+    atomic_field_decls, atomic_op_sites, check_atomics_protocol, check_relaxed_budget,
+    parse_atomics_protocol, relaxed_sites, AtomicFile, ATOMIC_PROTOCOL_CRATES,
+};
 pub use flow::{
     check_guard_flow, check_manually_drop_types, collect_allows, Allow, WorkspaceIndex,
 };

@@ -24,20 +24,26 @@
 //! - R5 rank-table: `shims/parking_lot/src/ranks.rs` vs. DESIGN.md.
 //! - R10 proto-sync: proto.rs enum/ALL/name() vs. service.rs dispatch
 //!   vs. client.rs vs. the DESIGN.md ```wire-ops``` table.
+//! - R11 atomics-protocol: `buffer`/`wal`/`txn` atomic fields and op
+//!   orderings vs. the DESIGN.md ```atomics-protocol``` table, plus the
+//!   workspace-wide `Ordering::Relaxed` budget.
 //! - Panic-reach report: committed `crates/lint/panic_reach.txt` must
 //!   equal the computed reachability set (only-shrinks ratchet).
 //!
 //! Ratchet files (exact counts, both directions, so budgets only go
 //! down): `allowlist.txt` (R3), `swallow_allowlist.txt` (R9),
-//! `allows.txt` (counted `// LINT: allow(R7, reason)` sites).
+//! `allows.txt` (counted `// LINT: allow(R7, reason)` sites),
+//! `relaxed_allows.txt` (R11 `Ordering::Relaxed` sites per file).
 
 use pglo_lint::ast::{build_trees, parse_items, Items, Tree};
 use pglo_lint::{
-    check_guard_flow, check_manually_drop_types, check_metric_names, check_proto_sync,
-    check_rank_table, check_std_sync, check_unranked_locks, check_unsafe, check_unwrap_ratchet,
-    collect_allows, metric_name_sites, panic_report, parse_allowlist, parse_code_ranks,
-    parse_committed, parse_design_ranks, test_mask, tokenize, unwrap_sites, Finding, ReachFile,
-    TokKind, Token, WorkspaceIndex,
+    atomic_field_decls, atomic_op_sites, check_atomics_protocol, check_guard_flow,
+    check_manually_drop_types, check_metric_names, check_proto_sync, check_rank_table,
+    check_relaxed_budget, check_std_sync, check_unranked_locks, check_unsafe, check_unwrap_ratchet,
+    collect_allows, metric_name_sites, panic_report, parse_allowlist, parse_atomics_protocol,
+    parse_code_ranks, parse_committed, parse_design_ranks, relaxed_sites, test_mask, tokenize,
+    unwrap_sites, AtomicFile, Finding, ReachFile, TokKind, Token, WorkspaceIndex,
+    ATOMIC_PROTOCOL_CRATES,
 };
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -399,6 +405,46 @@ fn run(root: &Path, opts: &Opts) -> Result<(usize, usize), String> {
     }
     for err in check_rank_table(&code, &design) {
         findings.push(ratchet_finding("DESIGN.md", "R5", err));
+    }
+
+    // --- R11: atomics-protocol sync + relaxed budget ----------------------
+    match parse_atomics_protocol(&design_src) {
+        Err(err) => findings.push(ratchet_finding("DESIGN.md", "R11", err)),
+        Ok(rows) => {
+            let atomic_files: Vec<AtomicFile> = recs
+                .iter()
+                .filter(|r| {
+                    r.scope == Scope::Lib && ATOMIC_PROTOCOL_CRATES.contains(&r.crate_name.as_str())
+                })
+                .map(|r| AtomicFile {
+                    rel: r.rel.as_str(),
+                    krate: r.crate_name.as_str(),
+                    decls: atomic_field_decls(&r.tokens),
+                    ops: atomic_op_sites(&r.tokens),
+                })
+                .collect();
+            findings.extend(check_atomics_protocol(&rows, &atomic_files));
+        }
+    }
+    let relaxed_allows = read_ratchet(root, "crates/lint/relaxed_allows.txt")?;
+    let mut relaxed_seen: Vec<&str> = Vec::new();
+    for rec in &recs {
+        if rec.scope != Scope::Lib || rec.crate_name == "lint" {
+            continue;
+        }
+        relaxed_seen.push(rec.rel.as_str());
+        let sites = relaxed_sites(&rec.tokens);
+        let allowed = relaxed_allows.get(rec.rel.as_str()).copied().unwrap_or(0);
+        findings.extend(check_relaxed_budget(&rec.rel, &sites, allowed));
+    }
+    for path in relaxed_allows.keys() {
+        if !relaxed_seen.contains(&path.as_str()) {
+            findings.push(ratchet_finding(
+                "crates/lint/relaxed_allows.txt",
+                "R11",
+                format!("relaxed_allows.txt entry for {path} names no library file"),
+            ));
+        }
     }
 
     // --- R10: protocol four-way sync --------------------------------------

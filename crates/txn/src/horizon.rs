@@ -1,0 +1,44 @@
+//! The visible-timestamp horizon, extracted onto the `loom` facade so the
+//! model checker can explore its publication protocol (see
+//! `crates/model-tests`).
+//!
+//! [`VisibleTs`] holds the highest timestamp T such that every commit with
+//! `ts <= T` has fully landed. The manager advances it with a `fetch_max`
+//! under its inner lock (the lock serializes the *computation* of the
+//! candidate; the `fetch_max` makes the publication itself monotone even
+//! against the lock-free [`VisibleTs::publish`] on the recovery path), and
+//! readers sample it lock-free. The correctness obligation (asserted by
+//! the model tests) is that no reader ever observes a timestamp inside
+//! another commit's durability window: a timestamp becomes visible only
+//! after the commit that owns it — and every commit below it — flipped to
+//! `Committed`, so `AsOf(current())` is repeatable.
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free visible-timestamp watermark; see the module docs.
+pub struct VisibleTs {
+    ts: AtomicU64,
+}
+
+impl VisibleTs {
+    /// A horizon starting at `initial` (0 for a fresh manager, the
+    /// replayed maximum commit timestamp after recovery).
+    pub fn new(initial: u64) -> Self {
+        VisibleTs { ts: AtomicU64::new(initial) }
+    }
+
+    /// Advance the horizon to at least `candidate`. Monotone under any
+    /// interleaving: a belated publisher with a smaller candidate can
+    /// never retract a timestamp someone already observed. `AcqRel` so
+    /// the publication synchronizes with [`VisibleTs::current`]'s
+    /// `Acquire` load — a reader that sees T also sees every status
+    /// flip ordered before T's publication.
+    pub fn publish(&self, candidate: u64) {
+        self.ts.fetch_max(candidate, Ordering::AcqRel);
+    }
+
+    /// The current horizon; pairs with [`VisibleTs::publish`].
+    pub fn current(&self) -> u64 {
+        self.ts.load(Ordering::Acquire)
+    }
+}

@@ -13,6 +13,7 @@
 //! snapshots, and the single visibility routine the heap uses for both
 //! current reads and as-of reads.
 
+pub mod horizon;
 pub mod manager;
 pub mod visibility;
 

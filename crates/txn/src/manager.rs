@@ -1,5 +1,6 @@
 //! The transaction manager: XID allocation, commit log, snapshots.
 
+use crate::horizon::VisibleTs;
 use crate::Xid;
 use parking_lot::{ranks, Mutex};
 use std::collections::BTreeSet;
@@ -84,8 +85,10 @@ pub struct TxnManager {
     /// while a commit is inside the durability hook, so
     /// [`TxnManager::current_timestamp`] is always repeatable: a
     /// timestamp is published only once nothing below it can still
-    /// appear. Advanced under the inner lock, read lock-free.
-    visible_ts: AtomicU64,
+    /// appear. Advanced under the inner lock, read lock-free; the
+    /// publication protocol lives in [`crate::horizon::VisibleTs`] on
+    /// the model-checkable facade.
+    visible_ts: VisibleTs,
     durability: std::sync::OnceLock<Arc<dyn DurabilityHook>>,
     /// Commits since creation (ablation benchmarks read this).
     commits: AtomicU64,
@@ -114,7 +117,7 @@ impl TxnManager {
                 ranks::TXN_MANAGER,
             ),
             next_ts: AtomicU64::new(1),
-            visible_ts: AtomicU64::new(0),
+            visible_ts: VisibleTs::new(0),
             durability: std::sync::OnceLock::new(),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -182,7 +185,7 @@ impl TxnManager {
                 ranks::TXN_MANAGER,
             ),
             next_ts: AtomicU64::new(max_ts + 1),
-            visible_ts: AtomicU64::new(max_ts),
+            visible_ts: VisibleTs::new(max_ts),
             durability: std::sync::OnceLock::new(),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -267,7 +270,7 @@ impl TxnManager {
             Some(&oldest) => oldest - 1,
             None => self.next_ts.load(Ordering::Relaxed) - 1,
         };
-        self.visible_ts.fetch_max(vis, Ordering::AcqRel);
+        self.visible_ts.publish(vis);
     }
 
     /// Commit `xid`: allocate a timestamp (registered as *pending* under
@@ -332,7 +335,7 @@ impl TxnManager {
         }
         drop(inner);
         self.next_ts.fetch_max(ts + 1, Ordering::Relaxed);
-        self.visible_ts.fetch_max(ts, Ordering::AcqRel);
+        self.visible_ts.publish(ts);
     }
 
     /// The timestamp an "as of now" read should use: the highest
@@ -344,7 +347,7 @@ impl TxnManager {
     /// visible here — its own `commit()` return value is the first
     /// moment it is.
     pub fn current_timestamp(&self) -> CommitTs {
-        self.visible_ts.load(Ordering::Acquire)
+        self.visible_ts.current()
     }
 
     /// `(commits, aborts)` since creation.

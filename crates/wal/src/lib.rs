@@ -47,6 +47,9 @@
 
 use parking_lot::{ranks, Mutex};
 use pglo_pages::{PageBuf, PAGE_SIZE};
+
+pub mod group;
+use group::GroupFlush;
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io;
@@ -536,17 +539,13 @@ pub struct Wal {
     opts: WalOptions,
     /// Appender state; rank `wal.append` (46).
     append: Mutex<AppendInner>,
-    /// Group-commit flush slot; rank `wal.flush` (44), taken before
-    /// `wal.append` by the flush leader.
-    flush: Mutex<()>,
-    /// Everything below this stream position is durable (modulo
-    /// `durable_sync = false`, where it only means "written").
-    flushed: AtomicU64,
+    /// Group-commit flush slot + durable watermark (modulo
+    /// `durable_sync = false`, where durable only means "written"); the
+    /// protocol lives in [`group::GroupFlush`] on the model-checkable
+    /// facade.
+    group: GroupFlush,
     /// Mirror of `AppendInner::end` for lock-free reads.
     end: AtomicU64,
-    /// Committers currently parked on `flush`; sampled for batch-size
-    /// telemetry only.
-    waiters: AtomicU64,
     /// Current redo horizon (last checkpoint written or recovered).
     redo: AtomicU64,
     /// End LSN right after the last checkpoint record was appended; an
@@ -594,10 +593,8 @@ impl Wal {
                 AppendInner { file, seg_start, end: state.end },
                 ranks::WAL_APPEND,
             ),
-            flush: Mutex::with_rank((), ranks::WAL_FLUSH),
-            flushed: AtomicU64::new(state.end),
+            group: GroupFlush::new(state.end),
             end: AtomicU64::new(state.end),
-            waiters: AtomicU64::new(0),
             redo: AtomicU64::new(state.redo),
             last_ckpt: AtomicU64::new(state.end),
             pinned_smgrs: AtomicU64::new(0),
@@ -617,7 +614,7 @@ impl Wal {
 
     /// Everything below this position has been flushed.
     pub fn flushed_lsn(&self) -> Lsn {
-        self.flushed.load(Ordering::Acquire)
+        self.group.durable()
     }
 
     /// Current redo horizon: replay after a crash starts here.
@@ -778,30 +775,21 @@ impl Wal {
     /// flush mutex syncs through the *current* end of log, so everyone
     /// parked behind it returns without issuing another fsync.
     pub fn flush_to(&self, lsn: Lsn) -> io::Result<()> {
-        if self.flushed.load(Ordering::Acquire) >= lsn {
-            return Ok(());
+        let led = self.group.flush_to(lsn, || -> io::Result<u64> {
+            // Leader: snapshot the appender, then sync without holding it.
+            let (file, end) = {
+                let a = self.append.lock();
+                (a.file.try_clone()?, a.end)
+            };
+            if self.opts.durable_sync {
+                let _span = obs::span!("wal.fsync");
+                file.sync_data()?;
+            }
+            Ok(end)
+        })?;
+        if let Some(batch) = led {
+            obs::histogram!("wal.group_commit.batch").record(batch);
         }
-        self.waiters.fetch_add(1, Ordering::AcqRel);
-        let slot = self.flush.lock();
-        self.waiters.fetch_sub(1, Ordering::AcqRel);
-        if self.flushed.load(Ordering::Acquire) >= lsn {
-            // A previous leader's fsync covered us while we were parked.
-            return Ok(());
-        }
-        // Leader: snapshot the appender, then sync without holding it.
-        let (file, end) = {
-            let a = self.append.lock();
-            (a.file.try_clone()?, a.end)
-        };
-        let batch = 1 + self.waiters.load(Ordering::Acquire);
-        if self.opts.durable_sync {
-            let _span = obs::span!("wal.fsync");
-            // LINT: allow(R7, the flush slot held across the fsync is the group-commit batching point)
-            file.sync_data()?;
-        }
-        self.flushed.store(end, Ordering::Release);
-        obs::histogram!("wal.group_commit.batch").record(batch);
-        drop(slot);
         Ok(())
     }
 

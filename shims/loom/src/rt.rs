@@ -1,0 +1,1183 @@
+//! The model-checking runtime behind the facade (compiled only under the
+//! `model` feature / `--cfg pglo_model`).
+//!
+//! One *execution* runs the user closure with every task on its own OS
+//! thread, but cooperatively scheduled: exactly one task runs at a time, and
+//! every atomic access, mutex operation, spawn/join, and `spin_loop` is a
+//! *scheduling point* where the explorer may hand the single run-token to a
+//! different runnable task. Each such decision — and, independently, each
+//! choice of *which store a relaxed load observes* — is recorded on a choice
+//! trail. [`check`] drives a DFS over that trail: after each execution it
+//! bumps the last choice that still has unexplored alternatives and replays
+//! the prefix, so the search is exhaustive within the preemption bound.
+//!
+//! Memory model: per-location store history with vector clocks. A store
+//! event carries the value, its writer + writer tick (for happens-before
+//! tests), and a *release clock*. Acquire loads join the release clock of
+//! the event they read; Release stores publish the writer's clock; RMWs
+//! always read the latest store and propagate the head release clock
+//! (C++20 release sequences). A load may observe any store not hidden by
+//! happens-before or per-task coherence — so a missing `Release`/`Acquire`
+//! pair genuinely produces the stale values it permits.
+
+use crate::{Counterexample, Opts, Report, MAX_TASKS};
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::atomic::{
+    AtomicBool as StdAtomicBool, AtomicU32 as StdAtomicU32, AtomicU64 as StdAtomicU64,
+    AtomicUsize as StdAtomicUsize,
+};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+type VClock = [u32; MAX_TASKS];
+
+fn clock_join(dst: &mut VClock, src: &VClock) {
+    for i in 0..MAX_TASKS {
+        dst[i] = dst[i].max(src[i]);
+    }
+}
+
+/// One store in a location's modification order.
+struct StoreEvt {
+    val: u64,
+    /// Release clock: what an acquire load of this event synchronizes with
+    /// (zero clock for relaxed stores; RMWs propagate the sequence head).
+    rel: VClock,
+    writer: usize,
+    tick: u32,
+}
+
+impl StoreEvt {
+    /// Does this store happen-before a task with clock `c`?
+    fn happens_before(&self, c: &VClock) -> bool {
+        c[self.writer] >= self.tick
+    }
+}
+
+struct Loc {
+    stores: Vec<StoreEvt>,
+}
+
+struct MutexSt {
+    owner: Option<usize>,
+    /// Release clock of the last unlock; joined on every lock.
+    clock: VClock,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Blocked {
+    No,
+    OnMutex(usize),
+    OnJoin(usize),
+}
+
+/// How many times one task may observe a non-newest store per location.
+/// C11 guarantees stores become visible "in a finite amount of time"; this
+/// is that guarantee made concrete, and it keeps spin loops terminating
+/// while still exploring staleness several reads deep.
+const STALE_BUDGET: u32 = 3;
+
+struct Task {
+    finished: bool,
+    blocked: Blocked,
+    clock: VClock,
+    tick: u32,
+    /// Per-location coherence floor: the newest store index this task has
+    /// read or written, per location. Later loads can never go older.
+    seen: HashMap<usize, usize>,
+    /// Remaining stale-read allowance per location (see [`STALE_BUDGET`]).
+    stale: HashMap<usize, u32>,
+}
+
+impl Task {
+    fn new(clock: VClock) -> Task {
+        Task {
+            finished: false,
+            blocked: Blocked::No,
+            clock,
+            tick: 0,
+            seen: HashMap::new(),
+            stale: HashMap::new(),
+        }
+    }
+    fn runnable(&self) -> bool {
+        !self.finished && self.blocked == Blocked::No
+    }
+}
+
+struct Exec {
+    tasks: Vec<Task>,
+    cur: usize,
+    locs: Vec<Loc>,
+    mutexes: Vec<MutexSt>,
+    /// Choices to force (DFS prefix or a replayed schedule).
+    prefix: Vec<u32>,
+    cursor: usize,
+    /// (taken, options) for every choice point with more than one option.
+    trail: Vec<(u32, u32)>,
+    preemptions: u32,
+    steps: u64,
+    failure: Option<String>,
+    abort: bool,
+    /// Low 32 bits of the execution id, for per-execution loc registration.
+    exec_lo: u64,
+    preemption_bound: u32,
+    max_steps: u64,
+}
+
+struct Shared {
+    exec: StdMutex<Exec>,
+    cv: Condvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(Arc<Shared>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Sentinel panic payload used to unwind tasks when an execution aborts
+/// (failure found, or the explorer is tearing the run down).
+struct AbortPanic;
+
+fn abort_now() -> ! {
+    std::panic::panic_any(AbortPanic)
+}
+
+/// Record a choice with `options` alternatives; returns the branch taken.
+/// Single-option points are pass-through and never recorded, so schedules
+/// stay short and deterministic.
+fn choose(g: &mut Exec, options: u32) -> u32 {
+    debug_assert!(options >= 1);
+    if options == 1 {
+        return 0;
+    }
+    let taken = if g.cursor < g.prefix.len() { g.prefix[g.cursor].min(options - 1) } else { 0 };
+    g.cursor += 1;
+    g.trail.push((taken, options));
+    taken
+}
+
+/// Mark the execution failed and unwind the calling task. All other parked
+/// tasks observe `abort` on wakeup and unwind too.
+fn fail(shared: &Shared, mut g: StdMutexGuard<'_, Exec>, msg: &str) -> ! {
+    if g.failure.is_none() {
+        g.failure = Some(msg.to_string());
+    }
+    g.abort = true;
+    shared.cv.notify_all();
+    drop(g);
+    abort_now()
+}
+
+/// Park until the run-token points at `me` again.
+fn wait_for_turn<'a>(
+    shared: &'a Shared,
+    mut g: StdMutexGuard<'a, Exec>,
+    me: usize,
+) -> StdMutexGuard<'a, Exec> {
+    loop {
+        if g.abort {
+            drop(g);
+            abort_now();
+        }
+        if g.cur == me {
+            return g;
+        }
+        g = shared.cv.wait(g).unwrap();
+    }
+}
+
+fn runnable_others(g: &Exec, me: usize) -> Vec<usize> {
+    (0..g.tasks.len()).filter(|&t| t != me && g.tasks[t].runnable()).collect()
+}
+
+/// A scheduling point: charge a step, then let the explorer either keep
+/// running `me` (choice 0 — the DFS default) or, while the preemption budget
+/// lasts, switch to any other runnable task.
+fn sched_point<'a>(shared: &'a Shared, me: usize) -> StdMutexGuard<'a, Exec> {
+    let mut g = shared.exec.lock().unwrap();
+    if g.abort {
+        drop(g);
+        abort_now();
+    }
+    g.steps += 1;
+    if g.steps > g.max_steps {
+        let msg = format!("livelock: execution exceeded {} steps", g.max_steps);
+        fail(shared, g, &msg);
+    }
+    let mut cands = vec![me];
+    if g.preemptions < g.preemption_bound {
+        cands.extend(runnable_others(&g, me));
+    }
+    let pick = choose(&mut g, cands.len() as u32) as usize;
+    let next = cands[pick];
+    if next != me {
+        g.preemptions += 1;
+        g.cur = next;
+        shared.cv.notify_all();
+        g = wait_for_turn(shared, g, me);
+    }
+    g
+}
+
+/// Block `me` (already marked blocked by the caller) and hand the run-token
+/// to some runnable task; returns once `me` is scheduled again. Declares a
+/// deadlock if nothing is runnable.
+fn block_and_wait<'a>(
+    shared: &'a Shared,
+    mut g: StdMutexGuard<'a, Exec>,
+    me: usize,
+) -> StdMutexGuard<'a, Exec> {
+    let others = runnable_others(&g, me);
+    if others.is_empty() {
+        fail(shared, g, "deadlock: every unfinished task is blocked");
+    }
+    let pick = choose(&mut g, others.len() as u32) as usize;
+    g.cur = others[pick];
+    shared.cv.notify_all();
+    wait_for_turn(shared, g, me)
+}
+
+/// Voluntary yield: hand the token to another runnable task if one exists,
+/// without charging the preemption budget. `while !flag { spin_loop() }`
+/// loops stay live in the model because of this.
+pub fn spin_loop() {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some((shared, me)) = ctx() else {
+        std::hint::spin_loop();
+        return;
+    };
+    let mut g = shared.exec.lock().unwrap();
+    if g.abort {
+        drop(g);
+        abort_now();
+    }
+    g.steps += 1;
+    if g.steps > g.max_steps {
+        let msg = format!("livelock: execution exceeded {} steps", g.max_steps);
+        fail(&shared, g, &msg);
+    }
+    let others = runnable_others(&g, me);
+    if !others.is_empty() {
+        let pick = choose(&mut g, others.len() as u32) as usize;
+        g.cur = others[pick];
+        shared.cv.notify_all();
+        let g = wait_for_turn(&shared, g, me);
+        drop(g);
+    }
+}
+
+/// See [`spin_loop`]; `thread::yield_now` gets the same voluntary-yield
+/// semantics under the model.
+pub fn yield_now() {
+    spin_loop();
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution registration
+// ---------------------------------------------------------------------------
+
+/// Resolve the model location for an atomic, registering it on first touch
+/// in this execution. The registration word packs
+/// `(exec_lo + 1) << 32 | (loc + 1)` so a cell left over from a previous
+/// execution re-registers instead of aliasing a stale location.
+fn loc_id(g: &mut Exec, reg: &StdAtomicU64, init: impl FnOnce() -> u64) -> usize {
+    let packed = reg.load(Ordering::Relaxed);
+    if packed != 0 && (packed >> 32) == g.exec_lo + 1 {
+        return (packed & 0xFFFF_FFFF) as usize - 1;
+    }
+    let id = g.locs.len();
+    // The initial value is a store by "the world before the model run":
+    // writer 0 / tick 0 happens-before every task, so it is always readable
+    // and never spuriously stale.
+    g.locs.push(Loc {
+        stores: vec![StoreEvt { val: init(), rel: [0; MAX_TASKS], writer: 0, tick: 0 }],
+    });
+    reg.store(((g.exec_lo + 1) << 32) | (id as u64 + 1), Ordering::Relaxed);
+    id
+}
+
+fn mutex_id(g: &mut Exec, reg: &StdAtomicU64) -> usize {
+    let packed = reg.load(Ordering::Relaxed);
+    if packed != 0 && (packed >> 32) == g.exec_lo + 1 {
+        return (packed & 0xFFFF_FFFF) as usize - 1;
+    }
+    let id = g.mutexes.len();
+    g.mutexes.push(MutexSt { owner: None, clock: [0; MAX_TASKS] });
+    reg.store(((g.exec_lo + 1) << 32) | (id as u64 + 1), Ordering::Relaxed);
+    id
+}
+
+// ---------------------------------------------------------------------------
+// Atomic operations (model semantics)
+// ---------------------------------------------------------------------------
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Model load: pick (a DFS choice) any store between the coherence floor and
+/// the newest, join its release clock when acquiring. Returns `None` when
+/// called outside a model run (caller falls back to the plain atomic).
+pub(crate) fn atomic_load(
+    reg: &StdAtomicU64,
+    init: impl FnOnce() -> u64,
+    order: Ordering,
+) -> Option<u64> {
+    if std::thread::panicking() {
+        // Unwinding (assertion failure or abort): bypass the scheduler so
+        // Drop-path accesses can never park or double-panic.
+        return None;
+    }
+    let (shared, me) = ctx()?;
+    let mut g = sched_point(&shared, me);
+    let loc = loc_id(&mut g, reg, init);
+    let n = g.locs[loc].stores.len();
+    // Happens-before floor: the newest store ordered before this task.
+    let mut floor = 0;
+    for i in (0..n).rev() {
+        if g.locs[loc].stores[i].happens_before(&g.tasks[me].clock) {
+            floor = i;
+            break;
+        }
+    }
+    // Coherence floor: never travel back past something already seen.
+    floor = floor.max(g.tasks[me].seen.get(&loc).copied().unwrap_or(0));
+    // Finite visibility: out of stale budget, only the newest store remains.
+    let budget = g.tasks[me].stale.get(&loc).copied().unwrap_or(STALE_BUDGET);
+    if budget == 0 {
+        floor = n - 1;
+    }
+    let idx = floor + choose(&mut g, (n - floor) as u32) as usize;
+    if idx != n - 1 {
+        g.tasks[me].stale.insert(loc, budget - 1);
+    }
+    let val = g.locs[loc].stores[idx].val;
+    if is_acquire(order) {
+        let rel = g.locs[loc].stores[idx].rel;
+        clock_join(&mut g.tasks[me].clock, &rel);
+    }
+    g.tasks[me].seen.insert(loc, idx);
+    Some(val)
+}
+
+/// Model store: append to the modification order. A Release store publishes
+/// the writer's clock; a Relaxed store publishes nothing.
+pub(crate) fn atomic_store(
+    reg: &StdAtomicU64,
+    init: impl FnOnce() -> u64,
+    val: u64,
+    order: Ordering,
+) -> bool {
+    if std::thread::panicking() {
+        return false;
+    }
+    let Some((shared, me)) = ctx() else { return false };
+    let mut g = sched_point(&shared, me);
+    let loc = loc_id(&mut g, reg, init);
+    g.tasks[me].tick += 1;
+    let tick = g.tasks[me].tick;
+    g.tasks[me].clock[me] = tick;
+    let rel = if is_release(order) { g.tasks[me].clock } else { [0; MAX_TASKS] };
+    g.locs[loc].stores.push(StoreEvt { val, rel, writer: me, tick });
+    let newest = g.locs[loc].stores.len() - 1;
+    g.tasks[me].seen.insert(loc, newest);
+    true
+}
+
+/// Model RMW: always reads the newest store (C11 guarantees RMW atomicity
+/// against the modification order). `f` returns `Some(new)` to write (the
+/// fetch_* family and successful CAS) or `None` to leave the location
+/// untouched (failed CAS). `fail_order` applies on the `None` path.
+pub(crate) fn atomic_rmw(
+    reg: &StdAtomicU64,
+    init: impl FnOnce() -> u64,
+    order: Ordering,
+    fail_order: Ordering,
+    f: impl FnOnce(u64) -> Option<u64>,
+) -> Option<u64> {
+    if std::thread::panicking() {
+        return None;
+    }
+    let (shared, me) = ctx()?;
+    let mut g = sched_point(&shared, me);
+    let loc = loc_id(&mut g, reg, init);
+    let newest = g.locs[loc].stores.len() - 1;
+    let old = g.locs[loc].stores[newest].val;
+    match f(old) {
+        Some(new) => {
+            if is_acquire(order) {
+                let rel = g.locs[loc].stores[newest].rel;
+                clock_join(&mut g.tasks[me].clock, &rel);
+            }
+            g.tasks[me].tick += 1;
+            let tick = g.tasks[me].tick;
+            g.tasks[me].clock[me] = tick;
+            // C++20 release sequence: an RMW propagates the release clock of
+            // the store it replaces, adding its own clock only if releasing.
+            let mut rel = g.locs[loc].stores[newest].rel;
+            if is_release(order) {
+                let own = g.tasks[me].clock;
+                clock_join(&mut rel, &own);
+            }
+            g.locs[loc].stores.push(StoreEvt { val: new, rel, writer: me, tick });
+            let top = g.locs[loc].stores.len() - 1;
+            g.tasks[me].seen.insert(loc, top);
+        }
+        None => {
+            if is_acquire(fail_order) {
+                let rel = g.locs[loc].stores[newest].rel;
+                clock_join(&mut g.tasks[me].clock, &rel);
+            }
+            g.tasks[me].seen.insert(loc, newest);
+        }
+    }
+    Some(old)
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ident, $prim:ty, $to:expr, $from:expr) => {
+        /// Facade atomic: plain std atomic outside a model run, modeled
+        /// per-location store history inside one.
+        pub struct $name {
+            plain: $std,
+            reg: StdAtomicU64,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> Self {
+                $name { plain: $std::new(v), reg: StdAtomicU64::new(0) }
+            }
+
+            fn snap(&self) -> u64 {
+                $to(self.plain.load(Ordering::Relaxed))
+            }
+
+            pub fn load(&self, order: Ordering) -> $prim {
+                match atomic_load(&self.reg, || self.snap(), order) {
+                    Some(v) => $from(v),
+                    None => self.plain.load(order),
+                }
+            }
+
+            pub fn store(&self, val: $prim, order: Ordering) {
+                if !atomic_store(&self.reg, || self.snap(), $to(val), order) {
+                    self.plain.store(val, order);
+                }
+            }
+
+            pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                match atomic_rmw(&self.reg, || self.snap(), order, order, |_| Some($to(val))) {
+                    Some(old) => $from(old),
+                    None => self.plain.swap(val, order),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                let modeled = atomic_rmw(
+                    &self.reg,
+                    || self.snap(),
+                    success,
+                    failure,
+                    |old| {
+                        if old == $to(current) {
+                            Some($to(new))
+                        } else {
+                            None
+                        }
+                    },
+                );
+                match modeled {
+                    Some(old) if old == $to(current) => Ok($from(old)),
+                    Some(old) => Err($from(old)),
+                    None => self.plain.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// The model never fails spuriously (documented limitation).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Exclusive access bypasses the model (constructor/teardown use).
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.plain.get_mut()
+            }
+
+            pub fn into_inner(self) -> $prim {
+                self.plain.into_inner()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name)).field(&self.plain.load(Ordering::Relaxed)).finish()
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicU64, StdAtomicU64, u64, (|v: u64| v), (|v: u64| v));
+model_atomic!(AtomicUsize, StdAtomicUsize, usize, (|v: usize| v as u64), (|v: u64| v as usize));
+model_atomic!(AtomicU32, StdAtomicU32, u32, (|v: u32| v as u64), (|v: u64| v as u32));
+model_atomic!(AtomicBool, StdAtomicBool, bool, (|v: bool| v as u64), (|v: u64| v != 0));
+
+macro_rules! fetch_ops {
+    ($name:ident, $prim:ty, $to:expr, $from:expr, $($method:ident => $apply:expr),+ $(,)?) => {
+        impl $name {
+            $(
+                pub fn $method(&self, val: $prim, order: Ordering) -> $prim {
+                    let modeled = atomic_rmw(&self.reg, || self.snap(), order, order, |old| {
+                        let apply: fn($prim, $prim) -> $prim = $apply;
+                        Some($to(apply($from(old), val)))
+                    });
+                    match modeled {
+                        Some(old) => $from(old),
+                        None => self.plain.$method(val, order),
+                    }
+                }
+            )+
+        }
+    };
+}
+
+fetch_ops!(AtomicU64, u64, (|v: u64| v), (|v: u64| v),
+    fetch_add => |a, b| a.wrapping_add(b),
+    fetch_sub => |a, b| a.wrapping_sub(b),
+    fetch_or => |a, b| a | b,
+    fetch_and => |a, b| a & b,
+    fetch_max => |a: u64, b: u64| a.max(b),
+    fetch_min => |a: u64, b: u64| a.min(b),
+);
+fetch_ops!(AtomicUsize, usize, (|v: usize| v as u64), (|v: u64| v as usize),
+    fetch_add => |a, b| a.wrapping_add(b),
+    fetch_sub => |a, b| a.wrapping_sub(b),
+    fetch_or => |a, b| a | b,
+    fetch_and => |a, b| a & b,
+    fetch_max => |a: usize, b: usize| a.max(b),
+    fetch_min => |a: usize, b: usize| a.min(b),
+);
+fetch_ops!(AtomicU32, u32, (|v: u32| v as u64), (|v: u64| v as u32),
+    fetch_add => |a, b| a.wrapping_add(b),
+    fetch_sub => |a, b| a.wrapping_sub(b),
+    fetch_or => |a, b| a | b,
+    fetch_and => |a, b| a & b,
+    fetch_max => |a: u32, b: u32| a.max(b),
+    fetch_min => |a: u32, b: u32| a.min(b),
+);
+fetch_ops!(AtomicBool, bool, (|v: bool| v as u64), (|v: u64| v != 0),
+    fetch_or => |a, b| a | b,
+    fetch_and => |a, b| a & b,
+);
+
+// ---------------------------------------------------------------------------
+// Mutex (model semantics)
+// ---------------------------------------------------------------------------
+
+/// Facade mutex: a scheduler-arbitrated lock inside a model run, a plain
+/// spin-free fallback outside one (single-threaded constructor use only).
+pub struct Mutex<T: ?Sized> {
+    reg: StdAtomicU64,
+    /// Fallback owner flag for non-model use of a model-built mutex.
+    plain_held: StdAtomicBool,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: the cell is only dereferenced by the unique lock holder — the
+// model scheduler runs one task at a time and `lock` blocks until `owner`
+// is free; outside a model run `plain_held` panics on contention instead.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above — access to the inner value is serialized by the lock.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    mx: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(val: T) -> Self {
+        Mutex {
+            reg: StdAtomicU64::new(0),
+            plain_held: StdAtomicBool::new(false),
+            cell: UnsafeCell::new(val),
+        }
+    }
+
+    /// Rank-checked construction in the parking_lot shim; the model scheduler
+    /// serializes everything, so the rank is accepted and ignored here.
+    pub fn with_rank(val: T, _rank: parking_lot::LockRank) -> Self {
+        Self::new(val)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.cell.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let Some((shared, me)) = ctx() else {
+            assert!(
+                !self.plain_held.swap(true, Ordering::Acquire),
+                "model Mutex contended outside a model run"
+            );
+            return MutexGuard { mx: self };
+        };
+        let mut g = sched_point(&shared, me);
+        loop {
+            let mid = mutex_id(&mut g, &self.reg);
+            match g.mutexes[mid].owner {
+                None => {
+                    g.mutexes[mid].owner = Some(me);
+                    let rel = g.mutexes[mid].clock;
+                    clock_join(&mut g.tasks[me].clock, &rel);
+                    return MutexGuard { mx: self };
+                }
+                Some(owner) => {
+                    assert_ne!(owner, me, "model Mutex is not reentrant");
+                    g.tasks[me].blocked = Blocked::OnMutex(mid);
+                    g = block_and_wait(&shared, g, me);
+                }
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let Some((shared, me)) = ctx() else {
+            if self.plain_held.swap(true, Ordering::Acquire) {
+                return None;
+            }
+            return Some(MutexGuard { mx: self });
+        };
+        let mut g = sched_point(&shared, me);
+        let mid = mutex_id(&mut g, &self.reg);
+        if g.mutexes[mid].owner.is_some() {
+            return None;
+        }
+        g.mutexes[mid].owner = Some(me);
+        let rel = g.mutexes[mid].clock;
+        clock_join(&mut g.tasks[me].clock, &rel);
+        Some(MutexGuard { mx: self })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.cell.get_mut()
+    }
+
+    fn unlock(&self) {
+        let Some((shared, me)) = ctx() else {
+            self.plain_held.store(false, Ordering::Release);
+            return;
+        };
+        if std::thread::panicking() {
+            // Guard dropped during unwinding: release without scheduling so
+            // the teardown path can never park or double-panic.
+            let mut g = shared.exec.lock().unwrap();
+            let mid = mutex_id(&mut g, &self.reg);
+            if g.mutexes[mid].owner == Some(me) {
+                g.mutexes[mid].owner = None;
+                for t in 0..g.tasks.len() {
+                    if g.tasks[t].blocked == Blocked::OnMutex(mid) {
+                        g.tasks[t].blocked = Blocked::No;
+                    }
+                }
+            }
+            return;
+        }
+        let mut g = sched_point(&shared, me);
+        let mid = mutex_id(&mut g, &self.reg);
+        debug_assert_eq!(g.mutexes[mid].owner, Some(me));
+        g.mutexes[mid].owner = None;
+        let own = g.tasks[me].clock;
+        clock_join(&mut g.mutexes[mid].clock, &own);
+        // Wake everyone parked on this mutex; they re-race for ownership at
+        // their next scheduling.
+        for t in 0..g.tasks.len() {
+            if g.tasks[t].blocked == Blocked::OnMutex(mid) {
+                g.tasks[t].blocked = Blocked::No;
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves this task holds the lock (see the Sync
+        // impl argument above), so no other reference to the cell is live.
+        unsafe { &*self.mx.cell.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the lock serializes all access.
+        unsafe { &mut *self.mx.cell.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mx.unlock();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads (model semantics)
+// ---------------------------------------------------------------------------
+
+/// Body shared by the root task and every spawned task: wait to be
+/// scheduled, run, then mark finished and hand the run-token onward.
+fn task_main(shared: &Arc<Shared>, me: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(shared), me)));
+    {
+        let g = shared.exec.lock().unwrap();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| wait_for_turn(shared, g, me)));
+        match r {
+            Ok(g) => drop(g),
+            Err(_) => {
+                finish_task(shared, me);
+                CTX.with(|c| *c.borrow_mut() = None);
+                return;
+            }
+        }
+    }
+    let r = catch_unwind(AssertUnwindSafe(body));
+    if let Err(payload) = r {
+        if payload.downcast_ref::<AbortPanic>().is_none() {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "task panicked".to_string()
+            };
+            let mut g = shared.exec.lock().unwrap();
+            if g.failure.is_none() {
+                g.failure = Some(msg);
+            }
+            g.abort = true;
+        }
+    }
+    finish_task(shared, me);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn finish_task(shared: &Shared, me: usize) {
+    let mut g = shared.exec.lock().unwrap();
+    g.tasks[me].finished = true;
+    for t in 0..g.tasks.len() {
+        if g.tasks[t].blocked == Blocked::OnJoin(me) {
+            g.tasks[t].blocked = Blocked::No;
+        }
+    }
+    if !g.abort {
+        let others = runnable_others(&g, me);
+        if others.is_empty() {
+            if g.tasks.iter().any(|t| !t.finished) {
+                // Everyone left is blocked and nobody can unblock them.
+                if g.failure.is_none() {
+                    g.failure = Some("deadlock: every unfinished task is blocked".to_string());
+                }
+                g.abort = true;
+            }
+        } else {
+            let pick = choose(&mut g, others.len() as u32) as usize;
+            g.cur = others[pick];
+        }
+    }
+    shared.cv.notify_all();
+}
+
+/// Handle to a task spawned inside a model run.
+pub struct JoinHandle<T> {
+    id: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (shared, me) = ctx().expect("loom::thread::spawn outside a model run");
+    let slot = Arc::new(StdMutex::new(None));
+    let id = {
+        let mut g = shared.exec.lock().unwrap();
+        let id = g.tasks.len();
+        assert!(id < MAX_TASKS, "model supports at most {MAX_TASKS} tasks per execution");
+        // Everything the parent did so far happens-before the child.
+        let clock = g.tasks[me].clock;
+        g.tasks.push(Task::new(clock));
+        id
+    };
+    let s2 = Arc::clone(&shared);
+    let slot2 = Arc::clone(&slot);
+    let h = std::thread::spawn(move || {
+        task_main(&s2, id, move || {
+            let v = f();
+            *slot2.lock().unwrap() = Some(v);
+        });
+    });
+    shared.handles.lock().unwrap().push(h);
+    JoinHandle { id, slot }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let (shared, me) = ctx().expect("loom JoinHandle::join outside a model run");
+        let mut g = sched_point(&shared, me);
+        while !g.tasks[self.id].finished {
+            g.tasks[me].blocked = Blocked::OnJoin(self.id);
+            g = block_and_wait(&shared, g, me);
+        }
+        // Everything the child did happens-before the join returns.
+        let child = g.tasks[self.id].clock;
+        clock_join(&mut g.tasks[me].clock, &child);
+        drop(g);
+        drop(shared);
+        match self.slot.lock().unwrap().take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new("joined task panicked".to_string())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+fn run_one(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    prefix: &[u32],
+    opts: &Opts,
+    exec_lo: u64,
+) -> (Vec<(u32, u32)>, Option<String>) {
+    let shared = Arc::new(Shared {
+        exec: StdMutex::new(Exec {
+            tasks: vec![Task::new([0; MAX_TASKS])],
+            cur: 0,
+            locs: Vec::new(),
+            mutexes: Vec::new(),
+            prefix: prefix.to_vec(),
+            cursor: 0,
+            trail: Vec::new(),
+            preemptions: 0,
+            steps: 0,
+            failure: None,
+            abort: false,
+            exec_lo,
+            preemption_bound: opts.preemption_bound,
+            max_steps: opts.max_steps,
+        }),
+        cv: Condvar::new(),
+        handles: StdMutex::new(Vec::new()),
+    });
+    let s2 = Arc::clone(&shared);
+    let f2 = Arc::clone(f);
+    let root = std::thread::spawn(move || task_main(&s2, 0, move || f2()));
+    shared.handles.lock().unwrap().push(root);
+    let (trail, failure) = {
+        let mut g = shared.exec.lock().unwrap();
+        while !g.tasks.iter().all(|t| t.finished) {
+            g = shared.cv.wait(g).unwrap();
+        }
+        (std::mem::take(&mut g.trail), g.failure.clone())
+    };
+    loop {
+        let h = shared.handles.lock().unwrap().pop();
+        match h {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    (trail, failure)
+}
+
+/// The next DFS prefix: bump the deepest choice that still has unexplored
+/// alternatives; `None` when the bounded space is exhausted.
+fn next_prefix(trail: &[(u32, u32)]) -> Option<Vec<u32>> {
+    for i in (0..trail.len()).rev() {
+        let (taken, options) = trail[i];
+        if taken + 1 < options {
+            let mut p: Vec<u32> = trail[..i].iter().map(|&(t, _)| t).collect();
+            p.push(taken + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+fn schedule_dir() -> std::path::PathBuf {
+    std::env::var_os("PGLO_MODEL_SCHEDULE_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/pglo-model"))
+}
+
+/// Explore interleavings of `f` until a counterexample, exhaustion, or the
+/// budget. On failure the schedule is persisted to
+/// `$PGLO_MODEL_SCHEDULE_DIR/<name>.schedule` (default `target/pglo-model/`)
+/// so the counterexample can be committed and replayed.
+pub fn check_named<F: Fn() + Send + Sync + 'static>(
+    name: &str,
+    opts: &Opts,
+    f: F,
+) -> Result<Report, Counterexample> {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut execs = 0u64;
+    loop {
+        execs += 1;
+        let (trail, failure) = run_one(&f, &prefix, opts, execs);
+        if let Some(message) = failure {
+            let schedule: Vec<u32> = trail.iter().map(|&(t, _)| t).collect();
+            let mut cx = Counterexample { message, schedule, execs, schedule_file: None };
+            if !name.is_empty() {
+                let dir = schedule_dir();
+                if std::fs::create_dir_all(&dir).is_ok() {
+                    let path = dir.join(format!("{name}.schedule"));
+                    if std::fs::write(&path, cx.schedule_text() + "\n").is_ok() {
+                        cx.schedule_file = Some(path);
+                    }
+                }
+            }
+            return Err(cx);
+        }
+        match next_prefix(&trail) {
+            Some(p) => prefix = p,
+            None => return Ok(Report { execs, complete: true }),
+        }
+        if execs >= opts.max_execs {
+            return Ok(Report { execs, complete: false });
+        }
+    }
+}
+
+/// [`check_named`] with no persistence and default options.
+pub fn check<F: Fn() + Send + Sync + 'static>(f: F) -> Result<Report, Counterexample> {
+    check_named("", &Opts::default(), f)
+}
+
+/// Explore `f` and panic with the schedule on any counterexample — the
+/// loom-style entry point for straight model tests.
+pub fn model<F: Fn() + Send + Sync + 'static>(f: F) {
+    if let Err(cx) = check(f) {
+        panic!(
+            "model check failed after {} executions: {}\nschedule: {}",
+            cx.execs,
+            cx.message,
+            cx.schedule_text()
+        );
+    }
+}
+
+/// Re-run `f` under one exact schedule. `Err(message)` reproduces a failure
+/// (the expected outcome when replaying a committed counterexample against
+/// buggy code); `Ok(())` means the interleaving passes.
+pub fn replay<F: Fn() + Send + Sync + 'static>(f: F, schedule: &[u32]) -> Result<(), String> {
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    // exec id 0 is reserved for replays; `check` executions start at 1, so
+    // registration words can never alias across the two paths.
+    let (_, failure) = run_one(&f, schedule, &Opts::default(), 0);
+    match failure {
+        Some(msg) => Err(msg),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_named, model, replay, Opts};
+    use std::sync::Arc;
+
+    /// Message passing with Release/Acquire: the reader that sees the flag
+    /// must see the data. The model must find no counterexample.
+    #[test]
+    fn message_passing_release_acquire_holds() {
+        model(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join().unwrap();
+        });
+    }
+
+    /// Same shape with a Relaxed flag: the stale-data interleaving exists
+    /// and the explorer must produce it.
+    #[test]
+    fn message_passing_relaxed_breaks() {
+        let cx = check_named("", &Opts::default(), || {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join().unwrap();
+        })
+        .expect_err("relaxed publish must admit a stale read");
+        // The persisted schedule deterministically reproduces the failure.
+        let err = replay(
+            || {
+                let data = Arc::new(AtomicU64::new(0));
+                let flag = Arc::new(AtomicBool::new(false));
+                let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+                let t = spawn(move || {
+                    d2.store(42, Ordering::Relaxed);
+                    f2.store(true, Ordering::Relaxed);
+                });
+                if flag.load(Ordering::Acquire) {
+                    assert_eq!(data.load(Ordering::Relaxed), 42);
+                }
+                t.join().unwrap();
+            },
+            &cx.schedule,
+        );
+        assert!(err.is_err(), "replaying the counterexample schedule must fail again");
+    }
+
+    /// A release sequence headed by a Release store extends through Relaxed
+    /// RMWs: acquiring the RMW'd value still synchronizes with the head.
+    #[test]
+    fn release_sequence_extends_through_rmw() {
+        model(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let word = Arc::new(AtomicU64::new(0));
+            let (d2, w2) = (Arc::clone(&data), Arc::clone(&word));
+            let t1 = spawn(move || {
+                d2.store(7, Ordering::Relaxed);
+                w2.store(1, Ordering::Release);
+            });
+            let w3 = Arc::clone(&word);
+            let t2 = spawn(move || {
+                // Relaxed RMW in the middle of the sequence.
+                w3.fetch_add(0, Ordering::Relaxed);
+            });
+            if word.load(Ordering::Acquire) >= 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 7);
+            }
+            t1.join().unwrap();
+            t2.join().unwrap();
+        });
+    }
+
+    /// Mutual exclusion: two tasks incrementing a counter under the model
+    /// mutex never lose an update, and lock/unlock carries happens-before.
+    #[test]
+    fn mutex_serializes_and_synchronizes() {
+        model(|| {
+            let n = Arc::new(Mutex::new(0u64));
+            let n2 = Arc::clone(&n);
+            let t = spawn(move || {
+                *n2.lock() += 1;
+            });
+            *n.lock() += 1;
+            t.join().unwrap();
+            assert_eq!(*n.lock(), 2);
+        });
+    }
+
+    /// Self-deadlock is reported as a counterexample, not a hang.
+    #[test]
+    fn deadlock_is_detected() {
+        let cx = check_named("", &Opts::default(), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop(_ga);
+            drop(_gb);
+            t.join().unwrap();
+        })
+        .expect_err("lock-order inversion must deadlock in some interleaving");
+        assert!(cx.message.contains("deadlock"), "got: {}", cx.message);
+    }
+
+    /// RMWs always read the newest store: two CAS claimants can never both
+    /// win.
+    #[test]
+    fn cas_claims_are_exclusive() {
+        model(|| {
+            let word = Arc::new(AtomicU64::new(0));
+            let wins = Arc::new(AtomicU64::new(0));
+            let mut tasks = Vec::new();
+            for _ in 0..2 {
+                let (w2, s2) = (Arc::clone(&word), Arc::clone(&wins));
+                tasks.push(spawn(move || {
+                    if w2.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                        s2.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+            }
+            for t in tasks {
+                t.join().unwrap();
+            }
+            assert_eq!(wins.load(Ordering::Relaxed), 1);
+        });
+    }
+
+    /// Spin loops stay live: `spin_loop` is a voluntary yield.
+    #[test]
+    fn spin_loop_yields() {
+        model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f2 = Arc::clone(&flag);
+            let t = spawn(move || {
+                f2.store(true, Ordering::Release);
+            });
+            while !flag.load(Ordering::Acquire) {
+                spin_loop();
+            }
+            t.join().unwrap();
+        });
+    }
+}

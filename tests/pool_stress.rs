@@ -6,6 +6,11 @@
 //! marker), so any optimistic pin that lands on a frame mid-re-key and
 //! survives revalidation with foreign bytes fails the content assert.
 //! Runs for `PGLO_STRESS_SECS` wall seconds (default 5, as in CI).
+//!
+//! The churn and pinner PRNGs are seeded from `PGLO_STRESS_SEED`
+//! (default `0x5EED`); the seed in use is printed at the start of the
+//! run, so a failing CI log names the exact sequence to replay locally:
+//! `PGLO_STRESS_SEED=<seed> cargo test --test pool_stress`.
 
 use pglo_buffer::{AccessHint, BufferPool, PageKey, PoolOptions};
 use pglo_sim::SimContext;
@@ -31,6 +36,22 @@ fn stress_secs() -> u64 {
     std::env::var("PGLO_STRESS_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(5)
 }
 
+/// Base seed for every thread's PRNG — decimal or `0x`-hex via
+/// `PGLO_STRESS_SEED`, defaulting to the historical `0x5EED`.
+fn stress_seed() -> u64 {
+    match std::env::var("PGLO_STRESS_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("PGLO_STRESS_SEED={v:?} is not a u64"))
+        }
+        Err(_) => 0x5EED,
+    }
+}
+
 /// splitmix64 — deterministic per-thread key sequence.
 fn next_rand(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E3779B97F4A7C15);
@@ -42,6 +63,11 @@ fn next_rand(state: &mut u64) -> u64 {
 
 #[test]
 fn optimistic_pins_survive_eviction_discard_and_capture() {
+    let seed = stress_seed();
+    // Printed up front: an assert in any worker thread aborts before a
+    // trailer would run, and the seed is the one thing a failure replay
+    // needs.
+    eprintln!("pool_stress: PGLO_STRESS_SEED={seed:#x} (secs={})", stress_secs());
     let switch = Arc::new(SmgrSwitch::new());
     let mem = Arc::new(MemSmgr::new(SimContext::default_1992()));
     let id = switch.register(Arc::clone(&mem) as Arc<dyn StorageManager>);
@@ -89,7 +115,7 @@ fn optimistic_pins_survive_eviction_discard_and_capture() {
             let pool = Arc::clone(&pool);
             let (stop, total_pins) = (&stop, &total_pins);
             s.spawn(move || {
-                let mut rng = 0x5EED ^ (th << 32);
+                let mut rng = seed ^ (th << 32);
                 let mut pins = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let r = next_rand(&mut rng);
@@ -125,9 +151,12 @@ fn optimistic_pins_survive_eviction_discard_and_capture() {
             let mem = Arc::clone(&mem);
             let stop = &stop;
             s.spawn(move || {
+                let mut rng = seed ^ 0xC0FF_EE00;
                 while !stop.load(Ordering::Relaxed) {
                     mem.create(CHURN_REL).unwrap();
-                    for _ in 0..4 {
+                    // 1–4 pages per round: the discard races land at
+                    // seed-dependent points in the pinners' sequences.
+                    for _ in 0..1 + next_rand(&mut rng) % 4 {
                         let (_, p) = pool
                             .new_page(id, CHURN_REL, |pg| {
                                 pg[..4].copy_from_slice(&u32::MAX.to_le_bytes());
