@@ -17,13 +17,24 @@
 //! exits non-zero when the TCP sequential-read rate lands below the
 //! floor. The JSON also carries every latency percentile the server
 //! exposes over the metrics frame (`server.op.*`, `smgr.*`, ...).
+//!
+//! `--conn-scale MIN..MAX` adds a connection-scaling phase: hold N idle
+//! TCP sessions at each doubling point MIN, 2·MIN, ... MAX and measure
+//! ping RTT (p50/p99) plus pipelined ping throughput at each point; the
+//! curve lands in the JSON under `conn_scale`, and `--max-p99-us` turns
+//! the per-point p99 into a regression gate.
 
 use pglo_bench::Rng;
 use pglo_heap::json::{to_string_pretty, Value};
 use pglo_server::loopback::PipeEnd;
 use pglo_server::{loopback, spawn, Client, LobdService, ServerConfig, WireSpec};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::time::{Duration, Instant};
+
+/// Wire window for the pipelined sequential-read phase and the
+/// conn-scale throughput probe.
+const PIPE_WINDOW: usize = 8;
 
 #[derive(Clone)]
 struct Cfg {
@@ -34,8 +45,11 @@ struct Cfg {
     rand_ops: usize,
     out: Option<String>,
     min_seq_mibs: Option<f64>,
+    min_seq_pipe_mibs: Option<f64>,
     min_rand_write_mibs: Option<f64>,
     max_commit_p99_us: Option<f64>,
+    conn_scale: Option<(usize, usize)>,
+    max_p99_us: Option<f64>,
 }
 
 impl Default for Cfg {
@@ -48,8 +62,11 @@ impl Default for Cfg {
             rand_ops: 200,
             out: None,
             min_seq_mibs: None,
+            min_seq_pipe_mibs: None,
             min_rand_write_mibs: None,
             max_commit_p99_us: None,
+            conn_scale: None,
+            max_p99_us: None,
         }
     }
 }
@@ -143,6 +160,45 @@ where
     });
     let seq_read = PhaseResult { bytes: total_bytes, ops: seq_ops, wall: t.elapsed() };
 
+    // Phase 2b: the same read-back, pipelined at window PIPE_WINDOW —
+    // the protocol-v4 payoff. Positioned reads stream with the window
+    // full instead of stalling a round trip per op.
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for (i, id) in ids.iter().enumerate() {
+            let id = *id;
+            s.spawn(move || {
+                let mut c = connect();
+                c.begin().unwrap();
+                let mut pipe = c.pipeline_with_window(PIPE_WINDOW);
+                let fd_ticket = pipe.lo_open(id, false, 0).unwrap();
+                let fd = pipe.redeem(fd_ticket).unwrap();
+                let mut inflight = VecDeque::new();
+                let mut off = 0;
+                while off < cfg.object_bytes {
+                    let n = cfg.seq_io.min(cfg.object_bytes - off);
+                    inflight.push_back((pipe.lo_read_at(fd, off as u64, n as u32).unwrap(), n));
+                    off += n;
+                    if inflight.len() >= PIPE_WINDOW {
+                        if let Some((ticket, want)) = inflight.pop_front() {
+                            let got = pipe.redeem(ticket).unwrap();
+                            assert_eq!(got.len(), want, "client {i}: short pipelined read");
+                        }
+                    }
+                }
+                while let Some((ticket, want)) = inflight.pop_front() {
+                    let got = pipe.redeem(ticket).unwrap();
+                    assert_eq!(got.len(), want, "client {i}: short pipelined read");
+                }
+                let close_ticket = pipe.lo_close(fd).unwrap();
+                pipe.redeem(close_ticket).unwrap();
+                drop(pipe);
+                c.commit().unwrap();
+            });
+        }
+    });
+    let seq_read_pipe = PhaseResult { bytes: total_bytes, ops: seq_ops, wall: t.elapsed() };
+
     // Phase 3: random reads.
     let t = Instant::now();
     std::thread::scope(|s| {
@@ -194,17 +250,106 @@ where
     vec![
         ("seq_write".into(), seq_write.to_json()),
         ("seq_read".into(), seq_read.to_json()),
+        ("seq_read_pipelined".into(), seq_read_pipe.to_json()),
         ("rand_read".into(), rand_read.to_json()),
         ("rand_write".into(), rand_write.to_json()),
     ]
+}
+
+/// The connection-scaling phase: hold `n` idle sessions at each doubling
+/// point `min, 2·min, ... max` against one server, and at each point
+/// measure single-op ping RTT (p50/p99 over a sample spread across the
+/// held connections) plus pipelined ping throughput on one session.
+/// Returns the curve plus the worst per-point p99 for the gate.
+fn conn_scale(min: usize, max: usize) -> (Vec<Value>, f64) {
+    // Sockets: n client ends here + n accepted ends in-process (the
+    // bench server shares our fd table).
+    let _ = epoll::raise_nofile_limit(max as u64 * 2 + 512);
+
+    let dir = tempfile::tempdir().unwrap();
+    let service = LobdService::open(dir.path()).unwrap();
+    let handle = spawn(
+        service,
+        ServerConfig::default().max_sessions(max + 64).reactors(2).executor_threads(16),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let mut curve = Vec::new();
+    let mut worst_p99_us: f64 = 0.0;
+    let mut conns: Vec<Client<std::net::TcpStream>> = Vec::new();
+    let mut n = min.max(1);
+    while n <= max {
+        while conns.len() < n {
+            match Client::connect(addr) {
+                Ok(c) => conns.push(c),
+                // Transient listen-queue overflow under a connect burst.
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+
+        // RTT: sample pings spread across the held connections so the
+        // measurement sees the whole reactor population, not one hot
+        // connection.
+        let samples = 512.min(n * 4).max(64);
+        let mut rtts_us = Vec::with_capacity(samples);
+        for k in 0..samples {
+            let c = &mut conns[(k * 7919) % n];
+            let t = Instant::now();
+            c.ping(b"conn-scale").unwrap();
+            rtts_us.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        rtts_us.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| rtts_us[((rtts_us.len() - 1) as f64 * p) as usize];
+        let (p50, p99) = (pct(0.50), pct(0.99));
+        worst_p99_us = worst_p99_us.max(p99);
+
+        // Pipelined throughput on one session while the other n-1 idle.
+        let pipe_ops = 2000usize;
+        let t = Instant::now();
+        {
+            let mut pipe = conns[0].pipeline_with_window(PIPE_WINDOW);
+            let mut inflight = VecDeque::new();
+            for _ in 0..pipe_ops {
+                inflight.push_back(pipe.ping(b"x").unwrap());
+                if inflight.len() >= PIPE_WINDOW {
+                    if let Some(ticket) = inflight.pop_front() {
+                        pipe.redeem(ticket).unwrap();
+                    }
+                }
+            }
+            while let Some(ticket) = inflight.pop_front() {
+                pipe.redeem(ticket).unwrap();
+            }
+        }
+        let pipe_rate = pipe_ops as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+        eprintln!(
+            "server_bench: conn-scale {n}: ping p50 {p50:.1} us, p99 {p99:.1} us, \
+             pipelined {pipe_rate:.0} ops/s"
+        );
+        curve.push(Value::Obj(vec![
+            ("conns".into(), Value::Num(n as f64)),
+            ("ping_p50_us".into(), Value::Num(round3(p50))),
+            ("ping_p99_us".into(), Value::Num(round3(p99))),
+            ("pipelined_ping_ops_per_sec".into(), Value::Num(round3(pipe_rate))),
+        ]));
+        n *= 2;
+    }
+
+    drop(conns);
+    handle.shutdown();
+    handle.join();
+    (curve, worst_p99_us)
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: server_bench [--clients N] [--object-kib N] [--seq-io-kib N]\n\
          \x20                   [--rand-io-kib N] [--rand-ops N] [--out PATH]\n\
-         \x20                   [--min-seq-mibs F] [--min-rand-write-mibs F]\n\
-         \x20                   [--max-commit-p99-us F]"
+         \x20                   [--min-seq-mibs F] [--min-seq-pipe-mibs F]\n\
+         \x20                   [--min-rand-write-mibs F] [--max-commit-p99-us F]\n\
+         \x20                   [--conn-scale MIN..MAX] [--max-p99-us F]"
     );
     std::process::exit(2);
 }
@@ -247,6 +392,22 @@ fn main() {
                 cfg.min_seq_mibs =
                     Some(iter.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| usage()))
             }
+            "--min-seq-pipe-mibs" => {
+                cfg.min_seq_pipe_mibs =
+                    Some(iter.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| usage()))
+            }
+            "--max-p99-us" => {
+                cfg.max_p99_us =
+                    Some(iter.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| usage()))
+            }
+            "--conn-scale" => {
+                cfg.conn_scale = iter
+                    .next()
+                    .and_then(|v| v.split_once(".."))
+                    .and_then(|(lo, hi)| Some((lo.parse().ok()?, hi.parse().ok()?)))
+                    .filter(|(lo, hi)| *lo > 0 && lo <= hi)
+                    .or_else(|| usage());
+            }
             "--min-rand-write-mibs" => {
                 cfg.min_rand_write_mibs =
                     Some(iter.next().and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| usage()))
@@ -270,8 +431,7 @@ fn main() {
     // meaningless to compare unless the fsync discipline matches.
     let durable_sync = service.env().wal().options().durable_sync;
     let handle =
-        spawn(service, ServerConfig { workers: cfg.clients.max(8), ..ServerConfig::default() })
-            .unwrap();
+        spawn(service, ServerConfig::default().executor_threads(cfg.clients.max(8))).unwrap();
     let addr = handle.local_addr();
     eprintln!(
         "server_bench: TCP on {addr}, {} clients x {} KiB objects",
@@ -299,6 +459,12 @@ fn main() {
     let lb_stats = service.stats_snapshot();
     let lb_metrics = service.metrics_entries();
 
+    // --- connection scaling (optional) ---
+    let scaling = cfg.conn_scale.map(|(min, max)| {
+        eprintln!("server_bench: conn-scale {min}..{max}");
+        conn_scale(min, max)
+    });
+
     let stats_json = |s: &pglo_server::ServerStats| {
         Value::Obj(vec![
             ("requests".into(), Value::Num(s.total_requests() as f64)),
@@ -308,7 +474,7 @@ fn main() {
         ])
     };
 
-    let doc = Value::Obj(vec![
+    let mut doc_fields = vec![
         ("bench".into(), Value::Str("lobd_server_throughput".into())),
         (
             "config".into(),
@@ -327,7 +493,11 @@ fn main() {
         ("loopback".into(), Value::Obj(lb_phases)),
         ("loopback_stats".into(), stats_json(&lb_stats)),
         ("loopback_percentiles".into(), percentiles_json(&lb_metrics)),
-    ]);
+    ];
+    if let Some((curve, _)) = &scaling {
+        doc_fields.push(("conn_scale".into(), Value::Arr(curve.clone())));
+    }
+    let doc = Value::Obj(doc_fields);
 
     let out = cfg.out.clone().unwrap_or_else(|| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").to_string()
@@ -360,6 +530,9 @@ fn main() {
     if let Some(floor) = cfg.min_seq_mibs {
         rate_floor("seq_read", floor);
     }
+    if let Some(floor) = cfg.min_seq_pipe_mibs {
+        rate_floor("seq_read_pipelined", floor);
+    }
     if let Some(floor) = cfg.min_rand_write_mibs {
         rate_floor("rand_write", floor);
     }
@@ -373,6 +546,20 @@ fn main() {
             failed = true;
         } else {
             eprintln!("server_bench: commit p99 {measured:.1} us <= ceiling {ceiling:.1} us");
+        }
+    }
+    if let (Some(ceiling), Some((_, worst_p99))) = (cfg.max_p99_us, &scaling) {
+        if *worst_p99 > ceiling {
+            eprintln!(
+                "server_bench: FAIL conn-scale worst ping p99 {worst_p99:.1} us > \
+                 ceiling {ceiling:.1} us"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "server_bench: conn-scale worst ping p99 {worst_p99:.1} us <= \
+                 ceiling {ceiling:.1} us"
+            );
         }
     }
     if failed {

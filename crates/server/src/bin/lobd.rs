@@ -1,13 +1,17 @@
 //! The lobd daemon entry point.
 //!
 //! ```text
-//! lobd <data-dir> [--addr HOST:PORT] [--workers N] [--backlog N] [--dump-metrics]
+//! lobd <data-dir> [--addr HOST:PORT] [--reactors N] [--executors N]
+//!      [--max-sessions N] [--pipeline-window N] [--dump-metrics]
 //! ```
 //!
 //! Serves until a client sends the `shutdown` op, then drains sessions and
 //! prints a final statistics snapshot. With `--dump-metrics`, the full
 //! Prometheus-flavoured metrics exposition (the same text the
 //! `metrics_text` wire op serves) is written to stdout at shutdown.
+//!
+//! The pre-reactor `--workers`/`--backlog` flags are still accepted as
+//! deprecated aliases for `--executors`/`--max-sessions`.
 
 use pglo_server::{spawn, LobdService, ServerConfig};
 use std::process::ExitCode;
@@ -16,20 +20,42 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut data_dir = None;
     let mut dump_metrics = false;
-    let mut config = ServerConfig { addr: "127.0.0.1:5433".into(), ..ServerConfig::default() };
+    let mut config = ServerConfig::default().addr("127.0.0.1:5433");
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => match args.next() {
-                Some(v) => config.addr = v,
+                Some(v) => config = config.addr(v),
                 None => return usage("--addr needs a value"),
             },
+            "--reactors" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config = config.reactors(v),
+                _ => return usage("--reactors needs a positive integer"),
+            },
+            "--executors" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config = config.executor_threads(v),
+                _ => return usage("--executors needs a positive integer"),
+            },
+            "--max-sessions" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config = config.max_sessions(v),
+                _ => return usage("--max-sessions needs a positive integer"),
+            },
+            "--pipeline-window" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => config = config.pipeline_window(v),
+                _ => return usage("--pipeline-window needs a positive integer"),
+            },
             "--workers" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) if v > 0 => config.workers = v,
+                Some(v) if v > 0 => {
+                    eprintln!("lobd: --workers is deprecated; use --executors");
+                    config = config.executor_threads(v);
+                }
                 _ => return usage("--workers needs a positive integer"),
             },
             "--backlog" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) if v > 0 => config.backlog = v,
+                Some(v) if v > 0 => {
+                    eprintln!("lobd: --backlog is deprecated; use --max-sessions");
+                    config = config.max_sessions(v);
+                }
                 _ => return usage("--backlog needs a positive integer"),
             },
             "--dump-metrics" => dump_metrics = true,
@@ -59,7 +85,7 @@ fn main() -> ExitCode {
     };
     eprintln!("lobd: serving {data_dir} on {}", handle.local_addr());
 
-    // The accept loop and workers run until a client requests shutdown.
+    // The reactors and executors run until a client requests shutdown.
     let service = handle.join();
 
     let stats = service.stats_snapshot();
@@ -81,7 +107,8 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("lobd: {err}");
     }
     eprintln!(
-        "usage: lobd <data-dir> [--addr HOST:PORT] [--workers N] [--backlog N] [--dump-metrics]"
+        "usage: lobd <data-dir> [--addr HOST:PORT] [--reactors N] [--executors N] \
+         [--max-sessions N] [--pipeline-window N] [--dump-metrics]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

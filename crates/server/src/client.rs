@@ -7,8 +7,17 @@ use crate::proto::{
 };
 use crate::stats::{decode_metrics, ServerStats};
 use obs::MetricEntry;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
+use std::marker::PhantomData;
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// First protocol version with tagged (pipelined) framing.
+const TAGGED_VERSION: u8 = 4;
+
+/// Default window for [`Client::pipeline`]: requests in flight before
+/// enqueueing blocks on the oldest reply.
+pub const DEFAULT_PIPELINE_WINDOW: usize = 16;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -66,6 +75,20 @@ impl ClientError {
 /// Client-side result type.
 pub type Result<T> = std::result::Result<T, ClientError>;
 
+fn map_frame_err<T>(res: std::result::Result<T, proto::FrameError>) -> Result<T> {
+    match res {
+        Ok(v) => Ok(v),
+        Err(proto::FrameError::Eof) => Err(ClientError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ))),
+        Err(proto::FrameError::Io(e)) => Err(ClientError::Io(e)),
+        Err(proto::FrameError::BadLength(n)) => {
+            Err(ClientError::Protocol(format!("server sent bad frame length {n}")))
+        }
+    }
+}
+
 /// Decoded `inv_stat` reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Stat {
@@ -97,11 +120,27 @@ pub struct Entry {
 }
 
 /// A connected lobd client.
+///
+/// Since proto v4 the core is *pipelined*: every request carries a
+/// client-chosen tag, sends and reply-reads are decoupled, and replies
+/// park in a completion buffer until their tag is redeemed. The typed
+/// one-op methods ([`Client::ping`], [`LoHandle::read`], ...) are
+/// window-of-1 wrappers over that core — send one tag, redeem it
+/// immediately — so their behavior is unchanged. [`Client::pipeline`]
+/// opens the window.
 pub struct Client<S: Read + Write> {
     stream: S,
-    /// Protocol version negotiated at handshake; picks the stats reply
-    /// decoding (v3 metrics frame vs the legacy v2 fixed layout).
+    /// Protocol version negotiated at handshake; picks the framing
+    /// (tagged v4 vs legacy) and the stats reply decoding (v3 metrics
+    /// frame vs the legacy v2 fixed layout).
     proto: u8,
+    /// Next request tag (v4 sessions).
+    next_tag: u32,
+    /// Tags sent whose replies have not yet been read off the wire, in
+    /// send order (the server replies in send order).
+    inflight: VecDeque<u32>,
+    /// Replies read off the wire but not yet redeemed, by tag.
+    completed: HashMap<u32, (u8, Vec<u8>)>,
 }
 
 impl Client<TcpStream> {
@@ -149,7 +188,13 @@ impl<S: Read + Write> Client<S> {
         if hello[4] != version {
             return Err(ClientError::Version(hello[4], version));
         }
-        Ok(Self { stream, proto: version })
+        Ok(Self {
+            stream,
+            proto: version,
+            next_tag: 1,
+            inflight: VecDeque::new(),
+            completed: HashMap::new(),
+        })
     }
 
     /// The protocol version negotiated at handshake.
@@ -164,19 +209,87 @@ impl<S: Read + Write> Client<S> {
 
     /// Send a raw `(opcode_byte, payload)` frame and return the raw
     /// `(status_byte, payload)` reply. Escape hatch for robustness tests.
+    /// A window-of-1 round trip: send one tag, redeem it immediately.
     pub fn call_raw(&mut self, opcode: u8, payload: &[u8]) -> Result<(u8, Vec<u8>)> {
-        proto::write_frame(&mut self.stream, opcode, payload)?;
-        match proto::read_frame(&mut self.stream) {
-            Ok(reply) => Ok(reply),
-            Err(proto::FrameError::Eof) => Err(ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ))),
-            Err(proto::FrameError::Io(e)) => Err(ClientError::Io(e)),
-            Err(proto::FrameError::BadLength(n)) => {
-                Err(ClientError::Protocol(format!("server sent bad frame length {n}")))
-            }
+        let tag = self.send_raw(opcode, payload)?;
+        self.fetch_reply(tag)
+    }
+
+    /// Send one request frame without awaiting its reply; returns the
+    /// tag the reply will carry. On a pre-v4 session (no tags on the
+    /// wire) the reply is read *now* — the effective window is 1 — and
+    /// parked under a synthetic tag, so redeeming works identically.
+    fn send_raw(&mut self, opcode: u8, payload: &[u8]) -> Result<u32> {
+        let tag = self.next_tag;
+        // Tag 0 is reserved for server-initiated frames (shutdown
+        // notices, framing errors); skip it on wraparound.
+        self.next_tag = match self.next_tag.wrapping_add(1) {
+            0 => 1,
+            t => t,
+        };
+        if self.proto >= TAGGED_VERSION {
+            proto::write_frame_v4(&mut self.stream, tag, opcode, payload)?;
+            self.inflight.push_back(tag);
+        } else {
+            proto::write_frame(&mut self.stream, opcode, payload)?;
+            let reply = map_frame_err(proto::read_frame(&mut self.stream))?;
+            self.completed.insert(tag, reply);
         }
+        Ok(tag)
+    }
+
+    /// Read the next reply off the wire into the completion buffer.
+    fn pump_one(&mut self) -> Result<()> {
+        let (tag, status, payload) = map_frame_err(proto::read_frame_v4(&mut self.stream))?;
+        // Replies arrive in send order; server-initiated frames (tag 0,
+        // e.g. a shutdown notice racing our sends) are not ours to match.
+        if let Some(pos) = self.inflight.iter().position(|t| *t == tag) {
+            self.inflight.remove(pos);
+            self.completed.insert(tag, (status, payload));
+        } else if tag == 0 {
+            let code = ErrorCode::from_u8(status);
+            return Err(ClientError::Server(
+                code.unwrap_or(ErrorCode::Internal),
+                String::from_utf8_lossy(&payload).into_owned(),
+            ));
+        } else {
+            return Err(ClientError::Protocol(format!("reply for unknown tag {tag}")));
+        }
+        Ok(())
+    }
+
+    /// Redeem `tag`: return its buffered reply, reading further replies
+    /// off the wire as needed.
+    fn fetch_reply(&mut self, tag: u32) -> Result<(u8, Vec<u8>)> {
+        loop {
+            if let Some(reply) = self.completed.remove(&tag) {
+                return Ok(reply);
+            }
+            if self.proto >= TAGGED_VERSION && self.inflight.contains(&tag) {
+                self.pump_one()?;
+                continue;
+            }
+            return Err(ClientError::Protocol(format!("no reply pending for tag {tag}")));
+        }
+    }
+
+    /// Replies not yet read off the wire (0 outside an open pipeline).
+    fn wire_backlog(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Open a pipeline with the default window
+    /// ([`DEFAULT_PIPELINE_WINDOW`]). Ops enqueue on the returned guard
+    /// and come back as typed [`Ticket`]s; see [`Pipeline`].
+    pub fn pipeline(&mut self) -> Pipeline<'_, S> {
+        self.pipeline_with_window(DEFAULT_PIPELINE_WINDOW)
+    }
+
+    /// Open a pipeline with an explicit window (clamped to ≥ 1). On a
+    /// pre-v4 session the wire window degrades to 1 (each send awaits
+    /// its reply) but tickets still redeem normally.
+    pub fn pipeline_with_window(&mut self, window: usize) -> Pipeline<'_, S> {
+        Pipeline { client: self, window: window.max(1), open: Vec::new() }
     }
 
     fn call(&mut self, op: Opcode, payload: &[u8]) -> Result<Vec<u8>> {
@@ -710,6 +823,264 @@ impl<S: Read + Write> Drop for LoHandle<'_, S> {
             // Best-effort close; use `close()` to observe failures.
             if self.client.fd_close(fd).is_err() {
                 obs::counter!("client.drop_close.errors").add(1);
+            }
+        }
+    }
+}
+
+/// A claim on one in-flight operation's reply, typed by what the reply
+/// decodes to. Redeem it with [`Pipeline::redeem`]; dropping it
+/// unredeemed is fine (the pipeline guard drains abandoned replies).
+#[must_use = "redeem the ticket to observe the operation's result"]
+pub struct Ticket<T> {
+    tag: u32,
+    decode: fn(&[u8]) -> Result<T>,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").field("tag", &self.tag).finish_non_exhaustive()
+    }
+}
+
+fn dec_echo(b: &[u8]) -> Result<Vec<u8>> {
+    Ok(b.to_vec())
+}
+
+fn dec_unit(b: &[u8]) -> Result<()> {
+    if b.is_empty() {
+        Ok(())
+    } else {
+        Err(ClientError::Protocol("unexpected reply payload".into()))
+    }
+}
+
+fn dec_u32(b: &[u8]) -> Result<u32> {
+    let mut r = Reader::new(b);
+    let v = r.u32()?;
+    r.finish()?;
+    Ok(v)
+}
+
+fn dec_u64(b: &[u8]) -> Result<u64> {
+    let mut r = Reader::new(b);
+    let v = r.u64()?;
+    r.finish()?;
+    Ok(v)
+}
+
+/// A pipelining guard over a client: ops *enqueue* instead of round-
+/// tripping, each returning a typed [`Ticket`] redeemed later — so up
+/// to `window` operations ride the wire concurrently. Execution is
+/// strictly in-order per session on the server, so pipelined ops see
+/// exactly the semantics sequential ops would; only the latency
+/// changes. Tickets may be redeemed in any order of the caller's
+/// choosing; replies complete in send order and park in the client's
+/// completion buffer until their ticket claims them.
+///
+/// Enqueueing past the window blocks on the oldest outstanding reply
+/// first, so a slow consumer cannot buffer unboundedly. Dropping the
+/// guard drains every unredeemed reply best-effort (errors counted as
+/// `client.pipeline.drop_drain_errors`), leaving the client ready for
+/// sequential use again.
+pub struct Pipeline<'c, S: Read + Write> {
+    client: &'c mut Client<S>,
+    window: usize,
+    /// Tags with a live (undropped or unredeemed) ticket.
+    open: Vec<u32>,
+}
+
+impl<S: Read + Write> Pipeline<'_, S> {
+    /// The configured window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn enqueue<T>(
+        &mut self,
+        op: Opcode,
+        payload: &[u8],
+        decode: fn(&[u8]) -> Result<T>,
+    ) -> Result<Ticket<T>> {
+        while self.client.wire_backlog() >= self.window {
+            self.client.pump_one()?;
+        }
+        let tag = self.client.send_raw(op as u8, payload)?;
+        self.open.push(tag);
+        Ok(Ticket { tag, decode, _t: PhantomData })
+    }
+
+    /// Redeem a ticket: block until its reply is in hand, then decode.
+    pub fn redeem<T>(&mut self, ticket: Ticket<T>) -> Result<T> {
+        self.open.retain(|t| *t != ticket.tag);
+        let (status, reply) = self.client.fetch_reply(ticket.tag)?;
+        if status == 0 {
+            return (ticket.decode)(&reply);
+        }
+        let code = ErrorCode::from_u8(status)
+            .ok_or_else(|| ClientError::Protocol(format!("unknown status byte {status}")))?;
+        Err(ClientError::Server(code, String::from_utf8_lossy(&reply).into_owned()))
+    }
+
+    /// Enqueue a liveness probe; the server echoes the payload.
+    pub fn ping(&mut self, payload: &[u8]) -> Result<Ticket<Vec<u8>>> {
+        self.enqueue(Opcode::Ping, payload, dec_echo)
+    }
+
+    /// Enqueue a `begin`.
+    pub fn begin(&mut self) -> Result<Ticket<()>> {
+        self.enqueue(Opcode::Begin, &[], dec_unit)
+    }
+
+    /// Enqueue a `commit`; the ticket yields the commit timestamp.
+    pub fn commit(&mut self) -> Result<Ticket<u64>> {
+        self.enqueue(Opcode::Commit, &[], dec_u64)
+    }
+
+    /// Enqueue an `abort`.
+    pub fn abort(&mut self) -> Result<Ticket<()>> {
+        self.enqueue(Opcode::Abort, &[], dec_unit)
+    }
+
+    /// Enqueue a `current_ts` probe.
+    pub fn current_ts(&mut self) -> Result<Ticket<u64>> {
+        self.enqueue(Opcode::CurrentTs, &[], dec_u64)
+    }
+
+    /// Enqueue a large-object create; the ticket yields the new id.
+    pub fn lo_create(&mut self, spec: &WireSpec) -> Result<Ticket<u64>> {
+        let mut p = Vec::new();
+        spec.encode(&mut p);
+        self.enqueue(Opcode::LoCreate, &p, dec_u64)
+    }
+
+    /// Enqueue a large-object unlink.
+    pub fn lo_unlink(&mut self, id: u64) -> Result<Ticket<()>> {
+        let mut p = Vec::new();
+        proto::put_u64(&mut p, id);
+        self.enqueue(Opcode::LoUnlink, &p, dec_unit)
+    }
+
+    /// Enqueue an open; the ticket yields the raw descriptor. Pipelined
+    /// I/O addresses objects by raw fd — the RAII [`LoHandle`] is the
+    /// sequential API's affordance; a pipeline must be free to keep
+    /// many ops on one fd in flight.
+    pub fn lo_open(&mut self, id: u64, writable: bool, user: u32) -> Result<Ticket<u32>> {
+        let mut p = Vec::new();
+        proto::put_u64(&mut p, id);
+        p.push(u8::from(writable));
+        proto::put_u32(&mut p, user);
+        self.enqueue(Opcode::LoOpen, &p, dec_u32)
+    }
+
+    /// Enqueue a time-travel open (read-only, as of `ts`).
+    pub fn lo_open_as_of(&mut self, id: u64, ts: u64) -> Result<Ticket<u32>> {
+        let mut p = Vec::new();
+        proto::put_u64(&mut p, id);
+        proto::put_u64(&mut p, ts);
+        self.enqueue(Opcode::LoOpenAsOf, &p, dec_u32)
+    }
+
+    /// Enqueue a read at the seek pointer.
+    pub fn lo_read(&mut self, fd: u32, len: u32) -> Result<Ticket<Vec<u8>>> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        proto::put_u32(&mut p, len);
+        self.enqueue(Opcode::LoRead, &p, dec_echo)
+    }
+
+    /// Enqueue a write at the seek pointer (must fit one op, [`MAX_IO`]).
+    pub fn lo_write(&mut self, fd: u32, data: &[u8]) -> Result<Ticket<()>> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        proto::put_bytes(&mut p, data);
+        self.enqueue(Opcode::LoWrite, &p, dec_unit)
+    }
+
+    /// Enqueue a positioned read (seek pointer unchanged).
+    pub fn lo_read_at(&mut self, fd: u32, offset: u64, len: u32) -> Result<Ticket<Vec<u8>>> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        proto::put_u64(&mut p, offset);
+        proto::put_u32(&mut p, len);
+        self.enqueue(Opcode::LoReadAt, &p, dec_echo)
+    }
+
+    /// Enqueue a positioned write (seek pointer unchanged).
+    pub fn lo_write_at(&mut self, fd: u32, offset: u64, data: &[u8]) -> Result<Ticket<()>> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        proto::put_u64(&mut p, offset);
+        proto::put_bytes(&mut p, data);
+        self.enqueue(Opcode::LoWriteAt, &p, dec_unit)
+    }
+
+    /// Enqueue a seek; the ticket yields the new position.
+    pub fn lo_seek(&mut self, fd: u32, whence: u8, offset: i64) -> Result<Ticket<u64>> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        p.push(whence);
+        proto::put_i64(&mut p, offset);
+        self.enqueue(Opcode::LoSeek, &p, dec_u64)
+    }
+
+    /// Enqueue a size query.
+    pub fn lo_size(&mut self, fd: u32) -> Result<Ticket<u64>> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        self.enqueue(Opcode::LoSize, &p, dec_u64)
+    }
+
+    /// Enqueue a descriptor close.
+    pub fn lo_close(&mut self, fd: u32) -> Result<Ticket<()>> {
+        let mut p = Vec::new();
+        proto::put_u32(&mut p, fd);
+        self.enqueue(Opcode::LoClose, &p, dec_unit)
+    }
+
+    /// Enqueue an Inversion read.
+    pub fn inv_read(&mut self, path: &str, offset: u64, len: u32) -> Result<Ticket<Vec<u8>>> {
+        let mut p = Vec::new();
+        proto::put_str(&mut p, path);
+        proto::put_u64(&mut p, offset);
+        proto::put_u32(&mut p, len);
+        self.enqueue(Opcode::InvRead, &p, dec_echo)
+    }
+
+    /// Enqueue an Inversion write.
+    pub fn inv_write(&mut self, path: &str, offset: u64, data: &[u8]) -> Result<Ticket<()>> {
+        let mut p = Vec::new();
+        proto::put_str(&mut p, path);
+        proto::put_u64(&mut p, offset);
+        proto::put_bytes(&mut p, data);
+        self.enqueue(Opcode::InvWrite, &p, dec_unit)
+    }
+}
+
+impl<S: Read + Write> std::fmt::Debug for Pipeline<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("window", &self.window)
+            .field("open", &self.open.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Read + Write> Drop for Pipeline<'_, S> {
+    fn drop(&mut self) {
+        // Drain abandoned replies so the wire is clean for sequential
+        // use; a transport error here leaves the client broken anyway,
+        // so count it and stop.
+        let mut failed = false;
+        for tag in std::mem::take(&mut self.open) {
+            if failed {
+                self.client.completed.remove(&tag);
+                continue;
+            }
+            if self.client.fetch_reply(tag).is_err() {
+                obs::counter!("client.pipeline.drop_drain_errors").add(1);
+                failed = true;
             }
         }
     }

@@ -14,22 +14,26 @@
 //!   descriptor table ([`pglo_core::LoCursor`]s), temp-object registry.
 //! * [`service`] — dispatch: `(opcode, payload)` in, `(status, payload)`
 //!   out, against the shared stack. Panic-proof.
-//! * [`server`] — the TCP front end: accept loop, bounded queue, worker
-//!   pool, graceful drain.
-//! * [`client`] — the typed client, generic over the transport.
+//! * [`server`] + [`reactor`] — the TCP front end: reactor threads over
+//!   a readiness loop (shims/epoll), incremental frame decode, an
+//!   executor pool as the blocking execution stage, graceful drain.
+//! * [`client`] — the typed client, generic over the transport, with a
+//!   pipelined core ([`Client::pipeline`] / [`Pipeline`] / [`Ticket`]).
 //! * [`loopback`] — the same protocol over an in-memory pipe.
 //!
-//! See DESIGN.md ("The lobd wire protocol") for the normative spec.
+//! See DESIGN.md ("The lobd wire protocol", "Reactor model") for the
+//! normative spec.
 
 pub mod client;
 pub mod loopback;
 pub mod proto;
+mod reactor;
 pub mod server;
 pub mod service;
 pub mod session;
 pub mod stats;
 
-pub use client::{Client, ClientError, Entry, LoHandle, Stat};
+pub use client::{Client, ClientError, Entry, LoHandle, Pipeline, Stat, Ticket};
 pub use proto::{ErrorCode, Opcode, WireSpec, MAX_FRAME, MAX_IO};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use service::LobdService;

@@ -7,29 +7,50 @@
 //!
 //! # Framing
 //!
+//! v2/v3 (legacy, still negotiated for old clients):
+//!
 //! ```text
 //! request  = u32 len (LE) | u8 opcode | payload      (len = 1 + payload)
 //! reply    = u32 len (LE) | u8 status | payload      (status 0 = OK)
 //! ```
 //!
+//! v4 adds **pipelining**: every frame — request and reply alike —
+//! carries a client-chosen `u32` tag after the length, echoed verbatim
+//! in the matching reply so a client may keep a window of requests in
+//! flight and correlate completions:
+//!
+//! ```text
+//! request  = u32 len (LE) | u32 tag (LE) | u8 opcode | payload   (len = 5 + payload)
+//! reply    = u32 len (LE) | u32 tag (LE) | u8 status | payload
+//! ```
+//!
+//! Execution stays strictly in-order per session (so replies also
+//! arrive in send order); the tag is correlation, not reordering.
+//! Server-initiated frames (shutdown notices, unparseable-length
+//! errors) carry tag 0.
+//!
 //! A connection starts with a 5-byte handshake in each direction:
 //! `b"PGLO"` then the protocol version byte. The server rejects unknown
-//! versions with [`ErrorCode::BadVersion`] and closes.
+//! versions with [`ErrorCode::BadVersion`] and closes; that refusal
+//! frame is always legacy-framed (untagged), since no v4 session was
+//! established.
 
 use std::io::{self, Read, Write};
 
 /// Protocol magic exchanged at connect time.
 pub const MAGIC: &[u8; 4] = b"PGLO";
 
-/// Current protocol version. Version 3 replaced the fixed-position stats
-/// reply with a self-describing metrics frame (see
-/// [`crate::stats::encode_metrics`]) and added the `metrics_text` op —
-/// adding a metric no longer changes the frame layout, so it must never
-/// again require a version bump. Version 2's fixed layout is still served
-/// to old clients: the handshake *negotiates* within
-/// [`MIN_VERSION`]`..=`[`VERSION`] by echoing the client's version instead
-/// of rejecting it.
-pub const VERSION: u8 = 3;
+/// Current protocol version. Version 4 switched both directions to
+/// tagged frames (`u32 len | u32 tag | u8 code | payload`) to support
+/// pipelining; version 3 replaced the fixed-position stats reply with a
+/// self-describing metrics frame (see [`crate::stats::encode_metrics`])
+/// and added the `metrics_text` op — adding a metric no longer changes
+/// the frame layout, so it must never again require a version bump.
+/// Versions 2 and 3 are still served to old clients: the handshake
+/// *negotiates* within [`MIN_VERSION`]`..=`[`VERSION`] by echoing the
+/// client's version instead of rejecting it, and the session's framing
+/// follows the negotiated version.
+pub const VERSION: u8 = 4;
 
 /// Oldest protocol version the server still speaks. Version 1 clients
 /// (pre-sharded-pool stats layout) are refused with
@@ -511,6 +532,97 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()
     w.flush()
 }
 
+/// Read one v4 tagged frame `[u32 len][u32 tag][u8 code][payload]`.
+/// Returns `(tag, code, payload)`.
+pub fn read_frame_v4(r: &mut impl Read) -> Result<(u32, u8, Vec<u8>), FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    FrameError::Eof
+                } else {
+                    FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "torn frame header",
+                    ))
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if !(5..=MAX_FRAME).contains(&len) {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(FrameError::Io)?;
+    let tag = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+    let code = body[4];
+    body.drain(..5);
+    Ok((tag, code, body))
+}
+
+/// Write one v4 tagged frame.
+pub fn write_frame_v4(w: &mut impl Write, tag: u32, code: u8, payload: &[u8]) -> io::Result<()> {
+    let len = 5 + payload.len();
+    debug_assert!(len <= MAX_FRAME as usize);
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&tag.to_le_bytes())?;
+    w.write_all(&[code])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Encode a frame (v4 tagged or legacy) into `out` without flushing —
+/// the reactor write path batches frames into a per-connection buffer.
+pub fn encode_frame_into(out: &mut Vec<u8>, tagged: bool, tag: u32, code: u8, payload: &[u8]) {
+    let len = if tagged { 5 } else { 1 } + payload.len();
+    debug_assert!(len <= MAX_FRAME as usize);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    if tagged {
+        out.extend_from_slice(&tag.to_le_bytes());
+    }
+    out.push(code);
+    out.extend_from_slice(payload);
+}
+
+/// One decoded frame: `(consumed_bytes, tag, code, payload)`. Legacy
+/// frames report tag 0.
+pub type DecodedFrame = (usize, u32, u8, Vec<u8>);
+
+/// Incremental (non-blocking) frame decode against a byte buffer.
+///
+/// Returns `Ok(None)` when `buf` holds only a frame prefix (need more
+/// bytes), `Ok(Some(frame))` for one complete frame starting at
+/// `buf[0]` (the caller drains `frame.0` bytes), or
+/// [`FrameError::BadLength`] for a length prefix outside the trusted
+/// range — the stream is unrecoverable from there. Legacy (v2/v3)
+/// frames decode with `tagged = false`.
+pub fn decode_frame(buf: &[u8], tagged: bool) -> Result<Option<DecodedFrame>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let min = if tagged { 5 } else { 1 };
+    if len < min || len > MAX_FRAME {
+        return Err(FrameError::BadLength(len));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    if tagged {
+        let tag = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        Ok(Some((total, tag, buf[8], buf[9..total].to_vec())))
+    } else {
+        Ok(Some((total, 0, buf[4], buf[5..total].to_vec())))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,6 +693,91 @@ mod tests {
         let mut r = Reader::new(&out2);
         r.str().unwrap();
         assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn v4_frame_roundtrip_preserves_tag() {
+        let mut buf = Vec::new();
+        write_frame_v4(&mut buf, 0xDEAD_BEEF, Opcode::LoRead as u8, &[1, 2, 3]).unwrap();
+        let (tag, code, payload) = read_frame_v4(&mut &buf[..]).unwrap();
+        assert_eq!(tag, 0xDEAD_BEEF);
+        assert_eq!(code, Opcode::LoRead as u8);
+        assert_eq!(payload, vec![1, 2, 3]);
+        let mut cursor = &buf[buf.len()..];
+        assert!(matches!(read_frame_v4(&mut cursor), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn v4_rejects_sub_header_lengths() {
+        // len 0..=4 cannot hold tag + code on a tagged stream.
+        for len in 0u32..=4 {
+            let mut buf = len.to_le_bytes().to_vec();
+            buf.extend_from_slice(&[0; 8]);
+            assert!(
+                matches!(read_frame_v4(&mut &buf[..]), Err(FrameError::BadLength(n)) if n == len)
+            );
+        }
+        let mut big = Vec::new();
+        big.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_frame_v4(&mut &big[..]), Err(FrameError::BadLength(_))));
+    }
+
+    #[test]
+    fn incremental_decode_handles_partial_and_batched_frames() {
+        let mut wire = Vec::new();
+        write_frame_v4(&mut wire, 7, 0x13, &[9; 16]).unwrap();
+        write_frame_v4(&mut wire, 8, 0x14, b"xyz").unwrap();
+
+        // Byte-at-a-time: no frame until the exact boundary.
+        let first_total = 4 + 5 + 16;
+        for cut in 0..first_total {
+            assert!(
+                decode_frame(&wire[..cut], true).unwrap().is_none(),
+                "cut at {cut} must be incomplete"
+            );
+        }
+        let (consumed, tag, code, payload) = decode_frame(&wire, true).unwrap().unwrap();
+        assert_eq!((consumed, tag, code), (first_total, 7, 0x13));
+        assert_eq!(payload, vec![9; 16]);
+
+        // The second frame decodes from the remainder.
+        let rest = &wire[consumed..];
+        let (consumed2, tag2, code2, payload2) = decode_frame(rest, true).unwrap().unwrap();
+        assert_eq!((consumed2, tag2, code2), (rest.len(), 8, 0x14));
+        assert_eq!(payload2, b"xyz".to_vec());
+    }
+
+    #[test]
+    fn incremental_decode_legacy_framing() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0x05, &[1, 2]).unwrap();
+        let (consumed, tag, code, payload) = decode_frame(&wire, false).unwrap().unwrap();
+        assert_eq!((consumed, tag, code), (wire.len(), 0, 0x05));
+        assert_eq!(payload, vec![1, 2]);
+        // Legacy zero-length frames are as bad as ever.
+        let zero = 0u32.to_le_bytes();
+        assert!(matches!(decode_frame(&zero, false), Err(FrameError::BadLength(0))));
+        // ...but a 4-byte length is fine untagged (code + 3 payload).
+        let mut small = Vec::new();
+        write_frame(&mut small, 0x01, &[1, 2, 3]).unwrap();
+        assert!(decode_frame(&small, false).unwrap().is_some());
+        // On a tagged stream the same prefix is rejected outright.
+        assert!(matches!(decode_frame(&small, true), Err(FrameError::BadLength(4))));
+    }
+
+    #[test]
+    fn encode_frame_into_matches_streaming_writers() {
+        let mut streamed = Vec::new();
+        write_frame_v4(&mut streamed, 42, 0x02, b"pq").unwrap();
+        let mut buffered = Vec::new();
+        encode_frame_into(&mut buffered, true, 42, 0x02, b"pq");
+        assert_eq!(streamed, buffered);
+
+        let mut streamed_legacy = Vec::new();
+        write_frame(&mut streamed_legacy, 0x02, b"pq").unwrap();
+        let mut buffered_legacy = Vec::new();
+        encode_frame_into(&mut buffered_legacy, false, 999, 0x02, b"pq");
+        assert_eq!(streamed_legacy, buffered_legacy);
     }
 
     #[test]

@@ -1,54 +1,152 @@
-//! lobd's TCP front end: accept loop, bounded dispatch queue, worker pool,
-//! graceful shutdown.
+//! lobd's TCP front end: reactor threads over a readiness loop, an
+//! executor pool behind them, graceful shutdown.
 //!
-//! Threading model: one accept thread pushes connections into a *bounded*
-//! queue (`mpsc::sync_channel`); a fixed pool of workers pulls from it and
-//! serves each connection to completion. When the queue is full the accept
-//! thread blocks, so further connections wait in the OS listen backlog —
-//! backpressure instead of unbounded thread growth.
+//! Threading model (see DESIGN.md "Reactor model"): `reactors` threads
+//! each own a `Poll` (shims/epoll) and a set of non-blocking
+//! connections. Reactor 0 also owns the non-blocking listener and deals
+//! accepted sockets round-robin to all reactors through per-reactor
+//! inboxes. Reactors do the byte work — incremental frame decode into
+//! per-connection buffers, reply flushing — and hand complete frames to
+//! a fixed pool of `executor_threads` blocking workers (the old worker
+//! pool, surviving as the execution stage). Completions come back to
+//! the owning reactor through a per-reactor done-queue plus a wakeup
+//! pipe ([`epoll::Waker`]), which also replaced the self-connection
+//! shutdown hack.
 //!
-//! Shutdown: [`ServerHandle::shutdown`] (or a client `shutdown` request)
-//! sets a flag. Workers notice at their next idle read timeout, finish the
-//! frame in flight, reply, and close — draining sessions rather than
-//! cutting them off. The accept thread is woken by a self-connection.
+//! Per session at most one frame executes at a time and queued frames
+//! run in arrival order, so protocol pipelining (proto v4 tags) never
+//! reorders execution — replies leave in send order and txn semantics
+//! are untouched.
+//!
+//! Shutdown: [`ServerHandle::shutdown`] (or a client `shutdown`
+//! request) sets the service flag and wakes every reactor. Reactors
+//! stop accepting, notify idle sessions with `ShuttingDown`, let
+//! in-flight frames finish, and force-close stragglers after a grace
+//! period. Executors exit when the last reactor drops its job-queue
+//! sender.
 
 use crate::proto::{self, ErrorCode, FrameError, Opcode, MAGIC, MAX_FRAME, MIN_VERSION, VERSION};
+use crate::reactor::{self, Shared};
 use crate::service::LobdService;
 use parking_lot::{ranks, Mutex};
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::AtomicUsize;
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-/// How long a worker blocks on a socket before re-checking the shutdown
-/// flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(250);
-
-/// How long the accept loop sleeps when no connection is pending. A
-/// shutdown requested by a *client* frame (not [`ServerHandle::shutdown`])
-/// is noticed within this interval.
-const ACCEPT_POLL: Duration = Duration::from_millis(50);
-
-/// How many poll intervals a worker tolerates mid-frame silence during
-/// shutdown before giving the connection up.
+/// How many poll intervals a blocking transport tolerates mid-frame
+/// silence during shutdown before giving the connection up.
 const SHUTDOWN_GRACE_POLLS: u32 = 8;
 
-/// Server tuning knobs.
+/// First protocol version with tagged (pipelined) framing.
+pub(crate) const TAGGED_VERSION: u8 = 4;
+
+/// Server tuning knobs, builder-style:
+///
+/// ```no_run
+/// # use pglo_server::ServerConfig;
+/// let config = ServerConfig::default()
+///     .addr("127.0.0.1:5433")
+///     .reactors(2)
+///     .executor_threads(16)
+///     .max_sessions(16384)
+///     .pipeline_window(32);
+/// ```
+///
+/// The pre-reactor `workers`/`backlog` fields survive as deprecated
+/// setters mapping onto the new shape (the same pattern as the PR-4
+/// raw-fd client deprecations).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Listen address; use port 0 to let the OS pick.
-    pub addr: String,
-    /// Worker threads — the cap on concurrently served connections.
-    pub workers: usize,
-    /// Bound on the accept→worker queue; beyond it, accepts block.
-    pub backlog: usize,
+    addr: String,
+    reactors: usize,
+    executor_threads: usize,
+    max_sessions: usize,
+    pipeline_window: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".into(), workers: 16, backlog: 64 }
+        Self {
+            addr: "127.0.0.1:0".into(),
+            reactors: 2,
+            executor_threads: 16,
+            max_sessions: 16384,
+            pipeline_window: 32,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Listen address; use port 0 to let the OS pick.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Reactor (event-loop) threads. Each owns a share of the
+    /// connections; reactor 0 also owns the listener.
+    pub fn reactors(mut self, n: usize) -> Self {
+        self.reactors = n.max(1);
+        self
+    }
+
+    /// Executor threads — the cap on concurrently *executing* frames
+    /// (connections themselves are only bounded by `max_sessions`).
+    pub fn executor_threads(mut self, n: usize) -> Self {
+        self.executor_threads = n.max(1);
+        self
+    }
+
+    /// Hard cap on concurrently admitted connections; accepts beyond it
+    /// are dropped (counted as `server.accept.refused`).
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n.max(1);
+        self
+    }
+
+    /// Per-session cap on decoded-but-unfinished frames (one executing
+    /// plus the rest queued). A client pipelining past it is not
+    /// errored; the reactor simply stops draining that socket until
+    /// completions catch up.
+    pub fn pipeline_window(mut self, n: usize) -> Self {
+        self.pipeline_window = n.max(1);
+        self
+    }
+
+    /// Pre-reactor knob: the worker pool is now the executor stage.
+    #[deprecated(since = "0.1.0", note = "use `executor_threads`")]
+    pub fn workers(self, n: usize) -> Self {
+        self.executor_threads(n)
+    }
+
+    /// Pre-reactor knob: the bounded accept queue is gone; the bound on
+    /// admitted connections is `max_sessions`.
+    #[deprecated(since = "0.1.0", note = "use `max_sessions`")]
+    pub fn backlog(self, n: usize) -> Self {
+        self.max_sessions(n)
+    }
+
+    pub(crate) fn addr_str(&self) -> &str {
+        &self.addr
+    }
+
+    pub(crate) fn reactor_count(&self) -> usize {
+        self.reactors
+    }
+
+    pub(crate) fn executor_count(&self) -> usize {
+        self.executor_threads
+    }
+
+    pub(crate) fn max_session_count(&self) -> usize {
+        self.max_sessions
+    }
+
+    pub(crate) fn window(&self) -> usize {
+        self.pipeline_window
     }
 }
 
@@ -58,8 +156,8 @@ impl Default for ServerConfig {
 pub struct ServerHandle {
     service: Arc<LobdService>,
     local_addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    wakers: Vec<epoll::Waker>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -73,19 +171,20 @@ impl ServerHandle {
         &self.service
     }
 
-    /// Request a graceful shutdown. The accept loop and idle workers
-    /// notice within their poll intervals; in-flight requests complete.
+    /// Request a graceful shutdown: sets the service flag and wakes
+    /// every reactor so drain starts immediately, not at the next
+    /// poll timeout. In-flight requests complete.
     pub fn shutdown(&self) {
         self.service.request_shutdown();
+        for w in &self.wakers {
+            soft_error(w.wake());
+        }
     }
 
-    /// Block until the accept loop and every worker have exited. Returns
-    /// the shared service so callers can read final statistics.
+    /// Block until every reactor and executor has exited. Returns the
+    /// shared service so callers can read final statistics.
     pub fn join(mut self) -> Arc<LobdService> {
-        if let Some(h) = self.accept.take() {
-            reap(h);
-        }
-        for h in self.workers.drain(..) {
+        for h in self.threads.drain(..) {
             reap(h);
         }
         Arc::clone(&self.service)
@@ -101,10 +200,10 @@ fn reap(h: JoinHandle<()>) {
 }
 
 /// Count a failed best-effort network nicety (a courtesy reply to a
-/// dying connection, a socket-option tweak) instead of discarding it.
-/// These failures are expected under client disconnects, but a rising
-/// rate flags network trouble.
-fn soft_error<T, E>(res: std::result::Result<T, E>) {
+/// dying connection, a socket-option tweak, a waker poke) instead of
+/// discarding it. These failures are expected under client disconnects,
+/// but a rising rate flags network trouble.
+pub(crate) fn soft_error<T, E>(res: std::result::Result<T, E>) {
     if res.is_err() {
         obs::counter!("server.net.soft_errors").add(1);
     }
@@ -112,121 +211,91 @@ fn soft_error<T, E>(res: std::result::Result<T, E>) {
 
 /// Bind and start serving. Returns once the listener is live.
 pub fn spawn(service: Arc<LobdService>, config: ServerConfig) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&config.addr)?;
+    let listener = TcpListener::bind(config.addr_str())?;
     let local_addr = listener.local_addr()?;
-    let (tx, rx) = sync_channel::<TcpStream>(config.backlog.max(1));
-    let rx = Arc::new(Mutex::with_rank(rx, ranks::SERVER_CONN_QUEUE));
+    listener.set_nonblocking(true)?;
 
-    let mut workers = Vec::with_capacity(config.workers.max(1));
-    for i in 0..config.workers.max(1) {
-        let rx = Arc::clone(&rx);
-        let service = Arc::clone(&service);
-        workers.push(
+    let n_reactors = config.reactor_count();
+    let mut polls = Vec::with_capacity(n_reactors);
+    let mut wakers = Vec::with_capacity(n_reactors);
+    for _ in 0..n_reactors {
+        let mut poll = epoll::Poll::new()?;
+        let waker = epoll::Waker::new(&mut poll, epoll::Token(reactor::TOKEN_WAKER))?;
+        polls.push(poll);
+        wakers.push(waker);
+    }
+
+    let shared = Arc::new(Shared {
+        service: Arc::clone(&service),
+        wakers: wakers.clone(),
+        inboxes: (0..n_reactors)
+            .map(|_| Mutex::with_rank(Vec::new(), ranks::SERVER_REACTOR_INBOX))
+            .collect(),
+        done: (0..n_reactors)
+            .map(|_| Mutex::with_rank(Vec::new(), ranks::SERVER_REACTOR_DONE))
+            .collect(),
+        conns: AtomicUsize::new(0),
+        max_sessions: config.max_session_count(),
+        pipeline_window: config.window(),
+    });
+
+    let (job_tx, job_rx) = mpsc::channel::<reactor::Job>();
+    let job_rx = Arc::new(Mutex::with_rank(job_rx, ranks::SERVER_EXEC_QUEUE));
+
+    let mut threads = Vec::with_capacity(n_reactors + config.executor_count());
+    for i in 0..config.executor_count() {
+        let rx = Arc::clone(&job_rx);
+        let shared = Arc::clone(&shared);
+        threads.push(
             std::thread::Builder::new()
-                .name(format!("lobd-worker-{i}"))
-                .spawn(move || worker_loop(&service, &rx))?,
+                .name(format!("lobd-exec-{i}"))
+                .spawn(move || reactor::executor_loop(&shared, &rx))?,
         );
     }
-
-    // Nonblocking accept so the loop can notice a shutdown requested by a
-    // client frame; an idle listener is polled every ACCEPT_POLL.
-    listener.set_nonblocking(true)?;
-    let accept_service = Arc::clone(&service);
-    let accept = std::thread::Builder::new().name("lobd-accept".into()).spawn(move || loop {
-        if accept_service.shutting_down() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Accepted sockets must block; workers rely on read
-                // timeouts, not O_NONBLOCK.
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                // Blocks when the queue is full: backpressure.
-                if tx.send(stream).is_err() {
-                    break;
-                }
-            }
-            Err(e) if is_timeout(&e) => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-        // tx drops on break; idle workers see Disconnected and exit.
-    })?;
-
-    Ok(ServerHandle { service, local_addr, accept: Some(accept), workers })
-}
-
-fn worker_loop(service: &Arc<LobdService>, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
-    loop {
-        // Hold the lock only long enough to pull one connection.
-        let next = {
-            let rx = rx.lock();
-            rx.recv_timeout(POLL_INTERVAL)
-        };
-        match next {
-            Ok(stream) => {
-                if service.shutting_down() {
-                    // Drain: refuse new work once shutdown has begun.
-                    soft_error(refuse(stream));
-                    continue;
-                }
-                serve_tcp(service, stream);
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if service.shutting_down() {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
+    for (idx, poll) in polls.into_iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        let jobs = job_tx.clone();
+        let listener = if idx == 0 { Some(listener.try_clone()?) } else { None };
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("lobd-reactor-{idx}"))
+                .spawn(move || reactor::reactor_loop(idx, poll, listener, shared, jobs))?,
+        );
     }
+    // The reactors hold the only senders now; executors exit when the
+    // last reactor drops its clone.
+    drop(job_tx);
+
+    Ok(ServerHandle { service, local_addr, wakers, threads })
 }
 
-/// Best-effort "shutting down" reply to a connection we will not serve.
-fn refuse(mut stream: TcpStream) -> io::Result<()> {
-    let mut hello = [0u8; 5];
-    soft_error(stream.set_read_timeout(Some(POLL_INTERVAL)));
-    if stream.read_exact(&mut hello).is_ok() {
-        // Echo a version the client speaks so it decodes the refusal.
-        let version = if (MIN_VERSION..=VERSION).contains(&hello[4]) { hello[4] } else { VERSION };
-        stream.write_all(MAGIC)?;
-        stream.write_all(&[version])?;
-        proto::write_frame(&mut stream, ErrorCode::ShuttingDown as u8, b"server is shutting down")?;
-    }
-    Ok(())
-}
-
-fn serve_tcp(service: &Arc<LobdService>, stream: TcpStream) {
-    soft_error(stream.set_nodelay(true));
-    soft_error(stream.set_read_timeout(Some(POLL_INTERVAL)));
-    let mut stream = stream;
-    serve_stream(service, &mut stream);
-}
-
-/// Serve one connection over any transport. Transports that can time out
-/// (`WouldBlock`/`TimedOut` reads, e.g. TCP with a read timeout) give the
-/// loop its shutdown poll; blocking transports (the in-process loopback)
-/// simply never yield timeouts and run until EOF.
+/// Serve one connection over any blocking transport (the in-process
+/// loopback, tests). Speaks the same negotiated protocol as the reactor
+/// path — tagged v4 frames or legacy v2/v3 — one frame at a time.
+/// Transports that can time out (`WouldBlock`/`TimedOut` reads) give
+/// the loop its shutdown poll; fully blocking transports run until EOF.
 pub fn serve_stream<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) {
     let mut session = service.session_opened();
     if let Ok(version) = handshake(service, stream) {
         session.set_proto_version(version);
+        let tagged = version >= TAGGED_VERSION;
         loop {
-            match read_frame_poll(stream, service) {
-                Ok(Some((tag, payload))) => {
-                    let (status, reply) = service.handle_frame(&mut session, tag, &payload);
-                    if proto::write_frame(stream, status, &reply).is_err() {
+            match read_frame_poll(stream, service, tagged) {
+                Ok(Some((tag, opcode, payload))) => {
+                    let (status, reply) = service.handle_frame(&mut session, opcode, &payload);
+                    if write_reply(stream, tagged, tag, status, &reply).is_err() {
                         break;
                     }
-                    if Opcode::from_u8(tag) == Some(Opcode::Shutdown) && status == 0 {
+                    if Opcode::from_u8(opcode) == Some(Opcode::Shutdown) && status == 0 {
                         break;
                     }
                 }
                 // Idle at shutdown: tell the client and drain out.
                 Ok(None) => {
-                    soft_error(proto::write_frame(
+                    soft_error(write_reply(
                         stream,
+                        tagged,
+                        0,
                         ErrorCode::ShuttingDown as u8,
                         b"server is shutting down",
                     ));
@@ -236,8 +305,10 @@ pub fn serve_stream<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S)
                 // trusted to frame correctly; reply best-effort and close.
                 Err(FrameError::BadLength(n)) => {
                     let msg = format!("bad frame length {n} (max {MAX_FRAME})");
-                    soft_error(proto::write_frame(
+                    soft_error(write_reply(
                         stream,
+                        tagged,
+                        0,
                         ErrorCode::Malformed as u8,
                         msg.as_bytes(),
                     ));
@@ -251,10 +322,26 @@ pub fn serve_stream<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S)
     service.session_closed(&mut session);
 }
 
+/// Write one reply frame in the session's negotiated framing.
+fn write_reply<S: Write>(
+    stream: &mut S,
+    tagged: bool,
+    tag: u32,
+    status: u8,
+    payload: &[u8],
+) -> io::Result<()> {
+    if tagged {
+        proto::write_frame_v4(stream, tag, status, payload)
+    } else {
+        proto::write_frame(stream, status, payload)
+    }
+}
+
 /// Exchange `MAGIC ++ version` in both directions, negotiating within
 /// the supported range: the server echoes the client's version when it
-/// can speak it ([`MIN_VERSION`]`..=`[`VERSION`]), so old v2 clients keep
-/// working against a v3 server. Returns the negotiated version.
+/// can speak it ([`MIN_VERSION`]`..=`[`VERSION`]), so old v2/v3 clients
+/// keep working against a v4 server (with legacy framing). Returns the
+/// negotiated version.
 fn handshake<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) -> io::Result<u8> {
     let mut hello = [0u8; 5];
     read_full(stream, &mut hello, service, true)?;
@@ -264,7 +351,8 @@ fn handshake<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) -> io:
     let client_version = hello[4];
     if !(MIN_VERSION..=VERSION).contains(&client_version) {
         // Answer with our magic so the client can tell "wrong version"
-        // from "not a lobd server", then refuse.
+        // from "not a lobd server", then refuse. The refusal frame is
+        // legacy-framed: no tagged session was established.
         stream.write_all(MAGIC)?;
         stream.write_all(&[VERSION])?;
         soft_error(proto::write_frame(
@@ -280,15 +368,17 @@ fn handshake<S: Read + Write>(service: &Arc<LobdService>, stream: &mut S) -> io:
     Ok(client_version)
 }
 
-/// Like [`proto::read_frame`] but tolerant of read timeouts: a timeout
-/// while *idle* (no frame bytes yet) checks the shutdown flag and keeps
-/// waiting; `Ok(None)` means shutdown was requested while idle. Timeouts
-/// *mid-frame* keep reading — the client is mid-send — up to a grace limit
-/// once shutdown begins.
+/// Like [`proto::read_frame`]/[`proto::read_frame_v4`] but tolerant of
+/// read timeouts: a timeout while *idle* (no frame bytes yet) checks the
+/// shutdown flag and keeps waiting; `Ok(None)` means shutdown was
+/// requested while idle. Timeouts *mid-frame* keep reading — the client
+/// is mid-send — up to a grace limit once shutdown begins. Returns
+/// `(tag, code, payload)`; legacy frames report tag 0.
 fn read_frame_poll<S: Read>(
     stream: &mut S,
     service: &LobdService,
-) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    tagged: bool,
+) -> Result<Option<(u32, u8, Vec<u8>)>, FrameError> {
     let mut len_buf = [0u8; 4];
     let mut got = 0;
     let mut grace = 0u32;
@@ -321,7 +411,8 @@ fn read_frame_poll<S: Read>(
         }
     }
     let len = u32::from_le_bytes(len_buf);
-    if len == 0 || len > MAX_FRAME {
+    let min = if tagged { 5 } else { 1 };
+    if len < min || len > MAX_FRAME {
         return Err(FrameError::BadLength(len));
     }
     let mut body = vec![0u8; len as usize];
@@ -348,9 +439,16 @@ fn read_frame_poll<S: Read>(
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    let tag = body[0];
-    body.drain(..1);
-    Ok(Some((tag, body)))
+    if tagged {
+        let tag = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+        let code = body[4];
+        body.drain(..5);
+        Ok(Some((tag, code, body)))
+    } else {
+        let code = body[0];
+        body.drain(..1);
+        Ok(Some((0, code, body)))
+    }
 }
 
 /// `read_exact` that rides through timeouts. With `idle_abort`, a timeout
@@ -378,6 +476,6 @@ fn read_full<S: Read>(
     Ok(())
 }
 
-fn is_timeout(e: &io::Error) -> bool {
+pub(crate) fn is_timeout(e: &io::Error) -> bool {
     matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }

@@ -63,6 +63,28 @@ fn v2_client_against_v3_server_full_service() {
 }
 
 #[test]
+fn v3_client_against_v4_server_full_service() {
+    let (_dir, handle) = start();
+    let mut c = connect_v(&handle, 3).unwrap();
+    assert_eq!(c.proto_version(), 3);
+
+    // Untagged legacy framing end to end on a v4 (tagged-capable) server.
+    assert_eq!(c.ping(b"v3 here").unwrap(), b"v3 here");
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    let mut lo = c.lo(id, true, 0).unwrap();
+    lo.write(b"spoken in v3").unwrap();
+    assert_eq!(lo.read_at(0, 64).unwrap(), b"spoken in v3");
+    lo.close().unwrap();
+    c.commit().unwrap();
+
+    // v3's self-describing metrics frame still decodes.
+    let entries = c.metrics().unwrap();
+    assert!(entries.iter().any(|e| e.name == "server.op.lo_write.count"));
+    stop(handle);
+}
+
+#[test]
 fn v2_and_v3_sessions_coexist_on_one_server() {
     let (_dir, handle) = start();
     let mut old = connect_v(&handle, 2).unwrap();

@@ -1,0 +1,156 @@
+//! Protocol-v4 pipelining: tagged frames, the `Pipeline` guard and its
+//! `Ticket`s, window backpressure, out-of-order redemption, and the
+//! degradation path for pre-v4 sessions (wire window 1, same API).
+
+use pglo_server::{spawn, Client, ClientError, LobdService, ServerConfig, ServerHandle, WireSpec};
+use std::net::TcpStream;
+
+fn start() -> (tempfile::TempDir, ServerHandle) {
+    let dir = tempfile::tempdir().unwrap();
+    let service = LobdService::open(dir.path()).unwrap();
+    let handle = spawn(service, ServerConfig::default()).unwrap();
+    (dir, handle)
+}
+
+fn stop(handle: ServerHandle) {
+    handle.shutdown();
+    handle.join();
+}
+
+fn connect_v(handle: &ServerHandle, version: u8) -> Result<Client<TcpStream>, ClientError> {
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    Client::handshake_with_version(stream, version)
+}
+
+#[test]
+fn tickets_redeem_out_of_order() {
+    let (_dir, handle) = start();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let mut pipe = c.pipeline();
+    let a = pipe.ping(b"alpha").unwrap();
+    let b = pipe.ping(b"beta").unwrap();
+    let g = pipe.ping(b"gamma").unwrap();
+    // Redemption order is the caller's business; the tag match is the
+    // correlation, not arrival order.
+    assert_eq!(pipe.redeem(g).unwrap(), b"gamma");
+    assert_eq!(pipe.redeem(a).unwrap(), b"alpha");
+    assert_eq!(pipe.redeem(b).unwrap(), b"beta");
+    drop(pipe);
+    assert_eq!(c.ping(b"after").unwrap(), b"after");
+    stop(handle);
+}
+
+#[test]
+fn small_window_absorbs_many_ops() {
+    let (_dir, handle) = start();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let mut pipe = c.pipeline_with_window(2);
+    assert_eq!(pipe.window(), 2);
+    // Far more enqueues than the window: the guard pumps replies to keep
+    // the wire backlog bounded, and every ticket still redeems.
+    let tickets: Vec<_> =
+        (0..100u32).map(|k| (pipe.ping(format!("op-{k}").as_bytes()).unwrap(), k)).collect();
+    for (ticket, k) in tickets {
+        assert_eq!(pipe.redeem(ticket).unwrap(), format!("op-{k}").into_bytes());
+    }
+    stop(handle);
+}
+
+#[test]
+fn pipelined_object_io_round_trips() {
+    let (_dir, handle) = start();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    {
+        let mut pipe = c.pipeline_with_window(8);
+        let fd = {
+            let t = pipe.lo_open(id, true, 0).unwrap();
+            pipe.redeem(t).unwrap()
+        };
+        // A window of positioned writes, then positioned reads of the
+        // same spans, all in flight together.
+        let writes: Vec<_> = (0..8u64)
+            .map(|k| pipe.lo_write_at(fd, k * 8, format!("chunk-{k}!").as_bytes()).unwrap())
+            .collect();
+        for t in writes {
+            pipe.redeem(t).unwrap();
+        }
+        let reads: Vec<_> =
+            (0..8u64).map(|k| (pipe.lo_read_at(fd, k * 8, 8).unwrap(), k)).collect();
+        for (t, k) in reads {
+            assert_eq!(pipe.redeem(t).unwrap(), format!("chunk-{k}!").into_bytes());
+        }
+        let t = pipe.lo_close(fd).unwrap();
+        pipe.redeem(t).unwrap();
+    }
+    c.commit().unwrap();
+    stop(handle);
+}
+
+#[test]
+fn error_replies_attach_to_their_ticket() {
+    let (_dir, handle) = start();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let mut pipe = c.pipeline();
+    // fd 999 was never opened: its op must fail; its neighbours must not.
+    let good_before = pipe.ping(b"before").unwrap();
+    let bad = pipe.lo_read(999, 16).unwrap();
+    let good_after = pipe.ping(b"after").unwrap();
+    assert_eq!(pipe.redeem(good_before).unwrap(), b"before");
+    assert!(pipe.redeem(bad).is_err(), "bogus fd read must fail");
+    assert_eq!(pipe.redeem(good_after).unwrap(), b"after");
+    stop(handle);
+}
+
+#[test]
+fn dropping_a_pipeline_leaves_the_session_clean() {
+    let (_dir, handle) = start();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    {
+        let mut pipe = c.pipeline_with_window(4);
+        for k in 0..10u32 {
+            let _ = pipe.ping(format!("abandoned-{k}").as_bytes()).unwrap();
+        }
+        // Drop with every ticket unredeemed: the guard drains the wire.
+    }
+    // The session is frame-aligned again.
+    assert_eq!(c.ping(b"clean").unwrap(), b"clean");
+    c.begin().unwrap();
+    c.commit().unwrap();
+    stop(handle);
+}
+
+#[test]
+fn v3_session_pipeline_degrades_to_window_one() {
+    let (_dir, handle) = start();
+    let mut c = connect_v(&handle, 3).unwrap();
+    assert_eq!(c.proto_version(), 3);
+    // Same Pipeline API on a legacy session: each send awaits its reply
+    // under the covers (wire window 1), tickets still redeem, in any
+    // order.
+    let mut pipe = c.pipeline_with_window(8);
+    let a = pipe.ping(b"legacy-a").unwrap();
+    let b = pipe.ping(b"legacy-b").unwrap();
+    assert_eq!(pipe.redeem(b).unwrap(), b"legacy-b");
+    assert_eq!(pipe.redeem(a).unwrap(), b"legacy-a");
+    drop(pipe);
+    assert_eq!(c.ping(b"still v3").unwrap(), b"still v3");
+    stop(handle);
+}
+
+#[test]
+fn pipeline_works_over_loopback() {
+    let dir = tempfile::tempdir().unwrap();
+    let service = LobdService::open(dir.path()).unwrap();
+    let mut lb = pglo_server::loopback::connect(&service).unwrap();
+    let mut pipe = lb.client.pipeline_with_window(4);
+    let tickets: Vec<_> =
+        (0..12u32).map(|k| (pipe.ping(format!("lb-{k}").as_bytes()).unwrap(), k)).collect();
+    for (t, k) in tickets.into_iter().rev() {
+        assert_eq!(pipe.redeem(t).unwrap(), format!("lb-{k}").into_bytes());
+    }
+    drop(pipe);
+    drop(lb.client);
+    lb.server.join().unwrap();
+}

@@ -108,8 +108,11 @@ fn oversized_length_prefix_closes_only_that_connection() {
     // with a malformed-frame error, and close.
     s.write_all(&u32::MAX.to_le_bytes()).unwrap();
     s.flush().unwrap();
-    let reply = pglo_server::proto::read_frame(&mut s).unwrap();
-    assert_eq!(ErrorCode::from_u8(reply.0), Some(ErrorCode::Malformed));
+    // raw_connect negotiated v4, so the refusal arrives tagged (tag 0:
+    // server-initiated).
+    let (tag, status, _) = pglo_server::proto::read_frame_v4(&mut s).unwrap();
+    assert_eq!(tag, 0);
+    assert_eq!(ErrorCode::from_u8(status), Some(ErrorCode::Malformed));
     // Connection is closed afterwards.
     let mut buf = [0u8; 1];
     assert_eq!(s.read(&mut buf).unwrap_or(0), 0);
@@ -124,8 +127,9 @@ fn zero_length_frame_closes_only_that_connection() {
     let mut s = raw_connect(&handle);
     s.write_all(&0u32.to_le_bytes()).unwrap();
     s.flush().unwrap();
-    let reply = pglo_server::proto::read_frame(&mut s).unwrap();
-    assert_eq!(ErrorCode::from_u8(reply.0), Some(ErrorCode::Malformed));
+    let (tag, status, _) = pglo_server::proto::read_frame_v4(&mut s).unwrap();
+    assert_eq!(tag, 0);
+    assert_eq!(ErrorCode::from_u8(status), Some(ErrorCode::Malformed));
     assert_still_serving(&handle);
     stop(handle);
 }
@@ -232,6 +236,88 @@ fn overlimit_io_request_is_rejected() {
     lo.write(b"still works").unwrap();
     lo.close().unwrap();
     c.commit().unwrap();
+    stop(handle);
+}
+
+/// A slow-loris client dribbles its bytes one at a time. The reactor's
+/// incremental decode must ride through every partial state — torn
+/// handshake, torn length prefix, torn body — and still serve the frame,
+/// without stalling anyone else.
+#[test]
+fn slow_loris_byte_at_a_time_still_gets_served() {
+    let (_dir, handle) = start();
+    let mut s = TcpStream::connect(handle.local_addr()).unwrap();
+
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(MAGIC);
+    bytes.push(VERSION);
+    // One v4 ping frame: len | tag | code | payload.
+    let payload = b"drip";
+    bytes.extend_from_slice(&(5 + payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&0xD1D1u32.to_le_bytes());
+    bytes.push(Opcode::Ping as u8);
+    bytes.extend_from_slice(payload);
+
+    // Meanwhile a healthy client must not be blocked by the dribbler.
+    let mut healthy = Client::connect(handle.local_addr()).unwrap();
+
+    for b in bytes {
+        s.write_all(&[b]).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(healthy.ping(b"brisk").unwrap(), b"brisk");
+
+    let mut hello = [0u8; 5];
+    s.read_exact(&mut hello).unwrap();
+    assert_eq!(&hello[..4], MAGIC);
+    assert_eq!(hello[4], VERSION);
+    let (tag, status, echoed) = pglo_server::proto::read_frame_v4(&mut s).unwrap();
+    assert_eq!(tag, 0xD1D1);
+    assert_eq!(status, 0);
+    assert_eq!(echoed, payload);
+
+    assert_still_serving(&handle);
+    stop(handle);
+}
+
+/// A client vanishes with a pipeline window full of unredeemed writes.
+/// The in-flight frame finishes server-side, queued frames are dropped
+/// with the connection, and the orphaned transaction aborts.
+#[test]
+fn mid_pipeline_disconnect_aborts_orphaned_txn() {
+    let (_dir, handle) = start();
+    let service = handle.service().clone();
+
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.begin().unwrap();
+    let id = c.lo_create(&WireSpec::fchunk()).unwrap();
+    {
+        let mut pipe = c.pipeline_with_window(8);
+        let fd_ticket = pipe.lo_open(id, true, 0).unwrap();
+        let fd = pipe.redeem(fd_ticket).unwrap();
+        let mut tickets = Vec::new();
+        for k in 0..6u64 {
+            tickets.push(pipe.lo_write_at(fd, k * 16, b"never committed!").unwrap());
+        }
+        // Vanish without redeeming: forget the guard so its Drop does
+        // not drain the tags, then sever the socket underneath it.
+        std::mem::forget(pipe);
+    }
+    assert!(service.env().txns().active_count() >= 1);
+    drop(c);
+
+    wait_for(|| service.env().txns().active_count() == 0, "orphan txn abort");
+
+    // The orphan's writes are invisible.
+    let mut c2 = Client::connect(handle.local_addr()).unwrap();
+    c2.begin().unwrap();
+    let mut lo2 = c2.lo(id, false, 0).unwrap();
+    assert_eq!(lo2.size().unwrap(), 0, "pipelined orphan writes must roll back");
+    lo2.close().unwrap();
+    c2.commit().unwrap();
+
+    assert_still_serving(&handle);
     stop(handle);
 }
 

@@ -1,0 +1,93 @@
+//! The 10k-session soak: hold ten thousand concurrent TCP sessions
+//! against one server, then push a pipelined window through every one of
+//! them. Run explicitly (CI does):
+//!
+//! ```sh
+//! cargo test --release -p pglo-server --test soak -- --ignored
+//! ```
+//!
+//! The sessions are held by child `soak_client` processes
+//! (`src/bin/soak_client.rs`), not in-process: the server side of 10k
+//! sockets already spends half this container's 20k-fd ceiling, so the
+//! client halves must live in other fd tables. Each child reports
+//! `HELD <n>`, the test checks the server agrees it is carrying 10k+
+//! sessions, releases the children with `GO`, and expects `DONE`.
+
+use pglo_server::{spawn, LobdService, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+const CHILDREN: usize = 4;
+const SESSIONS_PER_CHILD: usize = 2500;
+
+fn read_line(out: &mut BufReader<ChildStdout>, what: &str) -> String {
+    let mut line = String::new();
+    out.read_line(&mut line).unwrap_or_else(|e| panic!("reading {what}: {e}"));
+    assert!(!line.is_empty(), "child closed stdout before {what}");
+    line.trim().to_string()
+}
+
+#[test]
+#[ignore = "10k sockets; run explicitly: cargo test --release --test soak -- --ignored"]
+fn ten_thousand_concurrent_sessions_with_pipelined_round_trips() {
+    let _ = epoll::raise_nofile_limit(20_000);
+
+    let dir = tempfile::tempdir().unwrap();
+    let service = LobdService::open(dir.path()).unwrap();
+    let config = ServerConfig::default()
+        .reactors(4)
+        .executor_threads(8)
+        .max_sessions(12_000)
+        .pipeline_window(16);
+    let handle = spawn(service, config).unwrap();
+    let addr = handle.local_addr().to_string();
+
+    let mut children: Vec<(Child, BufReader<ChildStdout>)> = (0..CHILDREN)
+        .map(|i| {
+            let mut child = Command::new(env!("CARGO_BIN_EXE_soak_client"))
+                .args(["--addr", &addr])
+                .args(["--sessions", &SESSIONS_PER_CHILD.to_string()])
+                .args(["--window", "8"])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawning soak child {i}: {e}"));
+            let stdout = BufReader::new(child.stdout.take().unwrap());
+            (child, stdout)
+        })
+        .collect();
+
+    // Every child holds its full slice before anyone proceeds.
+    for (i, (_, out)) in children.iter_mut().enumerate() {
+        let line = read_line(out, "HELD");
+        assert_eq!(
+            line,
+            format!("HELD {SESSIONS_PER_CHILD}"),
+            "child {i} failed to hold its sessions"
+        );
+    }
+
+    // The server agrees: 10k live sessions at once.
+    let live = handle.service().session_count();
+    assert!(
+        live >= (CHILDREN * SESSIONS_PER_CHILD) as u64,
+        "server sees {live} concurrent sessions, wanted {}",
+        CHILDREN * SESSIONS_PER_CHILD
+    );
+
+    // Release: each child round-trips a pipelined window on every session.
+    for (child, _) in children.iter_mut() {
+        let stdin = child.stdin.as_mut().unwrap();
+        stdin.write_all(b"GO\n").unwrap();
+        stdin.flush().unwrap();
+    }
+    for (i, (child, out)) in children.iter_mut().enumerate() {
+        assert_eq!(read_line(out, "DONE"), "DONE", "child {i} failed its round trips");
+        let status = child.wait().unwrap();
+        assert!(status.success(), "child {i} exited with {status}");
+    }
+
+    handle.shutdown();
+    let service = handle.join();
+    assert_eq!(service.session_count(), 0, "all sessions must be torn down");
+}
