@@ -320,12 +320,18 @@ impl Catalog {
     }
 }
 
-/// Write `text` to `path` via a sibling temp file + rename.
+/// Write `text` to `path` via a sibling temp file + rename, then fsync
+/// the parent directory — without the dir sync a crash can lose the
+/// rename itself and resurrect the old snapshot.
 fn atomic_write(path: &Path, text: &str) -> Result<()> {
     let tmp = path.with_extension("json.tmp");
     std::fs::write(&tmp, text)
         .map_err(|e| HeapError::Catalog(format!("write {}: {e}", tmp.display())))?;
     std::fs::rename(&tmp, path).map_err(|e| HeapError::Catalog(format!("rename: {e}")))?;
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| HeapError::Catalog(format!("sync dir {}: {e}", dir.display())))?;
     Ok(())
 }
 

@@ -59,6 +59,23 @@
 //!   `unwrap`/`expect`/`panic!` site in `crates/lint/panic_reach.txt`;
 //!   the committed file may only shrink (regenerate with
 //!   `--write-panic-reach`).
+//! - R12 reactor-no-block ([`effects`]): a per-function effect set
+//!   (`blocks`, `fsyncs`, `flushes_wal`, `wal_appends`,
+//!   `writes_data_pages`) is inferred as a fixpoint over the workspace
+//!   call graph; nothing defined in `crates/server/src/reactor.rs`
+//!   (except `executor_loop`) may carry `blocks` — the poll call and
+//!   `try_`-locks are exempt by construction, executor jobs are the
+//!   sanctioned escape hatch. Deliberate sites carry
+//!   `// LINT: allow(R12, reason)`, exact-counted in
+//!   `crates/lint/allows.txt`.
+//! - R13 durability ordering ([`effects`]): in the durability crates,
+//!   a statement carrying `wal_appends` or `flushes_wal` must not
+//!   follow one carrying `writes_data_pages` in the same sequence
+//!   (WAL-before-data), and every `fs::rename` must be followed by a
+//!   directory fsync in the same function. The inferred effect table is
+//!   committed as `crates/lint/effects.txt` (regenerate with
+//!   `--write-effects`) and the durability sources are two-way synced
+//!   against DESIGN.md's ```` ```effects ```` table, like R5/R11.
 //!
 //! `#[cfg(test)]` items, `#[test]` functions, `tests/`, `benches/`,
 //! `examples/`, and the benchmark harness crate are exempt from
@@ -72,6 +89,7 @@ use std::path::PathBuf;
 
 pub mod ast;
 pub mod atomics;
+pub mod effects;
 pub mod flow;
 pub mod panic_reach;
 pub mod proto_sync;
@@ -79,6 +97,10 @@ pub mod proto_sync;
 pub use atomics::{
     atomic_field_decls, atomic_op_sites, check_atomics_protocol, check_relaxed_budget,
     parse_atomics_protocol, relaxed_sites, AtomicFile, ATOMIC_PROTOCOL_CRATES,
+};
+pub use effects::{
+    effect_string, infer_effects, parse_committed_effects, parse_design_effects, EffectFile,
+    EffectRow, EffectsIndex, R13_CRATES, REACTOR_FILE,
 };
 pub use flow::{
     check_guard_flow, check_manually_drop_types, collect_allows, Allow, WorkspaceIndex,

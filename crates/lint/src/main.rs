@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run -p pglo-lint --offline [-- --json] [-- --write-panic-reach]
+//!                                  [-- --write-effects]
 //! ```
 //!
 //! Output is one finding per line, `path:line: R# message`; `--json`
@@ -29,10 +30,16 @@
 //!   workspace-wide `Ordering::Relaxed` budget.
 //! - Panic-reach report: committed `crates/lint/panic_reach.txt` must
 //!   equal the computed reachability set (only-shrinks ratchet).
+//! - R12 reactor-no-block / R13 durability-ordering: interprocedural
+//!   effect inference over the workspace call graph (see
+//!   `pglo_lint::effects`); the inferred table is committed as
+//!   `crates/lint/effects.txt` (regenerate with `--write-effects`, EF
+//!   findings on drift) and the durability sources sync two-way against
+//!   DESIGN.md's ```effects``` table.
 //!
 //! Ratchet files (exact counts, both directions, so budgets only go
 //! down): `allowlist.txt` (R3), `swallow_allowlist.txt` (R9),
-//! `allows.txt` (counted `// LINT: allow(R7, reason)` sites),
+//! `allows.txt` (counted `// LINT: allow(R7|R12|R13, reason)` sites),
 //! `relaxed_allows.txt` (R11 `Ordering::Relaxed` sites per file).
 
 use pglo_lint::ast::{build_trees, parse_items, Items, Tree};
@@ -40,9 +47,10 @@ use pglo_lint::{
     atomic_field_decls, atomic_op_sites, check_atomics_protocol, check_guard_flow,
     check_manually_drop_types, check_metric_names, check_proto_sync, check_rank_table,
     check_relaxed_budget, check_std_sync, check_unranked_locks, check_unsafe, check_unwrap_ratchet,
-    collect_allows, metric_name_sites, panic_report, parse_allowlist, parse_atomics_protocol,
-    parse_code_ranks, parse_committed, parse_design_ranks, relaxed_sites, test_mask, tokenize,
-    unwrap_sites, AtomicFile, Finding, ReachFile, TokKind, Token, WorkspaceIndex,
+    collect_allows, infer_effects, metric_name_sites, panic_report, parse_allowlist,
+    parse_atomics_protocol, parse_code_ranks, parse_committed, parse_committed_effects,
+    parse_design_effects, parse_design_ranks, relaxed_sites, test_mask, tokenize, unwrap_sites,
+    Allow, AtomicFile, EffectFile, Finding, ReachFile, TokKind, Token, WorkspaceIndex,
     ATOMIC_PROTOCOL_CRATES,
 };
 use std::collections::BTreeMap;
@@ -58,16 +66,21 @@ const R9_CRATES: [&str; 8] =
 struct Opts {
     json: bool,
     write_reach: bool,
+    write_effects: bool,
 }
 
 fn main() -> ExitCode {
-    let mut opts = Opts { json: false, write_reach: false };
+    let mut opts = Opts { json: false, write_reach: false, write_effects: false };
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--write-panic-reach" => opts.write_reach = true,
+            "--write-effects" => opts.write_effects = true,
             other => {
-                eprintln!("pglo-lint: unknown flag {other:?} (known: --json, --write-panic-reach)");
+                eprintln!(
+                    "pglo-lint: unknown flag {other:?} (known: --json, --write-panic-reach, \
+                     --write-effects)"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -135,8 +148,12 @@ fn run(root: &Path, opts: &Opts) -> Result<(usize, usize), String> {
     let rule_allows = read_rule_allows(root, "crates/lint/allows.txt")?;
     let mut allowlisted_seen: Vec<String> = Vec::new();
     let mut swallow_seen: Vec<String> = Vec::new();
-    // path -> number of findings excused by LINT: allow(R7, ..) there.
-    let mut allow_counts: BTreeMap<String, usize> = BTreeMap::new();
+    // (rule, path) -> number of findings excused by a LINT: allow there.
+    let mut allow_counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    // Every allow directive seen in a checked file, with whether any
+    // finding used it (stale allows are themselves findings; R12/R13
+    // consume theirs after the effects pass below).
+    let mut all_allows: Vec<(String, Allow, bool)> = Vec::new();
 
     // --- pass 1: load + parse --------------------------------------------
     let mut recs: Vec<Rec> = Vec::new();
@@ -240,17 +257,19 @@ fn run(root: &Path, opts: &Opts) -> Result<(usize, usize), String> {
         // Apply `// LINT: allow(R7, reason)` directives: same line or the
         // line below (comment-above style). An allow with no reason is
         // itself a finding — the acceptance bar is zero un-reasoned allows.
+        // R12/R13 allows are matched after the effects pass; stale-allow
+        // detection happens once everything has had its chance.
         let allows = collect_allows(&rec.src);
         let mut used = vec![false; allows.len()];
         for (k, a) in allows.iter().enumerate() {
-            if a.rule != "R7" {
+            if !matches!(a.rule.as_str(), "R7" | "R12" | "R13") {
                 findings.push(Finding {
                     path: PathBuf::from(rel),
                     line: a.line,
                     rule: "R7",
                     message: format!(
-                        "LINT: allow({}) is not a recognized escape hatch: only R7 \
-                         takes per-site allows (R9 uses swallow_allowlist.txt)",
+                        "LINT: allow({}) is not a recognized escape hatch: only R7, R12, \
+                         and R13 take per-site allows (R9 uses swallow_allowlist.txt)",
                         a.rule
                     ),
                 });
@@ -259,10 +278,12 @@ fn run(root: &Path, opts: &Opts) -> Result<(usize, usize), String> {
                 findings.push(Finding {
                     path: PathBuf::from(rel),
                     line: a.line,
-                    rule: "R7",
-                    message: "LINT: allow(R7) without a reason: write why the guard must \
-                              stay held — `// LINT: allow(R7, reason)`"
-                        .to_string(),
+                    rule: allow_rule(&a.rule),
+                    message: format!(
+                        "LINT: allow({r}) without a reason: write why the site is safe — \
+                         `// LINT: allow({r}, reason)`",
+                        r = a.rule
+                    ),
                 });
                 used[k] = true;
             }
@@ -277,23 +298,14 @@ fn run(root: &Path, opts: &Opts) -> Result<(usize, usize), String> {
             match hit {
                 Some((k, _)) => {
                     used[k] = true;
-                    *allow_counts.entry(rel.to_string()).or_insert(0) += 1;
+                    *allow_counts.entry(("R7".to_string(), rel.to_string())).or_insert(0) += 1;
                     false
                 }
                 None => true,
             }
         });
-        for (k, a) in allows.iter().enumerate() {
-            if !used[k] {
-                findings.push(Finding {
-                    path: PathBuf::from(rel),
-                    line: a.line,
-                    rule: "R7",
-                    message: "stale LINT: allow(R7) — no finding on this or the next line; \
-                              delete it so the escape-hatch count stays honest"
-                        .to_string(),
-                });
-            }
+        for (k, a) in allows.into_iter().enumerate() {
+            all_allows.push((rel.to_string(), a, used[k]));
         }
 
         // R9 exact-count ratchet (same semantics as R3).
@@ -354,30 +366,6 @@ fn run(root: &Path, opts: &Opts) -> Result<(usize, usize), String> {
             ));
         }
     }
-    // allows.txt must record the excused-R7 count per file, exactly.
-    for (path, counted) in &allow_counts {
-        let recorded = rule_allows.get(&("R7".to_string(), path.clone())).copied().unwrap_or(0);
-        if recorded != *counted {
-            findings.push(ratchet_finding(
-                "crates/lint/allows.txt",
-                "R7",
-                format!(
-                    "{path} has {counted} allowed R7 site(s) but allows.txt records \
-                     {recorded}: update the line to `{counted} R7 {path}`"
-                ),
-            ));
-        }
-    }
-    for ((rule, path), count) in &rule_allows {
-        if *count > 0 && !allow_counts.contains_key(path) {
-            findings.push(ratchet_finding(
-                "crates/lint/allows.txt",
-                "R7",
-                format!("allows.txt entry `{count} {rule} {path}` matches no allowed site"),
-            ));
-        }
-    }
-
     // R8 structural: the pool's RAII pin type must actually implement
     // Drop — without it every pin is a leak and R8's forget ban is moot.
     let pinned_has_drop = recs.iter().filter(|r| r.crate_name == "buffer").any(|r| {
@@ -520,6 +508,135 @@ fn run(root: &Path, opts: &Opts) -> Result<(usize, usize), String> {
         }
     }
 
+    // --- R12/R13: interprocedural effect inference -------------------------
+    let effect_input: Vec<EffectFile> = recs
+        .iter()
+        .filter(|r| {
+            r.scope == Scope::Lib
+                && !r.crate_name.is_empty()
+                && r.crate_name != "lint"
+                && r.items.is_some()
+        })
+        .filter_map(|r| r.items.as_ref().map(|i| (r.rel.as_str(), r.crate_name.as_str(), i)))
+        .collect();
+    let effects = infer_effects(&effect_input);
+    let mut rule_findings = effects.check_r12();
+    rule_findings.extend(effects.check_r13());
+    for f in rule_findings {
+        let rel = f.path.to_string_lossy().replace('\\', "/");
+        let hit = all_allows.iter_mut().find(|(p, a, _)| {
+            *p == rel
+                && a.rule == f.rule
+                && !a.reason.is_empty()
+                && (a.line == f.line || a.line + 1 == f.line)
+        });
+        match hit {
+            Some((_, a, used)) => {
+                *used = true;
+                *allow_counts.entry((a.rule.clone(), rel)).or_insert(0) += 1;
+            }
+            None => findings.push(f),
+        }
+    }
+    // The durability sources stay documented: DESIGN.md's ```effects```
+    // table syncs two-way with the inferred rows.
+    match parse_design_effects(&design_src) {
+        Err(err) => findings.push(ratchet_finding("DESIGN.md", "R13", err)),
+        Ok(rows) => findings.extend(effects.check_design_table(&rows)),
+    }
+    // Committed effects table: drift in either direction is a finding,
+    // same contract as panic_reach.txt.
+    let effect_table = effects.table();
+    let effects_path = root.join("crates/lint/effects.txt");
+    if opts.write_effects {
+        let mut text = String::from(
+            "# Inferred effect table: every workspace fn with a non-empty effect set\n\
+             # (blocks / fsyncs / flushes_wal / wal_appends / writes_data_pages),\n\
+             # computed as a fixpoint over the (name, arity) call graph.\n\
+             # Regenerate with: cargo run -p pglo-lint --offline -- --write-effects\n\
+             # CI enforces this file matches the computed set exactly.\n",
+        );
+        for line in &effect_table {
+            text.push_str(line);
+            text.push('\n');
+        }
+        std::fs::write(&effects_path, text)
+            .map_err(|e| format!("write {}: {e}", effects_path.display()))?;
+        eprintln!("pglo-lint: wrote {} ({} fns)", effects_path.display(), effect_table.len());
+    }
+    match std::fs::read_to_string(&effects_path) {
+        Err(_) => findings.push(ratchet_finding(
+            "crates/lint/effects.txt",
+            "EF",
+            "missing effects.txt: generate it with \
+             `cargo run -p pglo-lint --offline -- --write-effects` and commit it"
+                .to_string(),
+        )),
+        Ok(text) => {
+            let committed = parse_committed_effects(&text);
+            let computed_set: std::collections::BTreeSet<String> =
+                effect_table.iter().cloned().collect();
+            for grown in computed_set.difference(&committed) {
+                findings.push(effect_line_finding(
+                    grown,
+                    "effect set changed (not in committed effects.txt): review the new \
+                     effect, then regenerate with --write-effects",
+                ));
+            }
+            for stale in committed.difference(&computed_set) {
+                findings.push(Finding {
+                    path: PathBuf::from("crates/lint/effects.txt"),
+                    line: 0,
+                    rule: "EF",
+                    message: format!(
+                        "stale entry `{stale}`: fn or effect set gone — regenerate with \
+                         --write-effects"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Stale allows: directives that excused nothing are themselves
+    // findings, so the escape-hatch inventory stays honest.
+    for (path, a, used) in &all_allows {
+        if !used {
+            findings.push(Finding {
+                path: PathBuf::from(path.as_str()),
+                line: a.line,
+                rule: allow_rule(&a.rule),
+                message: format!(
+                    "stale LINT: allow({}) — no finding on this or the next line; \
+                     delete it so the escape-hatch count stays honest",
+                    a.rule
+                ),
+            });
+        }
+    }
+    // allows.txt must record the excused count per (rule, file), exactly.
+    for ((rule, path), counted) in &allow_counts {
+        let recorded = rule_allows.get(&(rule.clone(), path.clone())).copied().unwrap_or(0);
+        if recorded != *counted {
+            findings.push(ratchet_finding(
+                "crates/lint/allows.txt",
+                allow_rule(rule),
+                format!(
+                    "{path} has {counted} allowed {rule} site(s) but allows.txt records \
+                     {recorded}: update the line to `{counted} {rule} {path}`"
+                ),
+            ));
+        }
+    }
+    for ((rule, path), count) in &rule_allows {
+        if *count > 0 && !allow_counts.contains_key(&(rule.clone(), path.clone())) {
+            findings.push(ratchet_finding(
+                "crates/lint/allows.txt",
+                allow_rule(rule),
+                format!("allows.txt entry `{count} {rule} {path}` matches no allowed site"),
+            ));
+        }
+    }
+
     // --- output ------------------------------------------------------------
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     if opts.json {
@@ -595,6 +712,29 @@ fn reach_line_finding(report_line: &str, note: &str) -> Finding {
         line,
         rule: "PR",
         message: format!("{note}: `{report_line}`"),
+    }
+}
+
+/// The static rule tag for findings about an allow directive itself
+/// (unrecognized rules report as R7, the original allow family).
+fn allow_rule(rule: &str) -> &'static str {
+    match rule {
+        "R12" => "R12",
+        "R13" => "R13",
+        _ => "R7",
+    }
+}
+
+/// Turn an `path:line crate::fn/arity = effects` table line into a
+/// finding anchored at the definition site.
+fn effect_line_finding(table_line: &str, note: &str) -> Finding {
+    let (path, rest) = table_line.split_once(':').unwrap_or(("crates/lint/effects.txt", ""));
+    let line = rest.split_once(' ').and_then(|(l, _)| l.parse::<u32>().ok()).unwrap_or(0);
+    Finding {
+        path: PathBuf::from(path),
+        line,
+        rule: "EF",
+        message: format!("{note}: `{table_line}`"),
     }
 }
 

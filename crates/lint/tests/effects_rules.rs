@@ -1,0 +1,289 @@
+//! Effect-inference self-tests: R12/R13 fixtures (a rule that stops
+//! firing fails here), live injection tests that weaken one real call
+//! site in-memory and assert the rule catches it (and that the
+//! unmodified workspace is clean modulo its reasoned allows), and the
+//! `--json` golden/stability test backing the CI artifact.
+
+use pglo_lint::ast::{parse_items, parse_trees, Items};
+use pglo_lint::{
+    check_guard_flow, collect_allows, infer_effects, EffectFile, Finding, WorkspaceIndex,
+};
+use std::path::{Path, PathBuf};
+
+const R12_POS: &str = include_str!("fixtures/r12_pos.rs");
+const R12_HELPERS: &str = include_str!("fixtures/r12_helpers.rs");
+const R12_NEG: &str = include_str!("fixtures/r12_neg.rs");
+const R13_DEFS_WAL: &str = include_str!("fixtures/r13_defs_wal.rs");
+const R13_DEFS_SMGR: &str = include_str!("fixtures/r13_defs_smgr.rs");
+const R13_POS: &str = include_str!("fixtures/r13_pos.rs");
+const R13_NEG: &str = include_str!("fixtures/r13_neg.rs");
+
+// ---------------------------------------------------------------------------
+// Fixture tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn r12_fixture_two_hop_block_fires() {
+    let reactor = parse_items(&parse_trees(R12_POS));
+    let helpers = parse_items(&parse_trees(R12_HELPERS));
+    let files: Vec<EffectFile> = vec![
+        ("crates/server/src/reactor.rs", "server", &reactor),
+        ("crates/server/src/helpers.rs", "server", &helpers),
+    ];
+    let r12 = infer_effects(&files).check_r12();
+    assert_eq!(r12.len(), 1, "{r12:?}");
+    assert_eq!(r12[0].rule, "R12");
+    assert!(r12[0].message.contains("dispatch"), "{}", r12[0].message);
+    assert!(
+        r12[0].path.to_string_lossy().ends_with("reactor.rs"),
+        "R12 findings must anchor in the reactor file: {:?}",
+        r12[0].path
+    );
+}
+
+#[test]
+fn r12_fixture_executor_and_try_paths_quiet() {
+    let reactor = parse_items(&parse_trees(R12_NEG));
+    let files: Vec<EffectFile> = vec![("crates/server/src/reactor.rs", "server", &reactor)];
+    let r12 = infer_effects(&files).check_r12();
+    assert!(r12.is_empty(), "{r12:?}");
+}
+
+fn r13_fixture_files<'a>(wal: &'a Items, smgr: &'a Items, buf: &'a Items) -> Vec<EffectFile<'a>> {
+    vec![
+        ("crates/wal/src/lib.rs", "wal", wal),
+        ("crates/smgr/src/disk.rs", "smgr", smgr),
+        ("crates/buffer/src/lib.rs", "buffer", buf),
+    ]
+}
+
+#[test]
+fn r13_fixture_write_before_append_and_bare_rename_fire() {
+    let wal = parse_items(&parse_trees(R13_DEFS_WAL));
+    let smgr = parse_items(&parse_trees(R13_DEFS_SMGR));
+    let buf = parse_items(&parse_trees(R13_POS));
+    let r13 = infer_effects(&r13_fixture_files(&wal, &smgr, &buf)).check_r13();
+    assert_eq!(r13.len(), 2, "{r13:?}");
+    assert!(
+        r13.iter()
+            .any(|f| f.message.contains("write_back_wrong") && f.message.contains("WAL append")),
+        "{r13:?}"
+    );
+    assert!(
+        r13.iter().any(|f| f.message.contains("persist_wrong") && f.message.contains("fs::rename")),
+        "{r13:?}"
+    );
+}
+
+#[test]
+fn r13_fixture_correct_order_quiet() {
+    let wal = parse_items(&parse_trees(R13_DEFS_WAL));
+    let smgr = parse_items(&parse_trees(R13_DEFS_SMGR));
+    let buf = parse_items(&parse_trees(R13_NEG));
+    let r13 = infer_effects(&r13_fixture_files(&wal, &smgr, &buf)).check_r13();
+    assert!(r13.is_empty(), "{r13:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Live injection tests against the real workspace
+// ---------------------------------------------------------------------------
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+/// Load every library file the driver feeds the effect pass — all
+/// `crates/*/src/**` except the lint crate and out-of-line test
+/// modules — with `overrides` substituting mutated sources by
+/// workspace-relative path. Returns `(rel, src, items)`.
+fn load_workspace(root: &Path, overrides: &[(&str, &str)]) -> Vec<(String, String, Items)> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates")).unwrap() {
+        let crate_dir = entry.unwrap().path();
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        walk(&src_dir, &mut paths);
+        paths.sort();
+        files.extend(paths);
+    }
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap().to_string_lossy().replace('\\', "/");
+        let crate_name = rel.strip_prefix("crates/").unwrap().split('/').next().unwrap();
+        let in_src = rel.splitn(3, '/').nth(2).unwrap_or("");
+        if crate_name == "lint"
+            || crate_name == "bench"
+            || in_src == "src/tests.rs"
+            || in_src.starts_with("src/tests/")
+        {
+            continue;
+        }
+        let src = match overrides.iter().find(|(p, _)| *p == rel) {
+            Some((_, s)) => s.to_string(),
+            None => std::fs::read_to_string(&file).unwrap(),
+        };
+        let items = parse_items(&parse_trees(&src));
+        out.push((rel, src, items));
+    }
+    out
+}
+
+/// Drop findings excused by a reasoned `// LINT: allow(<rule>, ...)`
+/// on the finding line or the line above — the driver's matching.
+fn apply_allows(findings: Vec<Finding>, files: &[(String, String, Items)]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            let rel = f.path.to_string_lossy().replace('\\', "/");
+            let Some((_, src, _)) = files.iter().find(|(p, _, _)| *p == rel) else {
+                return true;
+            };
+            !collect_allows(src).iter().any(|a| {
+                a.rule == f.rule
+                    && !a.reason.is_empty()
+                    && (a.line == f.line || a.line + 1 == f.line)
+            })
+        })
+        .collect()
+}
+
+fn effect_findings(files: &[(String, String, Items)], rule: &str) -> Vec<Finding> {
+    let input: Vec<EffectFile> =
+        files.iter().map(|(p, _, i)| (p.as_str(), crate_of(p), i)).collect();
+    let idx = infer_effects(&input);
+    let found = if rule == "R12" { idx.check_r12() } else { idx.check_r13() };
+    apply_allows(found, files)
+}
+
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/").unwrap().split('/').next().unwrap()
+}
+
+#[test]
+fn r12_live_injection_weakened_drain_lock_fires() {
+    let root = workspace_root();
+    let rel = "crates/server/src/reactor.rs";
+    let orig = std::fs::read_to_string(root.join(rel)).unwrap();
+
+    let baseline = effect_findings(&load_workspace(&root, &[]), "R12");
+    assert!(baseline.is_empty(), "unmodified workspace must be R12-clean: {baseline:?}");
+
+    // Weaken one real call site: drain the done queue with a blocking
+    // lock instead of try_lock.
+    let site = "self.shared.done[self.idx].try_lock()";
+    assert!(orig.contains(site), "injection site moved; update this test");
+    let weakened = orig.replace(site, "self.shared.done[self.idx].lock()");
+    let mutated = effect_findings(&load_workspace(&root, &[(rel, &weakened)]), "R12");
+    assert!(
+        mutated.iter().any(|f| f.rule == "R12"
+            && f.path.to_string_lossy().ends_with("reactor.rs")
+            && f.message.contains("drain_completions")),
+        "weakened drain must fire R12: {mutated:?}"
+    );
+}
+
+#[test]
+fn r13_live_injection_dropped_dir_fsync_fires() {
+    let root = workspace_root();
+    let rel = "crates/wal/src/lib.rs";
+    let orig = std::fs::read_to_string(root.join(rel)).unwrap();
+
+    let baseline = effect_findings(&load_workspace(&root, &[]), "R13");
+    assert!(baseline.is_empty(), "unmodified workspace must be R13-clean: {baseline:?}");
+
+    // Weaken one real call site: WAL segment recycling renames without
+    // the directory fsync that makes the rename durable.
+    let site = "self.sync_dir()?;";
+    assert!(orig.contains(site), "injection site moved; update this test");
+    let weakened = orig.replace(site, "");
+    let mutated = effect_findings(&load_workspace(&root, &[(rel, &weakened)]), "R13");
+    assert!(
+        mutated.iter().any(|f| f.rule == "R13"
+            && f.path.to_string_lossy().ends_with("wal/src/lib.rs")
+            && f.message.contains("fs::rename")),
+        "rename without dir fsync must fire R13: {mutated:?}"
+    );
+}
+
+#[test]
+fn r9_live_injection_dropped_waker_poke_fires() {
+    let root = workspace_root();
+    let rel = "crates/server/src/reactor.rs";
+    let orig = std::fs::read_to_string(root.join(rel)).unwrap();
+
+    let files = load_workspace(&root, &[]);
+    let index_input: Vec<(String, &Items)> =
+        files.iter().map(|(p, _, i)| (crate_of(p).to_string(), i)).collect();
+    let index = WorkspaceIndex::build(&index_input);
+    let r9 = |items: &Items, idx: &WorkspaceIndex| -> Vec<Finding> {
+        check_guard_flow(rel, "server", items, idx, true)
+            .into_iter()
+            .filter(|f| f.rule == "R9")
+            .collect()
+    };
+    let reactor = &files.iter().find(|(p, _, _)| p == rel).unwrap().2;
+    let baseline = r9(reactor, &index);
+    assert!(baseline.is_empty(), "unmodified reactor must be R9-clean: {baseline:?}");
+
+    // Silently dropping a done-queue waker poke is a lost-wakeup bug;
+    // R9 must refuse the `let _ =` shape.
+    let site = "soft_error(shared.wakers[reactor].wake());";
+    assert!(orig.contains(site), "injection site moved; update this test");
+    let weakened = orig.replace(site, "let _ = shared.wakers[reactor].wake();");
+    let mutated_items = parse_items(&parse_trees(&weakened));
+    let mutated = r9(&mutated_items, &index);
+    assert!(
+        mutated.iter().any(|f| f.message.contains("let _")),
+        "dropped waker poke must fire R9: {mutated:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// --json golden / stability
+// ---------------------------------------------------------------------------
+
+#[test]
+fn json_schema_golden() {
+    let f = Finding {
+        path: PathBuf::from("a/b.rs"),
+        line: 7,
+        rule: "R12",
+        message: "say \"hi\"\nback\\slash".to_string(),
+    };
+    assert_eq!(
+        f.to_json(),
+        r#"{"path":"a/b.rs","line":7,"rule":"R12","message":"say \"hi\"\nback\\slash"}"#
+    );
+}
+
+#[test]
+fn json_output_is_stable_between_runs() {
+    let root = workspace_root();
+    let exe = env!("CARGO_BIN_EXE_pglo-lint");
+    let run = || {
+        let out = std::process::Command::new(exe)
+            .arg("--json")
+            .current_dir(&root)
+            .output()
+            .expect("run pglo-lint");
+        (out.status.success(), String::from_utf8(out.stdout).unwrap())
+    };
+    let (ok1, out1) = run();
+    let (ok2, out2) = run();
+    assert_eq!(out1, out2, "--json output must be byte-stable between runs");
+    assert!(ok1 && ok2, "workspace must lint clean; findings: {out1}");
+    assert_eq!(out1.trim(), "[]", "clean workspace emits an empty JSON array");
+}

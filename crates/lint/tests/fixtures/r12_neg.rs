@@ -1,0 +1,39 @@
+//! R12 negative fixture, played as `crates/server/src/reactor.rs`:
+//! every sanctioned escape hatch in one file. Shipping work to an
+//! executor job, draining queues with `try_lock`, and blocking inside
+//! `executor_loop` (which runs on executor threads) must all stay
+//! quiet.
+
+impl Reactor {
+    fn submit(&mut self, token: usize) {
+        let job = Job { token };
+        if self.jobs.send(job).is_err() {
+            self.gone = true;
+        }
+    }
+
+    fn drain(&mut self) {
+        let done = match self.done.try_lock() {
+            Some(mut d) => std::mem::take(&mut *d),
+            None => return,
+        };
+        for c in done {
+            self.apply(c);
+        }
+    }
+
+    fn apply(&mut self, c: Completion) {
+        self.count += 1;
+    }
+}
+
+pub fn executor_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let rx = rx.lock();
+            rx.recv()
+        };
+        let Ok(job) = job else { return };
+        shared.handle(job);
+    }
+}

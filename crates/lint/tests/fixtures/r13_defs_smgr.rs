@@ -1,0 +1,9 @@
+//! Designated-source definitions for the R13 fixtures, played as
+//! `crates/smgr/src/disk.rs`: `write/3` is the designation table's
+//! data-page write.
+
+impl Disk {
+    pub fn write(&self, rel: RelId, blk: u32, page: &Page) -> Result<()> {
+        self.file.write_all_at(page, off)
+    }
+}

@@ -1,0 +1,14 @@
+//! Designated-source definitions for the R13 fixtures, played as
+//! `crates/wal/src/lib.rs`: `append/1` and `flush_to/1` are the
+//! designation table's WAL effects.
+
+impl Wal {
+    pub fn append(&self, rec: &Record) -> u64 {
+        self.file.sync_data();
+        7
+    }
+
+    pub fn flush_to(&self, lsn: u64) {
+        self.file.sync_data();
+    }
+}

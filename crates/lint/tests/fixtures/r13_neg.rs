@@ -1,0 +1,17 @@
+//! R13 negative fixture, played as `crates/buffer/src/lib.rs`: WAL
+//! append + flush strictly before the data-page write, and the rename
+//! followed by a directory fsync. Must stay quiet.
+
+impl Pool {
+    fn write_back_right(&self) {
+        self.wal.append(&rec);
+        self.wal.flush_to(lsn);
+        self.smgr.write(rel, blk, &page);
+    }
+}
+
+fn persist_right(path: &Path, text: &str) {
+    std::fs::write(&tmp, text);
+    std::fs::rename(&tmp, path);
+    dir.sync_all();
+}

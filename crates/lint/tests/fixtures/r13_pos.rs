@@ -1,0 +1,15 @@
+//! R13 positive fixture, played as `crates/buffer/src/lib.rs`: the
+//! data-page write precedes the WAL append, and the tmp+rename
+//! persistence is never made durable with a directory fsync.
+
+impl Pool {
+    fn write_back_wrong(&self) {
+        self.smgr.write(rel, blk, &page);
+        self.wal.append(&rec);
+    }
+}
+
+fn persist_wrong(path: &Path, text: &str) {
+    std::fs::write(&tmp, text);
+    std::fs::rename(&tmp, path);
+}

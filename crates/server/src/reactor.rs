@@ -64,14 +64,13 @@ pub(crate) struct Shared {
     pub pipeline_window: usize,
 }
 
-/// One decoded frame travelling to an executor, carrying the session.
-pub(crate) struct Job {
-    reactor: usize,
-    token: usize,
-    tag: u32,
-    opcode: u8,
-    payload: Vec<u8>,
-    session: Session,
+/// Work travelling to an executor. Frames carry the session out and
+/// back; teardowns carry it out for good — session close runs service
+/// and store code (temp GC, txn abort) that may take locks, which the
+/// reactor thread must never do.
+pub(crate) enum Job {
+    Frame { reactor: usize, token: usize, tag: u32, opcode: u8, payload: Vec<u8>, session: Session },
+    Teardown { session: Session },
 }
 
 /// A finished frame travelling back to the owning reactor.
@@ -95,18 +94,18 @@ pub(crate) fn executor_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<Job>>>
             let rx = rx.lock();
             rx.recv()
         };
-        let Ok(mut job) = job else { return };
-        let (status, reply) =
-            shared.service.handle_frame(&mut job.session, job.opcode, &job.payload);
-        let reactor = job.reactor;
-        let completion = Completion {
-            token: job.token,
-            tag: job.tag,
-            opcode: job.opcode,
-            status,
-            reply,
-            session: job.session,
+        let Ok(job) = job else { return };
+        let (reactor, token, tag, opcode, payload, mut session) = match job {
+            Job::Frame { reactor, token, tag, opcode, payload, session } => {
+                (reactor, token, tag, opcode, payload, session)
+            }
+            Job::Teardown { mut session } => {
+                shared.service.session_closed(&mut session);
+                continue;
+            }
         };
+        let (status, reply) = shared.service.handle_frame(&mut session, opcode, &payload);
+        let completion = Completion { token, tag, opcode, status, reply, session };
         {
             shared.done[reactor].lock().push(completion);
         }
@@ -283,6 +282,7 @@ pub(crate) fn reactor_loop(
         let timeout = if r.draining_since.is_some() { DRAIN_TIMEOUT } else { POLL_TIMEOUT };
         if let Err(e) = r.poll.poll(&mut events, Some(timeout)) {
             soft_error::<(), io::Error>(Err(e));
+            // LINT: allow(R12, poll itself failed so nothing is being served; the backoff keeps a broken poll fd from becoming a hot error loop)
             std::thread::sleep(DRAIN_TIMEOUT);
         }
         let mut accept_ready = false;
@@ -343,10 +343,20 @@ impl Reactor {
                     if target == self.idx {
                         self.adopt(stream);
                     } else {
-                        {
-                            self.shared.inboxes[target].lock().push(stream);
+                        let unplaced = match self.shared.inboxes[target].try_lock() {
+                            Some(mut inbox) => {
+                                inbox.push(stream);
+                                None
+                            }
+                            None => Some(stream),
+                        };
+                        match unplaced {
+                            None => soft_error(self.shared.wakers[target].wake()),
+                            // Contended: the target is draining its inbox
+                            // right now; adopt locally rather than block
+                            // the accept path on its lock.
+                            Some(stream) => self.adopt(stream),
                         }
-                        soft_error(self.shared.wakers[target].wake());
                     }
                 }
                 Err(e) if crate::server::is_timeout(&e) => return,
@@ -359,9 +369,15 @@ impl Reactor {
         }
     }
 
-    /// Register sockets other reactors dealt to us.
+    /// Register sockets other reactors dealt to us. Contended try_lock
+    /// is fine to skip: the pusher holds the lock only around a push
+    /// and pokes our waker after releasing it, so we retry on that
+    /// wakeup.
     fn adopt_newcomers(&mut self) {
-        let newcomers = { std::mem::take(&mut *self.shared.inboxes[self.idx].lock()) };
+        let newcomers = match self.shared.inboxes[self.idx].try_lock() {
+            Some(mut inbox) => std::mem::take(&mut *inbox),
+            None => return,
+        };
         for stream in newcomers {
             self.adopt(stream);
         }
@@ -421,13 +437,20 @@ impl Reactor {
         self.conns.insert(token, conn);
     }
 
-    /// Final teardown: deregister, abort any orphaned session state,
-    /// release the admission slot.
+    /// Final teardown: deregister, ship any orphaned session state to
+    /// an executor for closing, release the admission slot.
     fn retire(&mut self, conn: &mut Conn) {
         use std::os::unix::io::AsRawFd;
         soft_error(self.poll.deregister(conn.stream.as_raw_fd()));
-        if let Some(mut session) = conn.session.take() {
-            self.shared.service.session_closed(&mut session);
+        if let Some(session) = conn.session.take() {
+            if let Err(err) = self.jobs.send(Job::Teardown { session }) {
+                // Executors are gone (shutdown tail); close inline —
+                // nothing else runs, so the locks close takes are free.
+                if let Job::Teardown { mut session } = err.0 {
+                    // LINT: allow(R12, shutdown-tail fallback: the send failed because every executor exited; the inline close cannot contend with anything)
+                    self.shared.service.session_closed(&mut session);
+                }
+            }
         }
         self.shared.conns.fetch_sub(1, Ordering::SeqCst);
     }
@@ -529,7 +552,7 @@ impl Reactor {
             return;
         };
         conn.in_flight = true;
-        let job = Job { reactor: self.idx, token, tag, opcode, payload, session };
+        let job = Job::Frame { reactor: self.idx, token, tag, opcode, payload, session };
         if self.jobs.send(job).is_err() {
             // Executors are gone (shutdown tail); the session moved into
             // the dropped job and is lost with it.
@@ -539,8 +562,13 @@ impl Reactor {
     }
 
     /// Apply completions the executors pushed to our done queue.
+    /// Contended try_lock is fine to skip: the executor holds the lock
+    /// only around a push and pokes our waker after releasing it.
     fn drain_completions(&mut self) {
-        let completions = { std::mem::take(&mut *self.shared.done[self.idx].lock()) };
+        let completions = match self.shared.done[self.idx].try_lock() {
+            Some(mut done) => std::mem::take(&mut *done),
+            None => return,
+        };
         for c in completions {
             self.on_complete(c);
         }
@@ -655,11 +683,14 @@ impl Reactor {
                 soft_error(self.poll.deregister(listener.as_raw_fd()));
             }
             // Connections still waiting in the inbox never served a
-            // frame; close them outright.
-            let newcomers = { std::mem::take(&mut *self.shared.inboxes[self.idx].lock()) };
-            for stream in newcomers {
-                drop(stream);
-                self.shared.conns.fetch_sub(1, Ordering::SeqCst);
+            // frame; close them outright. On a contended try_lock the
+            // pusher's waker poke retries us: adopt_newcomers picks the
+            // sockets up next iteration and the passes below close them.
+            if let Some(mut inbox) = self.shared.inboxes[self.idx].try_lock() {
+                for stream in std::mem::take(&mut *inbox) {
+                    drop(stream);
+                    self.shared.conns.fetch_sub(1, Ordering::SeqCst);
+                }
             }
             // Notify every idle session once.
             let tokens: Vec<usize> = self.conns.keys().copied().collect();
